@@ -1,0 +1,51 @@
+//! Criterion end-to-end benchmark: simulated-requests-per-wall-second of
+//! the full cluster simulator — the number behind the paper's Table 2
+//! savings factors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vidur_core::rng::SimRng;
+use vidur_estimator::EstimatorKind;
+use vidur_hardware::GpuSku;
+use vidur_model::{ModelSpec, ParallelismConfig};
+use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator};
+use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let config = ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        1,
+        SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+    );
+    let est = onboard(
+        &config.model,
+        &config.parallelism,
+        &config.sku,
+        EstimatorKind::default(),
+    );
+    let n = 100usize;
+    let mut rng = SimRng::new(9);
+    let trace =
+        TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Poisson { qps: 2.0 }, &mut rng);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("simulate_100_chat_requests", |b| {
+        b.iter(|| {
+            ClusterSimulator::new(
+                config.clone(),
+                trace.clone(),
+                RuntimeSource::Estimator((*est).clone()),
+                9,
+            )
+            .run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the discrete-event engine: event queue
+//! throughput is what bounds large-scale simulation speed (the paper's
+//! "large-scale" claim rests on simulating millions of iterations quickly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vidur_core::event::EventQueue;
+use vidur_core::rng::SimRng;
+use vidur_core::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 40)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("log_normal_x1000", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += rng.log_normal(0.0, 0.5);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng);
+criterion_main!(benches);

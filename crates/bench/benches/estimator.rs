@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the runtime estimator: training cost per
+//! operator table and prediction latency (predictions sit on the simulator's
+//! hot path — every batch iteration queries ~20 operators).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vidur_core::rng::SimRng;
+use vidur_estimator::{EstimatorKind, ForestConfig, RandomForest, RuntimeEstimator};
+use vidur_hardware::{GpuSku, KernelOracle};
+use vidur_model::operators::{OpInput, OpInvocation, Operator};
+use vidur_model::runtime::RuntimePredictor;
+use vidur_model::{ModelSpec, ParallelismConfig};
+use vidur_profiler::{ProfileCollector, ProfilingPlan};
+
+fn trained() -> RuntimeEstimator {
+    let plan = ProfilingPlan::for_model(&ModelSpec::llama2_7b(), &ParallelismConfig::serial());
+    let collector = ProfileCollector::new(KernelOracle::new(GpuSku::a100_80g()));
+    let table = collector.collect(&plan, &mut SimRng::new(1));
+    RuntimeEstimator::train(&table, EstimatorKind::default(), 7)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let plan = ProfilingPlan::for_model(&ModelSpec::llama2_7b(), &ParallelismConfig::serial());
+    let collector = ProfileCollector::new(KernelOracle::new(GpuSku::a100_80g()));
+    let table = collector.collect(&plan, &mut SimRng::new(1));
+    let mut group = c.benchmark_group("estimator_training");
+    group.sample_size(10);
+    group.bench_function("train_full_model", |b| {
+        b.iter(|| RuntimeEstimator::train(&table, EstimatorKind::default(), 7));
+    });
+    group.finish();
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=512).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| (x / 64.0).ceil() * 1e-5).collect();
+    c.bench_function("estimator/forest_fit_512pts", |b| {
+        b.iter(|| RandomForest::fit(&xs, &ys, ForestConfig::default(), &mut SimRng::new(3)));
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let est = trained();
+    let invs: Vec<OpInvocation> = (1..=1_000)
+        .map(|m| {
+            OpInvocation::new(
+                Operator::MlpUpProj,
+                OpInput::Matmul {
+                    m,
+                    k: 4096,
+                    n: 11008,
+                },
+                32,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("estimator");
+    group.throughput(Throughput::Elements(invs.len() as u64));
+    group.bench_function("predict_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for inv in &invs {
+                acc += est.op_time(inv);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_forest_fit, bench_prediction);
+criterion_main!(benches);

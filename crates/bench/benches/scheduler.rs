@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the replica scheduler: batch formation
+//! is invoked once per iteration, hundreds of thousands of times per
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vidur_core::time::SimTime;
+use vidur_scheduler::{BatchPolicyKind, ReplicaScheduler, Request, SchedulerConfig};
+
+fn drive(policy: BatchPolicyKind, n_requests: u64) -> u64 {
+    let mut s = ReplicaScheduler::new(SchedulerConfig::new(policy, 64), 50_000, 16);
+    for i in 0..n_requests {
+        s.add_request(Request::new(i, SimTime::ZERO, 200 + (i % 700), 1 + (i % 50)));
+    }
+    let mut iters = 0;
+    while s.outstanding() > 0 {
+        let Some(batch) = s.next_batch() else { break };
+        s.complete_batch(&batch);
+        iters += 1;
+    }
+    iters
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_drain_200req");
+    for policy in [
+        BatchPolicyKind::Vllm,
+        BatchPolicyKind::OrcaPlus,
+        BatchPolicyKind::SarathiServe { chunk_size: 512 },
+        BatchPolicyKind::FasterTransformer,
+        BatchPolicyKind::LightLlm,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.to_string()),
+            &policy,
+            |b, &p| b.iter(|| drive(p, 200)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation: aggregated vs prefill/decode-disaggregated serving
+//! (Splitwise / DistServe, paper §2.2) at equal GPU count.
+//!
+//! Expected shape: disaggregation tightens the TBT tail (decodes never
+//! contend with incoming prompts) and trades a little TTFT (KV transfer);
+//! the win grows on prompt-heavy traffic where aggregated decode batches
+//! keep getting paused or diluted.
+
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_core::rng::SimRng;
+use vidur_estimator::EstimatorKind;
+use vidur_hardware::GpuSku;
+use vidur_model::{ModelSpec, ParallelismConfig};
+use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::{
+    onboard, ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator,
+};
+use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let model = ModelSpec::llama2_7b();
+    let par = ParallelismConfig::serial();
+    let sku = GpuSku::a100_80g();
+    let est = onboard(&model, &par, &sku, EstimatorKind::default());
+    println!("# Ablation — aggregated vs disaggregated (2 GPUs total, LLaMA2-7B)\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (workload, qps) in [
+        (TraceWorkload::chat_1m(), 4.0),
+        (TraceWorkload::arxiv_4k(), 1.2),
+        (TraceWorkload::bwb_4k(), 0.8),
+    ] {
+        let mut rng = SimRng::new(83);
+        let trace = workload.generate(
+            scale.fidelity_requests * 2,
+            &ArrivalProcess::Poisson { qps },
+            &mut rng,
+        );
+        let base = ClusterConfig::new(
+            model.clone(),
+            sku.clone(),
+            par,
+            2,
+            SchedulerConfig::new(BatchPolicyKind::Vllm, 64),
+        );
+        let agg = ClusterSimulator::new(
+            base.clone(),
+            trace.clone(),
+            RuntimeSource::Estimator((*est).clone()),
+            83,
+        )
+        .run();
+        let mut one = base.clone();
+        one.num_replicas = 1;
+        let disagg = DisaggSimulator::new(
+            DisaggConfig::new(one, 1, 1),
+            trace,
+            RuntimeSource::Estimator((*est).clone()),
+            83,
+        )
+        .run();
+        for (mode, r) in [("aggregated x2", &agg), ("disagg 1P+1D", &disagg)] {
+            rows.push(vec![
+                workload.name.clone(),
+                mode.to_string(),
+                format!("{}", r.completed),
+                format!("{:.0} ms", r.ttft.p90 * 1e3),
+                format!("{:.1} ms", r.tbt.p50 * 1e3),
+                format!("{:.1} ms", r.tbt.p99 * 1e3),
+                format!("{:.2}", r.throughput_qps),
+            ]);
+        }
+        results.push((workload.name.clone(), agg, disagg));
+    }
+    print_markdown_table(
+        &[
+            "trace",
+            "mode",
+            "completed",
+            "TTFT p90",
+            "TBT p50",
+            "TBT p99",
+            "throughput",
+        ],
+        &rows,
+    );
+    write_json("ablation_disagg", &results);
+}

@@ -1,0 +1,86 @@
+//! Ablation: pipeline-parallel stage scheduling — synchronous send/recv on
+//! the critical path vs the asynchronous-communication extension the paper
+//! plans for the replica stage scheduler (§4.5).
+//!
+//! Expected shape: hiding inter-stage transfers shortens every stage,
+//! raising throughput and trimming TBT; the gain grows with PP degree
+//! (more stage boundaries) and shrinks for TP-heavy configs (fewer, larger
+//! stages).
+
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_core::rng::SimRng;
+use vidur_estimator::EstimatorKind;
+use vidur_hardware::GpuSku;
+use vidur_model::{ModelSpec, ParallelismConfig};
+use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator};
+use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let model = ModelSpec::llama2_70b();
+    let sku = GpuSku::a100_80g();
+    let mut rng = SimRng::new(71);
+    let trace = TraceWorkload::chat_1m().generate(
+        scale.fidelity_requests,
+        &ArrivalProcess::Static,
+        &mut rng,
+    );
+    println!("# Ablation — sync vs async pipeline communication (LLaMA2-70B)\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (tp, pp) in [(1u32, 4u32), (2, 2), (2, 4), (4, 2)] {
+        let par = ParallelismConfig::new(tp, pp);
+        let mut config = ClusterConfig::new(
+            model.clone(),
+            sku.clone(),
+            par,
+            1,
+            SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+        );
+        if config.memory_plan().is_err() {
+            continue;
+        }
+        let est = onboard(&model, &par, &sku, EstimatorKind::default());
+        let mut run = |async_comm: bool| {
+            config.async_pipeline_comm = async_comm;
+            ClusterSimulator::new(
+                config.clone(),
+                trace.clone(),
+                RuntimeSource::Estimator((*est).clone()),
+                71,
+            )
+            .run()
+        };
+        let sync = run(false);
+        let asyn = run(true);
+        let speedup = sync.makespan_secs / asyn.makespan_secs;
+        rows.push(vec![
+            par.to_string(),
+            format!("{:.1} s", sync.makespan_secs),
+            format!("{:.1} s", asyn.makespan_secs),
+            format!("{speedup:.3}x"),
+            format!("{:.1} / {:.1} ms", sync.tbt.p99 * 1e3, asyn.tbt.p99 * 1e3),
+        ]);
+        results.push((par.to_string(), sync, asyn));
+    }
+    print_markdown_table(
+        &[
+            "parallelism",
+            "sync makespan",
+            "async makespan",
+            "speedup",
+            "TBT p99 sync/async",
+        ],
+        &rows,
+    );
+    println!(
+        "\nFinding: at LLM batch sizes the inter-stage activation payload\n\
+         (tokens x hidden dim x 2B) moves in tens of microseconds over NVLink\n\
+         while a stage computes for tens of milliseconds — so hiding send/recv\n\
+         buys <1%. Pipeline *bubbles* from stage imbalance, not transfer time,\n\
+         are the PP overhead that matters (cf. paper §2.2)."
+    );
+    write_json("ablation_pipeline", &results);
+}

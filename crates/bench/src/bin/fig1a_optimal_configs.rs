@@ -1,0 +1,56 @@
+//! Regenerates **Figure 1a**: the optimal deployment configuration (PP, TP,
+//! scheduler, chunk size, batch size, SKU) and its QPS-per-dollar for each
+//! of the 12 model × trace pairs, under the paper's SLOs (TTFT P90 < 2 s,
+//! TBT P99 < 200 ms).
+//!
+//! Expected shape: optima differ across traces for the same model; Chat-1M
+//! achieves the highest QPS/$ and BWB the lowest; larger models earn less
+//! QPS/$; Qwen-72B (MHA) is ~2x costlier than LLaMA2-70B (GQA).
+
+use vidur_bench::searches::search_outcomes;
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_search::SloConstraints;
+
+fn main() {
+    let scale = Scale::from_env();
+    let outcomes = search_outcomes(&scale);
+    let slo = SloConstraints::default();
+    println!("# Figure 1a — optimal configuration per model x trace\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for pair in &outcomes {
+        match pair.outcome.best(&slo) {
+            Some(best) => {
+                let cfg = best.config.as_ref().expect("search evals carry configs");
+                rows.push(vec![
+                    pair.model.clone(),
+                    pair.workload.clone(),
+                    cfg.sku.name.clone(),
+                    format!("TP{}", cfg.parallelism.tensor_parallel),
+                    format!("PP{}", cfg.parallelism.pipeline_parallel),
+                    cfg.scheduler.policy.to_string(),
+                    cfg.scheduler.max_batch_size.to_string(),
+                    format!("{:.4}", best.qps_per_dollar),
+                ]);
+                results.push((pair.model.clone(), pair.workload.clone(), best.clone()));
+            }
+            None => rows.push(vec![
+                pair.model.clone(),
+                pair.workload.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "no SLO-compliant config".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    print_markdown_table(
+        &[
+            "model", "trace", "SKU", "TP", "PP", "scheduler", "batch", "QPS/$",
+        ],
+        &rows,
+    );
+    write_json("fig1a_optimal_configs", &results);
+}

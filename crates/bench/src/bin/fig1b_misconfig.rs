@@ -1,0 +1,62 @@
+//! Regenerates **Figure 1b**: the misconfiguration cost matrix for
+//! LLaMA2-70B — serving workload X with the optimal configuration of
+//! workload Y costs up to ~2x the optimum.
+
+use vidur_bench::searches::search_outcomes;
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_core::rng::SimRng;
+use vidur_estimator::EstimatorKind;
+use vidur_search::{misconfiguration_matrix, CapacityParams, SloConstraints};
+use vidur_simulator::ClusterConfig;
+use vidur_workload::{ArrivalProcess, Trace, TraceWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let outcomes = search_outcomes(&scale);
+    let slo = SloConstraints::default();
+    // Per-trace optimal configs for LLaMA2-70B, from the Figure 1a search.
+    let mut optima: Vec<ClusterConfig> = Vec::new();
+    let mut traces: Vec<Trace> = Vec::new();
+    let mut rng = SimRng::new(1_000);
+    for workload in TraceWorkload::paper_workloads() {
+        let pair = outcomes
+            .iter()
+            .find(|p| p.model == "llama2-70b" && p.workload == workload.name)
+            .expect("search covers llama2-70b");
+        let best = pair
+            .outcome
+            .best(&slo)
+            .or_else(|| pair.outcome.best_unconstrained())
+            .expect("llama2-70b has feasible configs");
+        optima.push(best.config.clone().expect("configs attached"));
+        traces.push(workload.generate(scale.probe_requests, &ArrivalProcess::Static, &mut rng));
+    }
+    let params = CapacityParams {
+        bisect_iters: scale.bisect_iters,
+        ..CapacityParams::default()
+    };
+    let m = misconfiguration_matrix(&optima, &traces, &params, EstimatorKind::default());
+    println!("# Figure 1b — misconfiguration cost ratios, LLaMA2-70B\n");
+    println!("(rows: config tuned for; columns: workload served)\n");
+    let mut rows = Vec::new();
+    for (i, name) in m.workloads.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for j in 0..m.workloads.len() {
+            row.push(format!("{:.2}", m.ratios[i][j]));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("tuned-for \\ served")
+        .chain(m.workloads.iter().map(|s| s.as_str()))
+        .collect();
+    print_markdown_table(&headers, &rows);
+    let max_ratio = m
+        .ratios
+        .iter()
+        .flatten()
+        .cloned()
+        .filter(|r| r.is_finite())
+        .fold(0.0f64, f64::max);
+    println!("\nmax transfer cost ratio = {max_ratio:.2}x  (paper: up to 2.0x)");
+    write_json("fig1b_misconfig", &m);
+}

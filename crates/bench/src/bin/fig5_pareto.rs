@@ -1,0 +1,61 @@
+//! Regenerates **Figure 5**: the QPS-per-dollar Pareto frontiers against
+//! TTFT-P90 and TBT-P99, with SLO-compliance marking, for
+//! LLaMA2-70B × Chat-1M and Qwen-72B × Arxiv-4K, plus each pair's best
+//! configuration.
+//!
+//! Expected shape: frontier points optimal on one latency metric may
+//! violate the other's SLO; small SLO changes move the achievable QPS/$
+//! substantially; Sarathi-Serve configs dominate the compliant region.
+
+use vidur_bench::searches::search_outcomes;
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_search::{pareto_frontier, SloConstraints};
+
+fn main() {
+    let scale = Scale::from_env();
+    let outcomes = search_outcomes(&scale);
+    let slo = SloConstraints::default();
+    let pairs = [("llama2-70b", "chat-1m"), ("qwen-72b", "arxiv-4k")];
+    let mut results = Vec::new();
+    for (model, trace) in pairs {
+        let pair = outcomes
+            .iter()
+            .find(|p| p.model == model && p.workload == trace)
+            .expect("pair searched");
+        let evals = &pair.outcome.evaluations;
+        println!("# Figure 5 — Pareto frontier: {model} x {trace}\n");
+        for (metric_name, metric) in [
+            ("TTFT-P90", &(|e: &vidur_search::ConfigEvaluation| e.ttft_p90)
+                as &dyn Fn(&vidur_search::ConfigEvaluation) -> f64),
+            ("TBT-P99", &|e: &vidur_search::ConfigEvaluation| e.tbt_p99),
+        ] {
+            let frontier = pareto_frontier(evals, metric);
+            println!("## frontier vs {metric_name}\n");
+            let mut rows = Vec::new();
+            for &i in &frontier {
+                let e = &evals[i];
+                rows.push(vec![
+                    e.label.clone(),
+                    format!("{:.4}", e.qps_per_dollar),
+                    format!("{:.3}", e.ttft_p90),
+                    format!("{:.4}", e.tbt_p99),
+                    if slo.satisfied_by(e) { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+            print_markdown_table(
+                &["config", "QPS/$", "TTFT p90 (s)", "TBT p99 (s)", "SLO ok"],
+                &rows,
+            );
+            println!();
+            results.push((model, trace, metric_name, frontier.len()));
+        }
+        match pair.outcome.best(&slo) {
+            Some(best) => println!(
+                "Best SLO-compliant config: {}  (QPS/$ = {:.4})\n",
+                best.label, best.qps_per_dollar
+            ),
+            None => println!("No SLO-compliant configuration.\n"),
+        }
+    }
+    write_json("fig5_pareto", &results);
+}

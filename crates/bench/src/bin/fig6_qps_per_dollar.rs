@@ -1,0 +1,43 @@
+//! Regenerates **Figure 6**: QPS per dollar of the best SLO-compliant
+//! configuration for every model × trace (log-scale bar chart in the
+//! paper; a table here).
+//!
+//! Expected shape: QPS/$ decreases with model size; per model, Chat-1M is
+//! cheapest, BWB most expensive (decode tokens dominate); Qwen-72B roughly
+//! 2x the cost of LLaMA2-70B due to its MHA KV-cache load.
+
+use vidur_bench::searches::search_outcomes;
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_search::SloConstraints;
+
+fn main() {
+    let scale = Scale::from_env();
+    let outcomes = search_outcomes(&scale);
+    let slo = SloConstraints::default();
+    println!("# Figure 6 — QPS/$ of best config (TTFT P90 < 2s, TBT P99 < 200ms)\n");
+    // Rows: model; columns: trace.
+    let traces = ["chat-1m", "arxiv-4k", "bwb-4k"];
+    let models = ["llama2-7b", "internlm-20b", "llama2-70b", "qwen-72b"];
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for model in models {
+        let mut row = vec![model.to_string()];
+        for trace in traces {
+            let cell = outcomes
+                .iter()
+                .find(|p| p.model == model && p.workload == trace)
+                .and_then(|p| p.outcome.best(&slo))
+                .map(|b| format!("{:.4}", b.qps_per_dollar))
+                .unwrap_or_else(|| "-".to_string());
+            results.push((model.to_string(), trace.to_string(), row.len(), cell.clone()));
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    print_markdown_table(&["model \\ trace", "chat-1m", "arxiv-4k", "bwb-4k"], &rows);
+    println!(
+        "\nExpected shape: column-wise chat < arxiv < bwb in cost (reverse in\n\
+         QPS/$); row-wise smaller models earn more QPS/$."
+    );
+    write_json("fig6_qps_per_dollar", &results);
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 7** (appendix): dynamic-workload fidelity at 75%
+//! and 95% of system capacity (median and P95 normalized E2E latency).
+//! Paper result: errors stay small at 75%, grow toward 95% (up to 12.65%
+//! for the 7B model where CPU-overhead jitter cascades).
+
+use vidur_bench::dynamic::{fidelity_at_load, paper_setups};
+use vidur_bench::{fmt_pct, print_markdown_table, write_json, Scale};
+use vidur_workload::TraceWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 7 — fidelity at 75% and 95% of capacity\n");
+    let mut results = Vec::new();
+    for frac in [0.75, 0.95] {
+        println!("## load = {:.0}% of capacity\n", frac * 100.0);
+        let mut rows = Vec::new();
+        for (model, par) in paper_setups() {
+            for workload in TraceWorkload::paper_workloads() {
+                let Some(rep) =
+                    fidelity_at_load(&model, par, &workload, frac, &scale, 7_000)
+                else {
+                    continue;
+                };
+                rows.push(vec![
+                    format!("{} (TP{})", model.name, par.tensor_parallel),
+                    workload.name.clone(),
+                    fmt_pct(rep.err_norm_e2e_p50()),
+                    fmt_pct(rep.err_norm_e2e_p95()),
+                ]);
+                results.push((frac, rep));
+            }
+        }
+        print_markdown_table(&["model", "trace", "err p50", "err p95"], &rows);
+        println!();
+    }
+    write_json("fig7_fidelity_vs_load", &results);
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 8** (appendix): P95 normalized-E2E-latency
+//! prediction error as a function of arrival rate, swept from 0.75× to
+//! 0.95× of capacity for each model × trace. Paper shape: error magnitude
+//! grows with load and is largest for LLaMA2-7B.
+
+use vidur_bench::dynamic::{fidelity_at_load, paper_setups};
+use vidur_bench::{fmt_pct, print_markdown_table, write_json, Scale};
+use vidur_workload::TraceWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let fracs = [0.75, 0.80, 0.85, 0.90, 0.95];
+    println!("# Figure 8 — P95 error vs arrival rate (fractions of capacity)\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (model, par) in paper_setups() {
+        for workload in TraceWorkload::paper_workloads() {
+            let mut row = vec![
+                format!("{} (TP{})", model.name, par.tensor_parallel),
+                workload.name.clone(),
+            ];
+            let mut errs = Vec::new();
+            for &frac in &fracs {
+                match fidelity_at_load(&model, par, &workload, frac, &scale, 8_000) {
+                    Some(rep) => {
+                        let e = rep.err_norm_e2e_p95();
+                        row.push(fmt_pct(e));
+                        errs.push(e);
+                    }
+                    None => row.push("-".to_string()),
+                }
+            }
+            rows.push(row);
+            results.push((model.name.clone(), workload.name.clone(), errs));
+        }
+    }
+    print_markdown_table(
+        &["model", "trace", "0.75x", "0.80x", "0.85x", "0.90x", "0.95x"],
+        &rows,
+    );
+    write_json("fig8_error_trend", &results);
+}

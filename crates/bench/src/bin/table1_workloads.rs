@@ -1,0 +1,54 @@
+//! Regenerates **Table 1**: dataset statistics of the three Vidur-Bench
+//! workloads (prefill/decode token moments and P:D ratios), side by side
+//! with the paper's reported values for the 4K-capped variants.
+
+use vidur_bench::{print_markdown_table, write_json, Scale};
+use vidur_core::rng::SimRng;
+use vidur_workload::{ArrivalProcess, TraceWorkload, WorkloadStats};
+
+/// Paper values for the 4K-capped rows of Table 1:
+/// (prefill mean/median/p90, decode mean/median/p90, P:D median).
+const PAPER: [(&str, [f64; 7]); 3] = [
+    ("chat-1m", [686.0, 417.0, 1678.0, 197.0, 139.0, 484.0, 2.3]),
+    ("arxiv-4k", [2588.0, 2730.0, 3702.0, 291.0, 167.0, 372.0, 15.7]),
+    ("bwb-4k", [1067.0, 1037.0, 1453.0, 1612.0, 1601.0, 2149.0, 0.65]),
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = if scale.full_grid { 100_000 } else { 20_000 };
+    println!("# Table 1 — workload statistics ({n} sampled requests per trace)\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (i, workload) in TraceWorkload::paper_workloads().iter().enumerate() {
+        let mut rng = SimRng::new(100 + i as u64);
+        let trace = workload.generate(n, &ArrivalProcess::Static, &mut rng);
+        let s = WorkloadStats::compute(&trace);
+        let p = PAPER[i].1;
+        rows.push(vec![
+            workload.name.clone(),
+            format!("{:.0} ({:.0})", s.prefill_mean, p[0]),
+            format!("{:.0} ({:.0})", s.prefill_median, p[1]),
+            format!("{:.0} ({:.0})", s.prefill_p90, p[2]),
+            format!("{:.0} ({:.0})", s.decode_mean, p[3]),
+            format!("{:.0} ({:.0})", s.decode_median, p[4]),
+            format!("{:.0} ({:.0})", s.decode_p90, p[5]),
+            format!("{:.2} ({:.2})", s.pd_ratio_median, p[6]),
+        ]);
+        results.push((workload.name.clone(), s));
+    }
+    print_markdown_table(
+        &[
+            "trace",
+            "prefill mean (paper)",
+            "prefill med (paper)",
+            "prefill p90 (paper)",
+            "decode mean (paper)",
+            "decode med (paper)",
+            "decode p90 (paper)",
+            "P:D med (paper)",
+        ],
+        &rows,
+    );
+    write_json("table1_workloads", &results);
+}

@@ -1,0 +1,353 @@
+//! Generic discrete-event queue and driver loop.
+//!
+//! The queue is a binary heap keyed on `(time, sequence)` where `sequence`
+//! is a monotonically increasing insertion counter. Two events scheduled for
+//! the same instant therefore pop in insertion (FIFO) order, which makes the
+//! whole simulation deterministic — a property the paper's cascading-error
+//! analysis (§3) depends on: re-running a configuration must reproduce the
+//! exact same batching pattern.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// An entry in the event heap. Ordered so the *earliest* time pops first and
+/// ties break in insertion order.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so smallest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::event::EventQueue;
+/// use vidur_core::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(10), "late");
+/// q.push(SimTime::from_nanos(5), "early");
+/// q.push(SimTime::from_nanos(5), "early-second");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("scheduled", &self.seq)
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.popped += 1;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Returns the timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of events processed (popped).
+    pub fn processed_count(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A simulation driven by an [`EventQueue`].
+///
+/// Implementors hold all mutable world state; [`run`] pops events in time
+/// order and dispatches them to [`Simulation::handle`], which may schedule
+/// further events. The driver enforces the no-time-travel invariant: handlers
+/// must not schedule events in the past.
+pub trait Simulation {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event at simulated time `now`, scheduling any follow-up
+    /// events on `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Returns `true` when the simulation should stop even though events
+    /// remain (e.g. all tracked requests completed). Default: run to empty.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Runs `sim` until the queue drains, `sim.is_done()` reports completion, or
+/// `max_events` events have been processed.
+///
+/// Returns the timestamp of the last processed event (or `SimTime::ZERO` when
+/// no event fired) and the number of events processed.
+///
+/// # Panics
+///
+/// Panics if a handler scheduled an event earlier than the event being
+/// handled (time travel), which would indicate a simulator bug.
+pub fn run<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    max_events: u64,
+) -> (SimTime, u64) {
+    let mut now = SimTime::ZERO;
+    let mut processed = 0u64;
+    while processed < max_events {
+        if sim.is_done() {
+            break;
+        }
+        let Some((time, event)) = queue.pop() else {
+            break;
+        };
+        assert!(
+            time >= now,
+            "event queue produced out-of-order event: {time} < {now}"
+        );
+        now = time;
+        sim.handle(now, event, queue);
+        processed += 1;
+    }
+    (now, processed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[30u64, 10, 20, 5, 25] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.scheduled_count(), 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.processed_count(), 1);
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(3), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        assert_eq!(q.len(), 1);
+    }
+
+    /// A toy simulation: a counter that re-schedules itself `n` times.
+    struct Ticker {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Simulation for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _event: (), queue: &mut EventQueue<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.push(now + SimDuration::from_millis(10), ());
+            }
+        }
+    }
+
+    #[test]
+    fn driver_runs_chain() {
+        let mut sim = Ticker {
+            remaining: 4,
+            fired_at: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let (end, processed) = run(&mut sim, &mut q, u64::MAX);
+        assert_eq!(processed, 5);
+        assert_eq!(end, SimTime::from_secs_f64(0.04));
+        assert_eq!(sim.fired_at.len(), 5);
+        assert!(sim.fired_at.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn driver_respects_max_events() {
+        let mut sim = Ticker {
+            remaining: u32::MAX,
+            fired_at: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let (_, processed) = run(&mut sim, &mut q, 17);
+        assert_eq!(processed, 17);
+    }
+
+    struct DoneAfter(u32);
+    impl Simulation for DoneAfter {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), q: &mut EventQueue<()>) {
+            self.0 = self.0.saturating_sub(1);
+            q.push(now + SimDuration::from_nanos(1), ());
+        }
+        fn is_done(&self) -> bool {
+            self.0 == 0
+        }
+    }
+
+    #[test]
+    fn driver_stops_when_done() {
+        let mut sim = DoneAfter(3);
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let (_, processed) = run(&mut sim, &mut q, u64::MAX);
+        assert_eq!(processed, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn always_nondecreasing(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        #[test]
+        fn tie_break_is_fifo(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            let t = SimTime::from_nanos(42);
+            for i in 0..n {
+                q.push(t, i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.pop().unwrap().1, i);
+            }
+        }
+
+        #[test]
+        fn pop_count_matches_push_count(times in proptest::collection::vec(0u64..1000, 0..64)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(SimTime::from_nanos(t), ());
+            }
+            let mut n = 0;
+            while q.pop().is_some() { n += 1; }
+            prop_assert_eq!(n, times.len());
+        }
+    }
+}

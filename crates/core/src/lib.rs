@@ -1,0 +1,46 @@
+//! # vidur-core
+//!
+//! Foundation crate for the Vidur LLM-inference simulation framework.
+//!
+//! This crate provides the substrate every other Vidur crate builds on:
+//!
+//! * [`time`] — nanosecond-resolution simulation time ([`SimTime`]) and
+//!   durations ([`SimDuration`]) with total ordering, suitable for use as
+//!   discrete-event keys.
+//! * [`rng`] — deterministic, seedable random number generation
+//!   ([`rng::SimRng`]) with the distribution helpers the workload generators
+//!   and the hardware noise model need (exponential, log-normal, gamma,
+//!   Poisson). Simulations are reproducible: the same seed always yields the
+//!   same trace and the same measurements.
+//! * [`event`] — a generic discrete-event queue ([`event::EventQueue`]) with
+//!   stable FIFO tie-breaking at equal timestamps, and a small driver loop
+//!   ([`event::Simulation`], [`event::run`]).
+//! * [`metrics`] — streaming metric primitives: an exact quantile digest,
+//!   time-weighted utilization series, and fixed-width histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use vidur_core::time::{SimTime, SimDuration};
+//! use vidur_core::event::EventQueue;
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(SimTime::from_secs_f64(1.0), "b");
+//! q.push(SimTime::ZERO, "a");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (SimTime::ZERO, "a"));
+//! # let _ = SimDuration::from_secs_f64(0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use event::{EventQueue, Simulation};
+pub use metrics::{Histogram, QuantileDigest, TimeWeightedSeries};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,626 @@
+//! Metric primitives: quantile digests, time-weighted series, histograms.
+//!
+//! Vidur reports request-level distributions (TTFT, TBT, normalized latency —
+//! median/P90/P95/P99) and cluster-level utilization (MFU, MBU, KV-cache
+//! occupancy over time). This module provides the small set of statistics
+//! containers those reports are built from.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An exact quantile digest: stores every sample and sorts lazily.
+///
+/// Vidur simulations track at most a few hundred thousand requests, so exact
+/// quantiles are affordable and avoid the sketch-accuracy caveats that would
+/// otherwise muddy fidelity comparisons.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::metrics::QuantileDigest;
+/// let mut d = QuantileDigest::new();
+/// for i in 1..=100 {
+///     d.record(i as f64);
+/// }
+/// assert_eq!(d.quantile(0.5), Some(50.5));
+/// assert_eq!(d.min(), Some(1.0));
+/// assert_eq!(d.max(), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantileDigest {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: std::cell::Cell<bool>,
+    sum: f64,
+}
+
+impl QuantileDigest {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        QuantileDigest {
+            samples: Vec::new(),
+            sorted: std::cell::Cell::new(true),
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        self.samples.push(value);
+        self.sorted.set(false);
+        self.sum += value;
+    }
+
+    /// Records a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    fn ensure_sorted(&self) -> &[f64] {
+        if !self.sorted.get() {
+            // Interior sort through a raw pointer would be UB; instead we
+            // only ever sort through &mut. Public read paths go through
+            // `quantile`/`min`/`max` below which take &self, so keep a sorted
+            // shadow: sort on demand via unsafe-free approach — clone-free by
+            // sorting in `record`'s amortized path is wasteful, so we accept
+            // the &mut requirement and provide `quantile` on &self using a
+            // sorted copy only when dirty. Simpler: sort here via interior
+            // mutability is not possible on Vec<f64> without RefCell; the
+            // digest therefore sorts eagerly in the rare dirty case.
+            unreachable!("ensure_sorted called while dirty; use sorted_samples()")
+        } else {
+            &self.samples
+        }
+    }
+
+    fn sorted_samples(&self) -> std::borrow::Cow<'_, [f64]> {
+        if self.sorted.get() {
+            std::borrow::Cow::Borrowed(self.ensure_sorted())
+        } else {
+            let mut copy = self.samples.clone();
+            copy.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in digest"));
+            std::borrow::Cow::Owned(copy)
+        }
+    }
+
+    /// Sorts the backing storage so subsequent `quantile` calls are
+    /// allocation-free. Called automatically by the report builders.
+    pub fn seal(&mut self) {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN in digest"));
+        self.sorted.set(true);
+    }
+
+    /// Returns the `q`-quantile (0 ≤ q ≤ 1) with linear interpolation, or
+    /// `None` if the digest is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sorted = self.sorted_samples();
+        let n = sorted.len();
+        if n == 1 {
+            return Some(sorted[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Immutable view of the raw samples (unsorted).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another digest into this one.
+    pub fn merge(&mut self, other: &QuantileDigest) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted.set(false);
+    }
+}
+
+impl FromIterator<f64> for QuantileDigest {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut d = QuantileDigest::new();
+        for x in iter {
+            d.record(x);
+        }
+        d
+    }
+}
+
+impl Extend<f64> for QuantileDigest {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+/// A step function of time used for utilization metrics (KV occupancy, busy
+/// GPUs, outstanding requests). Values are weighted by how long they persist.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::metrics::TimeWeightedSeries;
+/// use vidur_core::time::SimTime;
+///
+/// let mut s = TimeWeightedSeries::new();
+/// s.record(SimTime::from_secs_f64(0.0), 0.0);
+/// s.record(SimTime::from_secs_f64(1.0), 1.0);
+/// s.record(SimTime::from_secs_f64(3.0), 0.0);
+/// // value was 0 for 1s and 1 for 2s => mean 2/3
+/// let mean = s.time_weighted_mean(SimTime::from_secs_f64(3.0)).unwrap();
+/// assert!((mean - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeightedSeries {
+    /// (time, value) change-points, non-decreasing in time.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeWeightedSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeWeightedSeries { points: Vec::new() }
+    }
+
+    /// Records that the tracked value changed to `value` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previous change-point.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(time >= last, "series updates must be in time order");
+        }
+        self.points.push((time, value));
+    }
+
+    /// Number of change-points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no change-points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Latest recorded value.
+    pub fn current(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Time-weighted mean of the value from the first change-point to `end`.
+    /// Returns `None` if the series is empty or `end` precedes the first
+    /// change-point.
+    pub fn time_weighted_mean(&self, end: SimTime) -> Option<f64> {
+        let first = self.points.first()?.0;
+        if end <= first {
+            return None;
+        }
+        let total = end.duration_since(first).as_secs_f64();
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v) = w[0];
+            let t1 = w[1].0.min(end);
+            if t1 > t0 {
+                acc += v * t1.duration_since(t0).as_secs_f64();
+            }
+            if w[1].0 >= end {
+                return Some(acc / total);
+            }
+        }
+        let (t_last, v_last) = *self.points.last()?;
+        if end > t_last {
+            acc += v_last * end.duration_since(t_last).as_secs_f64();
+        }
+        Some(acc / total)
+    }
+
+    /// Maximum recorded value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+    }
+
+    /// Immutable view of the change-points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+///
+/// Used for operator-level runtime distributions and batch-size profiles.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::metrics::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.record(0.5);
+/// h.record(9.5);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(9), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `n` equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo < hi, "histogram bounds must satisfy lo < hi");
+        assert!(n > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.lo + width * i as f64
+    }
+}
+
+/// A running counter pair for utilization ratios such as MFU/MBU:
+/// `achieved / peak` aggregated over time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationAccumulator {
+    achieved: f64,
+    available: f64,
+}
+
+impl UtilizationAccumulator {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one interval: `achieved` units of useful work out of `available`
+    /// deliverable units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is negative.
+    pub fn add(&mut self, achieved: f64, available: f64) {
+        assert!(achieved >= 0.0 && available >= 0.0);
+        self.achieved += achieved;
+        self.available += available;
+    }
+
+    /// Utilization in `[0, 1]`, or `None` if nothing was available.
+    pub fn ratio(&self) -> Option<f64> {
+        if self.available > 0.0 {
+            Some((self.achieved / self.available).min(1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Total achieved units.
+    pub fn achieved(&self) -> f64 {
+        self.achieved
+    }
+
+    /// Total available units.
+    pub fn available(&self) -> f64 {
+        self.available
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn digest_quantiles_exact() {
+        let d: QuantileDigest = (1..=5).map(|x| x as f64).collect();
+        assert_eq!(d.quantile(0.0), Some(1.0));
+        assert_eq!(d.quantile(1.0), Some(5.0));
+        assert_eq!(d.median(), Some(3.0));
+        assert_eq!(d.quantile(0.25), Some(2.0));
+    }
+
+    #[test]
+    fn digest_interpolates() {
+        let d: QuantileDigest = vec![0.0, 10.0].into_iter().collect();
+        assert_eq!(d.quantile(0.5), Some(5.0));
+        assert_eq!(d.quantile(0.9), Some(9.0));
+    }
+
+    #[test]
+    fn digest_empty() {
+        let d = QuantileDigest::new();
+        assert!(d.is_empty());
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.std_dev(), None);
+    }
+
+    #[test]
+    fn digest_stats() {
+        let d: QuantileDigest = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(d.mean(), Some(5.0));
+        assert_eq!(d.std_dev(), Some(2.0));
+        assert_eq!(d.sum(), 40.0);
+    }
+
+    #[test]
+    fn digest_merge() {
+        let mut a: QuantileDigest = vec![1.0, 2.0].into_iter().collect();
+        let b: QuantileDigest = vec![3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.median(), Some(2.5));
+    }
+
+    #[test]
+    fn digest_seal_then_query() {
+        let mut d: QuantileDigest = vec![3.0, 1.0, 2.0].into_iter().collect();
+        d.seal();
+        assert_eq!(d.median(), Some(2.0));
+        assert_eq!(d.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn digest_rejects_nan() {
+        QuantileDigest::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn series_mean_with_tail() {
+        let mut s = TimeWeightedSeries::new();
+        s.record(SimTime::ZERO, 2.0);
+        s.record(SimTime::from_secs_f64(1.0), 4.0);
+        // 2.0 for 1s, then 4.0 for 3s => (2 + 12) / 4
+        let m = s.time_weighted_mean(SimTime::from_secs_f64(4.0)).unwrap();
+        assert!((m - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_end_before_start() {
+        let mut s = TimeWeightedSeries::new();
+        s.record(SimTime::from_secs_f64(5.0), 1.0);
+        assert_eq!(s.time_weighted_mean(SimTime::from_secs_f64(2.0)), None);
+    }
+
+    #[test]
+    fn series_end_mid_window() {
+        let mut s = TimeWeightedSeries::new();
+        s.record(SimTime::ZERO, 1.0);
+        s.record(SimTime::from_secs_f64(2.0), 3.0);
+        s.record(SimTime::from_secs_f64(10.0), 100.0);
+        let m = s.time_weighted_mean(SimTime::from_secs_f64(4.0)).unwrap();
+        // 1.0 for 2s + 3.0 for 2s over 4s = 2.0
+        assert!((m - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn series_rejects_backwards_time() {
+        let mut s = TimeWeightedSeries::new();
+        s.record(SimTime::from_secs_f64(1.0), 0.0);
+        s.record(SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn series_current_and_max() {
+        let mut s = TimeWeightedSeries::new();
+        s.record(SimTime::ZERO, 1.0);
+        s.record(SimTime::from_secs_f64(1.0), 5.0);
+        s.record(SimTime::from_secs_f64(2.0), 3.0);
+        assert_eq!(s.current(), Some(3.0));
+        assert_eq!(s.max_value(), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(0.0, 100.0, 4);
+        for v in [5.0, 30.0, 55.0, 80.0, -1.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bucket_lo(2), 50.0);
+    }
+
+    #[test]
+    fn utilization_accumulator() {
+        let mut u = UtilizationAccumulator::new();
+        assert_eq!(u.ratio(), None);
+        u.add(30.0, 100.0);
+        u.add(20.0, 100.0);
+        assert_eq!(u.ratio(), Some(0.25));
+        assert_eq!(u.achieved(), 50.0);
+        assert_eq!(u.available(), 200.0);
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_are_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let d: QuantileDigest = xs.drain(..).collect();
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+            let vals: Vec<f64> = qs.iter().map(|&q| d.quantile(q).unwrap()).collect();
+            for w in vals.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-9);
+            }
+            prop_assert_eq!(d.quantile(0.0).unwrap(), d.min().unwrap());
+            prop_assert_eq!(d.quantile(1.0).unwrap(), d.max().unwrap());
+        }
+
+        #[test]
+        fn mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let d: QuantileDigest = xs.iter().copied().collect();
+            let mean = d.mean().unwrap();
+            prop_assert!(mean >= d.min().unwrap() - 1e-6);
+            prop_assert!(mean <= d.max().unwrap() + 1e-6);
+        }
+
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-10f64..110.0, 0..256)) {
+            let mut h = Histogram::new(0.0, 100.0, 7);
+            for &x in &xs {
+                h.record(x);
+            }
+            prop_assert_eq!(h.count() as usize, xs.len());
+        }
+
+        #[test]
+        fn series_mean_bounded(vals in proptest::collection::vec(0f64..100.0, 1..50)) {
+            let mut s = TimeWeightedSeries::new();
+            for (i, &v) in vals.iter().enumerate() {
+                s.record(SimTime::from_secs_f64(i as f64), v);
+            }
+            let end = SimTime::from_secs_f64(vals.len() as f64);
+            let m = s.time_weighted_mean(end).unwrap();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Lookup-table baselines: nearest neighbor and piecewise-linear
+//! interpolation over the profiled points.
+//!
+//! These are the "profile and replay" strategies prior DNN simulators use.
+//! They are exact at profiled sizes but their behaviour between samples
+//! (constant vs linear) misses quantization staircases; the estimator
+//! ablation bench compares them against the random forest.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted `(x, y)` table supporting nearest and linear lookups.
+///
+/// # Example
+///
+/// ```
+/// use vidur_estimator::interp::LookupTable;
+/// let t = LookupTable::new(vec![(0.0, 0.0), (10.0, 100.0)]);
+/// assert_eq!(t.nearest(2.0), 0.0);
+/// assert_eq!(t.nearest(9.0), 100.0);
+/// assert_eq!(t.linear(5.0), 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl LookupTable {
+    /// Creates a table from `(x, y)` pairs; sorts and deduplicates by `x`
+    /// (keeping the mean `y` of duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or contains NaN.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "lookup table needs at least one point");
+        assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "non-finite points"
+        );
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        let mut i = 0;
+        while i < points.len() {
+            let x = points[i].0;
+            let mut sum = 0.0;
+            let mut cnt = 0.0;
+            while i < points.len() && points[i].0 == x {
+                sum += points[i].1;
+                cnt += 1.0;
+                i += 1;
+            }
+            merged.push((x, sum / cnt));
+        }
+        LookupTable { points: merged }
+    }
+
+    /// Index of the last point with `x <= probe`, or `None` if probe is
+    /// before the first point.
+    fn partition(&self, probe: f64) -> Option<usize> {
+        match self
+            .points
+            .binary_search_by(|(x, _)| x.partial_cmp(&probe).expect("no NaN"))
+        {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Nearest-neighbor lookup.
+    pub fn nearest(&self, probe: f64) -> f64 {
+        match self.partition(probe) {
+            None => self.points[0].1,
+            Some(i) if i + 1 == self.points.len() => self.points[i].1,
+            Some(i) => {
+                let (x0, y0) = self.points[i];
+                let (x1, y1) = self.points[i + 1];
+                if probe - x0 <= x1 - probe {
+                    y0
+                } else {
+                    y1
+                }
+            }
+        }
+    }
+
+    /// Piecewise-linear interpolation, clamped at the ends.
+    pub fn linear(&self, probe: f64) -> f64 {
+        match self.partition(probe) {
+            None => self.points[0].1,
+            Some(i) if i + 1 == self.points.len() => self.points[i].1,
+            Some(i) => {
+                let (x0, y0) = self.points[i];
+                let (x1, y1) = self.points[i + 1];
+                if x1 == x0 {
+                    return y0;
+                }
+                let f = (probe - x0) / (x1 - x0);
+                y0 * (1.0 - f) + y1 * f
+            }
+        }
+    }
+
+    /// Number of (deduplicated) points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the table is empty (cannot happen after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_at_knots() {
+        let t = LookupTable::new(vec![(1.0, 10.0), (2.0, 20.0), (5.0, 50.0)]);
+        assert_eq!(t.linear(1.0), 10.0);
+        assert_eq!(t.linear(5.0), 50.0);
+        assert_eq!(t.nearest(2.0), 20.0);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = LookupTable::new(vec![(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(t.linear(0.0), 10.0);
+        assert_eq!(t.linear(99.0), 20.0);
+        assert_eq!(t.nearest(-5.0), 10.0);
+        assert_eq!(t.nearest(99.0), 20.0);
+    }
+
+    #[test]
+    fn duplicates_average() {
+        let t = LookupTable::new(vec![(1.0, 10.0), (1.0, 30.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.nearest(1.0), 20.0);
+    }
+
+    #[test]
+    fn nearest_picks_closer_knot() {
+        let t = LookupTable::new(vec![(0.0, 1.0), (10.0, 2.0)]);
+        assert_eq!(t.nearest(4.9), 1.0);
+        assert_eq!(t.nearest(5.1), 2.0);
+    }
+
+    #[test]
+    fn single_point_table() {
+        let t = LookupTable::new(vec![(3.0, 7.0)]);
+        assert_eq!(t.linear(0.0), 7.0);
+        assert_eq!(t.linear(100.0), 7.0);
+    }
+
+    proptest! {
+        #[test]
+        fn linear_within_neighbor_bounds(
+            pts in proptest::collection::vec((0.0f64..1e4, 0.0f64..1.0), 2..32),
+            probe in 0.0f64..1e4,
+        ) {
+            let t = LookupTable::new(pts);
+            let v = t.linear(probe);
+            // Must lie within the overall y-range (piecewise linear).
+            let lo = t.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let hi = t.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

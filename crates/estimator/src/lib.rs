@@ -1,0 +1,32 @@
+//! # vidur-estimator
+//!
+//! Vidur's runtime estimator (paper §4.4): small machine-learning models
+//! that interpolate sparse profiled measurements across the full input range
+//! encountered during simulation.
+//!
+//! The paper found that MLPs need too much data and polynomials cannot
+//! capture the non-linear runtime characteristics of CUDA kernels (tile and
+//! wave quantization), while **random forest regression** balances data
+//! frugality and fidelity. This crate implements, from scratch:
+//!
+//! * [`tree`] — CART regression trees over a scalar size feature;
+//! * [`forest`] — bootstrap-aggregated random forests;
+//! * [`poly`] — polynomial ridge regression (the baseline the paper rejects,
+//!   kept for the ablation bench);
+//! * [`interp`] — nearest-neighbor and piecewise-linear lookup baselines;
+//! * [`estimator`] — the per-operator [`RuntimeEstimator`] implementing
+//!   [`vidur_model::RuntimePredictor`], trained from a
+//!   [`vidur_profiler::ProfileTable`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod estimator;
+pub mod forest;
+pub mod interp;
+pub mod poly;
+pub mod tree;
+
+pub use estimator::{EstimatorKind, RuntimeEstimator};
+pub use forest::{RandomForest, ForestConfig};
+pub use tree::{RegressionTree, TreeConfig};

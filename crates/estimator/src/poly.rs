@@ -1,0 +1,181 @@
+//! Polynomial ridge regression — the baseline the paper rejects (§4.4:
+//! "simple polynomial regression does not capture the non-linear runtime
+//! characteristics of CUDA kernels due to phenomenons like tile and wave
+//! quantization"). Kept for the estimator ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted polynomial ridge regressor over a normalized scalar feature.
+///
+/// # Example
+///
+/// ```
+/// use vidur_estimator::poly::PolynomialRegressor;
+/// let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 3.0).collect();
+/// let p = PolynomialRegressor::fit(&xs, &ys, 2, 1e-9);
+/// assert!((p.predict(50.0) - 103.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolynomialRegressor {
+    /// Coefficients, constant term first.
+    coeffs: Vec<f64>,
+    /// Feature shift (mean) for conditioning.
+    x_shift: f64,
+    /// Feature scale (std) for conditioning.
+    x_scale: f64,
+}
+
+impl PolynomialRegressor {
+    /// Fits a degree-`degree` polynomial with L2 penalty `ridge` on the
+    /// normalized feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty/mismatched, contain NaN, or `degree` is 0
+    /// with an empty target.
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize, ridge: f64) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit to zero samples");
+        assert!(
+            xs.iter().chain(ys.iter()).all(|v| v.is_finite()),
+            "non-finite training data"
+        );
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let scale = var.sqrt().max(1e-12);
+        let k = degree + 1;
+        // Normal equations: (X^T X + ridge I) w = X^T y.
+        let mut xtx = vec![vec![0.0; k]; k];
+        let mut xty = vec![0.0; k];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let z = (x - mean) / scale;
+            let mut pow = vec![1.0; k];
+            for d in 1..k {
+                pow[d] = pow[d - 1] * z;
+            }
+            for i in 0..k {
+                xty[i] += pow[i] * y;
+                for j in 0..k {
+                    xtx[i][j] += pow[i] * pow[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        let coeffs = solve(xtx, xty);
+        PolynomialRegressor {
+            coeffs,
+            x_shift: mean,
+            x_scale: scale,
+        }
+    }
+
+    /// Predicts the target at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        let z = (x - self.x_shift) / self.x_scale;
+        let mut acc = 0.0;
+        let mut pow = 1.0;
+        for &c in &self.coeffs {
+            acc += c * pow;
+            pow *= z;
+        }
+        acc
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(
+            diag.abs() > 1e-300,
+            "singular system; increase ridge penalty"
+        );
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (cell, &pivot) in lower[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * pivot;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_quadratic_exactly() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.5 * x * x - 2.0 * x + 7.0).collect();
+        let p = PolynomialRegressor::fit(&xs, &ys, 2, 1e-10);
+        for &x in &[5.0, 20.0, 45.0] {
+            let truth = 0.5 * x * x - 2.0 * x + 7.0;
+            assert!((p.predict(x) - truth).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn cannot_fit_staircase() {
+        // The whole point: a cubic underfits a staircase badly.
+        let staircase = |x: f64| ((x / 64.0).ceil()).max(1.0);
+        let xs: Vec<f64> = (1..512).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| staircase(x)).collect();
+        let p = PolynomialRegressor::fit(&xs, &ys, 3, 1e-8);
+        // Near a jump the polynomial must smear across the discontinuity.
+        let before = p.predict(64.0);
+        let after = p.predict(65.0);
+        assert!((after - before).abs() < 0.5, "polynomial can't step");
+    }
+
+    #[test]
+    fn degree_reported() {
+        let p = PolynomialRegressor::fit(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 1, 1e-9);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn constant_fit() {
+        let p = PolynomialRegressor::fit(&[1.0, 2.0], &[4.0, 4.0], 0, 1e-9);
+        // The ridge penalty biases the constant by O(ridge).
+        assert!((p.predict(100.0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ill_conditioned_features_survive_normalization() {
+        // Features spanning 1..1e9 would blow up un-normalized Vandermonde.
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 + 1.0) * 2.5e7).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1e-12 * x + 3e-6).collect();
+        let p = PolynomialRegressor::fit(&xs, &ys, 2, 1e-9);
+        let probe = 5e8;
+        let truth = 1e-12 * probe + 3e-6;
+        assert!((p.predict(probe) - truth).abs() / truth < 0.01);
+    }
+}

@@ -1,0 +1,345 @@
+//! The kernel cost oracle: deterministic ground-truth execution times.
+//!
+//! Each operator class gets a tailored roofline treatment:
+//!
+//! * **matmuls** — `max(compute, memory) + launch`, where compute FLOPs are
+//!   inflated by tile and wave quantization (the staircase non-linearity)
+//!   and memory covers weight + activation traffic. This naturally makes
+//!   small-batch decode iterations *weight-bandwidth bound*, matching real
+//!   LLM serving behaviour.
+//! * **prefill attention** — compute-bound FlashAttention-style kernel,
+//!   quadratic in the batch's equivalent prefill length (paper §4.3).
+//! * **decode attention** — memory-bound on total KV bytes fetched
+//!   (paper §4.3: PagedAttention-v2/FlashDecoding make the split across
+//!   requests irrelevant).
+//! * **pointwise ops** — pure memory traffic.
+//! * **collectives** — delegated to [`CollectiveModel`].
+//!
+//! Every time is multiplied by a deterministic per-(op, size-bucket) quirk
+//! factor ([`crate::quirk`]) so runtime curves have the piecewise jumps that
+//! motivated random-forest regressors; [`KernelOracle::measure`] adds
+//! log-normal run-to-run noise on top for the profiling path.
+
+use crate::network::CollectiveModel;
+use crate::quirk::{noisy_measurement, quirk_factor};
+use crate::sku::GpuSku;
+use serde::{Deserialize, Serialize};
+use vidur_core::rng::SimRng;
+use vidur_model::operators::{OpInput, OpInvocation, Operator};
+use vidur_model::runtime::RuntimePredictor;
+
+/// Matmul threadblock tile edge (rows and columns).
+const TILE: u64 = 64;
+/// Achievable fraction of peak FLOPs for large matmuls.
+const MATMUL_EFFICIENCY: f64 = 0.85;
+/// Achievable fraction of peak memory bandwidth for streaming kernels.
+const STREAM_EFFICIENCY: f64 = 0.82;
+/// Achievable fraction of peak FLOPs for fused attention kernels.
+const ATTN_EFFICIENCY: f64 = 0.55;
+/// Achievable fraction of peak bandwidth for paged KV-cache gathers.
+const KV_GATHER_EFFICIENCY: f64 = 0.65;
+
+/// Deterministic analytical GPU kernel cost model.
+///
+/// # Example
+///
+/// ```
+/// use vidur_hardware::{GpuSku, KernelOracle};
+/// use vidur_model::operators::{OpInput, OpInvocation, Operator};
+/// use vidur_model::runtime::RuntimePredictor;
+///
+/// let oracle = KernelOracle::new(GpuSku::a100_80g());
+/// let inv = OpInvocation::new(
+///     Operator::MlpUpProj,
+///     OpInput::Matmul { m: 4096, k: 4096, n: 11008 },
+///     1,
+/// );
+/// let t = oracle.op_time(&inv);
+/// assert!(t > 1e-6 && t < 10e-3, "{t}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelOracle {
+    sku: GpuSku,
+    collectives: CollectiveModel,
+}
+
+impl KernelOracle {
+    /// Creates an oracle for the given SKU with its default topology.
+    pub fn new(sku: GpuSku) -> Self {
+        let collectives = CollectiveModel::for_sku(&sku);
+        KernelOracle { sku, collectives }
+    }
+
+    /// The SKU this oracle models.
+    pub fn sku(&self) -> &GpuSku {
+        &self.sku
+    }
+
+    /// The collective cost model in use.
+    pub fn collectives(&self) -> &CollectiveModel {
+        &self.collectives
+    }
+
+    /// One noisy profiling measurement of an invocation's single-execution
+    /// time (paper: CUPTI measurement runs).
+    pub fn measure(&self, inv: &OpInvocation, rng: &mut SimRng) -> f64 {
+        noisy_measurement(self.op_time(inv), rng)
+    }
+
+    fn matmul_time(&self, m: u64, k: u64, n: u64) -> f64 {
+        let launch = self.sku.kernel_launch_overhead;
+        if m == 0 || k == 0 || n == 0 {
+            return launch;
+        }
+        // Tile quantization: row/col counts round up to the tile grid.
+        let m_q = m.div_ceil(TILE) * TILE;
+        let n_q = n.div_ceil(TILE) * TILE;
+        // Wave quantization: the block grid rounds up to full SM waves.
+        let blocks = (m_q / TILE) * (n_q / TILE);
+        let waves = blocks.div_ceil(self.sku.sm_count as u64);
+        let padded_blocks = waves * self.sku.sm_count as u64;
+        let wave_factor = padded_blocks as f64 / blocks as f64;
+        let flops = 2.0 * m_q as f64 * k as f64 * n_q as f64 * wave_factor;
+        let compute = flops / (self.sku.peak_fp16_flops * MATMUL_EFFICIENCY);
+        // Weights (k*n), activations in (m*k) and out (m*n).
+        let bytes = 2.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+        let memory = bytes / (self.sku.mem_bandwidth * STREAM_EFFICIENCY);
+        compute.max(memory) + launch
+    }
+
+    fn pointwise_time(&self, tokens: u64, width: u64) -> f64 {
+        // Two reads (input + params/residual) and one write per element.
+        let bytes = 3.0 * tokens as f64 * width as f64 * 2.0;
+        bytes / (self.sku.mem_bandwidth * STREAM_EFFICIENCY)
+            + 0.5 * self.sku.kernel_launch_overhead
+    }
+
+    fn attn_prefill_time(&self, equiv_len: u64, q_heads: u64, head_dim: u64) -> f64 {
+        // equiv_len^2 counts p(p+2h) score-entries*2; 4 FLOPs per entry-dim
+        // for QK^T plus PV, halved by causality already folded into equiv.
+        let flops = 2.0 * equiv_len as f64 * equiv_len as f64 * head_dim as f64 * q_heads as f64;
+        flops / (self.sku.peak_fp16_flops * ATTN_EFFICIENCY) + self.sku.kernel_launch_overhead
+    }
+
+    fn attn_decode_time(&self, kv_bytes: u64, tokens: u64) -> f64 {
+        let gather = kv_bytes as f64 / (self.sku.mem_bandwidth * KV_GATHER_EFFICIENCY);
+        // Small per-sequence reduction cost.
+        let epilogue = tokens as f64 * 2.0e-8;
+        gather + epilogue + self.sku.kernel_launch_overhead
+    }
+
+    fn comm_time(&self, op: Operator, bytes: u64, world: u32) -> f64 {
+        match op {
+            Operator::AllReduce => self.collectives.all_reduce(bytes, world),
+            Operator::AllGather => self.collectives.all_gather(bytes, world),
+            Operator::SendRecv => self.collectives.send_recv(bytes),
+            _ => unreachable!("comm_time called for non-communication op {op}"),
+        }
+    }
+}
+
+impl RuntimePredictor for KernelOracle {
+    fn op_time(&self, inv: &OpInvocation) -> f64 {
+        let base = match inv.input {
+            OpInput::Matmul { m, k, n } => self.matmul_time(m, k, n),
+            OpInput::Pointwise { tokens, width } => self.pointwise_time(tokens, width),
+            OpInput::AttentionPrefill {
+                equiv_len,
+                q_heads,
+                head_dim,
+            } => self.attn_prefill_time(equiv_len, q_heads, head_dim),
+            OpInput::AttentionDecode { kv_bytes, tokens } => {
+                self.attn_decode_time(kv_bytes, tokens)
+            }
+            OpInput::Comm { bytes, world } => self.comm_time(inv.op, bytes, world),
+        };
+        base * quirk_factor(inv.op.id(), inv.input.feature())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vidur_model::batch::{BatchComposition, RequestSlice};
+    use vidur_model::parallelism::ParallelismConfig;
+    use vidur_model::spec::ModelSpec;
+    use vidur_model::ExecutionPlan;
+
+    fn oracle() -> KernelOracle {
+        KernelOracle::new(GpuSku::a100_80g())
+    }
+
+    fn mm(m: u64, k: u64, n: u64) -> OpInvocation {
+        OpInvocation::new(Operator::MlpUpProj, OpInput::Matmul { m, k, n }, 1)
+    }
+
+    #[test]
+    fn large_matmul_near_peak() {
+        let o = oracle();
+        let (m, k, n) = (8192, 8192, 8192);
+        let t = o.op_time(&mm(m, k, n));
+        let ideal = 2.0 * (m * k * n) as f64 / o.sku().peak_fp16_flops;
+        let eff = ideal / t;
+        assert!(eff > 0.6 && eff <= 1.0, "eff {eff}");
+    }
+
+    #[test]
+    fn small_matmul_is_memory_bound() {
+        let o = oracle();
+        // Decode-style: tiny m, big weights.
+        let t = o.op_time(&mm(8, 8192, 28672));
+        let weight_bytes = 2.0 * (8192.0 * 28672.0);
+        let min_mem_time = weight_bytes / o.sku().mem_bandwidth;
+        assert!(t > min_mem_time, "t={t} min={min_mem_time}");
+        // And far from what pure compute would suggest.
+        let ideal_compute = 2.0 * 8.0 * 8192.0 * 28672.0 / o.sku().peak_fp16_flops;
+        assert!(t > 10.0 * ideal_compute);
+    }
+
+    #[test]
+    fn tile_quantization_staircase() {
+        let o = oracle();
+        // Crossing a 64-row tile boundary jumps; within a tile it's flat
+        // (same quirk bucket picked to avoid confound).
+        let t64 = o.op_time(&mm(64, 4096, 4096));
+        let t65 = o.op_time(&mm(65, 4096, 4096));
+        assert!(t65 >= t64, "t64={t64} t65={t65}");
+    }
+
+    #[test]
+    fn prefill_attention_quadratic() {
+        let o = oracle();
+        let t1 = o.op_time(&OpInvocation::new(
+            Operator::AttnPrefill,
+            OpInput::AttentionPrefill {
+                equiv_len: 1024,
+                q_heads: 32,
+                head_dim: 128,
+            },
+            1,
+        ));
+        let t2 = o.op_time(&OpInvocation::new(
+            Operator::AttnPrefill,
+            OpInput::AttentionPrefill {
+                equiv_len: 2048,
+                q_heads: 32,
+                head_dim: 128,
+            },
+            1,
+        ));
+        let ratio = t2 / t1;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn decode_attention_linear_in_kv_bytes() {
+        let o = oracle();
+        let t = |kv: u64| {
+            o.op_time(&OpInvocation::new(
+                Operator::AttnDecode,
+                OpInput::AttentionDecode {
+                    kv_bytes: kv,
+                    tokens: 16,
+                },
+                1,
+            ))
+        };
+        let t1 = t(100 << 20);
+        let t2 = t(200 << 20);
+        let ratio = t2 / t1;
+        assert!(ratio > 1.7 && ratio < 2.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn h100_faster_than_a100() {
+        let a = oracle();
+        let h = KernelOracle::new(GpuSku::h100_80g());
+        let inv = mm(4096, 8192, 8192);
+        assert!(h.op_time(&inv) < a.op_time(&inv));
+    }
+
+    #[test]
+    fn measurement_noise_close_to_truth() {
+        let o = oracle();
+        let mut rng = SimRng::new(3);
+        let inv = mm(512, 4096, 4096);
+        let truth = o.op_time(&inv);
+        let n = 200;
+        let mean: f64 = (0..n).map(|_| o.measure(&inv, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean / truth - 1.0).abs() < 0.01, "mean/truth {}", mean / truth);
+    }
+
+    #[test]
+    fn full_decode_iteration_time_plausible() {
+        // One decode iteration of LLaMA2-7B at batch 32 on A100 should land
+        // in the 5–40 ms range (weight-bandwidth bound ~7ms + overheads).
+        let o = oracle();
+        let model = ModelSpec::llama2_7b();
+        let slices: Vec<RequestSlice> = (0..32).map(|i| RequestSlice::decode(i, 500)).collect();
+        let plan = ExecutionPlan::build(
+            &model,
+            &ParallelismConfig::serial(),
+            &BatchComposition::new(slices),
+        );
+        let t = o.stage_time(&plan, 0);
+        assert!(t > 3e-3 && t < 40e-3, "iteration time {t}");
+    }
+
+    #[test]
+    fn full_prefill_iteration_time_plausible() {
+        // A 2048-token prefill of LLaMA2-7B on A100: compute-bound around
+        // 2*6.7e9*2048 / (312e12*0.85) ≈ 100ms ... actually ~0.1s upper;
+        // accept a broad plausibility window.
+        let o = oracle();
+        let model = ModelSpec::llama2_7b();
+        let plan = ExecutionPlan::build(
+            &model,
+            &ParallelismConfig::serial(),
+            &BatchComposition::new(vec![RequestSlice::prefill(0, 2048, 0)]),
+        );
+        let t = o.stage_time(&plan, 0);
+        assert!(t > 20e-3 && t < 300e-3, "prefill time {t}");
+    }
+
+    #[test]
+    fn tp_shrinks_per_device_time_but_adds_comm() {
+        let o = oracle();
+        let model = ModelSpec::llama2_70b();
+        let batch = BatchComposition::new(vec![RequestSlice::prefill(0, 1024, 0)]);
+        let serial_model_time: f64 = {
+            // Hypothetical single-device run (doesn't fit in memory, but the
+            // oracle doesn't care): no comm ops.
+            let plan = ExecutionPlan::build(&model, &ParallelismConfig::serial(), &batch);
+            o.stage_time(&plan, 0)
+        };
+        let tp4 = {
+            let plan = ExecutionPlan::build(&model, &ParallelismConfig::new(4, 1), &batch);
+            o.stage_time(&plan, 0)
+        };
+        assert!(tp4 < serial_model_time, "tp4={tp4} serial={serial_model_time}");
+        assert!(
+            tp4 > serial_model_time / 4.0,
+            "comm overhead must make TP sublinear: tp4={tp4} serial={serial_model_time}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn op_times_positive_and_finite(
+            m in 1u64..8192, k in 1u64..8192, n in 1u64..32768
+        ) {
+            let t = oracle().op_time(&mm(m, k, n));
+            prop_assert!(t.is_finite() && t > 0.0);
+        }
+
+        #[test]
+        fn matmul_monotone_in_big_steps(m in 1u64..4096) {
+            // Doubling m never makes a matmul faster (beyond quirk wiggle).
+            let o = oracle();
+            let t1 = o.op_time(&mm(m, 4096, 4096));
+            let t2 = o.op_time(&mm(m * 2, 4096, 4096));
+            prop_assert!(t2 > t1 * 0.9, "m={m} t1={t1} t2={t2}");
+        }
+    }
+}

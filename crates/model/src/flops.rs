@@ -1,0 +1,110 @@
+//! FLOP accounting for Model-FLOPs-Utilization (MFU) reporting.
+//!
+//! MFU is defined against the *model's* useful FLOPs — the arithmetic a
+//! perfect implementation would perform — divided by the hardware's peak.
+//! These counts are unsharded: parallelism changes where FLOPs run, not how
+//! many there are.
+
+use crate::batch::BatchComposition;
+use crate::spec::ModelSpec;
+
+/// Matmul FLOPs per processed token for the dense (non-attention) part of
+/// the network: 2 FLOPs per multiply-accumulate over every weight matrix.
+pub fn dense_flops_per_token(model: &ModelSpec) -> f64 {
+    let d = model.embed_dim as f64;
+    let f = model.mlp_hidden_dim as f64;
+    let q = model.q_dim() as f64;
+    let kv = model.kv_dim() as f64;
+    let per_layer = 2.0 * (d * (q + 2.0 * kv)) // qkv proj
+        + 2.0 * (q * d) // attn out proj
+        + 2.0 * (if model.gated_mlp { 3.0 } else { 2.0 }) * d * f; // mlp
+    per_layer * model.num_layers as f64
+}
+
+/// Attention FLOPs for one request slice: score and value matmuls over the
+/// causal context, per layer, summed across layers.
+///
+/// For `p` new tokens attending over `h` cached tokens the score matrix has
+/// `p·(h + (p+1)/2)` entries (causal), each costing `2·head_dim` FLOPs for
+/// scores and the same again for the value gather, across `num_q_heads`.
+pub fn attention_flops(model: &ModelSpec, query_tokens: u64, cached_tokens: u64) -> f64 {
+    let p = query_tokens as f64;
+    let h = cached_tokens as f64;
+    let entries = p * (h + (p + 1.0) / 2.0);
+    let per_layer = 4.0 * entries * model.head_dim as f64 * model.num_q_heads as f64;
+    per_layer * model.num_layers as f64
+}
+
+/// LM-head FLOPs for computing logits of `seqs` sequences.
+pub fn lm_head_flops(model: &ModelSpec, seqs: u64) -> f64 {
+    2.0 * seqs as f64 * model.embed_dim as f64 * model.vocab_size as f64
+}
+
+/// Total model FLOPs one batch iteration performs.
+pub fn batch_flops(model: &ModelSpec, batch: &BatchComposition) -> f64 {
+    let dense = dense_flops_per_token(model) * batch.total_query_tokens() as f64;
+    let attn: f64 = batch
+        .slices()
+        .iter()
+        .map(|s| attention_flops(model, s.query_tokens, s.cached_tokens))
+        .sum();
+    dense + attn + lm_head_flops(model, batch.num_requests() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::RequestSlice;
+
+    #[test]
+    fn dense_flops_track_param_count() {
+        // For large-dim models, dense FLOPs/token ≈ 2 * matmul params.
+        let m = ModelSpec::llama2_7b();
+        let flops = dense_flops_per_token(&m);
+        let approx_params = 2.0 * m.total_params();
+        // Embedding params don't do matmul FLOPs; expect within 15%.
+        let ratio = flops / approx_params;
+        assert!(ratio > 0.85 && ratio < 1.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn attention_flops_quadratic_in_prompt() {
+        let m = ModelSpec::llama2_7b();
+        let f1 = attention_flops(&m, 512, 0);
+        let f2 = attention_flops(&m, 1024, 0);
+        let ratio = f2 / f1;
+        assert!(ratio > 3.8 && ratio < 4.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn decode_flops_linear_in_context() {
+        let m = ModelSpec::llama2_7b();
+        let f1 = attention_flops(&m, 1, 1000);
+        let f2 = attention_flops(&m, 1, 2000);
+        let ratio = f2 / f1;
+        assert!(ratio > 1.9 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_flops_sum_parts() {
+        let m = ModelSpec::llama2_7b();
+        let b = BatchComposition::new(vec![
+            RequestSlice::prefill(1, 100, 0),
+            RequestSlice::decode(2, 500),
+        ]);
+        let total = batch_flops(&m, &b);
+        let dense = dense_flops_per_token(&m) * 101.0;
+        let attn = attention_flops(&m, 100, 0) + attention_flops(&m, 1, 500);
+        let head = lm_head_flops(&m, 2);
+        assert!((total - (dense + attn + head)).abs() < 1.0);
+    }
+
+    #[test]
+    fn prefill_flops_dominated_by_dense_at_short_context() {
+        let m = ModelSpec::llama2_7b();
+        let b = BatchComposition::new(vec![RequestSlice::prefill(1, 128, 0)]);
+        let total = batch_flops(&m, &b);
+        let dense = dense_flops_per_token(&m) * 128.0;
+        assert!(dense / total > 0.8);
+    }
+}

@@ -1,0 +1,48 @@
+//! # vidur-model
+//!
+//! Declarative LLM model specifications and the operator-level decomposition
+//! Vidur simulates (paper §4.1–§4.3).
+//!
+//! The paper's key insight is that the large majority of LLMs share similar
+//! architectures that decompose into a *small* set of operators, each falling
+//! into one of three triage buckets:
+//!
+//! * **token-level** — runtime depends only on the number of tokens in the
+//!   current iteration (all matmuls, pointwise ops, norms);
+//! * **sequence-level** — runtime also depends on request history
+//!   (attention prefill/decode over the KV-cache);
+//! * **communication** — runtime depends only on bytes moved (all-reduce,
+//!   all-gather, send/recv).
+//!
+//! This crate provides:
+//!
+//! * [`spec`] — the declarative [`ModelSpec`] format plus the four models the
+//!   paper evaluates (LLaMA2-7B/70B, InternLM-20B, Qwen-72B);
+//! * [`operators`] — the operator vocabulary, triage classes, and input
+//!   descriptors;
+//! * [`parallelism`] — tensor/pipeline parallel configuration and sharding
+//!   math;
+//! * [`memory`] — the memory planner that sizes weights and the paged
+//!   KV-cache per device;
+//! * [`batch`] — batch composition (mixed prefill/decode) and its reduction
+//!   to operator invocations (the execution plan both the hardware oracle and
+//!   the runtime estimator consume);
+//! * [`flops`] — FLOP accounting used for MFU reporting.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod flops;
+pub mod memory;
+pub mod operators;
+pub mod parallelism;
+pub mod runtime;
+pub mod spec;
+
+pub use batch::{BatchComposition, ExecutionPlan, RequestSlice};
+pub use memory::MemoryPlan;
+pub use operators::{OpClass, OpInvocation, Operator};
+pub use parallelism::ParallelismConfig;
+pub use runtime::RuntimePredictor;
+pub use spec::ModelSpec;

@@ -1,0 +1,307 @@
+//! Tensor/pipeline parallelism configuration and sharding math (paper §2.2,
+//! §4.1 "Automatic Profiling for Parallelism Strategies").
+//!
+//! Vidur incorporates domain knowledge about LLM parallelization: given a
+//! declarative model spec it derives, per device, the sharded operator
+//! dimensions. This is what lets the profiler cover every TP configuration
+//! while measuring on a single GPU.
+
+use crate::spec::{ModelSpec, SpecError};
+use serde::{Deserialize, Serialize};
+
+/// A replica's parallelization strategy: `tp` GPUs per tensor-parallel group
+/// × `pp` pipeline stages. A replica uses `tp * pp` GPUs in total.
+///
+/// # Example
+///
+/// ```
+/// use vidur_model::{ModelSpec, ParallelismConfig};
+/// let par = ParallelismConfig::new(4, 2);
+/// assert_eq!(par.gpus_per_replica(), 8);
+/// let m = ModelSpec::llama2_70b();
+/// assert!(par.validate_for(&m).is_ok());
+/// assert_eq!(par.layers_per_stage(&m), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Tensor-parallel degree (GPUs each layer is sharded across).
+    pub tensor_parallel: u32,
+    /// Pipeline-parallel degree (consecutive-layer stages).
+    pub pipeline_parallel: u32,
+}
+
+impl ParallelismConfig {
+    /// Creates a configuration with the given TP and PP degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degree is zero.
+    pub fn new(tensor_parallel: u32, pipeline_parallel: u32) -> Self {
+        assert!(
+            tensor_parallel > 0 && pipeline_parallel > 0,
+            "parallel degrees must be positive"
+        );
+        ParallelismConfig {
+            tensor_parallel,
+            pipeline_parallel,
+        }
+    }
+
+    /// Serial (no parallelism) configuration.
+    pub fn serial() -> Self {
+        Self::new(1, 1)
+    }
+
+    /// GPUs used by one replica.
+    pub fn gpus_per_replica(&self) -> u32 {
+        self.tensor_parallel * self.pipeline_parallel
+    }
+
+    /// Checks that the model can be sharded this way.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if TP does not divide the KV-head count (each device
+    /// must own whole heads) or PP does not divide the layer count.
+    pub fn validate_for(&self, model: &ModelSpec) -> Result<(), SpecError> {
+        if !model.num_q_heads.is_multiple_of(self.tensor_parallel) {
+            return Err(SpecError::new(format!(
+                "tensor parallel degree {} does not divide query head count {}",
+                self.tensor_parallel, model.num_q_heads
+            )));
+        }
+        if !model.num_kv_heads.is_multiple_of(self.tensor_parallel)
+            && !self.tensor_parallel.is_multiple_of(model.num_kv_heads)
+        {
+            return Err(SpecError::new(format!(
+                "tensor parallel degree {} incompatible with {} KV heads",
+                self.tensor_parallel, model.num_kv_heads
+            )));
+        }
+        if !model.mlp_hidden_dim.is_multiple_of(self.tensor_parallel) {
+            return Err(SpecError::new(format!(
+                "tensor parallel degree {} does not divide MLP hidden dim {}",
+                self.tensor_parallel, model.mlp_hidden_dim
+            )));
+        }
+        if !model.num_layers.is_multiple_of(self.pipeline_parallel) {
+            return Err(SpecError::new(format!(
+                "pipeline parallel degree {} does not divide layer count {}",
+                self.pipeline_parallel, model.num_layers
+            )));
+        }
+        Ok(())
+    }
+
+    /// Transformer layers per pipeline stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if PP does not divide the layer count (use
+    /// [`validate_for`](Self::validate_for) first).
+    pub fn layers_per_stage(&self, model: &ModelSpec) -> u32 {
+        assert_eq!(model.num_layers % self.pipeline_parallel, 0);
+        model.num_layers / self.pipeline_parallel
+    }
+
+    /// Query heads owned by each TP rank.
+    pub fn q_heads_per_device(&self, model: &ModelSpec) -> u64 {
+        (model.num_q_heads / self.tensor_parallel).max(1) as u64
+    }
+
+    /// KV heads owned by each TP rank.
+    ///
+    /// When TP exceeds the KV-head count (possible with aggressive GQA
+    /// sharding), heads are replicated so each rank still holds one.
+    pub fn kv_heads_per_device(&self, model: &ModelSpec) -> u64 {
+        (model.num_kv_heads / self.tensor_parallel).max(1) as u64
+    }
+
+    /// Sharded query projection width per device.
+    pub fn q_dim_per_device(&self, model: &ModelSpec) -> u64 {
+        self.q_heads_per_device(model) * model.head_dim as u64
+    }
+
+    /// Sharded key/value projection width per device (keys plus values is
+    /// twice this).
+    pub fn kv_dim_per_device(&self, model: &ModelSpec) -> u64 {
+        self.kv_heads_per_device(model) * model.head_dim as u64
+    }
+
+    /// Sharded MLP hidden width per device.
+    pub fn mlp_dim_per_device(&self, model: &ModelSpec) -> u64 {
+        (model.mlp_hidden_dim / self.tensor_parallel) as u64
+    }
+
+    /// Sharded vocabulary width per device (LM head is column-sharded).
+    pub fn vocab_per_device(&self, model: &ModelSpec) -> u64 {
+        (model.vocab_size as u64).div_ceil(self.tensor_parallel as u64)
+    }
+
+    /// Model weight bytes resident on **one device**.
+    pub fn weight_bytes_per_device(&self, model: &ModelSpec) -> f64 {
+        let d = model.embed_dim as u64;
+        let layer_params_sharded = {
+            let qkv = d * (self.q_dim_per_device(model) + 2 * self.kv_dim_per_device(model));
+            let attn_out = self.q_dim_per_device(model) * d;
+            let mlp_projs: u64 = if model.gated_mlp { 3 } else { 2 };
+            let mlp = mlp_projs * d * self.mlp_dim_per_device(model);
+            qkv + attn_out + mlp + 2 * d
+        };
+        let layers_on_device = self.layers_per_stage(model) as u64;
+        // Embedding lives on the first stage, LM head + final norm on the
+        // last; we bill the max-loaded stage (they are balanced for the
+        // paper's models, and memory planning must fit the worst stage).
+        let embed = model.vocab_per_tp(self) * d;
+        let head = self.vocab_per_device(model) * d + d;
+        let edge = embed.max(head);
+        ((layers_on_device * layer_params_sharded + edge) * model.dtype_bytes as u64) as f64
+    }
+
+    /// KV-cache bytes per token resident on **one device**: the layer
+    /// dimension is split by PP and the head dimension by TP.
+    pub fn kv_bytes_per_token_per_device(&self, model: &ModelSpec) -> u64 {
+        2 * self.kv_dim_per_device(model)
+            * model.dtype_bytes as u64
+            * self.layers_per_stage(model) as u64
+    }
+
+    /// Enumerates all valid `(tp, pp)` combinations for `model` from the
+    /// given candidate degrees.
+    pub fn enumerate(model: &ModelSpec, tp_choices: &[u32], pp_choices: &[u32]) -> Vec<Self> {
+        let mut out = Vec::new();
+        for &tp in tp_choices {
+            for &pp in pp_choices {
+                if tp == 0 || pp == 0 {
+                    continue;
+                }
+                let cfg = ParallelismConfig::new(tp, pp);
+                if cfg.validate_for(model).is_ok() {
+                    out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ParallelismConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TP{}-PP{}", self.tensor_parallel, self.pipeline_parallel)
+    }
+}
+
+impl ModelSpec {
+    /// Vocabulary rows per TP rank for the (row-sharded) input embedding.
+    pub(crate) fn vocab_per_tp(&self, par: &ParallelismConfig) -> u64 {
+        (self.vocab_size as u64).div_ceil(par.tensor_parallel as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gpus_per_replica() {
+        assert_eq!(ParallelismConfig::new(4, 2).gpus_per_replica(), 8);
+        assert_eq!(ParallelismConfig::serial().gpus_per_replica(), 1);
+    }
+
+    #[test]
+    fn validation_rules() {
+        let m = ModelSpec::llama2_70b(); // 64 q heads, 8 kv heads, 80 layers
+        assert!(ParallelismConfig::new(4, 1).validate_for(&m).is_ok());
+        assert!(ParallelismConfig::new(8, 1).validate_for(&m).is_ok());
+        assert!(ParallelismConfig::new(2, 4).validate_for(&m).is_ok());
+        // 3 does not divide 64
+        assert!(ParallelismConfig::new(3, 1).validate_for(&m).is_err());
+        // 7 does not divide 80 layers
+        assert!(ParallelismConfig::new(1, 7).validate_for(&m).is_err());
+    }
+
+    #[test]
+    fn sharded_dims() {
+        let m = ModelSpec::llama2_70b();
+        let p = ParallelismConfig::new(4, 1);
+        assert_eq!(p.q_heads_per_device(&m), 16);
+        assert_eq!(p.kv_heads_per_device(&m), 2);
+        assert_eq!(p.q_dim_per_device(&m), 16 * 128);
+        assert_eq!(p.mlp_dim_per_device(&m), 28672 / 4);
+    }
+
+    #[test]
+    fn gqa_head_replication_floor() {
+        let m = ModelSpec::llama2_70b(); // 8 kv heads
+        let p = ParallelismConfig::new(16, 1);
+        // 16 ranks but 8 kv heads: each rank still holds one replicated head.
+        assert_eq!(p.kv_heads_per_device(&m), 1);
+    }
+
+    #[test]
+    fn layers_per_stage_splits_evenly() {
+        let m = ModelSpec::llama2_70b();
+        assert_eq!(ParallelismConfig::new(1, 4).layers_per_stage(&m), 20);
+        assert_eq!(ParallelismConfig::new(1, 1).layers_per_stage(&m), 80);
+    }
+
+    #[test]
+    fn weight_bytes_shrink_with_tp() {
+        let m = ModelSpec::llama2_70b();
+        let w1 = ParallelismConfig::new(1, 1).weight_bytes_per_device(&m);
+        let w4 = ParallelismConfig::new(4, 1).weight_bytes_per_device(&m);
+        assert!(w4 < w1 / 3.0, "w1={w1} w4={w4}");
+        // Unsharded per-device weights should be close to the total model.
+        let total = m.weight_bytes();
+        assert!((w1 - total).abs() / total < 0.05, "w1={w1} total={total}");
+    }
+
+    #[test]
+    fn kv_bytes_split_across_tp_and_pp() {
+        let m = ModelSpec::llama2_7b();
+        let serial = ParallelismConfig::serial().kv_bytes_per_token_per_device(&m);
+        let tp2 = ParallelismConfig::new(2, 1).kv_bytes_per_token_per_device(&m);
+        let pp2 = ParallelismConfig::new(1, 2).kv_bytes_per_token_per_device(&m);
+        assert_eq!(serial, m.kv_bytes_per_token());
+        assert_eq!(tp2, serial / 2);
+        assert_eq!(pp2, serial / 2);
+    }
+
+    #[test]
+    fn enumerate_filters_invalid() {
+        let m = ModelSpec::llama2_70b();
+        let configs = ParallelismConfig::enumerate(&m, &[1, 2, 3, 4], &[1, 2, 4, 7]);
+        assert!(configs.iter().all(|c| c.validate_for(&m).is_ok()));
+        assert!(!configs.contains(&ParallelismConfig::new(3, 1)));
+        assert!(configs.contains(&ParallelismConfig::new(4, 4)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ParallelismConfig::new(2, 4).to_string(), "TP2-PP4");
+    }
+
+    proptest! {
+        #[test]
+        fn weights_monotone_in_tp(tp_exp in 0u32..4) {
+            let m = ModelSpec::llama2_70b();
+            let tp = 1 << tp_exp;
+            let cfg = ParallelismConfig::new(tp, 1);
+            prop_assume!(cfg.validate_for(&m).is_ok());
+            let w = cfg.weight_bytes_per_device(&m);
+            let w_next = ParallelismConfig::new(tp * 2, 1).weight_bytes_per_device(&m);
+            prop_assert!(w_next < w);
+        }
+
+        #[test]
+        fn kv_per_device_times_world_covers_total(tp_exp in 0u32..3, pp_exp in 0u32..3) {
+            let m = ModelSpec::llama2_7b(); // 32 kv heads, 32 layers
+            let cfg = ParallelismConfig::new(1 << tp_exp, 1 << pp_exp);
+            prop_assume!(cfg.validate_for(&m).is_ok());
+            let per_dev = cfg.kv_bytes_per_token_per_device(&m);
+            let world = cfg.gpus_per_replica() as u64;
+            prop_assert_eq!(per_dev * world, m.kv_bytes_per_token());
+        }
+    }
+}

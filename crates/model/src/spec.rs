@@ -1,0 +1,413 @@
+//! Declarative model specifications (paper §4.1, Figure 2 "Model Spec").
+//!
+//! A [`ModelSpec`] captures exactly the architectural choices that matter for
+//! performance: layer count, embedding/hidden dims, attention head layout
+//! (MHA vs GQA — the paper's Qwen-72B vs LLaMA2-70B comparison hinges on
+//! this), and dtype width. Everything else (activation choice, norm flavour)
+//! only changes small pointwise kernels and is folded into the generic
+//! pointwise operators.
+
+use serde::{Deserialize, Serialize};
+
+/// A declarative LLM architecture specification.
+///
+/// # Example
+///
+/// ```
+/// use vidur_model::ModelSpec;
+/// let m = ModelSpec::llama2_70b();
+/// assert_eq!(m.num_layers, 80);
+/// assert!(m.uses_gqa());
+/// // ~69B parameters
+/// let params = m.total_params();
+/// assert!(params > 6.5e10 && params < 7.2e10, "{params}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable model name, e.g. `"llama2-70b"`.
+    pub name: String,
+    /// Number of transformer blocks.
+    pub num_layers: u32,
+    /// Embedding (model) dimension `D`.
+    pub embed_dim: u32,
+    /// MLP hidden dimension `F`.
+    pub mlp_hidden_dim: u32,
+    /// Number of query attention heads.
+    pub num_q_heads: u32,
+    /// Number of key/value heads (`== num_q_heads` for MHA, fewer for GQA).
+    pub num_kv_heads: u32,
+    /// Per-head dimension (`embed_dim / num_q_heads` for all paper models).
+    pub head_dim: u32,
+    /// Vocabulary size `V`.
+    pub vocab_size: u32,
+    /// Whether the MLP is gated (SwiGLU-style, 3 projections) as in LLaMA.
+    pub gated_mlp: bool,
+    /// Maximum supported context length in tokens.
+    pub max_position_embeddings: u32,
+    /// Bytes per parameter/activation element (2 for fp16/bf16).
+    pub dtype_bytes: u32,
+}
+
+impl ModelSpec {
+    /// LLaMA2-7B (32 layers, MHA, 4096 dim).
+    pub fn llama2_7b() -> Self {
+        ModelSpec {
+            name: "llama2-7b".to_string(),
+            num_layers: 32,
+            embed_dim: 4096,
+            mlp_hidden_dim: 11008,
+            num_q_heads: 32,
+            num_kv_heads: 32,
+            head_dim: 128,
+            vocab_size: 32000,
+            gated_mlp: true,
+            max_position_embeddings: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// LLaMA2-70B (80 layers, GQA with 8 KV heads, 8192 dim).
+    pub fn llama2_70b() -> Self {
+        ModelSpec {
+            name: "llama2-70b".to_string(),
+            num_layers: 80,
+            embed_dim: 8192,
+            mlp_hidden_dim: 28672,
+            num_q_heads: 64,
+            num_kv_heads: 8,
+            head_dim: 128,
+            vocab_size: 32000,
+            gated_mlp: true,
+            max_position_embeddings: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// InternLM-20B (60 layers, MHA with 40 heads, 5120 dim).
+    pub fn internlm_20b() -> Self {
+        ModelSpec {
+            name: "internlm-20b".to_string(),
+            num_layers: 60,
+            embed_dim: 5120,
+            mlp_hidden_dim: 13824,
+            num_q_heads: 40,
+            num_kv_heads: 40,
+            head_dim: 128,
+            vocab_size: 103168,
+            gated_mlp: true,
+            max_position_embeddings: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// Qwen-72B (80 layers, **MHA** — 64 KV heads, hence the 8× higher
+    /// KV-cache load vs LLaMA2-70B the paper highlights in §7.3).
+    pub fn qwen_72b() -> Self {
+        ModelSpec {
+            name: "qwen-72b".to_string(),
+            num_layers: 80,
+            embed_dim: 8192,
+            mlp_hidden_dim: 24576,
+            num_q_heads: 64,
+            num_kv_heads: 64,
+            head_dim: 128,
+            vocab_size: 152064,
+            gated_mlp: true,
+            max_position_embeddings: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// LLaMA2-13B (40 layers, MHA, 5120 dim) — not in the paper's main
+    /// evaluation but part of the LLaMA2 family Vidur onboards trivially.
+    pub fn llama2_13b() -> Self {
+        ModelSpec {
+            name: "llama2-13b".to_string(),
+            num_layers: 40,
+            embed_dim: 5120,
+            mlp_hidden_dim: 13824,
+            num_q_heads: 40,
+            num_kv_heads: 40,
+            head_dim: 128,
+            vocab_size: 32000,
+            gated_mlp: true,
+            max_position_embeddings: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// Falcon-40B (60 layers, aggressive GQA — 8 KV heads over 128 query
+    /// heads — ungated GeLU MLP). Exercises the non-gated MLP path and an
+    /// extreme GQA ratio.
+    pub fn falcon_40b() -> Self {
+        ModelSpec {
+            name: "falcon-40b".to_string(),
+            num_layers: 60,
+            embed_dim: 8192,
+            mlp_hidden_dim: 32768,
+            num_q_heads: 128,
+            num_kv_heads: 8,
+            head_dim: 64,
+            vocab_size: 65024,
+            gated_mlp: false,
+            max_position_embeddings: 2048,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// Phi-2 (2.7B: 32 layers, MHA, 2560 dim, ungated MLP) — a small model
+    /// whose iterations are CPU-overhead dominated, useful for studying the
+    /// fidelity floor.
+    pub fn phi_2() -> Self {
+        ModelSpec {
+            name: "phi-2".to_string(),
+            num_layers: 32,
+            embed_dim: 2560,
+            mlp_hidden_dim: 10240,
+            num_q_heads: 32,
+            num_kv_heads: 32,
+            head_dim: 80,
+            vocab_size: 51200,
+            gated_mlp: false,
+            max_position_embeddings: 2048,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// All four models evaluated in the paper, smallest first.
+    pub fn paper_models() -> Vec<ModelSpec> {
+        vec![
+            Self::llama2_7b(),
+            Self::internlm_20b(),
+            Self::llama2_70b(),
+            Self::qwen_72b(),
+        ]
+    }
+
+    /// Every built-in model (the paper's four plus extras).
+    pub fn all_models() -> Vec<ModelSpec> {
+        vec![
+            Self::phi_2(),
+            Self::llama2_7b(),
+            Self::llama2_13b(),
+            Self::internlm_20b(),
+            Self::falcon_40b(),
+            Self::llama2_70b(),
+            Self::qwen_72b(),
+        ]
+    }
+
+    /// Looks a built-in model up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<ModelSpec> {
+        Self::all_models()
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant, e.g. KV heads
+    /// not dividing query heads.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.num_layers == 0 {
+            return Err(SpecError::new("num_layers must be positive"));
+        }
+        if self.num_q_heads == 0 || self.num_kv_heads == 0 {
+            return Err(SpecError::new("head counts must be positive"));
+        }
+        if !self.num_q_heads.is_multiple_of(self.num_kv_heads) {
+            return Err(SpecError::new("num_kv_heads must divide num_q_heads"));
+        }
+        if self.embed_dim != self.num_q_heads * self.head_dim {
+            return Err(SpecError::new(
+                "embed_dim must equal num_q_heads * head_dim",
+            ));
+        }
+        if self.dtype_bytes == 0 {
+            return Err(SpecError::new("dtype_bytes must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if the model uses grouped-query attention
+    /// (fewer KV heads than query heads).
+    pub fn uses_gqa(&self) -> bool {
+        self.num_kv_heads < self.num_q_heads
+    }
+
+    /// Query projection output width (`num_q_heads * head_dim`).
+    pub fn q_dim(&self) -> u64 {
+        self.num_q_heads as u64 * self.head_dim as u64
+    }
+
+    /// Key/value projection output width (`num_kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> u64 {
+        self.num_kv_heads as u64 * self.head_dim as u64
+    }
+
+    /// Parameters in one transformer layer.
+    pub fn params_per_layer(&self) -> u64 {
+        let d = self.embed_dim as u64;
+        let f = self.mlp_hidden_dim as u64;
+        let qkv = d * (self.q_dim() + 2 * self.kv_dim());
+        let attn_out = self.q_dim() * d;
+        let mlp_projs = if self.gated_mlp { 3 } else { 2 };
+        let mlp = mlp_projs * d * f;
+        // Two RMSNorm weight vectors per block.
+        qkv + attn_out + mlp + 2 * d
+    }
+
+    /// Total parameter count (layers + embeddings + LM head + final norm).
+    pub fn total_params(&self) -> f64 {
+        let d = self.embed_dim as u64;
+        let v = self.vocab_size as u64;
+        let layers = self.num_layers as u64 * self.params_per_layer();
+        // Input embedding + untied LM head + final norm.
+        (layers + 2 * v * d + d) as f64
+    }
+
+    /// Bytes of model weights at the spec dtype.
+    pub fn weight_bytes(&self) -> f64 {
+        self.total_params() * self.dtype_bytes as f64
+    }
+
+    /// Bytes of KV-cache per token across **all** layers (unsharded).
+    ///
+    /// `2 (K and V) * kv_dim * dtype_bytes * num_layers`.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.kv_dim() * self.dtype_bytes as u64 * self.num_layers as u64
+    }
+}
+
+/// Error returned when a [`ModelSpec`] violates an architectural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid model spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_validate() {
+        for m in ModelSpec::all_models() {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn extra_model_param_counts() {
+        let p13 = ModelSpec::llama2_13b().total_params();
+        assert!(p13 > 1.2e10 && p13 < 1.4e10, "{p13}");
+        let p40 = ModelSpec::falcon_40b().total_params();
+        assert!(p40 > 3.4e10 && p40 < 4.6e10, "{p40}");
+        let p2 = ModelSpec::phi_2().total_params();
+        assert!(p2 > 2.2e9 && p2 < 3.2e9, "{p2}");
+    }
+
+    #[test]
+    fn falcon_extreme_gqa() {
+        let f = ModelSpec::falcon_40b();
+        assert!(f.uses_gqa());
+        assert_eq!(f.num_q_heads / f.num_kv_heads, 16);
+        assert!(!f.gated_mlp);
+    }
+
+    #[test]
+    fn llama7b_param_count() {
+        let p = ModelSpec::llama2_7b().total_params();
+        assert!(p > 6.5e9 && p < 7.1e9, "{p}");
+    }
+
+    #[test]
+    fn llama70b_param_count() {
+        let p = ModelSpec::llama2_70b().total_params();
+        assert!(p > 6.5e10 && p < 7.2e10, "{p}");
+    }
+
+    #[test]
+    fn internlm_param_count() {
+        let p = ModelSpec::internlm_20b().total_params();
+        assert!(p > 1.8e10 && p < 2.2e10, "{p}");
+    }
+
+    #[test]
+    fn qwen_param_count() {
+        let p = ModelSpec::qwen_72b().total_params();
+        assert!(p > 6.6e10 && p < 7.5e10, "{p}");
+    }
+
+    #[test]
+    fn qwen_kv_load_is_8x_llama70b() {
+        let qwen = ModelSpec::qwen_72b();
+        let llama = ModelSpec::llama2_70b();
+        let ratio = qwen.kv_bytes_per_token() as f64 / llama.kv_bytes_per_token() as f64;
+        assert_eq!(ratio, 8.0);
+    }
+
+    #[test]
+    fn gqa_detection() {
+        assert!(!ModelSpec::llama2_7b().uses_gqa());
+        assert!(ModelSpec::llama2_70b().uses_gqa());
+        assert!(!ModelSpec::internlm_20b().uses_gqa());
+        assert!(!ModelSpec::qwen_72b().uses_gqa());
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert_eq!(
+            ModelSpec::by_name("LLaMA2-70B").map(|m| m.name),
+            Some("llama2-70b".to_string())
+        );
+        assert!(ModelSpec::by_name("gpt-5").is_none());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut m = ModelSpec::llama2_7b();
+        m.num_kv_heads = 5; // does not divide 32
+        assert!(m.validate().is_err());
+
+        let mut m = ModelSpec::llama2_7b();
+        m.head_dim = 64; // embed_dim mismatch
+        assert!(m.validate().is_err());
+
+        let mut m = ModelSpec::llama2_7b();
+        m.num_layers = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn kv_bytes_per_token_formula() {
+        let m = ModelSpec::llama2_7b();
+        // 2 * 32 heads * 128 dim * 2 bytes * 32 layers = 524288
+        assert_eq!(m.kv_bytes_per_token(), 524_288);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = ModelSpec::qwen_72b();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

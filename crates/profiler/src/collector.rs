@@ -1,0 +1,157 @@
+//! The profile collector: executes a profiling plan against the hardware
+//! oracle, averaging repeated noisy measurements per point.
+//!
+//! This is the stand-in for the paper's CUPTI measurement loop. Repeats
+//! average away run-to-run variance (log-normal, ~1.5% sigma) so the
+//! estimator trains on stable means — with few repeats, residual noise
+//! propagates into prediction error, which the profiler-density ablation
+//! bench quantifies.
+
+use crate::plan::ProfilingPlan;
+use crate::tables::{ProfilePoint, ProfileTable};
+use vidur_core::rng::SimRng;
+use vidur_hardware::KernelOracle;
+
+/// Default number of repeated measurements per point.
+pub const DEFAULT_REPEATS: u32 = 5;
+
+/// Collects profile tables by measuring plan points on an oracle.
+#[derive(Debug)]
+pub struct ProfileCollector {
+    oracle: KernelOracle,
+    repeats: u32,
+}
+
+impl ProfileCollector {
+    /// Creates a collector measuring each point [`DEFAULT_REPEATS`] times.
+    pub fn new(oracle: KernelOracle) -> Self {
+        Self::with_repeats(oracle, DEFAULT_REPEATS)
+    }
+
+    /// Creates a collector with an explicit repeat count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats == 0`.
+    pub fn with_repeats(oracle: KernelOracle, repeats: u32) -> Self {
+        assert!(repeats > 0, "need at least one measurement per point");
+        ProfileCollector { oracle, repeats }
+    }
+
+    /// The oracle measurements are taken against.
+    pub fn oracle(&self) -> &KernelOracle {
+        &self.oracle
+    }
+
+    /// Runs the plan, returning a sorted profile table.
+    pub fn collect(&self, plan: &ProfilingPlan, rng: &mut SimRng) -> ProfileTable {
+        let mut table = ProfileTable::new(
+            plan.model_name(),
+            plan.tensor_parallel(),
+            self.oracle.sku().name.clone(),
+        );
+        for inv in plan.points() {
+            let mut samples = Vec::with_capacity(self.repeats as usize);
+            for _ in 0..self.repeats {
+                samples.push(self.oracle.measure(inv, rng));
+            }
+            let n = samples.len() as f64;
+            let mean = samples.iter().sum::<f64>() / n;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+            table.push(
+                inv.op,
+                ProfilePoint {
+                    feature: inv.input.feature(),
+                    mean_time: mean,
+                    std_dev: var.sqrt(),
+                    repeats: self.repeats,
+                    input: inv.input,
+                },
+            );
+        }
+        table.sort();
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_hardware::GpuSku;
+    use vidur_model::operators::Operator;
+    use vidur_model::parallelism::ParallelismConfig;
+    use vidur_model::runtime::RuntimePredictor;
+    use vidur_model::spec::ModelSpec;
+
+    fn small_plan() -> ProfilingPlan {
+        ProfilingPlan::with_limits(
+            &ModelSpec::llama2_7b(),
+            &ParallelismConfig::serial(),
+            256,
+            4096,
+        )
+    }
+
+    #[test]
+    fn collect_covers_plan() {
+        let collector = ProfileCollector::new(KernelOracle::new(GpuSku::a100_80g()));
+        let mut rng = SimRng::new(1);
+        let table = collector.collect(&small_plan(), &mut rng);
+        assert_eq!(table.len(), small_plan().points().len());
+        assert_eq!(table.model_name, "llama2-7b");
+        assert_eq!(table.sku_name, "a100-80g");
+    }
+
+    #[test]
+    fn means_approach_truth_with_repeats() {
+        let oracle = KernelOracle::new(GpuSku::a100_80g());
+        let plan = small_plan();
+        let collector = ProfileCollector::with_repeats(oracle.clone(), 25);
+        let mut rng = SimRng::new(2);
+        let table = collector.collect(&plan, &mut rng);
+        for inv in plan.points().iter().take(50) {
+            let truth = oracle.op_time(inv);
+            let measured = table
+                .points_for(inv.op)
+                .iter()
+                .find(|p| p.input == inv.input)
+                .unwrap()
+                .mean_time;
+            let rel = (measured / truth - 1.0).abs();
+            assert!(rel < 0.02, "{}: rel err {rel}", inv.op);
+        }
+    }
+
+    #[test]
+    fn points_are_sorted_by_feature() {
+        let collector = ProfileCollector::new(KernelOracle::new(GpuSku::a100_80g()));
+        let mut rng = SimRng::new(3);
+        let table = collector.collect(&small_plan(), &mut rng);
+        for op in [Operator::QkvProj, Operator::AttnDecode] {
+            let feats: Vec<f64> = table.points_for(op).iter().map(|p| p.feature).collect();
+            assert!(feats.windows(2).all(|w| w[0] <= w[1]), "{op}: {feats:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let collector = ProfileCollector::new(KernelOracle::new(GpuSku::a100_80g()));
+        let t1 = collector.collect(&small_plan(), &mut SimRng::new(7));
+        let t2 = collector.collect(&small_plan(), &mut SimRng::new(7));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn std_dev_reflects_noise() {
+        let collector =
+            ProfileCollector::with_repeats(KernelOracle::new(GpuSku::a100_80g()), 20);
+        let mut rng = SimRng::new(11);
+        let table = collector.collect(&small_plan(), &mut rng);
+        let noisy = table
+            .points_for(Operator::QkvProj)
+            .iter()
+            .filter(|p| p.std_dev > 0.0)
+            .count();
+        assert!(noisy > 0, "repeated measurements must show spread");
+    }
+}

@@ -1,0 +1,30 @@
+//! # vidur-profiler
+//!
+//! The offline profiling phase of Vidur's model onboarding (paper §4.2–4.3,
+//! Figure 2 steps 1–2).
+//!
+//! Profiling every possible input is infeasible — a batch mixes arbitrary
+//! prefill chunks and decode tokens over arbitrary KV history. Instead, the
+//! profiler exploits operator triage: each operator's runtime depends on a
+//! *single* size feature (iteration tokens, equivalent prefill length, KV
+//! bytes, or payload bytes). The [`plan`] module chooses a sparse,
+//! geometrically-spaced set of feature values per operator; the [`collector`]
+//! "measures" each point several times against the hardware oracle (our
+//! CUPTI substitute) and records the averaged samples in a
+//! [`tables::ProfileTable`] that the runtime estimator trains on.
+//!
+//! Because operator dimensions are derived from the declarative model spec
+//! *after* TP sharding (paper §4.1 "Automatic Profiling for Parallelism
+//! Strategies"), one profiling pass per (model, TP degree, SKU) covers every
+//! pipeline-parallel and batching configuration.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collector;
+pub mod plan;
+pub mod tables;
+
+pub use collector::ProfileCollector;
+pub use plan::ProfilingPlan;
+pub use tables::{ProfilePoint, ProfileTable};

@@ -1,0 +1,342 @@
+//! Profiling plans: the minimal set of input sizes to measure per operator.
+//!
+//! Feature values are sampled densely at small sizes (where quantization
+//! staircases and launch overheads dominate and curves bend) and
+//! geometrically at large sizes (where curves are asymptotically linear or
+//! quadratic). This mirrors the paper's "minimal data collection" goal: a
+//! few hundred points per operator instead of the combinatorial batch space.
+
+use serde::{Deserialize, Serialize};
+use vidur_model::operators::{OpInput, OpInvocation, Operator};
+use vidur_model::parallelism::ParallelismConfig;
+use vidur_model::spec::ModelSpec;
+
+/// Default maximum tokens per iteration to profile (vLLM/Orca cap is 4096).
+pub const DEFAULT_MAX_TOKENS: u64 = 8192;
+
+/// Default maximum KV tokens readable by one decode batch on a device.
+pub const DEFAULT_MAX_KV_TOKENS: u64 = 1 << 20;
+
+/// A profiling plan: every operator invocation to measure for one
+/// (model, TP degree) pair on a SKU.
+///
+/// # Example
+///
+/// ```
+/// use vidur_model::{ModelSpec, ParallelismConfig};
+/// use vidur_profiler::ProfilingPlan;
+///
+/// let plan = ProfilingPlan::for_model(
+///     &ModelSpec::llama2_7b(),
+///     &ParallelismConfig::serial(),
+/// );
+/// // A few hundred points, not millions.
+/// assert!(plan.points().len() > 200);
+/// assert!(plan.points().len() < 5_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingPlan {
+    model_name: String,
+    tensor_parallel: u32,
+    points: Vec<OpInvocation>,
+}
+
+/// Domain-aware sample of feature sizes in `[1, max]`.
+///
+/// The placement encodes GPU knowledge the paper's profiler also exploits:
+/// dense coverage at tiny sizes (launch-overhead regime), **tile-aligned**
+/// samples at multiples of 64 up to 1024 and 256 up to 4096 (so regressors
+/// see the tile-quantization staircase), then ~10% geometric growth where
+/// curves are asymptotically smooth. Always includes `max`.
+pub fn size_samples(max: u64) -> Vec<u64> {
+    assert!(max >= 1);
+    let mut out: Vec<u64> = Vec::new();
+    let mut push = |v: u64| {
+        if v <= max && out.last() != Some(&v) {
+            out.push(v);
+        }
+    };
+    for v in 1..=16u64 {
+        push(v);
+    }
+    let mut v = 24u64;
+    while v <= 64 {
+        push(v);
+        v += 8;
+    }
+    let mut v = 96u64;
+    while v <= 1024 {
+        push(v);
+        v += 32;
+    }
+    let mut v = 1152u64;
+    while v <= 4096 {
+        push(v);
+        v += 128;
+    }
+    let mut f = 4096.0 * 1.10f64;
+    while (f as u64) < max {
+        push(f as u64);
+        f *= 1.10;
+    }
+    if out.last() != Some(&max) {
+        out.push(max);
+    }
+    out
+}
+
+impl ProfilingPlan {
+    /// Builds the plan for `model` sharded at `par`'s TP degree with default
+    /// size caps.
+    pub fn for_model(model: &ModelSpec, par: &ParallelismConfig) -> Self {
+        Self::with_limits(model, par, DEFAULT_MAX_TOKENS, DEFAULT_MAX_KV_TOKENS)
+    }
+
+    /// Builds the plan with explicit token / KV-token caps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parallelism configuration is invalid for the model.
+    pub fn with_limits(
+        model: &ModelSpec,
+        par: &ParallelismConfig,
+        max_tokens: u64,
+        max_kv_tokens: u64,
+    ) -> Self {
+        par.validate_for(model).expect("invalid parallelism config");
+        let d = model.embed_dim as u64;
+        let dtype = model.dtype_bytes as u64;
+        let q_dim = par.q_dim_per_device(model);
+        let kv_dim = par.kv_dim_per_device(model);
+        let mlp_dim = par.mlp_dim_per_device(model);
+        let tp = par.tensor_parallel;
+
+        let mut points = Vec::new();
+        let tokens = size_samples(max_tokens);
+
+        // Token-level matmuls: vary m, fixed (k, n) from the sharded spec.
+        let matmul_dims: [(Operator, u64, u64); 5] = [
+            (Operator::QkvProj, d, q_dim + 2 * kv_dim),
+            (Operator::AttnOutProj, q_dim, d),
+            (Operator::MlpUpProj, d, mlp_dim),
+            (Operator::MlpGateProj, d, mlp_dim),
+            (Operator::MlpDownProj, mlp_dim, d),
+        ];
+        for &(op, k, n) in &matmul_dims {
+            if op == Operator::MlpGateProj && !model.gated_mlp {
+                continue;
+            }
+            for &m in &tokens {
+                points.push(OpInvocation::new(op, OpInput::Matmul { m, k, n }, 1));
+            }
+        }
+        for &m in &tokens {
+            points.push(OpInvocation::new(
+                Operator::LmHead,
+                OpInput::Matmul {
+                    m,
+                    k: d,
+                    n: par.vocab_per_device(model),
+                },
+                1,
+            ));
+        }
+
+        // Token-level pointwise ops.
+        let pointwise_dims: [(Operator, u64); 7] = [
+            (Operator::Embedding, d),
+            (Operator::Rope, q_dim + kv_dim),
+            (Operator::InputNorm, d),
+            (Operator::PostAttnNorm, d),
+            (Operator::ResidualAdd, d),
+            (Operator::MlpActivation, mlp_dim),
+            (Operator::FinalNorm, d),
+        ];
+        for &(op, width) in &pointwise_dims {
+            for &t in &tokens {
+                points.push(OpInvocation::new(
+                    op,
+                    OpInput::Pointwise { tokens: t, width },
+                    1,
+                ));
+            }
+        }
+        for &t in &tokens {
+            points.push(OpInvocation::new(
+                Operator::KvCacheSave,
+                OpInput::Pointwise {
+                    tokens: t,
+                    width: 2 * kv_dim,
+                },
+                1,
+            ));
+        }
+
+        // Sequence-level: prefill attention over equivalent lengths up to
+        // the model's context window (chunk history inflates the equivalent
+        // length beyond max_position, so go 2x).
+        let max_equiv = 2 * model.max_position_embeddings as u64;
+        for &len in &size_samples(max_equiv) {
+            points.push(OpInvocation::new(
+                Operator::AttnPrefill,
+                OpInput::AttentionPrefill {
+                    equiv_len: len,
+                    q_heads: par.q_heads_per_device(model),
+                    head_dim: model.head_dim as u64,
+                },
+                1,
+            ));
+        }
+        // Decode attention over total KV tokens read per layer.
+        for &kv_tokens in &size_samples(max_kv_tokens) {
+            let kv_bytes = kv_tokens * 2 * kv_dim * dtype;
+            points.push(OpInvocation::new(
+                Operator::AttnDecode,
+                OpInput::AttentionDecode {
+                    kv_bytes,
+                    tokens: kv_tokens.min(512),
+                },
+                1,
+            ));
+        }
+
+        // Communication: payloads up to max_tokens * d activations.
+        if tp > 1 {
+            for &t in &tokens {
+                let bytes = t * d * dtype;
+                points.push(OpInvocation::new(
+                    Operator::AllReduce,
+                    OpInput::Comm { bytes, world: tp },
+                    1,
+                ));
+                points.push(OpInvocation::new(
+                    Operator::AllGather,
+                    OpInput::Comm { bytes, world: tp },
+                    1,
+                ));
+            }
+        }
+        for &t in &tokens {
+            let bytes = t * d * dtype;
+            points.push(OpInvocation::new(
+                Operator::SendRecv,
+                OpInput::Comm { bytes, world: 2 },
+                1,
+            ));
+        }
+
+        ProfilingPlan {
+            model_name: model.name.clone(),
+            tensor_parallel: tp,
+            points,
+        }
+    }
+
+    /// The model this plan profiles.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The TP degree operators are sharded at.
+    pub fn tensor_parallel(&self) -> u32 {
+        self.tensor_parallel
+    }
+
+    /// Every invocation to measure.
+    pub fn points(&self) -> &[OpInvocation] {
+        &self.points
+    }
+
+    /// Operators covered by this plan.
+    pub fn operators(&self) -> Vec<Operator> {
+        let mut ops: Vec<Operator> = self.points.iter().map(|p| p.op).collect();
+        ops.sort_unstable();
+        ops.dedup();
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_samples_shape() {
+        let s = size_samples(4096);
+        assert_eq!(s[0], 1);
+        assert!(s.contains(&16));
+        // Tile-aligned knots are present so regressors see the staircase.
+        assert!(s.contains(&128) && s.contains(&512) && s.contains(&1024));
+        assert_eq!(*s.last().unwrap(), 4096);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(s.len() < 120, "sparse: {}", s.len());
+    }
+
+    #[test]
+    fn size_samples_tiny_max() {
+        assert_eq!(size_samples(1), vec![1]);
+        let s = size_samples(10);
+        assert_eq!(*s.last().unwrap(), 10);
+    }
+
+    #[test]
+    fn plan_covers_all_op_classes() {
+        let plan = ProfilingPlan::for_model(
+            &ModelSpec::llama2_70b(),
+            &ParallelismConfig::new(4, 1),
+        );
+        let ops = plan.operators();
+        assert!(ops.contains(&Operator::QkvProj));
+        assert!(ops.contains(&Operator::AttnPrefill));
+        assert!(ops.contains(&Operator::AttnDecode));
+        assert!(ops.contains(&Operator::AllReduce));
+        assert!(ops.contains(&Operator::SendRecv));
+        assert!(ops.contains(&Operator::LmHead));
+    }
+
+    #[test]
+    fn tp1_plan_has_no_tp_collectives() {
+        let plan = ProfilingPlan::for_model(&ModelSpec::llama2_7b(), &ParallelismConfig::serial());
+        let ops = plan.operators();
+        assert!(!ops.contains(&Operator::AllReduce));
+        assert!(!ops.contains(&Operator::AllGather));
+        // SendRecv is still profiled so PP configs reuse the same table.
+        assert!(ops.contains(&Operator::SendRecv));
+    }
+
+    #[test]
+    fn ungated_model_skips_gate_proj() {
+        let mut model = ModelSpec::llama2_7b();
+        model.gated_mlp = false;
+        let plan = ProfilingPlan::for_model(&model, &ParallelismConfig::serial());
+        assert!(!plan.operators().contains(&Operator::MlpGateProj));
+    }
+
+    #[test]
+    fn matmul_dims_are_sharded_by_tp() {
+        let model = ModelSpec::llama2_70b();
+        let plan = ProfilingPlan::for_model(&model, &ParallelismConfig::new(4, 1));
+        let up = plan
+            .points()
+            .iter()
+            .find(|p| p.op == Operator::MlpUpProj)
+            .unwrap();
+        match up.input {
+            OpInput::Matmul { n, .. } => assert_eq!(n, 28672 / 4),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_size_is_bounded() {
+        for model in ModelSpec::paper_models() {
+            let plan = ProfilingPlan::for_model(&model, &ParallelismConfig::new(2, 1));
+            assert!(
+                plan.points().len() < 5_000,
+                "{}: {}",
+                model.name,
+                plan.points().len()
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # vidur-scheduler
+//!
+//! Vidur's three-tier hierarchical scheduler (paper §4.5):
+//!
+//! 1. **Global scheduler** ([`global`]) — routes arriving requests to
+//!    replicas (round-robin, least-outstanding-requests, random).
+//! 2. **Replica scheduler** ([`replica`]) — forms batches each iteration and
+//!    manages KV-cache memory through the paged [`memory::BlockManager`].
+//!    Five batching policies are implemented, matching the paper's set:
+//!    vLLM, Orca+, Sarathi-Serve (chunked prefills), FasterTransformer, and
+//!    LightLLM.
+//! 3. **Replica stage scheduler** ([`stage`]) — synchronous pipeline-parallel
+//!    execution of a batch across stages with bubble accounting.
+//!
+//! The scheduler crate is pure bookkeeping: it decides *what* runs, while
+//! runtime predictors decide *how long* it takes. The end-to-end simulator
+//! (vidur-simulator) drives both from the event loop.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod global;
+pub mod memory;
+pub mod replica;
+pub mod request;
+pub mod stage;
+
+pub use config::{BatchPolicyKind, SchedulerConfig};
+pub use global::{GlobalPolicy, GlobalPolicyKind};
+pub use memory::BlockManager;
+pub use replica::ReplicaScheduler;
+pub use request::{Request, RequestId, RequestPhase, TrackedRequest};
+pub use stage::PipelineTracker;

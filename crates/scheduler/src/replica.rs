@@ -1,0 +1,824 @@
+//! The replica scheduler: iteration-level batch formation plus memory
+//! management (paper §4.5, middle tier).
+//!
+//! Each call to [`ReplicaScheduler::next_batch`] forms the next iteration's
+//! batch according to the configured policy. The paper notes all five
+//! policies fit in under 150 lines each on top of the memory-manager API —
+//! the same holds here.
+//!
+//! In-flight bookkeeping: slices handed out in a batch mark their request
+//! in-flight until [`ReplicaScheduler::complete_batch`] is called, so with
+//! pipeline parallelism several disjoint batches can execute concurrently
+//! without double-scheduling a request.
+
+use crate::config::{BatchPolicyKind, SchedulerConfig};
+use crate::memory::BlockManager;
+use crate::request::{Request, RequestId, RequestPhase, TrackedRequest};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use vidur_model::batch::{BatchComposition, RequestSlice};
+
+/// What happened to a request when a batch completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionEvent {
+    /// The request.
+    pub id: RequestId,
+    /// The request's prefill finished in this batch (TTFT point).
+    pub prefill_completed: bool,
+    /// One output token was produced in this batch.
+    pub produced_token: bool,
+    /// The request produced its last token and left the replica.
+    pub finished: bool,
+}
+
+/// Iteration-level replica scheduler with paged KV memory management.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::time::SimTime;
+/// use vidur_scheduler::{BatchPolicyKind, ReplicaScheduler, Request, SchedulerConfig};
+///
+/// let config = SchedulerConfig::new(BatchPolicyKind::Vllm, 8);
+/// let mut sched = ReplicaScheduler::new(config, 1_000, 16);
+/// sched.add_request(Request::new(0, SimTime::ZERO, 100, 5));
+/// let batch = sched.next_batch().expect("prefill batch");
+/// assert_eq!(batch.total_query_tokens(), 100);
+/// let events = sched.complete_batch(&batch);
+/// assert!(events[0].prefill_completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaScheduler {
+    config: SchedulerConfig,
+    blocks: BlockManager,
+    requests: HashMap<RequestId, TrackedRequest>,
+    waiting: VecDeque<RequestId>,
+    /// Admitted requests in admission order (vLLM preempts from the back).
+    running: Vec<RequestId>,
+    preemptions: u64,
+    completed: u64,
+}
+
+impl ReplicaScheduler {
+    /// Creates a scheduler over `total_blocks` KV blocks of `block_size`
+    /// tokens.
+    pub fn new(config: SchedulerConfig, total_blocks: u64, block_size: u32) -> Self {
+        ReplicaScheduler {
+            blocks: BlockManager::new(total_blocks, block_size, config.watermark_frac),
+            config,
+            requests: HashMap::new(),
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            preemptions: 0,
+            completed: 0,
+        }
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The KV block manager (read access for metrics).
+    pub fn blocks(&self) -> &BlockManager {
+        &self.blocks
+    }
+
+    /// Enqueues an arriving request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request with the same id was already added.
+    pub fn add_request(&mut self, req: Request) {
+        let prev = self.requests.insert(req.id, TrackedRequest::new(req));
+        assert!(prev.is_none(), "duplicate request id {}", req.id);
+        self.waiting.push_back(req.id);
+    }
+
+    /// Enqueues a request whose prompt was prefilled on *another* replica
+    /// and whose KV-cache has been transferred here (prefill/decode
+    /// disaggregation, à la Splitwise/DistServe — paper §2.2). The request
+    /// enters the waiting queue already in the decode phase with
+    /// `already_decoded` output tokens produced remotely.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate ids or if `already_decoded` is not in
+    /// `1..=decode_tokens` (the prefill node produces the first token).
+    pub fn add_remote_prefilled(&mut self, req: Request, already_decoded: u64) {
+        assert!(
+            already_decoded >= 1 && already_decoded <= req.decode_tokens,
+            "remote prefill must have produced 1..=decode_tokens tokens"
+        );
+        let mut tracked = TrackedRequest::new(req);
+        tracked.prefilled = req.prefill_tokens;
+        tracked.decoded = already_decoded;
+        let prev = self.requests.insert(req.id, tracked);
+        assert!(prev.is_none(), "duplicate request id {}", req.id);
+        self.waiting.push_back(req.id);
+    }
+
+    /// Admits waiting requests that need **no** prefill (their KV arrived
+    /// from a prefill replica) straight into the running set. Called by
+    /// every policy before batch formation; FIFO order is preserved.
+    fn admit_prefetched(&mut self) {
+        while self.running.len() < self.config.max_batch_size {
+            let Some(&id) = self.waiting.front() else {
+                break;
+            };
+            let r = &self.requests[&id];
+            if r.remaining_prefill() > 0 {
+                break;
+            }
+            // Reserve the transferred KV plus room for the next token.
+            let need = r.cached_tokens() + 1;
+            if !self.blocks.try_reserve(id, need) {
+                break;
+            }
+            self.waiting.pop_front();
+            self.running.push(id);
+            self.requests.get_mut(&id).expect("tracked").phase = RequestPhase::Decoding;
+        }
+    }
+
+    /// Requests waiting for admission.
+    pub fn num_waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests admitted and unfinished.
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// All unfinished requests on this replica.
+    pub fn outstanding(&self) -> usize {
+        self.waiting.len() + self.running.len()
+    }
+
+    /// Total preemption-restarts so far (the paper's vLLM restart metric).
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Requests fully completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Read access to a tracked request (for metrics/debugging).
+    pub fn request(&self, id: RequestId) -> Option<&TrackedRequest> {
+        self.requests.get(&id)
+    }
+
+    /// Forms the next batch, or `None` when nothing can run (idle or all
+    /// in-flight).
+    pub fn next_batch(&mut self) -> Option<BatchComposition> {
+        self.admit_prefetched();
+        let slices = match self.config.policy {
+            BatchPolicyKind::Vllm => self.vllm_batch(),
+            BatchPolicyKind::OrcaPlus => self.orca_batch(),
+            BatchPolicyKind::SarathiServe { chunk_size } => self.sarathi_batch(chunk_size),
+            BatchPolicyKind::FasterTransformer => self.ft_batch(),
+            BatchPolicyKind::LightLlm => self.lightllm_batch(),
+        };
+        if slices.is_empty() {
+            None
+        } else {
+            Some(BatchComposition::new(slices))
+        }
+    }
+
+    /// Applies the effects of a finished batch, returning per-request events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch references unknown requests (a driver bug).
+    pub fn complete_batch(&mut self, batch: &BatchComposition) -> Vec<CompletionEvent> {
+        let mut events = Vec::with_capacity(batch.num_requests());
+        for slice in batch.slices() {
+            let id = slice.request_id;
+            let Some(req) = self.requests.get_mut(&id) else {
+                panic!("batch completion for unknown request {id}");
+            };
+            req.inflight_tokens = 0;
+            let mut ev = CompletionEvent {
+                id,
+                prefill_completed: false,
+                produced_token: false,
+                finished: false,
+            };
+            if slice.is_prefill {
+                req.prefilled += slice.query_tokens;
+                debug_assert!(req.prefilled <= req.spec.prefill_tokens);
+                if req.prefill_complete() {
+                    req.phase = RequestPhase::Decoding;
+                    if req.decoded == 0 {
+                        // The prefill iteration yields the first output token.
+                        req.decoded = 1;
+                        ev.prefill_completed = true;
+                        ev.produced_token = true;
+                    }
+                    if req.finished() {
+                        ev.finished = true;
+                        self.finish(id);
+                    }
+                }
+            } else {
+                req.decoded += 1;
+                debug_assert!(req.decoded <= req.spec.decode_tokens);
+                ev.produced_token = true;
+                if req.finished() {
+                    ev.finished = true;
+                    self.finish(id);
+                }
+            }
+            events.push(ev);
+        }
+        events
+    }
+
+    fn finish(&mut self, id: RequestId) {
+        self.blocks.release(id);
+        self.running.retain(|&r| r != id);
+        if let Some(r) = self.requests.get_mut(&id) {
+            r.phase = RequestPhase::Finished;
+        }
+        self.requests.remove(&id);
+        self.completed += 1;
+    }
+
+    /// Admits the front waiting request, reserving `reserve_tokens` of KV
+    /// capacity. Returns the id on success.
+    fn admit_front(&mut self, reserve_tokens: u64) -> Option<RequestId> {
+        let &id = self.waiting.front()?;
+        if !self.blocks.try_reserve(id, reserve_tokens) {
+            return None;
+        }
+        self.waiting.pop_front();
+        self.running.push(id);
+        let req = self.requests.get_mut(&id).expect("tracked");
+        req.phase = RequestPhase::Prefilling;
+        Some(id)
+    }
+
+    /// Preempts (recompute-restarts) the most recently admitted running
+    /// request that is not in flight and not `protect`. Returns `true` if a
+    /// victim was evicted.
+    fn preempt_one(&mut self, protect: RequestId) -> bool {
+        let victim_pos = self
+            .running
+            .iter()
+            .rposition(|&id| id != protect && self.requests[&id].inflight_tokens == 0);
+        let Some(pos) = victim_pos else {
+            return false;
+        };
+        let victim = self.running.remove(pos);
+        self.blocks.release(victim);
+        let req = self.requests.get_mut(&victim).expect("tracked");
+        req.restart();
+        self.waiting.push_front(victim);
+        self.preemptions += 1;
+        true
+    }
+
+    /// Grows `id`'s KV reservation for one appended token, preempting other
+    /// requests if necessary (vLLM recompute). If no victim remains, `id`
+    /// itself is preempted and `false` is returned.
+    fn grow_or_preempt(&mut self, id: RequestId) -> bool {
+        let target = self.requests[&id].cached_tokens() + 1;
+        loop {
+            if self.blocks.try_grow(id, target) {
+                return true;
+            }
+            if !self.preempt_one(id) {
+                // Last resort: preempt the request itself.
+                self.running.retain(|&r| r != id);
+                self.blocks.release(id);
+                let req = self.requests.get_mut(&id).expect("tracked");
+                req.restart();
+                self.waiting.push_front(id);
+                self.preemptions += 1;
+                return false;
+            }
+        }
+    }
+
+    fn mark_inflight(&mut self, id: RequestId, tokens: u64) {
+        self.requests.get_mut(&id).expect("tracked").inflight_tokens = tokens;
+    }
+
+    /// Running requests in decode phase that are schedulable now.
+    fn schedulable_decodes(&self) -> Vec<RequestId> {
+        self.running
+            .iter()
+            .copied()
+            .filter(|id| {
+                let r = &self.requests[id];
+                r.phase == RequestPhase::Decoding && r.inflight_tokens == 0 && !r.finished()
+            })
+            .collect()
+    }
+
+    /// Builds decode slices for up to `limit` schedulable decode requests,
+    /// handling memory growth with preemption.
+    fn collect_decodes(&mut self, limit: usize, slices: &mut Vec<RequestSlice>) {
+        for id in self.schedulable_decodes() {
+            if slices.len() >= limit {
+                break;
+            }
+            // The request may have been preempted by an earlier growth.
+            if !self.running.contains(&id) {
+                continue;
+            }
+            if !self.grow_or_preempt(id) {
+                continue;
+            }
+            let cached = self.requests[&id].cached_tokens();
+            slices.push(RequestSlice::decode(id, cached));
+            self.mark_inflight(id, 1);
+        }
+    }
+
+    // ---- vLLM: prefill-prioritizing -------------------------------------
+
+    fn vllm_batch(&mut self) -> Vec<RequestSlice> {
+        let budget = self.config.token_budget();
+        let mut slices = Vec::new();
+        let mut tokens = 0u64;
+        // Eagerly admit waiting prompts as a prefill-only batch.
+        while self.running.len() < self.config.max_batch_size {
+            let Some(&id) = self.waiting.front() else {
+                break;
+            };
+            let prompt = self.requests[&id].spec.prefill_tokens;
+            if tokens + prompt > budget {
+                break;
+            }
+            if self.admit_front(prompt).is_none() {
+                break;
+            }
+            slices.push(RequestSlice::prefill(id, prompt, 0));
+            self.mark_inflight(id, prompt);
+            tokens += prompt;
+        }
+        if !slices.is_empty() {
+            return slices;
+        }
+        // Otherwise resume decodes for everything running.
+        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        slices
+    }
+
+    // ---- Orca+: mixed iteration-level batching ---------------------------
+
+    fn orca_batch(&mut self) -> Vec<RequestSlice> {
+        let budget = self.config.token_budget();
+        let mut slices = Vec::new();
+        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        let mut tokens = slices.len() as u64;
+        while self.running.len() < self.config.max_batch_size
+            && slices.len() < self.config.max_batch_size
+        {
+            let Some(&id) = self.waiting.front() else {
+                break;
+            };
+            let prompt = self.requests[&id].spec.prefill_tokens;
+            if tokens + prompt > budget {
+                break;
+            }
+            if self.admit_front(prompt).is_none() {
+                break;
+            }
+            slices.push(RequestSlice::prefill(id, prompt, 0));
+            self.mark_inflight(id, prompt);
+            tokens += prompt;
+        }
+        slices
+    }
+
+    // ---- Sarathi-Serve: chunked prefills under a token budget ------------
+
+    fn sarathi_batch(&mut self, chunk_size: u64) -> Vec<RequestSlice> {
+        let mut slices = Vec::new();
+        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        let mut budget = chunk_size.saturating_sub(slices.len() as u64);
+        // Continue partially-prefilled running requests first.
+        let partial: Vec<RequestId> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|id| {
+                let r = &self.requests[id];
+                r.phase == RequestPhase::Prefilling && r.inflight_tokens == 0
+            })
+            .collect();
+        for id in partial {
+            if budget == 0 || slices.len() >= self.config.max_batch_size {
+                break;
+            }
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill().min(budget);
+            if take == 0 {
+                continue;
+            }
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
+            budget -= take;
+        }
+        // Admit new requests with the remaining budget.
+        while budget > 0
+            && self.running.len() < self.config.max_batch_size
+            && slices.len() < self.config.max_batch_size
+        {
+            let Some(&front) = self.waiting.front() else {
+                break;
+            };
+            let prompt = self.requests[&front].spec.prefill_tokens;
+            let Some(id) = self.admit_front(prompt) else {
+                break;
+            };
+            let take = prompt.min(budget);
+            slices.push(RequestSlice::prefill(id, take, 0));
+            self.mark_inflight(id, take);
+            budget -= take;
+        }
+        slices
+    }
+
+    // ---- FasterTransformer: cohort (request-level) batching ---------------
+
+    fn ft_batch(&mut self) -> Vec<RequestSlice> {
+        let budget = self.config.token_budget();
+        if self.running.is_empty() {
+            // Admit a fresh cohort, preallocating each request's full KV
+            // footprint (FT reserves max sequence length up front).
+            while self.running.len() < self.config.max_batch_size {
+                let Some(&id) = self.waiting.front() else {
+                    break;
+                };
+                let total = self.requests[&id].spec.total_tokens();
+                if self.admit_front(total).is_none() {
+                    break;
+                }
+                let _ = id;
+            }
+        }
+        // Prefill phase: process cohort prompts (token budget may spread
+        // them over several iterations).
+        let mut slices = Vec::new();
+        let mut tokens = 0u64;
+        let pending_prefill: Vec<RequestId> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|id| {
+                let r = &self.requests[id];
+                r.phase == RequestPhase::Prefilling && r.inflight_tokens == 0
+            })
+            .collect();
+        for id in pending_prefill {
+            let prompt = self.requests[&id].spec.prefill_tokens;
+            if tokens + prompt > budget && tokens > 0 {
+                break;
+            }
+            slices.push(RequestSlice::prefill(id, prompt, 0));
+            self.mark_inflight(id, prompt);
+            tokens += prompt;
+        }
+        if !slices.is_empty() {
+            return slices;
+        }
+        // Decode phase: everyone decodes until the whole cohort finishes
+        // (no new admissions in between — decode prioritizing).
+        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        slices
+    }
+
+    // ---- LightLLM: token-level admission control --------------------------
+
+    fn lightllm_batch(&mut self) -> Vec<RequestSlice> {
+        let budget = self.config.token_budget();
+        let capacity_tokens = self.blocks.total_blocks() * self.blocks.block_size() as u64;
+        let mut slices = Vec::new();
+        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        let mut tokens = slices.len() as u64;
+        // Projected KV footprint of everything running, at completion.
+        let mut projected: u64 = self
+            .running
+            .iter()
+            .map(|id| self.requests[id].spec.total_tokens())
+            .sum();
+        while self.running.len() < self.config.max_batch_size
+            && slices.len() < self.config.max_batch_size
+        {
+            let Some(&id) = self.waiting.front() else {
+                break;
+            };
+            let spec = self.requests[&id].spec;
+            if tokens + spec.prefill_tokens > budget {
+                break;
+            }
+            // Token-level admission: only admit if the projected total KV
+            // footprint stays within capacity, avoiding future preemptions.
+            if projected + spec.total_tokens() > capacity_tokens {
+                break;
+            }
+            if self.admit_front(spec.prefill_tokens).is_none() {
+                break;
+            }
+            slices.push(RequestSlice::prefill(id, spec.prefill_tokens, 0));
+            self.mark_inflight(id, spec.prefill_tokens);
+            tokens += spec.prefill_tokens;
+            projected += spec.total_tokens();
+        }
+        slices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_core::time::SimTime;
+
+    fn sched(policy: BatchPolicyKind, blocks: u64) -> ReplicaScheduler {
+        ReplicaScheduler::new(SchedulerConfig::new(policy, 8), blocks, 16)
+    }
+
+    fn req(id: RequestId, prefill: u64, decode: u64) -> Request {
+        Request::new(id, SimTime::ZERO, prefill, decode)
+    }
+
+    /// Drives the scheduler until all requests finish; returns batch count.
+    fn run_to_completion(s: &mut ReplicaScheduler, max_iters: usize) -> usize {
+        let mut iters = 0;
+        while s.outstanding() > 0 {
+            let batch = s.next_batch().expect("progress");
+            s.complete_batch(&batch);
+            iters += 1;
+            assert!(iters <= max_iters, "no convergence after {max_iters} iters");
+        }
+        iters
+    }
+
+    #[test]
+    fn vllm_prefill_prioritizes() {
+        let mut s = sched(BatchPolicyKind::Vllm, 10_000);
+        s.add_request(req(0, 100, 3));
+        s.add_request(req(1, 200, 3));
+        let b = s.next_batch().unwrap();
+        // Both prompts batched together, no decodes.
+        assert_eq!(b.num_prefill(), 2);
+        assert_eq!(b.total_query_tokens(), 300);
+        s.complete_batch(&b);
+        // Now a new arrival pauses decodes again.
+        s.add_request(req(2, 50, 2));
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.num_prefill(), 1);
+        assert_eq!(b2.num_decode(), 0);
+    }
+
+    #[test]
+    fn vllm_decode_batch_after_prefills() {
+        let mut s = sched(BatchPolicyKind::Vllm, 10_000);
+        s.add_request(req(0, 100, 5));
+        let b = s.next_batch().unwrap();
+        let ev = s.complete_batch(&b);
+        assert!(ev[0].prefill_completed && ev[0].produced_token && !ev[0].finished);
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.num_decode(), 1);
+        assert_eq!(b2.slices()[0].cached_tokens, 101);
+    }
+
+    #[test]
+    fn vllm_respects_token_budget() {
+        let mut s = sched(BatchPolicyKind::Vllm, 100_000);
+        s.add_request(req(0, 3000, 2));
+        s.add_request(req(1, 2000, 2));
+        let b = s.next_batch().unwrap();
+        // 3000 + 2000 > 4096: only the first fits.
+        assert_eq!(b.num_prefill(), 1);
+        assert_eq!(b.total_query_tokens(), 3000);
+    }
+
+    #[test]
+    fn orca_mixes_prefill_and_decode() {
+        let mut s = sched(BatchPolicyKind::OrcaPlus, 10_000);
+        s.add_request(req(0, 100, 5));
+        let b = s.next_batch().unwrap();
+        s.complete_batch(&b);
+        s.add_request(req(1, 50, 2));
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.num_decode(), 1, "ongoing decode continues");
+        assert_eq!(b2.num_prefill(), 1, "new prompt joins the same batch");
+    }
+
+    #[test]
+    fn sarathi_chunks_long_prompts() {
+        let mut s = ReplicaScheduler::new(
+            SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 8),
+            10_000,
+            16,
+        );
+        s.add_request(req(0, 2000, 3));
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.total_query_tokens(), 512);
+        assert!(b1.slices()[0].is_prefill);
+        s.complete_batch(&b1);
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.total_query_tokens(), 512);
+        assert_eq!(b2.slices()[0].cached_tokens, 512, "chunk continues history");
+        // Total prefill spread over ceil(2000/512) = 4 iterations.
+        s.complete_batch(&b2);
+        let b3 = s.next_batch().unwrap();
+        s.complete_batch(&b3);
+        let b4 = s.next_batch().unwrap();
+        assert_eq!(b4.total_query_tokens(), 2000 - 3 * 512);
+        let ev = s.complete_batch(&b4);
+        assert!(ev[0].prefill_completed);
+    }
+
+    #[test]
+    fn sarathi_never_pauses_decodes() {
+        let mut s = ReplicaScheduler::new(
+            SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 256 }, 8),
+            10_000,
+            16,
+        );
+        s.add_request(req(0, 100, 10));
+        let b = s.next_batch().unwrap();
+        s.complete_batch(&b);
+        // A long prompt arrives while request 0 decodes.
+        s.add_request(req(1, 1000, 2));
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.num_decode(), 1, "decode rides along");
+        assert_eq!(b2.num_prefill(), 1);
+        // Chunk shrinks by the decode token: 256 - 1 = 255.
+        let prefill_tokens: u64 = b2
+            .slices()
+            .iter()
+            .filter(|sl| sl.is_prefill)
+            .map(|sl| sl.query_tokens)
+            .sum();
+        assert_eq!(prefill_tokens, 255);
+    }
+
+    #[test]
+    fn ft_runs_cohort_to_completion() {
+        let mut s = sched(BatchPolicyKind::FasterTransformer, 10_000);
+        s.add_request(req(0, 100, 3));
+        s.add_request(req(1, 100, 5));
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.num_prefill(), 2);
+        s.complete_batch(&b);
+        // Arrival mid-cohort must NOT be admitted.
+        s.add_request(req(2, 10, 1));
+        for _ in 0..4 {
+            let b = s.next_batch().unwrap();
+            assert!(
+                b.slices().iter().all(|sl| sl.request_id != 2),
+                "no admission mid-cohort"
+            );
+            s.complete_batch(&b);
+        }
+        // Cohort (0, 1) done; now 2 is admitted.
+        assert_eq!(s.completed(), 2);
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.slices()[0].request_id, 2);
+    }
+
+    #[test]
+    fn lightllm_token_admission_blocks_oversize() {
+        // Capacity: 100 blocks * 16 = 1600 tokens.
+        let mut s = sched(BatchPolicyKind::LightLlm, 100);
+        s.add_request(req(0, 500, 500)); // projected 1000
+        s.add_request(req(1, 500, 500)); // projected 2000 > 1600 => deferred
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.num_prefill(), 1);
+        assert_eq!(s.num_waiting(), 1, "second request deferred");
+    }
+
+    #[test]
+    fn preemption_on_memory_pressure() {
+        // Tiny memory: 8 blocks * 16 = 128 tokens; the two requests need
+        // 140 tokens at peak, so decode growth must preempt one of them.
+        let mut s = sched(BatchPolicyKind::Vllm, 8);
+        s.add_request(req(0, 40, 30));
+        s.add_request(req(1, 40, 30));
+        let mut saw_preemption = false;
+        for _ in 0..400 {
+            if s.outstanding() == 0 {
+                break;
+            }
+            if let Some(b) = s.next_batch() {
+                s.complete_batch(&b);
+            }
+            if s.preemptions() > 0 {
+                saw_preemption = true;
+            }
+        }
+        assert!(saw_preemption, "expected vLLM recompute preemption");
+        assert_eq!(s.completed(), 2, "both requests still finish");
+        assert_eq!(s.blocks().used_blocks(), 0);
+    }
+
+    #[test]
+    fn all_policies_complete_all_requests() {
+        for policy in [
+            BatchPolicyKind::Vllm,
+            BatchPolicyKind::OrcaPlus,
+            BatchPolicyKind::SarathiServe { chunk_size: 512 },
+            BatchPolicyKind::FasterTransformer,
+            BatchPolicyKind::LightLlm,
+        ] {
+            let mut s = sched(policy, 10_000);
+            for i in 0..20 {
+                s.add_request(req(i, 50 + i * 13, 1 + i % 7));
+            }
+            let iters = run_to_completion(&mut s, 10_000);
+            assert!(iters > 0);
+            assert_eq!(s.completed(), 20, "{policy}");
+            assert_eq!(s.blocks().used_blocks(), 0, "{policy}: all KV released");
+        }
+    }
+
+    #[test]
+    fn inflight_requests_not_double_scheduled() {
+        let mut s = sched(BatchPolicyKind::OrcaPlus, 10_000);
+        s.add_request(req(0, 100, 5));
+        let b1 = s.next_batch().unwrap();
+        // Without completing b1, the next batch must not contain request 0.
+        assert!(s.next_batch().is_none());
+        s.complete_batch(&b1);
+        assert!(s.next_batch().is_some());
+    }
+
+    #[test]
+    fn single_token_decode_finishes_at_prefill() {
+        let mut s = sched(BatchPolicyKind::Vllm, 1_000);
+        s.add_request(req(0, 64, 1));
+        let b = s.next_batch().unwrap();
+        let ev = s.complete_batch(&b);
+        assert!(ev[0].prefill_completed && ev[0].finished);
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request id")]
+    fn duplicate_ids_rejected() {
+        let mut s = sched(BatchPolicyKind::Vllm, 100);
+        s.add_request(req(0, 10, 1));
+        s.add_request(req(0, 10, 1));
+    }
+
+    #[test]
+    fn remote_prefilled_requests_decode_without_prefill() {
+        let mut s = sched(BatchPolicyKind::Vllm, 1_000);
+        s.add_remote_prefilled(req(0, 500, 10), 1);
+        let b = s.next_batch().expect("decode batch");
+        assert_eq!(b.num_prefill(), 0, "no prefill work for transferred KV");
+        assert_eq!(b.num_decode(), 1);
+        assert_eq!(b.slices()[0].cached_tokens, 501, "prompt + first token");
+        let ev = s.complete_batch(&b);
+        assert!(ev[0].produced_token && !ev[0].prefill_completed);
+        // 10 output tokens total, 1 produced remotely: 9 decode iterations.
+        let mut iters = 1;
+        while s.outstanding() > 0 {
+            let b = s.next_batch().unwrap();
+            s.complete_batch(&b);
+            iters += 1;
+        }
+        assert_eq!(iters, 9);
+        assert_eq!(s.completed(), 1);
+    }
+
+    #[test]
+    fn remote_prefilled_respects_memory() {
+        // 4 blocks * 16 = 64 tokens; a 500-token transferred KV can't fit.
+        let mut s = sched(BatchPolicyKind::Vllm, 4);
+        s.add_remote_prefilled(req(0, 500, 5), 1);
+        assert!(s.next_batch().is_none(), "must wait for memory");
+        assert_eq!(s.num_waiting(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "remote prefill")]
+    fn remote_prefilled_needs_first_token() {
+        let mut s = sched(BatchPolicyKind::Vllm, 100);
+        s.add_remote_prefilled(req(0, 10, 5), 0);
+    }
+
+    #[test]
+    fn batch_size_limit_respected() {
+        let mut s = ReplicaScheduler::new(
+            SchedulerConfig::new(BatchPolicyKind::OrcaPlus, 4),
+            100_000,
+            16,
+        );
+        for i in 0..10 {
+            s.add_request(req(i, 10, 5));
+        }
+        let b = s.next_batch().unwrap();
+        assert!(b.num_requests() <= 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Capacity binary search (paper §6 "Optimization objective"):
+//! the maximum QPS a configuration sustains with P99 scheduling delay under
+//! 5 seconds.
+//!
+//! The search first bounds capacity from above with one *static* (offline)
+//! run — no configuration can sustain more than its offline throughput —
+//! then bisects Poisson load between zero and that bound, probing each rate
+//! with a time-capped simulation.
+
+use crate::cost::CostLedger;
+use serde::{Deserialize, Serialize};
+use vidur_core::rng::SimRng;
+use vidur_core::time::SimTime;
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::config::LateAbort;
+use vidur_simulator::{ClusterConfig, ClusterSimulator, SimulationReport};
+use vidur_workload::{ArrivalProcess, Trace};
+
+/// Parameters of a capacity search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityParams {
+    /// P99 scheduling-delay limit in seconds (paper: 5 s).
+    pub sched_delay_p99_limit: f64,
+    /// Bisection iterations after bracketing.
+    pub bisect_iters: u32,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for CapacityParams {
+    fn default() -> Self {
+        CapacityParams {
+            sched_delay_p99_limit: 5.0,
+            bisect_iters: 7,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Outcome of a capacity search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityResult {
+    /// Maximum sustainable QPS (per the scheduling-delay constraint).
+    pub capacity_qps: f64,
+    /// Report of the last *feasible* probe (metrics at capacity).
+    pub report_at_capacity: SimulationReport,
+    /// Report of the offline (static) bounding run.
+    pub offline_report: SimulationReport,
+    /// Simulation probes executed.
+    pub probes: u32,
+}
+
+fn probe(
+    config: &ClusterConfig,
+    base: &Trace,
+    qps: f64,
+    params: &CapacityParams,
+    source: &RuntimeSource,
+    ledger: &mut CostLedger,
+) -> (bool, SimulationReport) {
+    let mut rng = SimRng::new(params.seed ^ qps.to_bits());
+    let trace = base.with_arrivals(&ArrivalProcess::Poisson { qps }, &mut rng);
+    let mut cfg = config.clone();
+    // Cap simulated time: arrivals span + generous drain window. An
+    // overloaded system blows through this and is marked infeasible.
+    let span = trace.len() as f64 / qps;
+    cfg.max_sim_time = Some(SimTime::from_secs_f64(span * 3.0 + 120.0));
+    // p99 < limit tolerates 1% of requests over; abort once that tolerance
+    // is provably blown, long before the queue explosion finishes playing
+    // out.
+    cfg.late_abort = Some(LateAbort {
+        delay_limit_secs: params.sched_delay_p99_limit,
+        max_late: trace.len() / 100,
+    });
+    let report = ClusterSimulator::new(cfg, trace, source.clone(), params.seed).run();
+    ledger.record_run(&report, config);
+    let feasible = report.completed == report.num_requests
+        && report.scheduling_delay.p99 < params.sched_delay_p99_limit;
+    (feasible, report)
+}
+
+/// Finds the capacity of `config` on the request-length distribution of
+/// `base` (arrival times in `base` are ignored and replaced per probe).
+///
+/// Returns `None` if even the lightest probed load is infeasible.
+pub fn find_capacity(
+    config: &ClusterConfig,
+    base: &Trace,
+    params: &CapacityParams,
+    source: &RuntimeSource,
+    ledger: &mut CostLedger,
+) -> Option<CapacityResult> {
+    assert!(!base.is_empty(), "capacity search needs a non-empty trace");
+    // Offline bound: run everything at t=0 and measure drain throughput.
+    let offline_trace = {
+        let mut rng = SimRng::new(params.seed);
+        base.with_arrivals(&ArrivalProcess::Static, &mut rng)
+    };
+    let offline_report =
+        ClusterSimulator::new(config.clone(), offline_trace, source.clone(), params.seed).run();
+    ledger.record_run(&offline_report, config);
+    let mut probes = 1u32;
+    if offline_report.completed < offline_report.num_requests {
+        return None;
+    }
+    // The offline drain rate underestimates steady-state capacity on short
+    // traces (ramp-up and tail-drain edge effects), so bracket a bit above.
+    let hi_bound = offline_report.throughput_qps * 1.25;
+    let (mut lo, mut hi) = (0.0f64, hi_bound);
+    let mut best: Option<(f64, SimulationReport)> = None;
+    // The offline throughput is an upper bound but often nearly achievable;
+    // probe it first so well-behaved configs converge fast.
+    for _ in 0..params.bisect_iters {
+        let mid = 0.5 * (lo + hi);
+        if mid <= 0.0 {
+            break;
+        }
+        let (feasible, report) = probe(config, base, mid, params, source, ledger);
+        probes += 1;
+        if feasible {
+            lo = mid;
+            best = Some((mid, report));
+        } else {
+            hi = mid;
+        }
+    }
+    let (capacity_qps, report_at_capacity) = best?;
+    Some(CapacityResult {
+        capacity_qps,
+        report_at_capacity,
+        offline_report,
+        probes,
+    })
+}
+
+/// Rough analytic sanity bound used in tests: a single replica cannot
+/// exceed `peak_flops / flops_per_token` tokens per second.
+pub fn flops_upper_bound_qps(config: &ClusterConfig, mean_tokens_per_request: f64) -> f64 {
+    let flops_per_token = vidur_model::flops::dense_flops_per_token(&config.model);
+    let cluster_flops = config.sku.peak_fp16_flops * config.total_gpus() as f64;
+    cluster_flops / (flops_per_token * mean_tokens_per_request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_core::rng::SimRng;
+    use vidur_hardware::{GpuSku, KernelOracle};
+    use vidur_model::{ModelSpec, ParallelismConfig};
+    use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+    use vidur_workload::TraceWorkload;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::new(
+            ModelSpec::llama2_7b(),
+            GpuSku::a100_80g(),
+            ParallelismConfig::serial(),
+            1,
+            SchedulerConfig::new(BatchPolicyKind::Vllm, 64),
+        )
+    }
+
+    fn base_trace(n: usize) -> Trace {
+        let mut rng = SimRng::new(5);
+        TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Static, &mut rng)
+    }
+
+    fn oracle() -> RuntimeSource {
+        RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()))
+    }
+
+    #[test]
+    fn finds_positive_capacity() {
+        let mut ledger = CostLedger::new();
+        let params = CapacityParams {
+            bisect_iters: 5,
+            ..CapacityParams::default()
+        };
+        let result = find_capacity(&config(), &base_trace(60), &params, &oracle(), &mut ledger)
+            .expect("7B on A100 must have capacity");
+        assert!(result.capacity_qps > 0.05, "{}", result.capacity_qps);
+        // Capacity stays within the bracket above the offline drain rate.
+        assert!(result.capacity_qps <= result.offline_report.throughput_qps * 1.25);
+        // Constraint held at the capacity point.
+        assert!(result.report_at_capacity.scheduling_delay.p99 < 5.0);
+        assert!(ledger.runs() >= result.probes as u64);
+    }
+
+    #[test]
+    fn capacity_scales_with_replicas() {
+        let mut ledger = CostLedger::new();
+        let params = CapacityParams {
+            bisect_iters: 5,
+            ..CapacityParams::default()
+        };
+        let single =
+            find_capacity(&config(), &base_trace(150), &params, &oracle(), &mut ledger).unwrap();
+        let mut c2 = config();
+        c2.num_replicas = 2;
+        let double =
+            find_capacity(&c2, &base_trace(150), &params, &oracle(), &mut ledger).unwrap();
+        // With a 150-request probe the P99-delay constraint is still noisy
+        // (one Poisson burst moves the frontier), so require a clear win
+        // rather than exactly 2x.
+        assert!(
+            double.capacity_qps > 1.4 * single.capacity_qps,
+            "2 replicas: {} vs {}",
+            double.capacity_qps,
+            single.capacity_qps
+        );
+    }
+
+    #[test]
+    fn flops_bound_holds() {
+        let mut ledger = CostLedger::new();
+        let params = CapacityParams {
+            bisect_iters: 4,
+            ..CapacityParams::default()
+        };
+        let trace = base_trace(50);
+        let mean_tokens = trace
+            .requests
+            .iter()
+            .map(|r| (r.prefill_tokens + r.decode_tokens) as f64)
+            .sum::<f64>()
+            / trace.len() as f64;
+        let result = find_capacity(&config(), &trace, &params, &oracle(), &mut ledger).unwrap();
+        let bound = flops_upper_bound_qps(&config(), mean_tokens);
+        assert!(result.capacity_qps < bound, "{} < {bound}", result.capacity_qps);
+    }
+}

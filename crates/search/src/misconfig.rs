@@ -1,0 +1,110 @@
+//! Configuration-transfer (misconfiguration) analysis — paper Figure 1b.
+//!
+//! Given the per-workload optimal configurations, evaluate each optimal
+//! config on every *other* workload and report the cost ratio
+//! `best(workload) / transferred(workload)` — how much more a deployment
+//! pays by reusing a config tuned for a different trace. The paper finds up
+//! to 2× for LLaMA2-70B.
+
+use crate::capacity::CapacityParams;
+use crate::cost::CostLedger;
+use crate::runner::evaluate_config;
+use serde::{Deserialize, Serialize};
+use vidur_estimator::EstimatorKind;
+use vidur_simulator::ClusterConfig;
+use vidur_workload::Trace;
+
+/// The misconfiguration cost-ratio matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisconfigMatrix {
+    /// Workload names, indexing both axes.
+    pub workloads: Vec<String>,
+    /// `ratios[reference][transfer]`: cost factor of serving `transfer`'s
+    /// workload with `reference`'s optimal config (1.0 on the diagonal).
+    pub ratios: Vec<Vec<f64>>,
+    /// Search-cost ledger for the matrix evaluation.
+    pub ledger: CostLedger,
+}
+
+/// Computes the matrix. `optima[i]` must be the optimal configuration for
+/// `traces[i]`.
+///
+/// # Panics
+///
+/// Panics if `optima` and `traces` have different lengths or are empty.
+pub fn misconfiguration_matrix(
+    optima: &[ClusterConfig],
+    traces: &[Trace],
+    params: &CapacityParams,
+    kind: EstimatorKind,
+) -> MisconfigMatrix {
+    assert_eq!(optima.len(), traces.len(), "one optimum per trace");
+    assert!(!optima.is_empty());
+    let n = optima.len();
+    let mut ledger = CostLedger::new();
+    // qpd[i][j]: QPS/$ of config i on trace j.
+    let mut qpd = vec![vec![0.0f64; n]; n];
+    for (i, cfg) in optima.iter().enumerate() {
+        for (j, trace) in traces.iter().enumerate() {
+            let (eval, l) = evaluate_config(cfg, trace, params, kind);
+            ledger.merge(&l);
+            qpd[i][j] = eval.map(|e| e.qps_per_dollar).unwrap_or(0.0);
+        }
+    }
+    let mut ratios = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in ratios.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            // Serving workload j with config i costs qpd[j][j] / qpd[i][j]
+            // times the optimum.
+            if qpd[i][j] > 0.0 {
+                *cell = qpd[j][j] / qpd[i][j];
+            }
+        }
+    }
+    MisconfigMatrix {
+        workloads: traces.iter().map(|t| t.workload_name.clone()).collect(),
+        ratios,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_core::rng::SimRng;
+    use vidur_hardware::GpuSku;
+    use vidur_model::{ModelSpec, ParallelismConfig};
+    use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+    use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+    #[test]
+    fn diagonal_is_one() {
+        let mut rng = SimRng::new(2);
+        let traces: Vec<Trace> = [TraceWorkload::chat_1m(), TraceWorkload::arxiv_4k()]
+            .iter()
+            .map(|w| w.generate(25, &ArrivalProcess::Static, &mut rng))
+            .collect();
+        let cfg = |bs| {
+            ClusterConfig::new(
+                ModelSpec::llama2_7b(),
+                GpuSku::a100_80g(),
+                ParallelismConfig::serial(),
+                1,
+                SchedulerConfig::new(BatchPolicyKind::Vllm, bs),
+            )
+        };
+        let optima = vec![cfg(128), cfg(32)];
+        let params = CapacityParams {
+            bisect_iters: 3,
+            ..CapacityParams::default()
+        };
+        let m = misconfiguration_matrix(&optima, &traces, &params, EstimatorKind::default());
+        assert_eq!(m.workloads, vec!["chat-1m", "arxiv-4k"]);
+        for i in 0..2 {
+            let d = m.ratios[i][i];
+            assert!((d - 1.0).abs() < 1e-9, "diagonal {d}");
+        }
+        // Off-diagonals are valid positive ratios.
+        assert!(m.ratios[0][1].is_finite() && m.ratios[0][1] > 0.0);
+    }
+}

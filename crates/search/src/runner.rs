@@ -1,0 +1,216 @@
+//! The parallel search runner (paper §6: "we parallelize these runs by
+//! running each search on a separate core").
+//!
+//! For each enumerated configuration the runner onboards the estimator for
+//! its (model, TP, SKU) triple, binary-searches capacity, and records
+//! QPS-per-dollar plus the latency metrics at the capacity point. Results
+//! feed the Pareto/SLO analysis, the optimal-configuration tables (Figures
+//! 1a and 6) and the cost ledger (Table 2).
+
+use crate::capacity::{find_capacity, CapacityParams};
+use crate::cost::CostLedger;
+use crate::pareto::SloConstraints;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vidur_estimator::EstimatorKind;
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::{onboard, ClusterConfig};
+use vidur_workload::Trace;
+
+/// One configuration's search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigEvaluation {
+    /// The full configuration (None only in synthetic test fixtures).
+    pub config: Option<ClusterConfig>,
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Capacity (max sustainable QPS, P99 scheduling delay < limit).
+    pub capacity_qps: f64,
+    /// Capacity divided by cluster $/hour — the paper's objective.
+    pub qps_per_dollar: f64,
+    /// P90 TTFT at the capacity point, seconds.
+    pub ttft_p90: f64,
+    /// P99 TBT at the capacity point, seconds.
+    pub tbt_p99: f64,
+    /// P99 scheduling delay at the capacity point, seconds.
+    pub sched_delay_p99: f64,
+    /// MFU at the capacity point.
+    pub mfu: f64,
+    /// Mean KV occupancy at the capacity point.
+    pub kv_utilization: f64,
+    /// Cluster rental cost.
+    pub dollars_per_hour: f64,
+}
+
+/// Complete outcome of a (model, workload) search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Workload searched.
+    pub workload: String,
+    /// Per-configuration evaluations (infeasible configs omitted).
+    pub evaluations: Vec<ConfigEvaluation>,
+    /// Aggregated search-cost ledger.
+    pub ledger: CostLedger,
+}
+
+impl SearchOutcome {
+    /// The best (highest QPS/$) evaluation subject to SLOs, if any.
+    pub fn best(&self, slo: &SloConstraints) -> Option<&ConfigEvaluation> {
+        self.evaluations
+            .iter()
+            .filter(|e| slo.satisfied_by(e))
+            .max_by(|a, b| {
+                a.qps_per_dollar
+                    .partial_cmp(&b.qps_per_dollar)
+                    .expect("no NaN")
+            })
+    }
+
+    /// The best evaluation ignoring SLOs.
+    pub fn best_unconstrained(&self) -> Option<&ConfigEvaluation> {
+        self.evaluations.iter().max_by(|a, b| {
+            a.qps_per_dollar
+                .partial_cmp(&b.qps_per_dollar)
+                .expect("no NaN")
+        })
+    }
+}
+
+/// Evaluates one configuration (estimator-driven, as Vidur-Search does).
+///
+/// Capacity is probed on a **single replica** and scaled by the replica
+/// count: under round-robin routing over i.i.d. requests, replicas are
+/// independent queues, so cluster capacity is `replicas x` the per-replica
+/// capacity — and the probe trace then exercises one replica fully instead
+/// of being split 16 ways. Latency metrics come from the single-replica
+/// run at its capacity point.
+pub fn evaluate_config(
+    config: &ClusterConfig,
+    base_trace: &Trace,
+    params: &CapacityParams,
+    kind: EstimatorKind,
+) -> (Option<ConfigEvaluation>, CostLedger) {
+    let mut ledger = CostLedger::new();
+    let started = Instant::now();
+    let est = onboard(&config.model, &config.parallelism, &config.sku, kind);
+    let source = RuntimeSource::Estimator((*est).clone());
+    let mut probe_config = config.clone();
+    probe_config.num_replicas = 1;
+    let result = find_capacity(&probe_config, base_trace, params, &source, &mut ledger);
+    ledger.add_wall_clock(started.elapsed().as_secs_f64());
+    let eval = result.map(|r| ConfigEvaluation {
+        label: config.label(),
+        capacity_qps: r.capacity_qps * config.num_replicas as f64,
+        qps_per_dollar: r.capacity_qps * config.num_replicas as f64
+            / config.dollars_per_hour(),
+        ttft_p90: r.report_at_capacity.ttft.p90,
+        tbt_p99: r.report_at_capacity.tbt.p99,
+        sched_delay_p99: r.report_at_capacity.scheduling_delay.p99,
+        mfu: r.report_at_capacity.mfu,
+        kv_utilization: r.report_at_capacity.kv_utilization,
+        dollars_per_hour: config.dollars_per_hour(),
+        config: Some(config.clone()),
+    });
+    (eval, ledger)
+}
+
+/// Runs the full search over `configs` in parallel across CPU cores.
+pub fn run_search(
+    configs: &[ClusterConfig],
+    base_trace: &Trace,
+    params: &CapacityParams,
+    kind: EstimatorKind,
+) -> SearchOutcome {
+    let results: Vec<(Option<ConfigEvaluation>, CostLedger)> = configs
+        .par_iter()
+        .map(|c| evaluate_config(c, base_trace, params, kind))
+        .collect();
+    let mut ledger = CostLedger::new();
+    let mut evaluations = Vec::new();
+    for (eval, l) in results {
+        ledger.merge(&l);
+        if let Some(e) = eval {
+            evaluations.push(e);
+        }
+    }
+    SearchOutcome {
+        workload: base_trace.workload_name.clone(),
+        evaluations,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_core::rng::SimRng;
+    use vidur_hardware::GpuSku;
+    use vidur_model::{ModelSpec, ParallelismConfig};
+    use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+    use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+    fn tiny_trace() -> Trace {
+        let mut rng = SimRng::new(1);
+        TraceWorkload::chat_1m().generate(30, &ArrivalProcess::Static, &mut rng)
+    }
+
+    fn configs() -> Vec<ClusterConfig> {
+        vec![
+            ClusterConfig::new(
+                ModelSpec::llama2_7b(),
+                GpuSku::a100_80g(),
+                ParallelismConfig::serial(),
+                1,
+                SchedulerConfig::new(BatchPolicyKind::Vllm, 64),
+            ),
+            ClusterConfig::new(
+                ModelSpec::llama2_7b(),
+                GpuSku::h100_80g(),
+                ParallelismConfig::serial(),
+                1,
+                SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+            ),
+        ]
+    }
+
+    #[test]
+    fn search_evaluates_all_feasible_configs() {
+        let params = CapacityParams {
+            bisect_iters: 3,
+            ..CapacityParams::default()
+        };
+        let outcome = run_search(&configs(), &tiny_trace(), &params, EstimatorKind::default());
+        assert_eq!(outcome.evaluations.len(), 2);
+        assert!(outcome.ledger.runs() >= 4);
+        for e in &outcome.evaluations {
+            assert!(e.capacity_qps > 0.0, "{}", e.label);
+            assert!(e.qps_per_dollar > 0.0);
+            assert!(e.config.is_some());
+        }
+    }
+
+    #[test]
+    fn best_respects_slo() {
+        let params = CapacityParams {
+            bisect_iters: 3,
+            ..CapacityParams::default()
+        };
+        let outcome = run_search(&configs(), &tiny_trace(), &params, EstimatorKind::default());
+        // Impossible SLO: no winner.
+        let strict = SloConstraints {
+            ttft_p90_max: 1e-9,
+            tbt_p99_max: 1e-9,
+        };
+        assert!(outcome.best(&strict).is_none());
+        // Loose SLO: some winner, and it is the unconstrained max.
+        let loose = SloConstraints {
+            ttft_p90_max: 1e9,
+            tbt_p99_max: 1e9,
+        };
+        assert_eq!(
+            outcome.best(&loose).map(|e| &e.label),
+            outcome.best_unconstrained().map(|e| &e.label)
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! Prefill/decode disaggregated serving — the Splitwise / DistServe
+//! architecture the paper discusses in §2.2 ("splitting the computation of
+//! prefill and decodes on separate devices") and an extension beyond the
+//! open-source Vidur.
+//!
+//! A **prefill pool** runs prompt processing only (each request is done
+//! there once its first token is produced); the KV-cache then moves to a
+//! **decode pool** over the cluster interconnect, where the request streams
+//! its remaining tokens. The scheme removes prefill/decode interference —
+//! decode batches are never paused or diluted by incoming prompts — at the
+//! price of the transfer latency and a static pool split.
+//!
+//! Both pools reuse the ordinary [`ReplicaScheduler`]; the prefill pool
+//! registers requests with `decode_tokens = 1` (the prefill iteration
+//! produces the first token, as in Splitwise), and the decode pool admits
+//! them via [`ReplicaScheduler::add_remote_prefilled`].
+
+use crate::config::ClusterConfig;
+use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
+use crate::cluster::RuntimeSource;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vidur_core::event::{self, EventQueue, Simulation};
+use vidur_core::rng::SimRng;
+use vidur_core::time::{SimDuration, SimTime};
+use vidur_model::batch::{BatchComposition, ExecutionPlan};
+use vidur_model::runtime::RuntimePredictor;
+use vidur_scheduler::replica::CompletionEvent;
+use vidur_scheduler::{PipelineTracker, ReplicaScheduler, Request};
+use vidur_workload::Trace;
+
+/// Disaggregated deployment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggConfig {
+    /// Shared model / SKU / parallelism / scheduler settings
+    /// (`base.num_replicas` is ignored — pool sizes below apply).
+    pub base: ClusterConfig,
+    /// Replicas dedicated to prefill.
+    pub prefill_replicas: usize,
+    /// Replicas dedicated to decode.
+    pub decode_replicas: usize,
+    /// KV-cache transfer bandwidth between pools, bytes/s (Splitwise uses
+    /// the back-end interconnect; 25–50 GB/s is typical for IB/NVLink
+    /// bridges).
+    pub kv_transfer_bandwidth: f64,
+    /// Fixed per-transfer latency in seconds.
+    pub kv_transfer_latency: f64,
+}
+
+impl DisaggConfig {
+    /// Creates a disaggregated config with a 50 GB/s, 1 ms interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pool is empty.
+    pub fn new(base: ClusterConfig, prefill_replicas: usize, decode_replicas: usize) -> Self {
+        assert!(
+            prefill_replicas > 0 && decode_replicas > 0,
+            "both pools need at least one replica"
+        );
+        DisaggConfig {
+            base,
+            prefill_replicas,
+            decode_replicas,
+            kv_transfer_bandwidth: 50e9,
+            kv_transfer_latency: 1e-3,
+        }
+    }
+
+    /// Total GPUs across both pools.
+    pub fn total_gpus(&self) -> u32 {
+        self.base.parallelism.gpus_per_replica()
+            * (self.prefill_replicas + self.decode_replicas) as u32
+    }
+
+    /// Transfer time for one request's prompt KV.
+    pub fn transfer_time(&self, model_kv_bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(
+            model_kv_bytes as f64 / self.kv_transfer_bandwidth + self.kv_transfer_latency,
+        )
+    }
+}
+
+/// Simulator event payload (public via the `Simulation` trait only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisaggEvent {
+    /// Trace request `idx` arrives at the prefill pool.
+    #[doc(hidden)]
+    Arrival(u32),
+    /// A pool replica may schedule (`pool`, replica).
+    Wakeup(Pool, u32),
+    /// A batch finished (`pool`, replica, batch id).
+    BatchComplete(Pool, u32, u64),
+    /// Request `idx`'s KV finished transferring to the decode pool.
+    KvArrived(u32),
+}
+
+/// Which pool an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// The prompt-processing pool.
+    Prefill,
+    /// The token-generation pool.
+    Decode,
+}
+
+struct PoolReplica {
+    scheduler: ReplicaScheduler,
+    pipeline: PipelineTracker,
+    wakeup_at: Option<SimTime>,
+}
+
+/// Event-driven simulator for a disaggregated deployment.
+pub struct DisaggSimulator {
+    config: DisaggConfig,
+    source: RuntimeSource,
+    trace: Trace,
+    prefill: Vec<PoolReplica>,
+    decode: Vec<PoolReplica>,
+    metrics: MetricsCollector,
+    inflight: HashMap<u64, (Pool, u32, BatchComposition)>,
+    next_batch_id: u64,
+    rng: SimRng,
+    rr_prefill: usize,
+    completed_target: usize,
+    deadline: Option<SimTime>,
+    deadline_hit: bool,
+}
+
+impl std::fmt::Debug for DisaggSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DisaggSimulator")
+            .field("config", &self.config.base.label())
+            .field("prefill_replicas", &self.prefill.len())
+            .field("decode_replicas", &self.decode.len())
+            .finish()
+    }
+}
+
+impl DisaggSimulator {
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base configuration cannot host the model.
+    pub fn new(config: DisaggConfig, trace: Trace, source: RuntimeSource, seed: u64) -> Self {
+        let plan = config
+            .base
+            .memory_plan()
+            .expect("configuration cannot host the model");
+        let stages = config.base.parallelism.pipeline_parallel as usize;
+        let mk_pool = |n: usize| {
+            (0..n)
+                .map(|_| PoolReplica {
+                    scheduler: ReplicaScheduler::new(
+                        config.base.scheduler,
+                        plan.num_kv_blocks,
+                        config.base.block_size,
+                    ),
+                    pipeline: PipelineTracker::new(stages),
+                    wakeup_at: None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let prefill = mk_pool(config.prefill_replicas);
+        let decode = mk_pool(config.decode_replicas);
+        let metrics = MetricsCollector::new(config.prefill_replicas + config.decode_replicas);
+        DisaggSimulator {
+            completed_target: trace.len(),
+            deadline: config.base.max_sim_time,
+            config,
+            source,
+            trace,
+            prefill,
+            decode,
+            metrics,
+            inflight: HashMap::new(),
+            next_batch_id: 0,
+            rng: SimRng::new(seed),
+            rr_prefill: 0,
+            deadline_hit: false,
+        }
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> SimulationReport {
+        let mut queue = EventQueue::new();
+        for (i, req) in self.trace.requests.iter().enumerate() {
+            queue.push(req.arrival, DisaggEvent::Arrival(i as u32));
+        }
+        event::run(&mut self, &mut queue, 200_000_000);
+        let preempt: u64 = self
+            .prefill
+            .iter()
+            .chain(self.decode.iter())
+            .map(|r| r.scheduler.preemptions())
+            .sum();
+        let gpus = self.config.total_gpus() as f64;
+        let sku = &self.config.base.sku;
+        self.metrics.into_report(
+            self.trace.len(),
+            sku.peak_fp16_flops * gpus,
+            sku.mem_bandwidth * gpus,
+            preempt,
+            PowerSpec {
+                tdp_watts: sku.tdp_watts,
+                idle_watts: sku.idle_watts,
+                total_gpus: self.config.total_gpus(),
+            },
+        )
+    }
+
+    fn pool_mut(&mut self, pool: Pool) -> &mut Vec<PoolReplica> {
+        match pool {
+            Pool::Prefill => &mut self.prefill,
+            Pool::Decode => &mut self.decode,
+        }
+    }
+
+    fn metrics_replica_index(&self, pool: Pool, replica: u32) -> usize {
+        match pool {
+            Pool::Prefill => replica as usize,
+            Pool::Decode => self.prefill.len() + replica as usize,
+        }
+    }
+
+    fn cpu_overhead(&mut self) -> f64 {
+        let base = self.config.base.cpu_overhead;
+        if matches!(self.source, RuntimeSource::Oracle(_)) {
+            let mut t = base * self.rng.log_normal(0.0, 0.25);
+            if self.rng.bernoulli(0.02) {
+                t += self.rng.exponential(1.0 / 2.0e-3);
+            }
+            t
+        } else {
+            base
+        }
+    }
+
+    fn try_schedule(&mut self, pool: Pool, replica: u32, now: SimTime, queue: &mut EventQueue<DisaggEvent>) {
+        loop {
+            let r = replica as usize;
+            let free_at = self.pool_mut(pool)[r].pipeline.stage0_free_at();
+            if free_at > now {
+                let state = &mut self.pool_mut(pool)[r];
+                let need = state.wakeup_at.is_none_or(|at| at > free_at);
+                if need {
+                    state.wakeup_at = Some(free_at);
+                    queue.push(free_at, DisaggEvent::Wakeup(pool, replica));
+                }
+                return;
+            }
+            let Some(batch) = self.pool_mut(pool)[r].scheduler.next_batch() else {
+                return;
+            };
+            let plan =
+                ExecutionPlan::build(&self.config.base.model, &self.config.base.parallelism, &batch);
+            let predictor: &dyn RuntimePredictor = match &self.source {
+                RuntimeSource::Oracle(o) => o,
+                RuntimeSource::Estimator(e) => e,
+            };
+            let mut stage_secs: Vec<f64> = Vec::with_capacity(plan.num_stages());
+            let mut op_acc: Vec<(vidur_model::Operator, f64)> = Vec::with_capacity(20);
+            for stage in 0..plan.num_stages() {
+                let mut total = 0.0;
+                for inv in plan.stage(stage) {
+                    let t = predictor.invocation_time(inv);
+                    op_acc.push((inv.op, t));
+                    total += t;
+                }
+                stage_secs.push(total);
+            }
+            for (op, t) in op_acc {
+                self.metrics.on_op_time(op, t);
+            }
+            stage_secs[0] += self.cpu_overhead();
+            let durations: Vec<SimDuration> = stage_secs
+                .iter()
+                .map(|&s| SimDuration::from_secs_f64(s.max(0.0)))
+                .collect();
+            let tp = self.config.base.parallelism.tensor_parallel as f64;
+            let gpu_secs = stage_secs.iter().sum::<f64>() * tp;
+            let completion = self.pool_mut(pool)[r].pipeline.schedule(now, &durations);
+            self.metrics.on_batch_scheduled(now, &batch, plan.model_flops(), 0.0);
+            self.metrics.on_gpu_busy(gpu_secs);
+            let kv_util = self.pool_mut(pool)[r].scheduler.blocks().utilization();
+            let idx = self.metrics_replica_index(pool, replica);
+            self.metrics.on_kv_sample(idx, now, kv_util);
+            let id = self.next_batch_id;
+            self.next_batch_id += 1;
+            self.inflight.insert(id, (pool, replica, batch));
+            queue.push(completion, DisaggEvent::BatchComplete(pool, replica, id));
+        }
+    }
+
+    /// Maps prefill-pool completion events to the request's real lifecycle:
+    /// "finished on the prefill replica" means "prefill done, first token
+    /// out, KV must move" unless the request only ever wanted one token.
+    fn handle_prefill_events(
+        &mut self,
+        now: SimTime,
+        events: &[CompletionEvent],
+        queue: &mut EventQueue<DisaggEvent>,
+    ) {
+        let kv_per_token = self.config.base.model.kv_bytes_per_token();
+        let mut translated = Vec::with_capacity(events.len());
+        for ev in events {
+            let idx = ev.id as usize;
+            let real_decode = self.trace.requests[idx].decode_tokens;
+            let mut t = *ev;
+            if ev.finished && real_decode > 1 {
+                // Not actually finished: the decode pool takes over.
+                t.finished = false;
+                let bytes = self.trace.requests[idx].prefill_tokens * kv_per_token;
+                let arrive = now + self.config.transfer_time(bytes);
+                queue.push(arrive, DisaggEvent::KvArrived(ev.id as u32));
+            }
+            translated.push(t);
+        }
+        self.metrics.on_batch_complete(now, &translated);
+    }
+}
+
+impl Simulation for DisaggSimulator {
+    type Event = DisaggEvent;
+
+    fn handle(&mut self, now: SimTime, event: DisaggEvent, queue: &mut EventQueue<DisaggEvent>) {
+        if let Some(deadline) = self.deadline {
+            if now > deadline {
+                self.deadline_hit = true;
+                return;
+            }
+        }
+        match event {
+            DisaggEvent::Arrival(idx) => {
+                let tr = self.trace.requests[idx as usize];
+                self.metrics.on_arrival(tr.id, now, tr.decode_tokens);
+                // Round-robin over prefill replicas; the request "finishes"
+                // there after one output token.
+                let target = self.rr_prefill % self.prefill.len();
+                self.rr_prefill += 1;
+                self.prefill[target].scheduler.add_request(Request::new(
+                    tr.id,
+                    now,
+                    tr.prefill_tokens,
+                    1,
+                ));
+                self.try_schedule(Pool::Prefill, target as u32, now, queue);
+            }
+            DisaggEvent::KvArrived(idx) => {
+                let tr = self.trace.requests[idx as usize];
+                // Join the least-loaded decode replica.
+                let target = (0..self.decode.len())
+                    .min_by_key(|&i| self.decode[i].scheduler.outstanding())
+                    .expect("decode pool non-empty");
+                self.decode[target].scheduler.add_remote_prefilled(
+                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens),
+                    1,
+                );
+                self.try_schedule(Pool::Decode, target as u32, now, queue);
+            }
+            DisaggEvent::Wakeup(pool, replica) => {
+                self.pool_mut(pool)[replica as usize].wakeup_at = None;
+                self.try_schedule(pool, replica, now, queue);
+            }
+            DisaggEvent::BatchComplete(pool, replica, id) => {
+                let (_, _, batch) = self.inflight.remove(&id).expect("unknown batch");
+                let events = self.pool_mut(pool)[replica as usize]
+                    .scheduler
+                    .complete_batch(&batch);
+                match pool {
+                    Pool::Prefill => self.handle_prefill_events(now, &events, queue),
+                    Pool::Decode => self.metrics.on_batch_complete(now, &events),
+                }
+                let kv_util =
+                    self.pool_mut(pool)[replica as usize].scheduler.blocks().utilization();
+                let idx = self.metrics_replica_index(pool, replica);
+                self.metrics.on_kv_sample(idx, now, kv_util);
+                self.try_schedule(pool, replica, now, queue);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.deadline_hit || self.metrics.completed() == self.completed_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSimulator;
+    use vidur_hardware::{GpuSku, KernelOracle};
+    use vidur_model::{ModelSpec, ParallelismConfig};
+    use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+    use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+    fn base() -> ClusterConfig {
+        ClusterConfig::new(
+            ModelSpec::llama2_7b(),
+            GpuSku::a100_80g(),
+            ParallelismConfig::serial(),
+            1,
+            SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+        )
+    }
+
+    fn trace(n: usize, qps: f64, seed: u64) -> Trace {
+        let mut rng = SimRng::new(seed);
+        TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Poisson { qps }, &mut rng)
+    }
+
+    fn oracle() -> RuntimeSource {
+        RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()))
+    }
+
+    #[test]
+    fn disagg_completes_all_requests() {
+        let cfg = DisaggConfig::new(base(), 1, 1);
+        let report = DisaggSimulator::new(cfg, trace(50, 2.0, 1), oracle(), 1).run();
+        assert_eq!(report.completed, 50);
+        assert!(report.ttft.p50 > 0.0);
+        assert!(report.tbt.p50 > 0.0);
+    }
+
+    #[test]
+    fn disagg_deterministic() {
+        let run = || {
+            DisaggSimulator::new(DisaggConfig::new(base(), 1, 1), trace(30, 2.0, 2), oracle(), 2)
+                .run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disagg_improves_tbt_tail_over_aggregated() {
+        // Same GPU count: 2 aggregated replicas vs 1 prefill + 1 decode.
+        // Disaggregation shields decodes from prompt interference, so the
+        // TBT tail tightens (Splitwise's core claim).
+        let t = trace(120, 3.0, 3);
+        let mut agg_cfg = base();
+        agg_cfg.num_replicas = 2;
+        let agg = ClusterSimulator::new(agg_cfg, t.clone(), oracle(), 3).run();
+        let disagg =
+            DisaggSimulator::new(DisaggConfig::new(base(), 1, 1), t, oracle(), 3).run();
+        assert_eq!(disagg.completed, 120);
+        assert!(
+            disagg.tbt.p99 < agg.tbt.p99,
+            "disagg TBT p99 {} vs aggregated {}",
+            disagg.tbt.p99,
+            agg.tbt.p99
+        );
+    }
+
+    #[test]
+    fn transfer_time_scales_with_prompt() {
+        let cfg = DisaggConfig::new(base(), 1, 1);
+        let small = cfg.transfer_time(1 << 20);
+        let large = cfg.transfer_time(1 << 30);
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn single_token_requests_never_reach_decode_pool() {
+        let mut t = trace(10, 5.0, 4);
+        for r in &mut t.requests {
+            r.decode_tokens = 1;
+        }
+        let cfg = DisaggConfig::new(base(), 1, 1);
+        let report = DisaggSimulator::new(cfg, t, oracle(), 4).run();
+        assert_eq!(report.completed, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "both pools")]
+    fn empty_pool_rejected() {
+        DisaggConfig::new(base(), 0, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Paired oracle/estimator runs — the fidelity methodology of §7.2.
+//!
+//! A fidelity experiment runs the identical (configuration, trace, seed)
+//! twice: once with ground-truth kernel times (plus real-system CPU jitter)
+//! and once with the trained estimator. The signed percentage error on each
+//! latency summary reproduces the numbers printed above the bars in
+//! Figures 3, 4 and 7.
+
+use crate::cluster::{ClusterSimulator, RuntimeSource};
+use crate::config::ClusterConfig;
+use crate::metrics::SimulationReport;
+use crate::onboarding::onboard;
+use serde::{Deserialize, Serialize};
+use vidur_estimator::EstimatorKind;
+use vidur_hardware::KernelOracle;
+use vidur_workload::Trace;
+
+/// Result of one paired fidelity run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Configuration label.
+    pub config_label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Ground-truth ("Real") report.
+    pub real: SimulationReport,
+    /// Estimator-driven ("Predicted") report.
+    pub predicted: SimulationReport,
+}
+
+impl FidelityReport {
+    /// Signed percentage error of a predicted value vs truth.
+    fn pct(real: f64, predicted: f64) -> f64 {
+        if real == 0.0 {
+            0.0
+        } else {
+            (predicted - real) / real * 100.0
+        }
+    }
+
+    /// Error on median normalized end-to-end latency (Fig. 4a metric).
+    pub fn err_norm_e2e_p50(&self) -> f64 {
+        Self::pct(self.real.normalized_e2e.p50, self.predicted.normalized_e2e.p50)
+    }
+
+    /// Error on P95 normalized end-to-end latency (Fig. 4b metric).
+    pub fn err_norm_e2e_p95(&self) -> f64 {
+        Self::pct(self.real.normalized_e2e.p95, self.predicted.normalized_e2e.p95)
+    }
+
+    /// Error on median normalized execution latency (Fig. 3a metric).
+    pub fn err_norm_exec_p50(&self) -> f64 {
+        Self::pct(
+            self.real.normalized_exec.p50,
+            self.predicted.normalized_exec.p50,
+        )
+    }
+
+    /// Error on P95 normalized execution latency (Fig. 3b metric).
+    pub fn err_norm_exec_p95(&self) -> f64 {
+        Self::pct(
+            self.real.normalized_exec.p95,
+            self.predicted.normalized_exec.p95,
+        )
+    }
+
+    /// Error on median TTFT.
+    pub fn err_ttft_p50(&self) -> f64 {
+        Self::pct(self.real.ttft.p50, self.predicted.ttft.p50)
+    }
+
+    /// Error on P99 TBT.
+    pub fn err_tbt_p99(&self) -> f64 {
+        Self::pct(self.real.tbt.p99, self.predicted.tbt.p99)
+    }
+}
+
+/// Runs the paired fidelity experiment for one configuration and trace.
+///
+/// The estimator is onboarded (or fetched from the cache) for the config's
+/// (model, TP, SKU) triple with the given estimator kind.
+pub fn run_fidelity_pair(
+    config: &ClusterConfig,
+    trace: &Trace,
+    kind: EstimatorKind,
+    seed: u64,
+) -> FidelityReport {
+    let oracle = KernelOracle::new(config.sku.clone());
+    let real = ClusterSimulator::new(
+        config.clone(),
+        trace.clone(),
+        RuntimeSource::Oracle(oracle),
+        seed,
+    )
+    .run();
+    let est = onboard(&config.model, &config.parallelism, &config.sku, kind);
+    let predicted = ClusterSimulator::new(
+        config.clone(),
+        trace.clone(),
+        RuntimeSource::Estimator((*est).clone()),
+        seed,
+    )
+    .run();
+    FidelityReport {
+        config_label: config.label(),
+        workload: trace.workload_name.clone(),
+        real,
+        predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_core::rng::SimRng;
+    use vidur_hardware::GpuSku;
+    use vidur_model::{ModelSpec, ParallelismConfig};
+    use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+    use vidur_workload::{ArrivalProcess, TraceWorkload};
+
+    #[test]
+    fn static_fidelity_under_ten_percent() {
+        let config = ClusterConfig::new(
+            ModelSpec::llama2_7b(),
+            GpuSku::a100_80g(),
+            ParallelismConfig::serial(),
+            1,
+            SchedulerConfig::new(BatchPolicyKind::Vllm, 32),
+        );
+        let mut rng = SimRng::new(11);
+        let trace = TraceWorkload::chat_1m().generate(40, &ArrivalProcess::Static, &mut rng);
+        let rep = run_fidelity_pair(&config, &trace, EstimatorKind::default(), 11);
+        assert_eq!(rep.real.completed, 40);
+        assert_eq!(rep.predicted.completed, 40);
+        let err = rep.err_norm_exec_p50().abs();
+        assert!(err < 10.0, "median exec error {err}%");
+        let err95 = rep.err_norm_exec_p95().abs();
+        assert!(err95 < 12.0, "p95 exec error {err95}%");
+    }
+
+    #[test]
+    fn pct_error_signs() {
+        assert_eq!(FidelityReport::pct(2.0, 1.0), -50.0);
+        assert_eq!(FidelityReport::pct(2.0, 3.0), 50.0);
+        assert_eq!(FidelityReport::pct(0.0, 3.0), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # vidur-simulator
+//!
+//! The end-to-end Vidur cluster simulator (paper §4, Figure 2 right half):
+//! an event-driven simulation of request arrival, global routing, replica
+//! batching, pipeline-stage execution and memory management, parameterized
+//! by any [`vidur_model::RuntimePredictor`].
+//!
+//! Running the same (config, trace, seed) once with the **hardware oracle**
+//! (ground truth — the paper's "Real" bars) and once with the **trained
+//! runtime estimator** (the paper's "Predicted" bars) isolates runtime
+//! prediction error including its cascading effects on batch composition —
+//! the exact fidelity quantity of Figures 3, 4, 7 and 8. The [`fidelity`]
+//! module packages that comparison.
+//!
+//! * [`config`] — cluster/deployment configuration;
+//! * [`cluster`] — the event-driven simulator;
+//! * [`metrics`] — request- and cluster-level reports (TTFT, TBT,
+//!   normalized latency, MFU, MBU, KV utilization);
+//! * [`onboarding`] — the model-onboarding pipeline (profile → train) with a
+//!   process-wide estimator cache;
+//! * [`fidelity`] — paired oracle/estimator runs and error summaries.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod config;
+pub mod disagg;
+pub mod fidelity;
+pub mod metrics;
+pub mod onboarding;
+
+pub use cluster::{ClusterSimulator, RuntimeSource};
+pub use disagg::{DisaggConfig, DisaggSimulator};
+pub use config::ClusterConfig;
+pub use fidelity::{FidelityReport, run_fidelity_pair};
+pub use metrics::{DigestSummary, SimulationReport};
+pub use onboarding::onboard;

@@ -1,0 +1,474 @@
+//! Request- and cluster-level metrics (paper §5.2).
+//!
+//! Request-level: scheduling delay, TTFT, TBT, end-to-end and execution
+//! latency (both normalized by output length, the metric of §7.2).
+//! Cluster-level: throughput, MFU, MBU, mean KV-cache utilization, batch
+//! statistics, and preemption counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vidur_core::metrics::{QuantileDigest, TimeWeightedSeries};
+use vidur_core::time::SimTime;
+use vidur_model::batch::BatchComposition;
+use vidur_model::operators::Operator;
+use vidur_scheduler::replica::CompletionEvent;
+use vidur_scheduler::RequestId;
+
+/// Five-number-plus-mean summary of a latency distribution (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DigestSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl DigestSummary {
+    /// Summarizes a digest (zeros if empty).
+    pub fn from_digest(d: &QuantileDigest) -> Self {
+        if d.is_empty() {
+            return DigestSummary::default();
+        }
+        DigestSummary {
+            mean: d.mean().unwrap_or(0.0),
+            p50: d.quantile(0.5).unwrap_or(0.0),
+            p90: d.quantile(0.9).unwrap_or(0.0),
+            p95: d.quantile(0.95).unwrap_or(0.0),
+            p99: d.quantile(0.99).unwrap_or(0.0),
+            max: d.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Everything a simulation run reports (the "Simulation Report" of Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Requests in the input trace.
+    pub num_requests: usize,
+    /// Requests that completed before the simulation ended.
+    pub completed: usize,
+    /// Simulated time at the last completion.
+    pub makespan_secs: f64,
+    /// Completed requests per second of simulated time.
+    pub throughput_qps: f64,
+    /// Queueing delay from arrival to first scheduling.
+    pub scheduling_delay: DigestSummary,
+    /// Time to first token (arrival → prefill completion).
+    pub ttft: DigestSummary,
+    /// Time between consecutive output tokens.
+    pub tbt: DigestSummary,
+    /// End-to-end latency / output tokens (s/token).
+    pub normalized_e2e: DigestSummary,
+    /// Execution latency (excluding scheduling delay) / output tokens.
+    pub normalized_exec: DigestSummary,
+    /// Raw end-to-end latency.
+    pub e2e: DigestSummary,
+    /// Model FLOPs utilization across all GPUs.
+    pub mfu: f64,
+    /// Memory-bandwidth utilization across all GPUs.
+    pub mbu: f64,
+    /// Time-weighted mean KV-cache occupancy across replicas.
+    pub kv_utilization: f64,
+    /// vLLM-style preemption/restart count.
+    pub preemptions: u64,
+    /// Iterations (batches) executed.
+    pub total_batches: u64,
+    /// Tokens processed across all iterations.
+    pub total_tokens: u64,
+    /// Mean tokens per batch.
+    pub mean_batch_tokens: f64,
+    /// Mean requests per batch.
+    pub mean_batch_size: f64,
+    /// Cluster energy consumed, kWh (busy GPUs at TDP, idle GPUs at idle
+    /// power — the §5.2 energy extension).
+    pub energy_kwh: f64,
+    /// Mean cluster power draw, watts.
+    pub mean_power_watts: f64,
+    /// Energy per completed request, watt-hours.
+    pub energy_wh_per_request: f64,
+    /// Total predicted execution time attributed to each operator, seconds,
+    /// sorted descending (the paper's operator-level metrics, §5.2).
+    pub operator_time_breakdown: Vec<(String, f64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RequestRecord {
+    arrival: SimTime,
+    decode_tokens: u64,
+    first_scheduled: Option<SimTime>,
+    prefill_done: Option<SimTime>,
+    last_token: Option<SimTime>,
+    completed: Option<SimTime>,
+}
+
+/// Streaming metrics collector driven by the cluster simulator.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    records: BTreeMap<RequestId, RequestRecord>,
+    tbt: QuantileDigest,
+    completed: usize,
+    last_completion: SimTime,
+    total_batches: u64,
+    total_tokens: u64,
+    total_batch_requests: u64,
+    flops: f64,
+    bytes: f64,
+    kv_series: Vec<TimeWeightedSeries>,
+    busy_gpu_secs: f64,
+    op_secs: [f64; Operator::ALL.len()],
+    late_limit_secs: Option<f64>,
+    late_count: usize,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for `num_replicas` replicas.
+    pub fn new(num_replicas: usize) -> Self {
+        MetricsCollector {
+            records: BTreeMap::new(),
+            tbt: QuantileDigest::new(),
+            completed: 0,
+            last_completion: SimTime::ZERO,
+            total_batches: 0,
+            total_tokens: 0,
+            total_batch_requests: 0,
+            flops: 0.0,
+            bytes: 0.0,
+            kv_series: vec![TimeWeightedSeries::new(); num_replicas],
+            busy_gpu_secs: 0.0,
+            op_secs: [0.0; Operator::ALL.len()],
+            late_limit_secs: None,
+            late_count: 0,
+        }
+    }
+
+    /// Arms late-request tracking: requests whose first scheduling happens
+    /// more than `limit_secs` after arrival increment
+    /// [`late_count`](Self::late_count). Used by the capacity search to
+    /// abort hopeless (overloaded) probes early instead of simulating the
+    /// whole blow-up.
+    pub fn set_late_limit(&mut self, limit_secs: f64) {
+        self.late_limit_secs = Some(limit_secs);
+    }
+
+    /// Requests first-scheduled later than the armed limit.
+    pub fn late_count(&self) -> usize {
+        self.late_count
+    }
+
+    /// Accounts GPU-busy seconds for a scheduled batch (stage time x GPUs
+    /// in the stage's TP group, summed over stages).
+    pub fn on_gpu_busy(&mut self, gpu_secs: f64) {
+        self.busy_gpu_secs += gpu_secs;
+    }
+
+    /// Attributes predicted execution time to an operator.
+    pub fn on_op_time(&mut self, op: Operator, secs: f64) {
+        self.op_secs[op.index()] += secs;
+    }
+
+    /// Registers an arriving request.
+    pub fn on_arrival(&mut self, id: RequestId, arrival: SimTime, decode_tokens: u64) {
+        self.records.insert(
+            id,
+            RequestRecord {
+                arrival,
+                decode_tokens,
+                first_scheduled: None,
+                prefill_done: None,
+                last_token: None,
+                completed: None,
+            },
+        );
+    }
+
+    /// Marks requests in a freshly scheduled batch and accounts batch work.
+    pub fn on_batch_scheduled(&mut self, now: SimTime, batch: &BatchComposition, flops: f64, bytes: f64) {
+        self.total_batches += 1;
+        self.total_tokens += batch.total_query_tokens();
+        self.total_batch_requests += batch.num_requests() as u64;
+        self.flops += flops;
+        self.bytes += bytes;
+        for slice in batch.slices() {
+            if let Some(rec) = self.records.get_mut(&slice.request_id) {
+                if rec.first_scheduled.is_none() {
+                    rec.first_scheduled = Some(now);
+                    if let Some(limit) = self.late_limit_secs {
+                        if now.saturating_duration_since(rec.arrival).as_secs_f64() > limit {
+                            self.late_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies completion events from a finished batch.
+    pub fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]) {
+        for ev in events {
+            let Some(rec) = self.records.get_mut(&ev.id) else {
+                continue;
+            };
+            if ev.prefill_completed {
+                rec.prefill_done = Some(now);
+            }
+            if ev.produced_token {
+                if let Some(prev) = rec.last_token {
+                    self.tbt.record(now.duration_since(prev).as_secs_f64());
+                }
+                rec.last_token = Some(now);
+            }
+            if ev.finished {
+                rec.completed = Some(now);
+                self.completed += 1;
+                self.last_completion = self.last_completion.max(now);
+            }
+        }
+    }
+
+    /// Records a replica's KV occupancy change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn on_kv_sample(&mut self, replica: usize, now: SimTime, utilization: f64) {
+        self.kv_series[replica].record(now, utilization);
+    }
+
+    /// Completed request count so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Builds the final report.
+    ///
+    /// `num_requests` is the trace size, `peak_flops_total` and
+    /// `peak_bandwidth_total` are cluster-wide peaks (per-GPU × GPU count),
+    /// `preemptions` comes from the replica schedulers.
+    pub fn into_report(
+        self,
+        num_requests: usize,
+        peak_flops_total: f64,
+        peak_bandwidth_total: f64,
+        preemptions: u64,
+        power: PowerSpec,
+    ) -> SimulationReport {
+        let mut sched_delay = QuantileDigest::new();
+        let mut ttft = QuantileDigest::new();
+        let mut norm_e2e = QuantileDigest::new();
+        let mut norm_exec = QuantileDigest::new();
+        let mut e2e = QuantileDigest::new();
+        for rec in self.records.values() {
+            let Some(completed) = rec.completed else {
+                continue;
+            };
+            let Some(first_sched) = rec.first_scheduled else {
+                continue;
+            };
+            sched_delay.record(first_sched.duration_since(rec.arrival).as_secs_f64());
+            if let Some(pd) = rec.prefill_done {
+                ttft.record(pd.duration_since(rec.arrival).as_secs_f64());
+            }
+            let total = completed.duration_since(rec.arrival).as_secs_f64();
+            let exec = completed.duration_since(first_sched).as_secs_f64();
+            e2e.record(total);
+            norm_e2e.record(total / rec.decode_tokens as f64);
+            norm_exec.record(exec / rec.decode_tokens as f64);
+        }
+        let makespan = self.last_completion.as_secs_f64();
+        let kv_utilization = {
+            let vals: Vec<f64> = self
+                .kv_series
+                .iter()
+                .filter_map(|s| s.time_weighted_mean(self.last_completion))
+                .collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        let denom_time = makespan.max(f64::MIN_POSITIVE);
+        // Energy: busy GPU-time at TDP, the rest of the cluster idling.
+        let total_gpu_secs = makespan * power.total_gpus as f64;
+        let busy = self.busy_gpu_secs.min(total_gpu_secs);
+        let idle = total_gpu_secs - busy;
+        let energy_joules = busy * power.tdp_watts + idle * power.idle_watts;
+        let energy_kwh = energy_joules / 3.6e6;
+        let mut operator_time_breakdown: Vec<(String, f64)> = Operator::ALL
+            .iter()
+            .zip(self.op_secs.iter())
+            .filter(|(_, &secs)| secs > 0.0)
+            .map(|(op, &secs)| (op.id().to_string(), secs))
+            .collect();
+        operator_time_breakdown
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
+        SimulationReport {
+            num_requests,
+            completed: self.completed,
+            makespan_secs: makespan,
+            throughput_qps: self.completed as f64 / denom_time,
+            scheduling_delay: DigestSummary::from_digest(&sched_delay),
+            ttft: DigestSummary::from_digest(&ttft),
+            tbt: DigestSummary::from_digest(&self.tbt),
+            normalized_e2e: DigestSummary::from_digest(&norm_e2e),
+            normalized_exec: DigestSummary::from_digest(&norm_exec),
+            e2e: DigestSummary::from_digest(&e2e),
+            mfu: (self.flops / (denom_time * peak_flops_total)).min(1.0),
+            mbu: (self.bytes / (denom_time * peak_bandwidth_total)).min(1.0),
+            kv_utilization,
+            preemptions,
+            total_batches: self.total_batches,
+            total_tokens: self.total_tokens,
+            mean_batch_tokens: self.total_tokens as f64 / self.total_batches.max(1) as f64,
+            mean_batch_size: self.total_batch_requests as f64 / self.total_batches.max(1) as f64,
+            energy_kwh,
+            mean_power_watts: energy_joules / denom_time,
+            energy_wh_per_request: if self.completed > 0 {
+                energy_joules / 3.6e3 / self.completed as f64
+            } else {
+                0.0
+            },
+            operator_time_breakdown,
+        }
+    }
+}
+
+/// Cluster power characteristics for energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Per-GPU power at full load, watts.
+    pub tdp_watts: f64,
+    /// Per-GPU idle power, watts.
+    pub idle_watts: f64,
+    /// GPUs in the cluster.
+    pub total_gpus: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_model::batch::RequestSlice;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn test_power() -> PowerSpec {
+        PowerSpec {
+            tdp_watts: 400.0,
+            idle_watts: 60.0,
+            total_gpus: 1,
+        }
+    }
+
+    #[test]
+    fn digest_summary_orders() {
+        let d: QuantileDigest = (1..=100).map(|i| i as f64).collect();
+        let s = DigestSummary::from_digest(&d);
+        assert!(s.p50 < s.p90 && s.p90 < s.p95 && s.p95 < s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_digest_summary_is_zero() {
+        let s = DigestSummary::from_digest(&QuantileDigest::new());
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn full_request_lifecycle_metrics() {
+        let mut m = MetricsCollector::new(1);
+        m.on_arrival(1, t(0.0), 3);
+        let prefill = BatchComposition::new(vec![RequestSlice::prefill(1, 100, 0)]);
+        m.on_batch_scheduled(t(1.0), &prefill, 1e12, 1e9);
+        m.on_batch_complete(
+            t(2.0),
+            &[CompletionEvent {
+                id: 1,
+                prefill_completed: true,
+                produced_token: true,
+                finished: false,
+            }],
+        );
+        // Two decode iterations at 2.5 and 3.0.
+        for (at, fin) in [(2.5, false), (3.0, true)] {
+            let d = BatchComposition::new(vec![RequestSlice::decode(1, 101)]);
+            m.on_batch_scheduled(t(at - 0.5), &d, 1e11, 1e9);
+            m.on_batch_complete(
+                t(at),
+                &[CompletionEvent {
+                    id: 1,
+                    prefill_completed: false,
+                    produced_token: true,
+                    finished: fin,
+                }],
+            );
+        }
+        let r = m.into_report(1, 1e15, 1e13, 0, test_power());
+        assert_eq!(r.completed, 1);
+        assert!((r.scheduling_delay.p50 - 1.0).abs() < 1e-9);
+        assert!((r.ttft.p50 - 2.0).abs() < 1e-9);
+        // TBT: 0.5 (2.0→2.5) and 0.5 (2.5→3.0).
+        assert!((r.tbt.p50 - 0.5).abs() < 1e-9);
+        assert!((r.e2e.p50 - 3.0).abs() < 1e-9);
+        assert!((r.normalized_e2e.p50 - 1.0).abs() < 1e-9);
+        // Exec = 3.0 - 1.0 = 2.0 over 3 tokens.
+        assert!((r.normalized_exec.p50 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.total_batches, 3);
+        assert_eq!(r.total_tokens, 102);
+        assert!(r.mfu > 0.0 && r.mfu < 1.0);
+    }
+
+    #[test]
+    fn incomplete_requests_excluded() {
+        let mut m = MetricsCollector::new(1);
+        m.on_arrival(1, t(0.0), 5);
+        m.on_arrival(2, t(0.0), 5);
+        let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
+        m.on_batch_scheduled(t(0.1), &b, 0.0, 0.0);
+        m.on_batch_complete(
+            t(0.2),
+            &[CompletionEvent {
+                id: 1,
+                prefill_completed: true,
+                produced_token: true,
+                finished: false,
+            }],
+        );
+        let r = m.into_report(2, 1e15, 1e13, 0, test_power());
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.num_requests, 2);
+        assert_eq!(r.e2e.mean, 0.0);
+    }
+
+    #[test]
+    fn kv_utilization_averages_replicas() {
+        let mut m = MetricsCollector::new(2);
+        m.on_kv_sample(0, t(0.0), 0.2);
+        m.on_kv_sample(1, t(0.0), 0.6);
+        m.on_arrival(1, t(0.0), 1);
+        let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
+        m.on_batch_scheduled(t(0.0), &b, 0.0, 0.0);
+        m.on_batch_complete(
+            t(1.0),
+            &[CompletionEvent {
+                id: 1,
+                prefill_completed: true,
+                produced_token: true,
+                finished: true,
+            }],
+        );
+        let r = m.into_report(1, 1e15, 1e13, 3, test_power());
+        assert!((r.kv_utilization - 0.4).abs() < 1e-9);
+        assert_eq!(r.preemptions, 3);
+    }
+}

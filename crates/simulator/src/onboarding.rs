@@ -1,0 +1,131 @@
+//! Model onboarding: profile → train, with a process-wide estimator cache.
+//!
+//! This is the left half of the paper's Figure 2. Onboarding a (model, TP
+//! degree, SKU) triple runs the profiling plan against the hardware oracle
+//! and trains the runtime estimator. Because Vidur-Search evaluates hundreds
+//! of deployment configurations that share the same triple, onboarded
+//! estimators are cached process-wide (the paper similarly reuses compute
+//! profiles across the search).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vidur_core::rng::SimRng;
+use vidur_estimator::{EstimatorKind, RuntimeEstimator};
+use vidur_hardware::{GpuSku, KernelOracle};
+use vidur_model::{ModelSpec, ParallelismConfig};
+use vidur_profiler::{ProfileCollector, ProfilingPlan};
+
+/// Deterministic base seed for profiling measurement noise.
+const PROFILE_SEED: u64 = 0x5EED_0001;
+/// Deterministic base seed for estimator training.
+const TRAIN_SEED: u64 = 0x5EED_0002;
+
+type CacheKey = (String, u32, String, String);
+
+static CACHE: Mutex<Option<HashMap<CacheKey, Arc<RuntimeEstimator>>>> = Mutex::new(None);
+
+/// Onboards a model: profiles the operators for (model, TP, SKU) against the
+/// kernel oracle and trains a runtime estimator of the given kind.
+///
+/// Results are cached process-wide; repeated calls with the same arguments
+/// return the same `Arc`.
+///
+/// # Panics
+///
+/// Panics if the parallelism configuration is invalid for the model.
+pub fn onboard(
+    model: &ModelSpec,
+    par: &ParallelismConfig,
+    sku: &GpuSku,
+    kind: EstimatorKind,
+) -> Arc<RuntimeEstimator> {
+    let key: CacheKey = (
+        model.name.clone(),
+        par.tensor_parallel,
+        sku.name.clone(),
+        kind.to_string(),
+    );
+    {
+        let guard = CACHE.lock();
+        if let Some(cache) = guard.as_ref() {
+            if let Some(hit) = cache.get(&key) {
+                return Arc::clone(hit);
+            }
+        }
+    }
+    // Profile + train outside the lock (expensive; duplicate work on a race
+    // is harmless because results are deterministic).
+    let est = Arc::new(onboard_uncached(model, par, sku, kind));
+    let mut guard = CACHE.lock();
+    let cache = guard.get_or_insert_with(HashMap::new);
+    Arc::clone(cache.entry(key).or_insert(est))
+}
+
+/// Uncached onboarding (used by ablation benches that sweep profiling
+/// parameters).
+pub fn onboard_uncached(
+    model: &ModelSpec,
+    par: &ParallelismConfig,
+    sku: &GpuSku,
+    kind: EstimatorKind,
+) -> RuntimeEstimator {
+    // Only the TP degree matters for operator shapes; normalize PP away so
+    // TP4-PP1 and TP4-PP2 share a profile.
+    let tp_only = ParallelismConfig::new(par.tensor_parallel, 1);
+    let plan = ProfilingPlan::for_model(model, &tp_only);
+    let oracle = KernelOracle::new(sku.clone());
+    let collector = ProfileCollector::new(oracle);
+    let mut rng = SimRng::new(PROFILE_SEED ^ par.tensor_parallel as u64);
+    let table = collector.collect(&plan, &mut rng);
+    RuntimeEstimator::train(&table, kind, TRAIN_SEED)
+}
+
+/// Drops all cached estimators (test hygiene / memory reclamation).
+pub fn clear_cache() {
+    *CACHE.lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onboard_caches() {
+        let model = ModelSpec::llama2_7b();
+        let par = ParallelismConfig::serial();
+        let sku = GpuSku::a100_80g();
+        let a = onboard(&model, &par, &sku, EstimatorKind::default());
+        let b = onboard(&model, &par, &sku, EstimatorKind::default());
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+    }
+
+    #[test]
+    fn pp_degree_shares_profile_shape() {
+        let model = ModelSpec::llama2_7b();
+        let sku = GpuSku::a100_80g();
+        let a = onboard_uncached(
+            &model,
+            &ParallelismConfig::new(2, 1),
+            &sku,
+            EstimatorKind::default(),
+        );
+        let b = onboard_uncached(
+            &model,
+            &ParallelismConfig::new(2, 2),
+            &sku,
+            EstimatorKind::default(),
+        );
+        assert_eq!(a, b, "PP must not change the profile");
+    }
+
+    #[test]
+    fn different_kinds_are_distinct_entries() {
+        let model = ModelSpec::llama2_7b();
+        let par = ParallelismConfig::serial();
+        let sku = GpuSku::a100_80g();
+        let rf = onboard(&model, &par, &sku, EstimatorKind::default());
+        let nn = onboard(&model, &par, &sku, EstimatorKind::NearestNeighbor);
+        assert!(!Arc::ptr_eq(&rf, &nn));
+    }
+}

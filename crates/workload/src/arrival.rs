@@ -1,0 +1,158 @@
+//! Request arrival processes.
+//!
+//! The paper evaluates static (offline) workloads — all requests present at
+//! t=0 (Figure 3) — and dynamic workloads with Poisson arrivals at a rate
+//! tied to system capacity (Figure 4, Appendix A). A Gamma-interarrival
+//! process with a coefficient of variation > 1 adds burstiness for what-if
+//! studies.
+
+use serde::{Deserialize, Serialize};
+use vidur_core::rng::SimRng;
+use vidur_core::time::{SimDuration, SimTime};
+
+/// How requests arrive over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All requests arrive at time zero (offline / static workload).
+    Static,
+    /// Poisson arrivals at `qps` requests per second.
+    Poisson {
+        /// Mean arrival rate (requests per second).
+        qps: f64,
+    },
+    /// Gamma-distributed interarrival times: mean rate `qps` with
+    /// coefficient of variation `cv` (`cv = 1` is Poisson, `cv > 1` bursty).
+    Gamma {
+        /// Mean arrival rate (requests per second).
+        qps: f64,
+        /// Coefficient of variation of interarrival times.
+        cv: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `n` arrival timestamps (non-decreasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate or `cv` is non-positive for the stochastic
+    /// variants.
+    pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        match *self {
+            ArrivalProcess::Static => vec![SimTime::ZERO; n],
+            ArrivalProcess::Poisson { qps } => {
+                assert!(qps > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        t += rng.exponential(qps);
+                        SimTime::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Gamma { qps, cv } => {
+                assert!(qps > 0.0 && cv > 0.0, "Gamma parameters must be positive");
+                // Interarrival mean 1/qps, std cv/qps: shape k = 1/cv^2,
+                // scale theta = cv^2 / qps.
+                let k = 1.0 / (cv * cv);
+                let theta = cv * cv / qps;
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        t += rng.gamma(k, theta);
+                        SimTime::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Nominal request rate (infinite for static workloads).
+    pub fn qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Static => f64::INFINITY,
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Gamma { qps, .. } => qps,
+        }
+    }
+
+    /// Expected makespan of the arrival phase for `n` requests.
+    pub fn expected_span(&self, n: usize) -> SimDuration {
+        match *self {
+            ArrivalProcess::Static => SimDuration::ZERO,
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Gamma { qps, .. } => {
+                SimDuration::from_secs_f64(n as f64 / qps)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_all_at_zero() {
+        let mut rng = SimRng::new(1);
+        let times = ArrivalProcess::Static.generate(10, &mut rng);
+        assert!(times.iter().all(|&t| t == SimTime::ZERO));
+    }
+
+    #[test]
+    fn poisson_mean_rate() {
+        let mut rng = SimRng::new(2);
+        let qps = 5.0;
+        let n = 50_000;
+        let times = ArrivalProcess::Poisson { qps }.generate(n, &mut rng);
+        let span = times.last().unwrap().as_secs_f64();
+        let rate = n as f64 / span;
+        assert!((rate / qps - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn gamma_cv_one_matches_poisson_rate() {
+        let mut rng = SimRng::new(3);
+        let times = ArrivalProcess::Gamma { qps: 10.0, cv: 1.0 }.generate(20_000, &mut rng);
+        let span = times.last().unwrap().as_secs_f64();
+        let rate = 20_000.0 / span;
+        assert!((rate / 10.0 - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn gamma_burstiness_increases_variance() {
+        let inter = |cv: f64| {
+            let mut rng = SimRng::new(4);
+            let times = ArrivalProcess::Gamma { qps: 10.0, cv }.generate(20_000, &mut rng);
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .map(|w| w[1].as_secs_f64() - w[0].as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let smooth = inter(0.5);
+        let bursty = inter(3.0);
+        assert!(bursty > 2.0 * smooth, "smooth {smooth} bursty {bursty}");
+    }
+
+    #[test]
+    fn expected_span() {
+        assert_eq!(
+            ArrivalProcess::Poisson { qps: 2.0 }.expected_span(10),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(ArrivalProcess::Static.expected_span(10), SimDuration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn arrivals_nondecreasing(seed in any::<u64>(), qps in 0.1f64..100.0) {
+            let mut rng = SimRng::new(seed);
+            let times = ArrivalProcess::Poisson { qps }.generate(100, &mut rng);
+            for w in times.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Workload statistics — the columns of the paper's Table 1.
+
+use crate::traces::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Table 1 statistics for a trace: prefill/decode token moments and the
+/// prefill:decode ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Number of requests summarized.
+    pub num_requests: usize,
+    /// Mean prompt length.
+    pub prefill_mean: f64,
+    /// Median prompt length.
+    pub prefill_median: f64,
+    /// 90th-percentile prompt length.
+    pub prefill_p90: f64,
+    /// Mean output length.
+    pub decode_mean: f64,
+    /// Median output length.
+    pub decode_median: f64,
+    /// 90th-percentile output length.
+    pub decode_p90: f64,
+    /// Median per-request prefill:decode ratio.
+    pub pd_ratio_median: f64,
+    /// Standard deviation of the per-request P:D ratio.
+    pub pd_ratio_std: f64,
+}
+
+fn quantile_u64(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+fn quantile_f64(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl WorkloadStats {
+    /// Computes Table 1 statistics for a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn compute(trace: &Trace) -> WorkloadStats {
+        assert!(!trace.is_empty(), "cannot summarize an empty trace");
+        let mut prefills: Vec<u64> = trace.requests.iter().map(|r| r.prefill_tokens).collect();
+        let mut decodes: Vec<u64> = trace.requests.iter().map(|r| r.decode_tokens).collect();
+        let mut ratios: Vec<f64> = trace
+            .requests
+            .iter()
+            .map(|r| r.prefill_tokens as f64 / r.decode_tokens as f64)
+            .collect();
+        prefills.sort_unstable();
+        decodes.sort_unstable();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = trace.len() as f64;
+        let mean_u = |v: &[u64]| v.iter().sum::<u64>() as f64 / n;
+        let ratio_mean = ratios.iter().sum::<f64>() / n;
+        let ratio_var = ratios.iter().map(|r| (r - ratio_mean).powi(2)).sum::<f64>() / n;
+        WorkloadStats {
+            num_requests: trace.len(),
+            prefill_mean: mean_u(&prefills),
+            prefill_median: quantile_u64(&prefills, 0.5),
+            prefill_p90: quantile_u64(&prefills, 0.9),
+            decode_mean: mean_u(&decodes),
+            decode_median: quantile_u64(&decodes, 0.5),
+            decode_p90: quantile_u64(&decodes, 0.9),
+            pd_ratio_median: quantile_f64(&ratios, 0.5),
+            pd_ratio_std: ratio_var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} prefill(mean={:.0} med={:.0} p90={:.0}) decode(mean={:.0} med={:.0} p90={:.0}) P:D(med={:.2} std={:.2})",
+            self.num_requests,
+            self.prefill_mean,
+            self.prefill_median,
+            self.prefill_p90,
+            self.decode_mean,
+            self.decode_median,
+            self.decode_p90,
+            self.pd_ratio_median,
+            self.pd_ratio_std,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+    use crate::traces::TraceWorkload;
+    use vidur_core::rng::SimRng;
+
+    fn stats_for(w: &TraceWorkload, n: usize, seed: u64) -> WorkloadStats {
+        let mut rng = SimRng::new(seed);
+        let trace = w.generate(n, &ArrivalProcess::Static, &mut rng);
+        WorkloadStats::compute(&trace)
+    }
+
+    #[test]
+    fn chat_stats_near_table1() {
+        let s = stats_for(&TraceWorkload::chat_1m(), 50_000, 1);
+        // Table 1 (Chat-1M row): prefill 686/417/1678, decode 197/139/484,
+        // P:D median 2.3. Allow 15% tolerance (cap interactions).
+        assert!((s.prefill_median / 417.0 - 1.0).abs() < 0.15, "{s}");
+        assert!((s.prefill_p90 / 1678.0 - 1.0).abs() < 0.15, "{s}");
+        assert!((s.decode_median / 139.0 - 1.0).abs() < 0.15, "{s}");
+        assert!((s.pd_ratio_median / 2.3 - 1.0).abs() < 0.35, "{s}");
+    }
+
+    #[test]
+    fn arxiv_stats_near_table1() {
+        let s = stats_for(&TraceWorkload::arxiv_4k(), 50_000, 2);
+        // Table 1 (Arxiv-4K row): prefill 2588/2730/3702, decode 291/167/372.
+        assert!((s.prefill_median / 2730.0 - 1.0).abs() < 0.15, "{s}");
+        assert!((s.decode_median / 167.0 - 1.0).abs() < 0.15, "{s}");
+        assert!(s.pd_ratio_median > 8.0, "{s}");
+    }
+
+    #[test]
+    fn bwb_stats_near_table1() {
+        let s = stats_for(&TraceWorkload::bwb_4k(), 50_000, 3);
+        // Table 1 (BWB-4K row): prefill 1067/1037/1453, decode 1612/1601/2149,
+        // P:D 0.65.
+        assert!((s.prefill_median / 1037.0 - 1.0).abs() < 0.15, "{s}");
+        assert!((s.decode_median / 1601.0 - 1.0).abs() < 0.15, "{s}");
+        assert!((s.pd_ratio_median / 0.65 - 1.0).abs() < 0.25, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let t = Trace {
+            workload_name: "x".to_string(),
+            requests: Vec::new(),
+        };
+        WorkloadStats::compute(&t);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = stats_for(&TraceWorkload::chat_1m(), 1_000, 4);
+        let text = s.to_string();
+        assert!(text.contains("prefill"));
+        assert!(text.contains("P:D"));
+    }
+}

@@ -1,0 +1,289 @@
+//! The three paper workloads and trace generation.
+//!
+//! Length marginals are log-normals fitted to Table 1's (median, P90) per
+//! dataset, with the paper's 4096-token total cap applied the same way
+//! (truncating the prompt so `prefill + decode ≤ 4096`, since the LLaMA2
+//! context window binds).
+
+use crate::arrival::ArrivalProcess;
+use crate::distributions::LengthDistribution;
+use serde::{Deserialize, Serialize};
+use vidur_core::rng::SimRng;
+use vidur_core::time::SimTime;
+
+/// Total-token cap matching the LLaMA2 context window.
+pub const MAX_TOTAL_TOKENS: u64 = 4096;
+
+/// A workload family: the joint distribution of request lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceWorkload {
+    /// Workload name (e.g. `"chat-1m"`).
+    pub name: String,
+    /// Prompt-length distribution.
+    pub prefill: LengthDistribution,
+    /// Output-length distribution.
+    pub decode: LengthDistribution,
+    /// Cap on `prefill + decode` (0 disables).
+    pub max_total_tokens: u64,
+}
+
+impl TraceWorkload {
+    /// LMSys-Chat-1M (4K-capped): conversational — moderate prompts, chatty
+    /// decodes, high variance. Table 1: prefill median 417 / P90 1678,
+    /// decode median 139 / P90 484.
+    pub fn chat_1m() -> Self {
+        TraceWorkload {
+            name: "chat-1m".to_string(),
+            prefill: LengthDistribution::log_normal(417.0, 1678.0),
+            decode: LengthDistribution::log_normal(139.0, 484.0),
+            max_total_tokens: MAX_TOTAL_TOKENS,
+        }
+    }
+
+    /// Arxiv-Summarization (4K-capped): summarization — very long prompts,
+    /// short outputs (P:D ≈ 15.7). Table 1: prefill median 2730 / P90 3702,
+    /// decode median 167 / P90 372.
+    pub fn arxiv_4k() -> Self {
+        TraceWorkload {
+            name: "arxiv-4k".to_string(),
+            prefill: LengthDistribution::log_normal(2730.0, 3702.0),
+            decode: LengthDistribution::log_normal(167.0, 372.0),
+            max_total_tokens: MAX_TOTAL_TOKENS,
+        }
+    }
+
+    /// Bilingual-Web-Book (4K-capped): document translation — decode-heavy
+    /// (P:D ≈ 0.65), low variance. Table 1: prefill median 1037 / P90 1453,
+    /// decode median 1601 / P90 2149.
+    pub fn bwb_4k() -> Self {
+        TraceWorkload {
+            name: "bwb-4k".to_string(),
+            prefill: LengthDistribution::log_normal(1037.0, 1453.0),
+            decode: LengthDistribution::log_normal(1601.0, 2149.0),
+            max_total_tokens: MAX_TOTAL_TOKENS,
+        }
+    }
+
+    /// The three paper workloads.
+    pub fn paper_workloads() -> Vec<TraceWorkload> {
+        vec![Self::chat_1m(), Self::arxiv_4k(), Self::bwb_4k()]
+    }
+
+    /// Looks a paper workload up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<TraceWorkload> {
+        Self::paper_workloads()
+            .into_iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Samples one `(prefill_tokens, decode_tokens)` pair, applying the
+    /// total cap by truncating the prompt (decodes are preserved, matching
+    /// how conversation turns get cut off by the context window).
+    pub fn sample_lengths(&self, rng: &mut SimRng) -> (u64, u64) {
+        let mut prefill = self.prefill.sample(rng);
+        let mut decode = self.decode.sample(rng);
+        if self.max_total_tokens > 0 {
+            if decode >= self.max_total_tokens {
+                decode = self.max_total_tokens - 1;
+            }
+            if prefill + decode > self.max_total_tokens {
+                prefill = self.max_total_tokens - decode;
+            }
+        }
+        (prefill.max(1), decode.max(1))
+    }
+
+    /// Generates a trace of `n` requests with the given arrival process.
+    pub fn generate(&self, n: usize, arrivals: &ArrivalProcess, rng: &mut SimRng) -> Trace {
+        let times = arrivals.generate(n, rng);
+        let requests = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let (prefill_tokens, decode_tokens) = self.sample_lengths(rng);
+                TraceRequest {
+                    id: i as u64,
+                    arrival,
+                    prefill_tokens,
+                    decode_tokens,
+                }
+            })
+            .collect();
+        Trace {
+            workload_name: self.name.clone(),
+            requests,
+        }
+    }
+}
+
+/// One request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Sequential id.
+    pub id: u64,
+    /// Arrival timestamp.
+    pub arrival: SimTime,
+    /// Prompt tokens.
+    pub prefill_tokens: u64,
+    /// Output tokens.
+    pub decode_tokens: u64,
+}
+
+/// A generated (or loaded) request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Name of the generating workload.
+    pub workload_name: String,
+    /// Requests ordered by arrival.
+    pub requests: Vec<TraceRequest>,
+}
+
+impl Trace {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Re-times this trace's arrivals with a new process (used by capacity
+    /// search to sweep QPS while holding lengths fixed).
+    pub fn with_arrivals(&self, arrivals: &ArrivalProcess, rng: &mut SimRng) -> Trace {
+        let times = arrivals.generate(self.requests.len(), rng);
+        let requests = self
+            .requests
+            .iter()
+            .zip(times)
+            .map(|(r, arrival)| TraceRequest { arrival, ..*r })
+            .collect();
+        Trace {
+            workload_name: self.workload_name.clone(),
+            requests,
+        }
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_enforced() {
+        let w = TraceWorkload::arxiv_4k();
+        let mut rng = SimRng::new(1);
+        for _ in 0..20_000 {
+            let (p, d) = w.sample_lengths(&mut rng);
+            assert!(p >= 1 && d >= 1);
+            assert!(p + d <= MAX_TOTAL_TOKENS, "{p}+{d}");
+        }
+    }
+
+    #[test]
+    fn chat_medians_match_table1() {
+        let w = TraceWorkload::chat_1m();
+        let mut rng = SimRng::new(2);
+        let mut ps = Vec::new();
+        let mut ds = Vec::new();
+        for _ in 0..50_000 {
+            let (p, d) = w.sample_lengths(&mut rng);
+            ps.push(p);
+            ds.push(d);
+        }
+        ps.sort_unstable();
+        ds.sort_unstable();
+        let p_med = ps[ps.len() / 2] as f64;
+        let d_med = ds[ds.len() / 2] as f64;
+        assert!((p_med / 417.0 - 1.0).abs() < 0.08, "prefill median {p_med}");
+        assert!((d_med / 139.0 - 1.0).abs() < 0.08, "decode median {d_med}");
+    }
+
+    #[test]
+    fn bwb_is_decode_heavy_and_arxiv_prefill_heavy() {
+        let mut rng = SimRng::new(3);
+        let ratio = |w: &TraceWorkload, rng: &mut SimRng| {
+            let mut p_sum = 0u64;
+            let mut d_sum = 0u64;
+            for _ in 0..20_000 {
+                let (p, d) = w.sample_lengths(rng);
+                p_sum += p;
+                d_sum += d;
+            }
+            p_sum as f64 / d_sum as f64
+        };
+        let bwb = ratio(&TraceWorkload::bwb_4k(), &mut rng);
+        let arxiv = ratio(&TraceWorkload::arxiv_4k(), &mut rng);
+        let chat = ratio(&TraceWorkload::chat_1m(), &mut rng);
+        assert!(bwb < 1.0, "BWB P:D {bwb}");
+        assert!(arxiv > 6.0, "Arxiv P:D {arxiv}");
+        assert!(chat > 1.5 && chat < 6.0, "Chat P:D {chat}");
+    }
+
+    #[test]
+    fn generate_assigns_ids_and_arrivals() {
+        let w = TraceWorkload::chat_1m();
+        let mut rng = SimRng::new(4);
+        let t = w.generate(100, &ArrivalProcess::Poisson { qps: 10.0 }, &mut rng);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.requests[0].id, 0);
+        assert_eq!(t.requests[99].id, 99);
+        assert!(t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn retiming_preserves_lengths() {
+        let w = TraceWorkload::bwb_4k();
+        let mut rng = SimRng::new(5);
+        let t = w.generate(50, &ArrivalProcess::Static, &mut rng);
+        let t2 = t.with_arrivals(&ArrivalProcess::Poisson { qps: 1.0 }, &mut rng);
+        for (a, b) in t.requests.iter().zip(&t2.requests) {
+            assert_eq!(a.prefill_tokens, b.prefill_tokens);
+            assert_eq!(a.decode_tokens, b.decode_tokens);
+        }
+        assert!(t2.requests.last().unwrap().arrival > SimTime::ZERO);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let w = TraceWorkload::chat_1m();
+        let mut rng = SimRng::new(6);
+        let t = w.generate(10, &ArrivalProcess::Static, &mut rng);
+        let back = Trace::from_json(&t.to_json().unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(TraceWorkload::by_name("Chat-1M").is_some());
+        assert!(TraceWorkload::by_name("ARXIV-4K").is_some());
+        assert!(TraceWorkload::by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let w = TraceWorkload::chat_1m();
+        let t1 = w.generate(20, &ArrivalProcess::Poisson { qps: 5.0 }, &mut SimRng::new(9));
+        let t2 = w.generate(20, &ArrivalProcess::Poisson { qps: 5.0 }, &mut SimRng::new(9));
+        assert_eq!(t1, t2);
+    }
+}

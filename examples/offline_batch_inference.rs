@@ -1,0 +1,64 @@
+//! Offline batch inference: pick the deployment that finishes a fixed batch
+//! job fastest — or cheapest (paper §6's makespan objective for offline
+//! scenarios).
+//!
+//! Scenario: summarize 300 arXiv papers overnight with InternLM-20B. The
+//! fastest config is rarely the cheapest: replication halves the makespan
+//! but doubles the rental rate.
+//!
+//! Run with: `cargo run --release --example offline_batch_inference`
+
+use vidur::prelude::*;
+use vidur::search::offline::{best_by_cost, run_offline_search};
+
+fn main() {
+    let model = ModelSpec::internlm_20b();
+    let mut rng = SimRng::new(101);
+    let job = TraceWorkload::arxiv_4k().generate(300, &ArrivalProcess::Static, &mut rng);
+    println!(
+        "Batch job: {} summarization requests, InternLM-20B\n",
+        job.len()
+    );
+
+    let mut configs = Vec::new();
+    for sku in [GpuSku::a100_80g(), GpuSku::h100_80g()] {
+        for (tp, replicas) in [(2u32, 1usize), (2, 2), (2, 4), (4, 1), (4, 2)] {
+            configs.push(ClusterConfig::new(
+                model.clone(),
+                sku.clone(),
+                ParallelismConfig::new(tp, 1),
+                replicas,
+                SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 1024 }, 128),
+            ));
+        }
+    }
+    let (evals, ledger) = run_offline_search(&configs, &job, EstimatorKind::default(), 101);
+
+    println!(
+        "{:<60} {:>10} {:>9} {:>7} {:>9}",
+        "config", "makespan", "cost", "MFU", "energy"
+    );
+    for e in &evals {
+        println!(
+            "{:<60} {:>8.0} s {:>8.2}$ {:>6.1}% {:>6.2}kWh",
+            e.label,
+            e.makespan_secs,
+            e.cost_dollars,
+            e.mfu * 100.0,
+            e.energy_kwh
+        );
+    }
+    if let (Some(fastest), Some(cheapest)) = (evals.first(), best_by_cost(&evals)) {
+        println!("\nfastest : {} ({:.0} s)", fastest.label, fastest.makespan_secs);
+        println!(
+            "cheapest: {} (${:.2})",
+            cheapest.label, cheapest.cost_dollars
+        );
+    }
+    println!(
+        "\n({} simulation runs; a hardware-based sweep would have burned {:.1} GPU-hours ≈ ${:.0})",
+        ledger.runs(),
+        ledger.projected_gpu_hours(),
+        ledger.projected_dollars()
+    );
+}

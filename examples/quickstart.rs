@@ -1,0 +1,70 @@
+//! Quickstart: simulate one deployment of LLaMA2-7B on a chat workload and
+//! print the request/cluster metrics Vidur reports (paper Figure 2's
+//! "Simulation Report").
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vidur::prelude::*;
+
+fn main() {
+    // 1. Describe the deployment: model, SKU, parallelism, scheduler.
+    let config = ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        1,
+        SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+    );
+    println!("deployment : {}", config.label());
+    let plan = config.memory_plan().expect("7B fits on one A100");
+    println!(
+        "memory     : {:.1} GB weights, {} KV blocks ({} tokens)",
+        plan.weight_bytes / 1e9,
+        plan.num_kv_blocks,
+        plan.max_tokens()
+    );
+
+    // 2. Generate a workload: 200 chat requests arriving at 1.5 QPS.
+    let mut rng = SimRng::new(42);
+    let trace =
+        TraceWorkload::chat_1m().generate(200, &ArrivalProcess::Poisson { qps: 1.5 }, &mut rng);
+    println!(
+        "workload   : {} requests from {}",
+        trace.len(),
+        trace.workload_name
+    );
+
+    // 3. Onboard the model: profile operators on the (simulated) GPU and
+    //    train the random-forest runtime estimator.
+    let est = onboard(
+        &config.model,
+        &config.parallelism,
+        &config.sku,
+        EstimatorKind::default(),
+    );
+    println!("onboarded  : {} operators", est.operators().count());
+
+    // 4. Simulate and report.
+    let report = ClusterSimulator::new(
+        config,
+        trace,
+        RuntimeSource::Estimator((*est).clone()),
+        42,
+    )
+    .run();
+    println!();
+    println!("completed        : {}/{}", report.completed, report.num_requests);
+    println!("makespan         : {:.1} s", report.makespan_secs);
+    println!("throughput       : {:.2} QPS", report.throughput_qps);
+    println!("TTFT    p50/p90  : {:.0} / {:.0} ms", report.ttft.p50 * 1e3, report.ttft.p90 * 1e3);
+    println!("TBT     p50/p99  : {:.0} / {:.0} ms", report.tbt.p50 * 1e3, report.tbt.p99 * 1e3);
+    println!(
+        "norm. latency p50: {:.1} ms/token",
+        report.normalized_e2e.p50 * 1e3
+    );
+    println!("MFU              : {:.1} %", report.mfu * 100.0);
+    println!("MBU              : {:.1} %", report.mbu * 100.0);
+    println!("KV utilization   : {:.1} %", report.kv_utilization * 100.0);
+    println!("batches          : {} (mean {:.1} reqs, {:.0} tokens)",
+        report.total_batches, report.mean_batch_size, report.mean_batch_tokens);
+}

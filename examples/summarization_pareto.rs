@@ -1,0 +1,66 @@
+//! Pareto-frontier exploration for a document-summarization service
+//! (Arxiv-4K: long prompts, short outputs — the workload the paper's intro
+//! motivates with Microsoft M365 Copilot).
+//!
+//! Sweeps a reduced configuration space for InternLM-20B, prints the
+//! SLO-compliant Pareto frontier of QPS-per-dollar vs TTFT-P90, and the
+//! winning configuration — a miniature of the paper's Figure 5 analysis.
+//!
+//! Run with: `cargo run --release --example summarization_pareto`
+
+use vidur::prelude::*;
+
+fn main() {
+    let model = ModelSpec::internlm_20b();
+    let mut space = SearchSpace::reduced();
+    space.max_gpus = 8;
+    let configs = space.enumerate(&model);
+    println!(
+        "InternLM-20B / Arxiv-4K: evaluating {} configurations...",
+        configs.len()
+    );
+
+    let mut rng = SimRng::new(21);
+    let base = TraceWorkload::arxiv_4k().generate(150, &ArrivalProcess::Static, &mut rng);
+    let params = CapacityParams {
+        bisect_iters: 5,
+        ..CapacityParams::default()
+    };
+    let outcome = run_search(&configs, &base, &params, EstimatorKind::default());
+    println!(
+        "feasible: {} configs, {} simulation runs, projected hardware cost ${:.0}",
+        outcome.evaluations.len(),
+        outcome.ledger.runs(),
+        outcome.ledger.projected_dollars()
+    );
+
+    let slo = SloConstraints::default();
+    let frontier = pareto_frontier(&outcome.evaluations, |e| e.ttft_p90);
+    println!("\nPareto frontier (TTFT-P90 vs QPS/$):");
+    println!(
+        "{:<58} {:>9} {:>9} {:>10} {:>5}",
+        "config", "QPS/$", "TTFT p90", "TBT p99", "SLO"
+    );
+    for &i in &frontier {
+        let e = &outcome.evaluations[i];
+        println!(
+            "{:<58} {:>9.3} {:>7.2} s {:>8.0} ms {:>5}",
+            e.label,
+            e.qps_per_dollar,
+            e.ttft_p90,
+            e.tbt_p99 * 1e3,
+            if slo.satisfied_by(e) { "yes" } else { "no" }
+        );
+    }
+
+    match outcome.best(&slo) {
+        Some(best) => {
+            println!("\nBest SLO-compliant config: {}", best.label);
+            println!(
+                "  capacity {:.2} QPS @ ${:.2}/hr => {:.3} QPS/$",
+                best.capacity_qps, best.dollars_per_hour, best.qps_per_dollar
+            );
+        }
+        None => println!("\nNo configuration satisfies the SLOs — relax them or add GPUs."),
+    }
+}

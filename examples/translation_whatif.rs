@@ -1,0 +1,72 @@
+//! What-if analysis for a decode-heavy translation service (BWB-4K):
+//! how do SKU choice and batch size move cost when decodes dominate?
+//! This reproduces the paper's §7.3 finding that the KV-heavy BWB workload
+//! flips the optimal SKU and shrinks the optimal batch size.
+//!
+//! Run with: `cargo run --release --example translation_whatif`
+
+use vidur::prelude::*;
+
+fn evaluate(model: &ModelSpec, sku: GpuSku, batch: usize, base: &Trace) -> Option<(f64, f64)> {
+    let config = ClusterConfig::new(
+        model.clone(),
+        sku,
+        ParallelismConfig::new(4, 1),
+        1,
+        SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, batch),
+    );
+    config.memory_plan().ok()?;
+    let est = onboard(
+        &config.model,
+        &config.parallelism,
+        &config.sku,
+        EstimatorKind::default(),
+    );
+    let params = CapacityParams {
+        bisect_iters: 5,
+        ..CapacityParams::default()
+    };
+    let mut ledger = CostLedger::new();
+    let cap = find_capacity(
+        &config,
+        base,
+        &params,
+        &RuntimeSource::Estimator((*est).clone()),
+        &mut ledger,
+    )?;
+    Some((
+        cap.capacity_qps / config.dollars_per_hour(),
+        cap.report_at_capacity.kv_utilization,
+    ))
+}
+
+fn main() {
+    let model = ModelSpec::llama2_70b();
+    let mut rng = SimRng::new(33);
+    let bwb = TraceWorkload::bwb_4k().generate(120, &ArrivalProcess::Static, &mut rng);
+    let chat = TraceWorkload::chat_1m().generate(120, &ArrivalProcess::Static, &mut rng);
+
+    for (name, trace) in [("BWB-4K (translation)", &bwb), ("Chat-1M (chat)", &chat)] {
+        println!("\nLLaMA2-70B, TP4, Sarathi-512 — workload: {name}");
+        println!("{:<10} {:>6} {:>12} {:>10}", "SKU", "batch", "QPS/$", "KV util");
+        for sku in [GpuSku::a100_80g(), GpuSku::h100_80g()] {
+            for batch in [32, 64, 256] {
+                match evaluate(&model, sku.clone(), batch, trace) {
+                    Some((qpd, kv)) => println!(
+                        "{:<10} {:>6} {:>12.4} {:>9.0}%",
+                        sku.name,
+                        batch,
+                        qpd,
+                        kv * 100.0
+                    ),
+                    None => println!("{:<10} {:>6} {:>12}", sku.name, batch, "infeasible"),
+                }
+            }
+        }
+    }
+    println!(
+        "\nExpected shape (paper §7.3): BWB's long decodes load the KV cache,\n\
+         favouring smaller batches and cheaper A100s, while Chat-1M favours\n\
+         larger batches on H100s — the optimal config is workload-dependent."
+    );
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full onboarding → simulation →
+//! reporting pipeline, conservation laws, and determinism.
+
+use vidur::prelude::*;
+
+fn config(policy: BatchPolicyKind, replicas: usize) -> ClusterConfig {
+    ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        replicas,
+        SchedulerConfig::new(policy, 64),
+    )
+}
+
+fn trace(workload: &TraceWorkload, n: usize, qps: Option<f64>, seed: u64) -> Trace {
+    let mut rng = SimRng::new(seed);
+    let arrivals = match qps {
+        Some(q) => ArrivalProcess::Poisson { qps: q },
+        None => ArrivalProcess::Static,
+    };
+    workload.generate(n, &arrivals, &mut rng)
+}
+
+fn run(config: ClusterConfig, trace: Trace, seed: u64) -> SimulationReport {
+    let est = onboard(
+        &config.model,
+        &config.parallelism,
+        &config.sku,
+        EstimatorKind::default(),
+    );
+    ClusterSimulator::new(config, trace, RuntimeSource::Estimator((*est).clone()), seed).run()
+}
+
+#[test]
+fn every_policy_completes_every_workload() {
+    for policy in [
+        BatchPolicyKind::Vllm,
+        BatchPolicyKind::OrcaPlus,
+        BatchPolicyKind::SarathiServe { chunk_size: 512 },
+        BatchPolicyKind::FasterTransformer,
+        BatchPolicyKind::LightLlm,
+    ] {
+        for workload in TraceWorkload::paper_workloads() {
+            let t = trace(&workload, 25, None, 9);
+            let report = run(config(policy, 1), t, 9);
+            assert_eq!(
+                report.completed, 25,
+                "{policy} on {}: incomplete",
+                workload.name
+            );
+        }
+    }
+}
+
+#[test]
+fn report_invariants_hold() {
+    let report = run(
+        config(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 2),
+        trace(&TraceWorkload::chat_1m(), 60, Some(2.0), 10),
+        10,
+    );
+    assert_eq!(report.completed, report.num_requests);
+    // Latency orderings.
+    assert!(report.ttft.p50 <= report.ttft.p90);
+    assert!(report.ttft.p90 <= report.ttft.p99);
+    assert!(report.e2e.p50 >= report.ttft.p50, "e2e includes ttft");
+    assert!(report.normalized_exec.p50 <= report.normalized_e2e.p50 + 1e-12);
+    // Utilizations bounded.
+    assert!((0.0..=1.0).contains(&report.mfu));
+    assert!((0.0..=1.0).contains(&report.mbu));
+    assert!((0.0..=1.0).contains(&report.kv_utilization));
+    // Token conservation: every prompt token and every generated token was
+    // processed at least once (restarts can add more).
+    assert!(report.total_tokens >= 60);
+}
+
+#[test]
+fn oracle_and_estimator_agree_closely_end_to_end() {
+    let c = config(BatchPolicyKind::Vllm, 1);
+    let t = trace(&TraceWorkload::chat_1m(), 60, None, 11);
+    let rep = run_fidelity_pair(&c, &t, EstimatorKind::default(), 11);
+    assert!(rep.err_norm_exec_p50().abs() < 10.0);
+    assert!(rep.err_norm_exec_p95().abs() < 10.0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let c = config(BatchPolicyKind::OrcaPlus, 2);
+    let t = trace(&TraceWorkload::bwb_4k(), 30, Some(0.5), 12);
+    let a = run(c.clone(), t.clone(), 12);
+    let b = run(c, t, 12);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pipeline_parallel_preserves_completion() {
+    let mut c = config(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 1);
+    c.parallelism = ParallelismConfig::new(1, 4);
+    let t = trace(&TraceWorkload::chat_1m(), 30, None, 13);
+    let report = run(c, t, 13);
+    assert_eq!(report.completed, 30);
+}
+
+#[test]
+fn tensor_parallel_tradeoff_matches_topology() {
+    // LLaMA2-70B: within the 4-GPU NVLink island, more TP shards each layer
+    // and lowers per-token latency (TP2 → TP4). Crossing the island (TP8)
+    // pushes all-reduce onto PCIe-class links and latency regresses — the
+    // paper's §2.2 point that TP needs high-bandwidth interconnects.
+    let mk = |tp: u32| {
+        let c = ClusterConfig::new(
+            ModelSpec::llama2_70b(),
+            GpuSku::a100_80g(),
+            ParallelismConfig::new(tp, 1),
+            1,
+            SchedulerConfig::new(BatchPolicyKind::Vllm, 32),
+        );
+        let t = trace(&TraceWorkload::chat_1m(), 25, None, 14);
+        run(c, t, 14)
+    };
+    let tp2 = mk(2);
+    let tp4 = mk(4);
+    let tp8 = mk(8);
+    assert!(
+        tp4.normalized_exec.p50 < tp2.normalized_exec.p50,
+        "TP4 {} vs TP2 {}",
+        tp4.normalized_exec.p50,
+        tp2.normalized_exec.p50
+    );
+    assert!(
+        tp8.normalized_exec.p50 > tp4.normalized_exec.p50,
+        "beyond the NVLink island TP should regress: TP8 {} vs TP4 {}",
+        tp8.normalized_exec.p50,
+        tp4.normalized_exec.p50
+    );
+}
+
+#[test]
+fn h100_beats_a100_on_throughput() {
+    let t = trace(&TraceWorkload::arxiv_4k(), 30, None, 15);
+    let a100 = run(config(BatchPolicyKind::Vllm, 1), t.clone(), 15);
+    let mut c = config(BatchPolicyKind::Vllm, 1);
+    c.sku = GpuSku::h100_80g();
+    let h100 = run(c, t, 15);
+    assert!(h100.makespan_secs < a100.makespan_secs);
+}
+
+#[test]
+fn decode_heavy_workload_is_slower_per_request() {
+    let chat = run(
+        config(BatchPolicyKind::Vllm, 1),
+        trace(&TraceWorkload::chat_1m(), 40, None, 16),
+        16,
+    );
+    let bwb = run(
+        config(BatchPolicyKind::Vllm, 1),
+        trace(&TraceWorkload::bwb_4k(), 40, None, 16),
+        16,
+    );
+    // BWB generates ~8x the decode tokens: far longer makespan.
+    assert!(bwb.makespan_secs > 2.0 * chat.makespan_secs);
+}

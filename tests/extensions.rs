@@ -1,0 +1,136 @@
+//! Integration tests for the extensions beyond the paper's evaluation:
+//! disaggregated serving, deferred routing, async pipeline communication,
+//! offline search, and energy/operator metrics.
+
+use vidur::prelude::*;
+use vidur::search::offline::{best_by_cost, run_offline_search};
+use vidur::simulator::{DisaggConfig, DisaggSimulator};
+
+fn base_config() -> ClusterConfig {
+    ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        1,
+        SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+    )
+}
+
+fn est_source(config: &ClusterConfig) -> RuntimeSource {
+    let est = onboard(
+        &config.model,
+        &config.parallelism,
+        &config.sku,
+        EstimatorKind::default(),
+    );
+    RuntimeSource::Estimator((*est).clone())
+}
+
+fn trace(n: usize, qps: f64, seed: u64) -> Trace {
+    let mut rng = SimRng::new(seed);
+    TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Poisson { qps }, &mut rng)
+}
+
+#[test]
+fn disagg_with_estimator_completes_and_reports() {
+    let cfg = base_config();
+    let source = est_source(&cfg);
+    let report =
+        DisaggSimulator::new(DisaggConfig::new(cfg, 1, 1), trace(60, 2.5, 41), source, 41).run();
+    assert_eq!(report.completed, 60);
+    assert!(report.energy_kwh > 0.0);
+    assert!(!report.operator_time_breakdown.is_empty());
+    // TTFT ordering still holds through the hand-off.
+    assert!(report.ttft.p50 <= report.e2e.p50);
+}
+
+#[test]
+fn disagg_pools_scale_throughput() {
+    let cfg = base_config();
+    let source = est_source(&cfg);
+    let t = trace(80, 3.0, 42);
+    let small = DisaggSimulator::new(
+        DisaggConfig::new(cfg.clone(), 1, 1),
+        t.clone(),
+        source.clone(),
+        42,
+    )
+    .run();
+    let big =
+        DisaggSimulator::new(DisaggConfig::new(cfg, 2, 2), t, source, 42).run();
+    assert!(big.e2e.p90 <= small.e2e.p90 * 1.01, "more pools can't hurt tails");
+}
+
+#[test]
+fn deferred_routing_tightens_tail_under_bursts() {
+    let mut rng = SimRng::new(43);
+    let t = TraceWorkload::chat_1m().generate(
+        160,
+        &ArrivalProcess::Gamma { qps: 8.0, cv: 4.0 },
+        &mut rng,
+    );
+    let mut rr = base_config();
+    rr.num_replicas = 4;
+    let source = est_source(&rr);
+    let rr_report = ClusterSimulator::new(rr.clone(), t.clone(), source.clone(), 43).run();
+    let mut def = rr;
+    def.global_policy = GlobalPolicyKind::Deferred { max_outstanding: 24 };
+    let def_report = ClusterSimulator::new(def, t, source, 43).run();
+    assert_eq!(def_report.completed, 160);
+    // Load-aware late binding never loses badly to blind round-robin.
+    assert!(def_report.e2e.p99 <= rr_report.e2e.p99 * 1.05);
+}
+
+#[test]
+fn offline_search_and_online_search_agree_on_feasibility() {
+    let mut rng = SimRng::new(44);
+    let job = TraceWorkload::chat_1m().generate(30, &ArrivalProcess::Static, &mut rng);
+    let configs = vec![base_config()];
+    let (evals, _) = run_offline_search(&configs, &job, EstimatorKind::default(), 44);
+    assert_eq!(evals.len(), 1);
+    assert!(evals[0].makespan_secs > 0.0);
+    assert!(best_by_cost(&evals).is_some());
+    // Offline throughput implied by makespan matches the capacity search's
+    // offline bracket within tolerance.
+    let mut ledger = CostLedger::new();
+    let params = CapacityParams {
+        bisect_iters: 2,
+        ..CapacityParams::default()
+    };
+    let source = est_source(&configs[0]);
+    let cap = find_capacity(&configs[0], &job, &params, &source, &mut ledger).unwrap();
+    let offline_qps = 30.0 / evals[0].makespan_secs;
+    let rel = (cap.offline_report.throughput_qps - offline_qps).abs() / offline_qps;
+    assert!(rel < 0.05, "offline throughput mismatch: {rel}");
+}
+
+#[test]
+fn operator_breakdown_dominated_by_matmuls_for_decode_traffic() {
+    let cfg = base_config();
+    let source = est_source(&cfg);
+    let report = ClusterSimulator::new(cfg, trace(50, 1.0, 45), source, 45).run();
+    let top: Vec<&str> = report
+        .operator_time_breakdown
+        .iter()
+        .take(5)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    // Decode iterations stream the big weight matrices; one of the MLP/QKV
+    // matmuls must lead the breakdown.
+    assert!(
+        top[0].contains("proj") || top[0] == "attn_decode",
+        "unexpected leader {top:?}"
+    );
+}
+
+#[test]
+fn energy_scales_with_work() {
+    let cfg = base_config();
+    let source = est_source(&cfg);
+    let small = ClusterSimulator::new(cfg.clone(), trace(20, 1.0, 46), source.clone(), 46).run();
+    let large = ClusterSimulator::new(cfg, trace(80, 1.0, 46), source, 46).run();
+    assert!(large.energy_kwh > small.energy_kwh);
+    // Wh per request is of the same magnitude across scales.
+    let ratio = large.energy_wh_per_request / small.energy_wh_per_request;
+    assert!(ratio > 0.3 && ratio < 3.0, "{ratio}");
+}

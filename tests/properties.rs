@@ -1,0 +1,107 @@
+//! Cross-crate property-based tests: simulation conservation laws and
+//! scheduler invariants under randomized request streams.
+
+use proptest::prelude::*;
+use vidur::prelude::*;
+
+fn run_sim(policy: BatchPolicyKind, reqs: &[(u64, u64)], qps: f64, seed: u64) -> SimulationReport {
+    let config = ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        1,
+        SchedulerConfig::new(policy, 32),
+    );
+    let mut rng = SimRng::new(seed);
+    let arrivals = ArrivalProcess::Poisson { qps };
+    let times = arrivals.generate(reqs.len(), &mut rng);
+    let trace = Trace {
+        workload_name: "prop".to_string(),
+        requests: reqs
+            .iter()
+            .zip(times)
+            .enumerate()
+            .map(|(i, (&(p, d), arrival))| TraceRequest {
+                id: i as u64,
+                arrival,
+                prefill_tokens: p,
+                decode_tokens: d,
+            })
+            .collect(),
+    };
+    let est = onboard(
+        &config.model,
+        &config.parallelism,
+        &config.sku,
+        EstimatorKind::default(),
+    );
+    ClusterSimulator::new(config, trace, RuntimeSource::Estimator((*est).clone()), seed).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_requests_complete_and_latencies_ordered(
+        reqs in proptest::collection::vec((1u64..2000, 1u64..300), 1..25),
+        seed in 0u64..1000,
+    ) {
+        for policy in [
+            BatchPolicyKind::Vllm,
+            BatchPolicyKind::SarathiServe { chunk_size: 256 },
+        ] {
+            let report = run_sim(policy, &reqs, 1.0, seed);
+            prop_assert_eq!(report.completed, reqs.len());
+            // Conservation: processed tokens cover at least all prompt +
+            // generated-after-prefill tokens.
+            let min_tokens: u64 = reqs.iter().map(|&(p, d)| p + d - 1).sum();
+            prop_assert!(report.total_tokens >= min_tokens,
+                "{} < {}", report.total_tokens, min_tokens);
+            // Quantile orderings.
+            prop_assert!(report.e2e.p50 <= report.e2e.p95 + 1e-12);
+            prop_assert!(report.ttft.mean <= report.e2e.max + 1e-12);
+            prop_assert!(report.scheduling_delay.p50 <= report.ttft.p50 + 1e-9,
+                "TTFT includes scheduling delay");
+        }
+    }
+
+    #[test]
+    fn throughput_bounded_by_arrival_rate(
+        reqs in proptest::collection::vec((1u64..500, 1u64..50), 5..20),
+        qps in 0.2f64..2.0,
+    ) {
+        let report = run_sim(BatchPolicyKind::OrcaPlus, &reqs, qps, 3);
+        // Completion throughput can't exceed arrival throughput by much
+        // (only by the drain-phase compression of the last requests).
+        prop_assert!(report.throughput_qps <= qps * 3.0 + 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scheduler_never_exceeds_budgets(
+        reqs in proptest::collection::vec((1u64..3000, 1u64..100), 1..40),
+        chunk in prop_oneof![Just(256u64), Just(512), Just(1024)],
+    ) {
+        let config = SchedulerConfig::new(
+            BatchPolicyKind::SarathiServe { chunk_size: chunk }, 16);
+        let mut s = ReplicaScheduler::new(config, 100_000, 16);
+        for (i, &(p, d)) in reqs.iter().enumerate() {
+            s.add_request(Request::new(i as u64, SimTime::ZERO, p, d));
+        }
+        let mut guard = 0;
+        while s.outstanding() > 0 {
+            let Some(batch) = s.next_batch() else { break };
+            prop_assert!(batch.total_query_tokens() <= chunk,
+                "token budget violated: {} > {chunk}", batch.total_query_tokens());
+            prop_assert!(batch.num_requests() <= 16, "batch size violated");
+            s.complete_batch(&batch);
+            guard += 1;
+            prop_assert!(guard < 200_000, "no convergence");
+        }
+        prop_assert_eq!(s.outstanding(), 0);
+        prop_assert_eq!(s.blocks().used_blocks(), 0, "KV fully released");
+    }
+}
