@@ -9,7 +9,12 @@ use vidur_scheduler::{BatchPolicyKind, ReplicaScheduler, Request, SchedulerConfi
 fn drive(policy: BatchPolicyKind, n_requests: u64) -> u64 {
     let mut s = ReplicaScheduler::new(SchedulerConfig::new(policy, 64), 50_000, 16);
     for i in 0..n_requests {
-        s.add_request(Request::new(i, SimTime::ZERO, 200 + (i % 700), 1 + (i % 50)));
+        s.add_request(Request::new(
+            i,
+            SimTime::ZERO,
+            200 + (i % 700),
+            1 + (i % 50),
+        ));
     }
     let mut iters = 0;
     while s.outstanding() > 0 {

@@ -60,8 +60,7 @@ fn main() {
             let exact: f64 = slices
                 .iter()
                 .map(|s| {
-                    let single =
-                        BatchComposition::new(vec![*s]).prefill_equivalent_length();
+                    let single = BatchComposition::new(vec![*s]).prefill_equivalent_length();
                     prefill_time(&oracle, single)
                 })
                 .sum();
@@ -76,7 +75,12 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["prefills in batch", "per-request sum", "equiv-length", "error"],
+        &[
+            "prefills in batch",
+            "per-request sum",
+            "equiv-length",
+            "error",
+        ],
         &rows,
     );
     let mean_abs = rels.iter().map(|r| r.abs()).sum::<f64>() / rels.len() as f64;

@@ -13,9 +13,7 @@ use vidur_hardware::GpuSku;
 use vidur_model::{ModelSpec, ParallelismConfig};
 use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
 use vidur_simulator::cluster::RuntimeSource;
-use vidur_simulator::{
-    onboard, ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator,
-};
+use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator};
 use vidur_workload::{ArrivalProcess, TraceWorkload};
 
 fn main() {

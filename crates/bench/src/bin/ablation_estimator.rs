@@ -93,8 +93,11 @@ fn main() {
         SchedulerConfig::new(BatchPolicyKind::Vllm, 64),
     );
     let mut rng = SimRng::new(55);
-    let trace =
-        TraceWorkload::chat_1m().generate(scale.fidelity_requests, &ArrivalProcess::Static, &mut rng);
+    let trace = TraceWorkload::chat_1m().generate(
+        scale.fidelity_requests,
+        &ArrivalProcess::Static,
+        &mut rng,
+    );
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for kind in kinds {
@@ -107,7 +110,12 @@ fn main() {
             format!("{:+.2}%", rep.err_norm_exec_p50()),
             format!("{:+.2}%", rep.err_norm_exec_p95()),
         ]);
-        results.push((kind.to_string(), mape, rep.err_norm_exec_p50(), rep.err_norm_exec_p95()));
+        results.push((
+            kind.to_string(),
+            mape,
+            rep.err_norm_exec_p50(),
+            rep.err_norm_exec_p95(),
+        ));
     }
     print_markdown_table(
         &["estimator", "op-level MAPE", "e2e err p50", "e2e err p95"],

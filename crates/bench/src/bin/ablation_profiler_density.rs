@@ -25,8 +25,7 @@ fn thinned_mape(keep_every: usize, repeats: u32) -> (usize, f64) {
     // Thin per operator so every operator keeps its endpoints.
     let mut kept: Vec<OpInvocation> = Vec::new();
     for op in full.operators() {
-        let pts: Vec<&OpInvocation> =
-            full.points().iter().filter(|p| p.op == op).collect();
+        let pts: Vec<&OpInvocation> = full.points().iter().filter(|p| p.op == op).collect();
         for (i, p) in pts.iter().enumerate() {
             if i % keep_every == 0 || i == pts.len() - 1 {
                 kept.push(**p);
@@ -87,7 +86,10 @@ fn thinned_mape(keep_every: usize, repeats: u32) -> (usize, f64) {
             errs.push((est.op_time(&inv) - truth).abs() / truth);
         }
     }
-    (n_points, 100.0 * errs.iter().sum::<f64>() / errs.len() as f64)
+    (
+        n_points,
+        100.0 * errs.iter().sum::<f64>() / errs.len() as f64,
+    )
 }
 
 fn main() {
@@ -107,7 +109,12 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["plan density", "repeats", "profiled points", "op-level MAPE"],
+        &[
+            "plan density",
+            "repeats",
+            "profiled points",
+            "op-level MAPE",
+        ],
         &rows,
     );
     println!(

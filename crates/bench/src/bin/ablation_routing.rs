@@ -39,7 +39,9 @@ fn main() {
         for policy in [
             GlobalPolicyKind::RoundRobin,
             GlobalPolicyKind::LeastOutstanding,
-            GlobalPolicyKind::Deferred { max_outstanding: 48 },
+            GlobalPolicyKind::Deferred {
+                max_outstanding: 48,
+            },
         ] {
             let mut config = ClusterConfig::new(
                 model.clone(),

@@ -26,8 +26,7 @@ fn main() {
     let qps = 2.4; // ~80% of the 7B/A100 chat capacity measured by the capacity tests
     let mut rng = SimRng::new(61);
     let n = scale.fidelity_requests * 2;
-    let trace =
-        TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Poisson { qps }, &mut rng);
+    let trace = TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Poisson { qps }, &mut rng);
     let est = onboard(&model, &par, &sku, EstimatorKind::default());
     println!("# Ablation — scheduler comparison (LLaMA2-7B, Chat-1M @ {qps} QPS, {n} requests)\n");
     let mut rows = Vec::new();

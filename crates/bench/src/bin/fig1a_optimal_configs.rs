@@ -48,7 +48,14 @@ fn main() {
     }
     print_markdown_table(
         &[
-            "model", "trace", "SKU", "TP", "PP", "scheduler", "batch", "QPS/$",
+            "model",
+            "trace",
+            "SKU",
+            "TP",
+            "PP",
+            "scheduler",
+            "batch",
+            "QPS/$",
         ],
         &rows,
     );

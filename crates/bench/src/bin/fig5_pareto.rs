@@ -25,8 +25,11 @@ fn main() {
         let evals = &pair.outcome.evaluations;
         println!("# Figure 5 — Pareto frontier: {model} x {trace}\n");
         for (metric_name, metric) in [
-            ("TTFT-P90", &(|e: &vidur_search::ConfigEvaluation| e.ttft_p90)
-                as &dyn Fn(&vidur_search::ConfigEvaluation) -> f64),
+            (
+                "TTFT-P90",
+                &(|e: &vidur_search::ConfigEvaluation| e.ttft_p90)
+                    as &dyn Fn(&vidur_search::ConfigEvaluation) -> f64,
+            ),
             ("TBT-P99", &|e: &vidur_search::ConfigEvaluation| e.tbt_p99),
         ] {
             let frontier = pareto_frontier(evals, metric);

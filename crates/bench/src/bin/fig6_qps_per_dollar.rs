@@ -29,7 +29,12 @@ fn main() {
                 .and_then(|p| p.outcome.best(&slo))
                 .map(|b| format!("{:.4}", b.qps_per_dollar))
                 .unwrap_or_else(|| "-".to_string());
-            results.push((model.to_string(), trace.to_string(), row.len(), cell.clone()));
+            results.push((
+                model.to_string(),
+                trace.to_string(),
+                row.len(),
+                cell.clone(),
+            ));
             row.push(cell);
         }
         rows.push(row);

@@ -16,8 +16,7 @@ fn main() {
         let mut rows = Vec::new();
         for (model, par) in paper_setups() {
             for workload in TraceWorkload::paper_workloads() {
-                let Some(rep) =
-                    fidelity_at_load(&model, par, &workload, frac, &scale, 7_000)
+                let Some(rep) = fidelity_at_load(&model, par, &workload, frac, &scale, 7_000)
                 else {
                     continue;
                 };

@@ -35,7 +35,9 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["model", "trace", "0.75x", "0.80x", "0.85x", "0.90x", "0.95x"],
+        &[
+            "model", "trace", "0.75x", "0.80x", "0.85x", "0.90x", "0.95x",
+        ],
         &rows,
     );
     write_json("fig8_error_trend", &results);

@@ -10,8 +10,14 @@ use vidur_workload::{ArrivalProcess, TraceWorkload, WorkloadStats};
 /// (prefill mean/median/p90, decode mean/median/p90, P:D median).
 const PAPER: [(&str, [f64; 7]); 3] = [
     ("chat-1m", [686.0, 417.0, 1678.0, 197.0, 139.0, 484.0, 2.3]),
-    ("arxiv-4k", [2588.0, 2730.0, 3702.0, 291.0, 167.0, 372.0, 15.7]),
-    ("bwb-4k", [1067.0, 1037.0, 1453.0, 1612.0, 1601.0, 2149.0, 0.65]),
+    (
+        "arxiv-4k",
+        [2588.0, 2730.0, 3702.0, 291.0, 167.0, 372.0, 15.7],
+    ),
+    (
+        "bwb-4k",
+        [1067.0, 1037.0, 1453.0, 1612.0, 1601.0, 2149.0, 0.65],
+    ),
 ];
 
 fn main() {

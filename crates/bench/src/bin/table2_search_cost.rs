@@ -31,11 +31,7 @@ fn main() {
             format!("${:.4}", l.simulation_dollars()),
             format!("{:.0}x", l.savings_factor()),
         ]);
-        results.push((
-            pair.model.clone(),
-            pair.workload.clone(),
-            l.clone(),
-        ));
+        results.push((pair.model.clone(), pair.workload.clone(), l.clone()));
     }
     print_markdown_table(
         &[

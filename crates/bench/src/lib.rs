@@ -35,7 +35,10 @@ pub struct Scale {
 impl Scale {
     /// Reads the scale from the environment.
     pub fn from_env() -> Scale {
-        if std::env::var("VIDUR_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("VIDUR_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale {
                 fidelity_requests: 300,
                 probe_requests: 300,
@@ -151,7 +154,10 @@ mod tests {
         // Smoke: must not panic on ragged rows.
         print_markdown_table(
             &["a", "b"],
-            &[vec!["1".into(), "22".into()], vec!["333".into(), "4".into()]],
+            &[
+                vec!["1".into(), "22".into()],
+                vec!["333".into(), "4".into()],
+            ],
         );
     }
 }
@@ -216,10 +222,12 @@ pub mod dynamic {
         // Ground-truth capacity per (model, workload, seed) is reused across
         // load fractions (Figures 7/8 sweep five fractions per pair).
         type CapacityKey = (String, String, u64);
-        static CAPACITY_CACHE: Mutex<Option<HashMap<CapacityKey, Option<f64>>>> =
-            Mutex::new(None);
+        static CAPACITY_CACHE: Mutex<Option<HashMap<CapacityKey, Option<f64>>>> = Mutex::new(None);
         let key = (model.name.clone(), workload.name.clone(), seed);
-        let cached = CAPACITY_CACHE.lock().as_ref().and_then(|c| c.get(&key).copied());
+        let cached = CAPACITY_CACHE
+            .lock()
+            .as_ref()
+            .and_then(|c| c.get(&key).copied());
         let capacity = match cached {
             Some(c) => c,
             None => {
@@ -291,18 +299,14 @@ pub mod searches {
                     configs.len()
                 );
                 let mut rng = SimRng::new(1_000);
-                let base = workload.generate(
-                    scale.probe_requests,
-                    &ArrivalProcess::Static,
-                    &mut rng,
-                );
+                let base =
+                    workload.generate(scale.probe_requests, &ArrivalProcess::Static, &mut rng);
                 let params = CapacityParams {
                     bisect_iters: scale.bisect_iters,
                     ..CapacityParams::default()
                 };
                 let started = Instant::now();
-                let mut outcome =
-                    run_search(&configs, &base, &params, EstimatorKind::default());
+                let mut outcome = run_search(&configs, &base, &params, EstimatorKind::default());
                 outcome
                     .ledger
                     .add_wall_clock(started.elapsed().as_secs_f64());

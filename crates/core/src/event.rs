@@ -227,6 +227,39 @@ mod tests {
     }
 
     #[test]
+    fn fifo_among_ties_survives_interleaved_pops() {
+        // Tie-break order must hold even when pops interleave with pushes,
+        // which exercises sequence-number ordering across heap reshuffles.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(9);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(t, 2);
+        q.push(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.push(t, 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn fifo_among_ties_with_mixed_times() {
+        // Ties at one timestamp stay FIFO even with other timestamps
+        // interleaved between the pushes.
+        let mut q = EventQueue::new();
+        let tie = SimTime::from_nanos(50);
+        q.push(tie, "a");
+        q.push(SimTime::from_nanos(10), "early");
+        q.push(tie, "b");
+        q.push(SimTime::from_nanos(90), "late");
+        q.push(tie, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!["early", "a", "b", "c", "late"]);
+    }
+
+    #[test]
     fn counters_track_activity() {
         let mut q = EventQueue::new();
         q.push(SimTime::ZERO, ());

@@ -331,7 +331,10 @@ mod tests {
         let b = a + SimDuration::from_millis(500);
         assert!(b > a);
         assert_eq!(b - a, SimDuration::from_millis(500));
-        assert_eq!(b.saturating_duration_since(a), SimDuration::from_millis(500));
+        assert_eq!(
+            b.saturating_duration_since(a),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
     }
 

@@ -28,5 +28,5 @@ pub mod poly;
 pub mod tree;
 
 pub use estimator::{EstimatorKind, RuntimeEstimator};
-pub use forest::{RandomForest, ForestConfig};
+pub use forest::{ForestConfig, RandomForest};
 pub use tree::{RegressionTree, TreeConfig};

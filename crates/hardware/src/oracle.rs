@@ -110,8 +110,7 @@ impl KernelOracle {
     fn pointwise_time(&self, tokens: u64, width: u64) -> f64 {
         // Two reads (input + params/residual) and one write per element.
         let bytes = 3.0 * tokens as f64 * width as f64 * 2.0;
-        bytes / (self.sku.mem_bandwidth * STREAM_EFFICIENCY)
-            + 0.5 * self.sku.kernel_launch_overhead
+        bytes / (self.sku.mem_bandwidth * STREAM_EFFICIENCY) + 0.5 * self.sku.kernel_launch_overhead
     }
 
     fn attn_prefill_time(&self, equiv_len: u64, q_heads: u64, head_dim: u64) -> f64 {
@@ -267,7 +266,11 @@ mod tests {
         let truth = o.op_time(&inv);
         let n = 200;
         let mean: f64 = (0..n).map(|_| o.measure(&inv, &mut rng)).sum::<f64>() / n as f64;
-        assert!((mean / truth - 1.0).abs() < 0.01, "mean/truth {}", mean / truth);
+        assert!(
+            (mean / truth - 1.0).abs() < 0.01,
+            "mean/truth {}",
+            mean / truth
+        );
     }
 
     #[test]
@@ -317,7 +320,10 @@ mod tests {
             let plan = ExecutionPlan::build(&model, &ParallelismConfig::new(4, 1), &batch);
             o.stage_time(&plan, 0)
         };
-        assert!(tp4 < serial_model_time, "tp4={tp4} serial={serial_model_time}");
+        assert!(
+            tp4 < serial_model_time,
+            "tp4={tp4} serial={serial_model_time}"
+        );
         assert!(
             tp4 > serial_model_time / 4.0,
             "comm overhead must make TP sublinear: tp4={tp4} serial={serial_model_time}"

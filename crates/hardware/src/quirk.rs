@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn quirk_is_deterministic() {
-        assert_eq!(quirk_factor("qkv_proj", 512.0), quirk_factor("qkv_proj", 512.0));
+        assert_eq!(
+            quirk_factor("qkv_proj", 512.0),
+            quirk_factor("qkv_proj", 512.0)
+        );
     }
 
     #[test]
@@ -78,7 +81,10 @@ mod tests {
     fn nearby_sizes_share_bucket() {
         // Buckets span a 2^(1/4) ≈ 19% size range: 900 and 1000 both fall in
         // the [2^9.75, 2^10) bucket.
-        assert_eq!(quirk_factor("attn_decode", 900.0), quirk_factor("attn_decode", 1000.0));
+        assert_eq!(
+            quirk_factor("attn_decode", 900.0),
+            quirk_factor("attn_decode", 1000.0)
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl BatchComposition {
     ///
     /// Panics if `slices` is empty: schedulers never emit empty batches.
     pub fn new(slices: Vec<RequestSlice>) -> Self {
-        assert!(!slices.is_empty(), "a batch must contain at least one slice");
+        assert!(
+            !slices.is_empty(),
+            "a batch must contain at least one slice"
+        );
         BatchComposition { slices }
     }
 
@@ -140,7 +143,10 @@ impl BatchComposition {
     /// Total KV-cache tokens resident for the batch's requests after the
     /// iteration completes (used by the memory manager / metrics).
     pub fn kv_tokens_after(&self) -> u64 {
-        self.slices.iter().map(|s| s.cached_tokens + s.query_tokens).sum()
+        self.slices
+            .iter()
+            .map(|s| s.cached_tokens + s.query_tokens)
+            .sum()
     }
 }
 
@@ -181,16 +187,7 @@ impl ExecutionPlan {
         // Per-layer invocations shared by every stage.
         let mut layer_ops: Vec<OpInvocation> = Vec::with_capacity(18);
         let mm = |op, k, n| OpInvocation::new(op, OpInput::Matmul { m: tokens, k, n }, layers);
-        let pw = |op, width| {
-            OpInvocation::new(
-                op,
-                OpInput::Pointwise {
-                    tokens,
-                    width,
-                },
-                layers,
-            )
-        };
+        let pw = |op, width| OpInvocation::new(op, OpInput::Pointwise { tokens, width }, layers);
         layer_ops.push(pw(Operator::InputNorm, d));
         layer_ops.push(mm(Operator::QkvProj, d, q_dim + 2 * kv_dim));
         layer_ops.push(pw(Operator::Rope, q_dim + kv_dim));
@@ -429,10 +426,7 @@ mod tests {
         for s in 0..3 {
             assert!(plan.stage(s).iter().any(|inv| inv.op == Operator::SendRecv));
         }
-        assert!(plan
-            .stage(3)
-            .iter()
-            .all(|inv| inv.op != Operator::SendRecv));
+        assert!(plan.stage(3).iter().all(|inv| inv.op != Operator::SendRecv));
         // Embedding on the first stage only, LM head on the last only.
         assert!(plan.stage(0).iter().any(|i| i.op == Operator::Embedding));
         assert!(plan.stage(3).iter().any(|i| i.op == Operator::LmHead));
@@ -468,10 +462,7 @@ mod tests {
         let model = ModelSpec::llama2_70b();
         let par = ParallelismConfig::new(4, 1);
         let plan = ExecutionPlan::build(&model, &par, &sample_batch());
-        let mlp_up = plan
-            .iter()
-            .find(|i| i.op == Operator::MlpUpProj)
-            .unwrap();
+        let mlp_up = plan.iter().find(|i| i.op == Operator::MlpUpProj).unwrap();
         match mlp_up.input {
             OpInput::Matmul { m, k, n } => {
                 assert_eq!(m, sample_batch().total_query_tokens());

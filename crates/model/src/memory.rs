@@ -151,10 +151,8 @@ mod tests {
     #[test]
     fn qwen_has_less_kv_capacity_than_llama70b() {
         let par = ParallelismConfig::new(4, 1);
-        let qwen =
-            MemoryPlan::compute(&ModelSpec::qwen_72b(), &par, 80.0 * GB, 16).unwrap();
-        let llama =
-            MemoryPlan::compute(&ModelSpec::llama2_70b(), &par, 80.0 * GB, 16).unwrap();
+        let qwen = MemoryPlan::compute(&ModelSpec::qwen_72b(), &par, 80.0 * GB, 16).unwrap();
+        let llama = MemoryPlan::compute(&ModelSpec::llama2_70b(), &par, 80.0 * GB, 16).unwrap();
         // MHA means 8x KV bytes/token, so far fewer tokens fit.
         assert!(
             qwen.max_tokens() < llama.max_tokens() / 4,

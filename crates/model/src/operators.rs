@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn matmul_set() {
-        let matmuls: Vec<Operator> = Operator::ALL.into_iter().filter(|o| o.is_matmul()).collect();
+        let matmuls: Vec<Operator> = Operator::ALL
+            .into_iter()
+            .filter(|o| o.is_matmul())
+            .collect();
         assert_eq!(matmuls.len(), 6);
         assert!(matmuls.contains(&Operator::LmHead));
         assert!(!Operator::AttnPrefill.is_matmul());
@@ -285,10 +288,7 @@ mod tests {
 
     #[test]
     fn features_extracted() {
-        assert_eq!(
-            OpInput::Matmul { m: 7, k: 1, n: 1 }.feature(),
-            7.0
-        );
+        assert_eq!(OpInput::Matmul { m: 7, k: 1, n: 1 }.feature(), 7.0);
         assert_eq!(
             OpInput::AttentionDecode {
                 kv_bytes: 1024,

@@ -66,11 +66,7 @@ mod tests {
 
     #[test]
     fn invocation_time_multiplies_count() {
-        let inv = OpInvocation::new(
-            Operator::QkvProj,
-            OpInput::Matmul { m: 1, k: 1, n: 1 },
-            32,
-        );
+        let inv = OpInvocation::new(Operator::QkvProj, OpInput::Matmul { m: 1, k: 1, n: 1 }, 32);
         assert!((Flat.invocation_time(&inv) - 32e-6).abs() < 1e-12);
     }
 
@@ -90,7 +86,10 @@ mod tests {
         let boxed: Box<dyn RuntimePredictor> = Box::new(Flat);
         let inv = OpInvocation::new(
             Operator::Rope,
-            OpInput::Pointwise { tokens: 1, width: 1 },
+            OpInput::Pointwise {
+                tokens: 1,
+                width: 1,
+            },
             2,
         );
         assert_eq!(boxed.op_time(&inv), 1e-6);

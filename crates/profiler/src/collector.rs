@@ -143,8 +143,7 @@ mod tests {
 
     #[test]
     fn std_dev_reflects_noise() {
-        let collector =
-            ProfileCollector::with_repeats(KernelOracle::new(GpuSku::a100_80g()), 20);
+        let collector = ProfileCollector::with_repeats(KernelOracle::new(GpuSku::a100_80g()), 20);
         let mut rng = SimRng::new(11);
         let table = collector.collect(&small_plan(), &mut rng);
         let noisy = table

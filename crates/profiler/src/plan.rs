@@ -281,10 +281,8 @@ mod tests {
 
     #[test]
     fn plan_covers_all_op_classes() {
-        let plan = ProfilingPlan::for_model(
-            &ModelSpec::llama2_70b(),
-            &ParallelismConfig::new(4, 1),
-        );
+        let plan =
+            ProfilingPlan::for_model(&ModelSpec::llama2_70b(), &ParallelismConfig::new(4, 1));
         let ops = plan.operators();
         assert!(ops.contains(&Operator::QkvProj));
         assert!(ops.contains(&Operator::AttnPrefill));

@@ -55,7 +55,11 @@ pub struct ProfileTable {
 
 impl ProfileTable {
     /// Creates an empty table for a profiling context.
-    pub fn new(model_name: impl Into<String>, tensor_parallel: u32, sku_name: impl Into<String>) -> Self {
+    pub fn new(
+        model_name: impl Into<String>,
+        tensor_parallel: u32,
+        sku_name: impl Into<String>,
+    ) -> Self {
         ProfileTable {
             model_name: model_name.into(),
             tensor_parallel,
@@ -151,7 +155,11 @@ mod tests {
         t.push(Operator::Rope, point(1.0));
         t.push(Operator::Rope, point(3.0));
         t.sort();
-        let feats: Vec<f64> = t.points_for(Operator::Rope).iter().map(|p| p.feature).collect();
+        let feats: Vec<f64> = t
+            .points_for(Operator::Rope)
+            .iter()
+            .map(|p| p.feature)
+            .collect();
         assert_eq!(feats, vec![1.0, 3.0, 5.0]);
     }
 

@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn deferred_holds_under_load() {
-        let mut g = GlobalPolicy::new(
-            GlobalPolicyKind::Deferred { max_outstanding: 4 },
-            2,
-            0,
-        );
+        let mut g = GlobalPolicy::new(GlobalPolicyKind::Deferred { max_outstanding: 4 }, 2, 0);
         // Both replicas saturated: defer.
         assert_eq!(g.try_route(&[4, 5]), None);
         // One frees up: bind to it.
@@ -181,11 +177,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "always route")]
     fn route_panics_for_deferred_when_full() {
-        let mut g = GlobalPolicy::new(
-            GlobalPolicyKind::Deferred { max_outstanding: 1 },
-            1,
-            0,
-        );
+        let mut g = GlobalPolicy::new(GlobalPolicyKind::Deferred { max_outstanding: 1 }, 1, 0);
         g.route(&[5]);
     }
 

@@ -175,7 +175,7 @@ mod tests {
         let mut m = BlockManager::new(10, 16, 0.2);
         assert!(m.try_reserve(1, 16 * 8)); // 8 blocks: leaves 2 => ok
         assert!(!m.try_reserve(2, 16)); // would leave 1 < watermark
-        // But decode growth can dip into the watermark.
+                                        // But decode growth can dip into the watermark.
         assert!(m.try_grow(1, 16 * 9));
         assert_eq!(m.free_blocks(), 1);
         assert!(m.try_grow(1, 16 * 10));

@@ -197,8 +197,7 @@ mod tests {
             find_capacity(&config(), &base_trace(150), &params, &oracle(), &mut ledger).unwrap();
         let mut c2 = config();
         c2.num_replicas = 2;
-        let double =
-            find_capacity(&c2, &base_trace(150), &params, &oracle(), &mut ledger).unwrap();
+        let double = find_capacity(&c2, &base_trace(150), &params, &oracle(), &mut ledger).unwrap();
         // With a 150-request probe the P99-delay constraint is still noisy
         // (one Poisson burst moves the frontier), so require a clear win
         // rather than exactly 2x.
@@ -226,6 +225,10 @@ mod tests {
             / trace.len() as f64;
         let result = find_capacity(&config(), &trace, &params, &oracle(), &mut ledger).unwrap();
         let bound = flops_upper_bound_qps(&config(), mean_tokens);
-        assert!(result.capacity_qps < bound, "{} < {bound}", result.capacity_qps);
+        assert!(
+            result.capacity_qps < bound,
+            "{} < {bound}",
+            result.capacity_qps
+        );
     }
 }

@@ -140,10 +140,15 @@ mod tests {
     fn offline_search_ranks_by_makespan() {
         let (evals, ledger) = run_offline_search(&configs(), &job(30), EstimatorKind::default(), 1);
         assert_eq!(evals.len(), 3);
-        assert!(evals.windows(2).all(|w| w[0].makespan_secs <= w[1].makespan_secs));
+        assert!(evals
+            .windows(2)
+            .all(|w| w[0].makespan_secs <= w[1].makespan_secs));
         assert_eq!(ledger.runs(), 3);
         // Two replicas must drain faster than one on the same SKU/scheduler.
-        let one = evals.iter().find(|e| e.label.contains("/r1") && e.label.contains("a100")).unwrap();
+        let one = evals
+            .iter()
+            .find(|e| e.label.contains("/r1") && e.label.contains("a100"))
+            .unwrap();
         let two = evals.iter().find(|e| e.label.contains("/r2")).unwrap();
         assert!(two.makespan_secs < one.makespan_secs);
     }

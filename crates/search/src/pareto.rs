@@ -86,10 +86,10 @@ mod tests {
     #[test]
     fn frontier_excludes_dominated() {
         let evals = vec![
-            eval("a", 1.0, 1.0, 0.1),  // frontier: cheapest latency
-            eval("b", 2.0, 2.0, 0.1),  // frontier: better qpd at higher lat
-            eval("c", 1.5, 3.0, 0.1),  // dominated by b (worse both)
-            eval("d", 3.0, 4.0, 0.1),  // frontier
+            eval("a", 1.0, 1.0, 0.1), // frontier: cheapest latency
+            eval("b", 2.0, 2.0, 0.1), // frontier: better qpd at higher lat
+            eval("c", 1.5, 3.0, 0.1), // dominated by b (worse both)
+            eval("d", 3.0, 4.0, 0.1), // frontier
         ];
         let f = pareto_frontier(&evals, |e| e.ttft_p90);
         let labels: Vec<&str> = f.iter().map(|&i| evals[i].label.as_str()).collect();

@@ -102,8 +102,7 @@ pub fn evaluate_config(
     let eval = result.map(|r| ConfigEvaluation {
         label: config.label(),
         capacity_qps: r.capacity_qps * config.num_replicas as f64,
-        qps_per_dollar: r.capacity_qps * config.num_replicas as f64
-            / config.dollars_per_hour(),
+        qps_per_dollar: r.capacity_qps * config.num_replicas as f64 / config.dollars_per_hour(),
         ttft_p90: r.report_at_capacity.ttft.p90,
         tbt_p99: r.report_at_capacity.tbt.p99,
         sched_delay_p99: r.report_at_capacity.scheduling_delay.p99,

@@ -108,7 +108,9 @@ mod tests {
 
     #[test]
     fn paper_space_size_is_hundreds() {
-        let n = SearchSpace::paper().enumerate(&ModelSpec::llama2_7b()).len();
+        let n = SearchSpace::paper()
+            .enumerate(&ModelSpec::llama2_7b())
+            .len();
         assert!(n > 100, "{n}");
         assert!(n < 2_000, "{n}");
     }
@@ -117,9 +119,7 @@ mod tests {
     fn enumeration_filters_memory_misfits() {
         let configs = SearchSpace::paper().enumerate(&ModelSpec::llama2_70b());
         // 70B cannot run at TP1-PP1 on one 80 GB GPU.
-        assert!(configs
-            .iter()
-            .all(|c| c.parallelism.gpus_per_replica() > 1));
+        assert!(configs.iter().all(|c| c.parallelism.gpus_per_replica() > 1));
         assert!(!configs.is_empty());
     }
 

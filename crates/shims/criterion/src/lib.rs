@@ -1,0 +1,196 @@
+//! Minimal stand-in for the `criterion` benchmark harness (the build has no
+//! network access). Keeps the same API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`) but measures
+//! with a simple best-of-N wall-clock loop and prints one line per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration workload size (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count (ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement window (ignored by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `id` within the group.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure with an input within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Converts into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Per-iteration workload size hint.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of a few runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up, then best-of-3 — enough for a smoke-level signal
+        // without criterion's statistical machinery.
+        black_box(f());
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            if self.best.map(|b| elapsed < b).unwrap_or(true) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.best {
+        Some(d) => println!("bench: {label:<60} {d:>12.3?}"),
+        None => println!("bench: {label:<60} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,56 +1,24 @@
 //! The event-driven cluster simulator.
 //!
 //! Events: request arrivals, replica wake-ups (stage 0 freed), and batch
-//! completions. Each replica greedily forms batches whenever its first
-//! pipeline stage is free; per-stage execution times come from the runtime
-//! predictor, and the pipeline tracker resolves stage contention (bubbles
-//! included). With PP > 1, several disjoint microbatches are in flight per
-//! replica, which is exactly the paper's synchronous pipeline-parallel
-//! policy (§4.5).
+//! completions. Batch formation, stage timing, and completion bookkeeping
+//! live in the shared [`engine`](crate::engine); this module contributes the
+//! aggregated-cluster policy: a [`GlobalPolicy`] router with stateful
+//! deferred dispatch (paper §4.5) and per-batch HBM-traffic pricing for MBU.
+//! With PP > 1, several disjoint microbatches are in flight per replica,
+//! which is exactly the paper's synchronous pipeline-parallel policy (§4.5).
 
 use crate::config::ClusterConfig;
-use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
-use std::collections::{HashMap, VecDeque};
-use vidur_core::event::{self, EventQueue, Simulation};
-use vidur_core::rng::SimRng;
-use vidur_core::time::{SimDuration, SimTime};
-use vidur_estimator::RuntimeEstimator;
-use vidur_hardware::KernelOracle;
-use vidur_model::batch::{BatchComposition, ExecutionPlan};
-use vidur_model::runtime::RuntimePredictor;
-use vidur_scheduler::{
-    GlobalPolicy, PipelineTracker, ReplicaScheduler, Request,
-};
+use crate::engine::{self, BatchEngine, EngineReplica};
+use crate::metrics::SimulationReport;
+use std::collections::VecDeque;
+use vidur_core::event::{EventQueue, Simulation};
+use vidur_core::time::SimTime;
+use vidur_model::batch::BatchComposition;
+use vidur_scheduler::{GlobalPolicy, Request};
 use vidur_workload::Trace;
 
-/// Where batch runtimes come from.
-///
-/// `Oracle` is this repo's stand-in for the real testbed: ground-truth
-/// analytical kernel times **plus stochastic CPU-overhead jitter** (real
-/// serving systems exhibit framework hiccups; the paper attributes the 7B
-/// model's elevated error to exactly this). `Estimator` is Vidur proper:
-/// trained runtime models and a constant nominal CPU overhead.
-#[derive(Debug, Clone)]
-pub enum RuntimeSource {
-    /// Ground truth with jittered CPU overhead (the paper's "Real").
-    Oracle(KernelOracle),
-    /// Trained estimator with nominal CPU overhead (the paper's
-    /// "Predicted").
-    Estimator(RuntimeEstimator),
-}
-
-impl RuntimeSource {
-    fn op_source(&self) -> &dyn RuntimePredictor {
-        match self {
-            RuntimeSource::Oracle(o) => o,
-            RuntimeSource::Estimator(e) => e,
-        }
-    }
-
-    fn jitters(&self) -> bool {
-        matches!(self, RuntimeSource::Oracle(_))
-    }
-}
+pub use crate::engine::RuntimeSource;
 
 /// Simulator event payload (public only because the `Simulation` trait
 /// exposes the associated event type; not constructible outside this crate).
@@ -65,29 +33,16 @@ pub enum SimEvent {
     BatchComplete(u32, u64),
 }
 
-struct ReplicaState {
-    scheduler: ReplicaScheduler,
-    pipeline: PipelineTracker,
-    /// Earliest pending wakeup (dedupes Wakeup events).
-    wakeup_at: Option<SimTime>,
-}
-
 /// The cluster simulator. Construct with [`ClusterSimulator::new`], run with
 /// [`ClusterSimulator::run`].
 pub struct ClusterSimulator {
     config: ClusterConfig,
-    source: RuntimeSource,
     trace: Trace,
-    replicas: Vec<ReplicaState>,
+    engine: BatchEngine,
+    replicas: Vec<EngineReplica>,
     router: GlobalPolicy,
-    metrics: MetricsCollector,
-    inflight: HashMap<u64, (u32, BatchComposition)>,
     /// Requests held back by a deferring global policy (trace indices).
     deferred: VecDeque<u32>,
-    next_batch_id: u64,
-    rng: SimRng,
-    deadline: Option<SimTime>,
-    deadline_hit: bool,
 }
 
 impl std::fmt::Debug for ClusterSimulator {
@@ -95,9 +50,19 @@ impl std::fmt::Debug for ClusterSimulator {
         f.debug_struct("ClusterSimulator")
             .field("config", &self.config.label())
             .field("trace_len", &self.trace.len())
-            .field("inflight", &self.inflight.len())
+            .field("inflight", &self.engine.inflight_len())
             .finish()
     }
+}
+
+/// Approximate HBM traffic of one batch iteration (for MBU): every device
+/// streams its resident weights once, plus KV reads/writes.
+fn batch_bytes(config: &ClusterConfig, batch: &BatchComposition) -> f64 {
+    let weights = config.parallelism.weight_bytes_per_device(&config.model)
+        * config.parallelism.gpus_per_replica() as f64;
+    let kv_read = batch.decode_kv_read_tokens() as f64 * config.model.kv_bytes_per_token() as f64;
+    let kv_write = batch.total_query_tokens() as f64 * config.model.kv_bytes_per_token() as f64;
+    weights + kv_read + kv_write
 }
 
 impl ClusterSimulator {
@@ -112,36 +77,16 @@ impl ClusterSimulator {
         let plan = config
             .memory_plan()
             .expect("configuration cannot host the model");
-        let num_stages = config.parallelism.pipeline_parallel as usize;
-        let replicas = (0..config.num_replicas)
-            .map(|_| ReplicaState {
-                scheduler: ReplicaScheduler::new(
-                    config.scheduler,
-                    plan.num_kv_blocks,
-                    config.block_size,
-                ),
-                pipeline: PipelineTracker::new(num_stages),
-                wakeup_at: None,
-            })
-            .collect();
+        let replicas = EngineReplica::pool(&config, &plan, config.num_replicas);
         let router = GlobalPolicy::new(config.global_policy, config.num_replicas, seed ^ 0x9E37);
-        let mut metrics = MetricsCollector::new(config.num_replicas);
-        if let Some(la) = config.late_abort {
-            metrics.set_late_limit(la.delay_limit_secs);
-        }
+        let engine = BatchEngine::new(&config, source, seed, config.num_replicas);
         ClusterSimulator {
-            deadline: config.max_sim_time,
             config,
-            source,
             trace,
+            engine,
             replicas,
             router,
-            metrics,
-            inflight: HashMap::new(),
             deferred: VecDeque::new(),
-            next_batch_id: 0,
-            rng: SimRng::new(seed),
-            deadline_hit: false,
         }
     }
 
@@ -149,62 +94,14 @@ impl ClusterSimulator {
     /// configured time cap reached, or the event budget exhausted) and
     /// returns the report.
     pub fn run(mut self) -> SimulationReport {
-        let mut queue = EventQueue::new();
-        for (i, req) in self.trace.requests.iter().enumerate() {
-            queue.push(req.arrival, SimEvent::Arrival(i as u32));
-        }
-        // Generous budget: ~40 events per request-token would be absurd;
-        // batching means a few events per iteration.
-        let max_events = 200_000_000u64;
-        event::run(&mut self, &mut queue, max_events);
-        self.finish()
-    }
-
-    fn finish(self) -> SimulationReport {
-        let preemptions: u64 = self.replicas.iter().map(|r| r.scheduler.preemptions()).sum();
-        let gpus = self.config.total_gpus() as f64;
-        self.metrics.into_report(
+        let arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
+        engine::drive(&mut self, arrivals);
+        self.engine.finish(
             self.trace.len(),
-            self.config.sku.peak_fp16_flops * gpus,
-            self.config.sku.mem_bandwidth * gpus,
-            preemptions,
-            PowerSpec {
-                tdp_watts: self.config.sku.tdp_watts,
-                idle_watts: self.config.sku.idle_watts,
-                total_gpus: self.config.total_gpus(),
-            },
+            &self.config.sku,
+            self.config.total_gpus(),
+            self.replicas.iter(),
         )
-    }
-
-    /// Per-iteration CPU/framework overhead in seconds.
-    fn cpu_overhead(&mut self) -> f64 {
-        let base = self.config.cpu_overhead;
-        if self.source.jitters() {
-            // Log-normal wiggle plus rare multi-millisecond hiccups — the
-            // part of the real system a simulator cannot predict.
-            let mut t = base * self.rng.log_normal(0.0, 0.25);
-            if self.rng.bernoulli(0.02) {
-                t += self.rng.exponential(1.0 / 2.0e-3);
-            }
-            t
-        } else {
-            base
-        }
-    }
-
-    /// Approximate HBM traffic of one batch iteration (for MBU): every
-    /// device streams its resident weights once, plus KV reads/writes.
-    fn batch_bytes(&self, batch: &BatchComposition) -> f64 {
-        let weights = self
-            .config
-            .parallelism
-            .weight_bytes_per_device(&self.config.model)
-            * self.config.parallelism.gpus_per_replica() as f64;
-        let kv_read = batch.decode_kv_read_tokens() as f64
-            * self.config.model.kv_bytes_per_token() as f64;
-        let kv_write = batch.total_query_tokens() as f64
-            * self.config.model.kv_bytes_per_token() as f64;
-        weights + kv_read + kv_write
     }
 
     /// Asks the global policy for a placement given current replica loads.
@@ -218,7 +115,13 @@ impl ClusterSimulator {
     }
 
     /// Binds trace request `idx` to `target` and kicks its scheduler.
-    fn dispatch(&mut self, idx: u32, target: usize, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+    fn dispatch(
+        &mut self,
+        idx: u32,
+        target: usize,
+        now: SimTime,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
         let tr = self.trace.requests[idx as usize];
         self.replicas[target].scheduler.add_request(Request::new(
             tr.id,
@@ -244,74 +147,17 @@ impl ClusterSimulator {
     }
 
     fn try_schedule(&mut self, replica: u32, now: SimTime, queue: &mut EventQueue<SimEvent>) {
-        loop {
-            let r = replica as usize;
-            let free_at = self.replicas[r].pipeline.stage0_free_at();
-            if free_at > now {
-                // Busy: wake up when stage 0 frees (dedupe identical wakeups).
-                let need = match self.replicas[r].wakeup_at {
-                    Some(at) => at > free_at,
-                    None => true,
-                };
-                if need {
-                    self.replicas[r].wakeup_at = Some(free_at);
-                    queue.push(free_at, SimEvent::Wakeup(replica));
-                }
-                return;
-            }
-            let Some(batch) = self.replicas[r].scheduler.next_batch() else {
-                return;
-            };
-            let plan = ExecutionPlan::build(&self.config.model, &self.config.parallelism, &batch);
-            // Per-stage times with per-operator attribution (paper §5.2's
-            // operator-level metrics come for free from this loop).
-            let predictor = self.source.op_source();
-            let mut stage_secs: Vec<f64> = Vec::with_capacity(plan.num_stages());
-            let mut op_acc: Vec<(vidur_model::Operator, f64)> = Vec::with_capacity(20);
-            let async_comm = self.config.async_pipeline_comm;
-            for stage in 0..plan.num_stages() {
-                let mut total = 0.0;
-                for inv in plan.stage(stage) {
-                    let t = predictor.invocation_time(inv);
-                    op_acc.push((inv.op, t));
-                    // Async stage scheduling hides inter-stage send/recv
-                    // behind compute; the transfer still happens (energy,
-                    // op metrics) but leaves the stage's critical path.
-                    if async_comm && inv.op == vidur_model::Operator::SendRecv {
-                        continue;
-                    }
-                    total += t;
-                }
-                stage_secs.push(total);
-            }
-            for (op, t) in op_acc {
-                self.metrics.on_op_time(op, t);
-            }
-            stage_secs[0] += self.cpu_overhead();
-            let tp_gpus = self.config.parallelism.tensor_parallel as f64;
-            self.metrics
-                .on_gpu_busy(stage_secs.iter().sum::<f64>() * tp_gpus);
-            let durations: Vec<SimDuration> = stage_secs
-                .iter()
-                .map(|&s| SimDuration::from_secs_f64(s.max(0.0)))
-                .collect();
-            let completion = self.replicas[r].pipeline.schedule(now, &durations);
-            let bytes = self.batch_bytes(&batch);
-            self.metrics
-                .on_batch_scheduled(now, &batch, plan.model_flops(), bytes);
-            self.metrics.on_kv_sample(
-                r,
-                now,
-                self.replicas[r].scheduler.blocks().utilization(),
-            );
-            let id = self.next_batch_id;
-            self.next_batch_id += 1;
-            self.inflight.insert(id, (replica, batch));
-            queue.push(completion, SimEvent::BatchComplete(replica, id));
-            // Loop: with PP, stage 0 may free before completion, allowing
-            // another microbatch now-ish; the next loop iteration either
-            // schedules it or arms a wakeup.
-        }
+        let r = replica as usize;
+        let config = &self.config;
+        self.engine.try_schedule(
+            &mut self.replicas[r],
+            r,
+            now,
+            queue,
+            |batch| batch_bytes(config, batch),
+            || SimEvent::Wakeup(replica),
+            |id| SimEvent::BatchComplete(replica, id),
+        );
     }
 }
 
@@ -319,39 +165,30 @@ impl Simulation for ClusterSimulator {
     type Event = SimEvent;
 
     fn handle(&mut self, now: SimTime, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
-        if let Some(deadline) = self.deadline {
-            if now > deadline {
-                self.deadline_hit = true;
-                return;
-            }
+        if self.engine.deadline_exceeded(now) {
+            return;
         }
         match event {
             SimEvent::Arrival(idx) => {
                 let tr = self.trace.requests[idx as usize];
-                self.metrics.on_arrival(tr.id, now, tr.decode_tokens);
+                self.engine.metrics.on_arrival(tr.id, now, tr.decode_tokens);
                 match self.route_one() {
                     Some(target) => self.dispatch(idx, target, now, queue),
                     None => self.deferred.push_back(idx),
                 }
             }
             SimEvent::Wakeup(replica) => {
-                self.replicas[replica as usize].wakeup_at = None;
+                self.replicas[replica as usize].clear_wakeup();
                 self.try_schedule(replica, now, queue);
             }
             SimEvent::BatchComplete(replica, id) => {
-                let (_, batch) = self
-                    .inflight
-                    .remove(&id)
-                    .expect("unknown in-flight batch");
-                let events = self.replicas[replica as usize]
-                    .scheduler
-                    .complete_batch(&batch);
-                self.metrics.on_batch_complete(now, &events);
-                self.metrics.on_kv_sample(
+                let events = self.engine.retire_batch(
+                    &mut self.replicas[replica as usize],
                     replica as usize,
+                    id,
                     now,
-                    self.replicas[replica as usize].scheduler.blocks().utilization(),
                 );
+                self.engine.metrics.on_batch_complete(now, &events);
                 self.drain_deferred(now, queue);
                 self.try_schedule(replica, now, queue);
             }
@@ -359,22 +196,16 @@ impl Simulation for ClusterSimulator {
     }
 
     fn is_done(&self) -> bool {
-        if self.deadline_hit || self.metrics.completed() == self.trace.len() {
-            return true;
-        }
-        if let Some(la) = self.config.late_abort {
-            if self.metrics.late_count() > la.max_late {
-                return true;
-            }
-        }
-        false
+        self.engine.halted(self.trace.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vidur_hardware::GpuSku;
+    use vidur_core::rng::SimRng;
+    use vidur_core::time::SimTime;
+    use vidur_hardware::{GpuSku, KernelOracle};
     use vidur_model::{ModelSpec, ParallelismConfig};
     use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
     use vidur_workload::{ArrivalProcess, TraceWorkload};
@@ -454,8 +285,8 @@ mod tests {
     fn multi_replica_spreads_load() {
         let mut c = config(BatchPolicyKind::Vllm);
         c.num_replicas = 1;
-        let single = ClusterSimulator::new(c.clone(), small_trace(80, 3.0, 4), oracle_source(), 4)
-            .run();
+        let single =
+            ClusterSimulator::new(c.clone(), small_trace(80, 3.0, 4), oracle_source(), 4).run();
         c.num_replicas = 4;
         let quad = ClusterSimulator::new(c, small_trace(80, 3.0, 4), oracle_source(), 4).run();
         assert!(
@@ -490,8 +321,7 @@ mod tests {
         let mut c = config(BatchPolicyKind::Vllm);
         c.num_replicas = 2;
         c.global_policy = vidur_scheduler::GlobalPolicyKind::Deferred { max_outstanding: 4 };
-        let report =
-            ClusterSimulator::new(c, small_trace(60, 3.0, 8), oracle_source(), 8).run();
+        let report = ClusterSimulator::new(c, small_trace(60, 3.0, 8), oracle_source(), 8).run();
         assert_eq!(report.completed, 60, "deferred requests must all drain");
     }
 

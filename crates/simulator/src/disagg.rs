@@ -10,23 +10,23 @@
 //! decode batches are never paused or diluted by incoming prompts — at the
 //! price of the transfer latency and a static pool split.
 //!
-//! Both pools reuse the ordinary [`ReplicaScheduler`]; the prefill pool
-//! registers requests with `decode_tokens = 1` (the prefill iteration
-//! produces the first token, as in Splitwise), and the decode pool admits
-//! them via [`ReplicaScheduler::add_remote_prefilled`].
+//! Batch formation and stage timing come from the shared
+//! [`engine`](crate::engine); this module contributes only the disaggregated
+//! policy: pool topology, round-robin prefill placement, least-loaded decode
+//! admission, and the KV transfer hop. Both pools reuse the ordinary
+//! [`vidur_scheduler::ReplicaScheduler`]; the prefill pool registers
+//! requests with `decode_tokens = 1` (the prefill iteration produces the
+//! first token, as in Splitwise), and the decode pool admits them via
+//! [`vidur_scheduler::ReplicaScheduler::add_remote_prefilled`].
 
 use crate::config::ClusterConfig;
-use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
-use crate::cluster::RuntimeSource;
+use crate::engine::{self, BatchEngine, EngineReplica, RuntimeSource};
+use crate::metrics::SimulationReport;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use vidur_core::event::{self, EventQueue, Simulation};
-use vidur_core::rng::SimRng;
+use vidur_core::event::{EventQueue, Simulation};
 use vidur_core::time::{SimDuration, SimTime};
-use vidur_model::batch::{BatchComposition, ExecutionPlan};
-use vidur_model::runtime::RuntimePredictor;
 use vidur_scheduler::replica::CompletionEvent;
-use vidur_scheduler::{PipelineTracker, ReplicaScheduler, Request};
+use vidur_scheduler::Request;
 use vidur_workload::Trace;
 
 /// Disaggregated deployment description.
@@ -34,6 +34,13 @@ use vidur_workload::Trace;
 pub struct DisaggConfig {
     /// Shared model / SKU / parallelism / scheduler settings
     /// (`base.num_replicas` is ignored — pool sizes below apply).
+    ///
+    /// Since both simulators run on the shared engine, `base.late_abort`
+    /// and `base.async_pipeline_comm` now apply to disaggregated runs too
+    /// (the pre-engine `DisaggSimulator` silently ignored them). Both
+    /// default off; clear them when reusing a capacity-search config —
+    /// those carry a `late_abort` guardrail — if full-drain semantics are
+    /// required.
     pub base: ClusterConfig,
     /// Replicas dedicated to prefill.
     pub prefill_replicas: usize,
@@ -104,27 +111,28 @@ pub enum Pool {
     Decode,
 }
 
-struct PoolReplica {
-    scheduler: ReplicaScheduler,
-    pipeline: PipelineTracker,
-    wakeup_at: Option<SimTime>,
+/// Selects the replica vector for `pool`. A free function over the two
+/// fields (rather than a `&mut self` method) so the engine borrow stays
+/// split from the pool borrow at call sites.
+fn pool_mut<'a>(
+    prefill: &'a mut Vec<EngineReplica>,
+    decode: &'a mut Vec<EngineReplica>,
+    pool: Pool,
+) -> &'a mut Vec<EngineReplica> {
+    match pool {
+        Pool::Prefill => prefill,
+        Pool::Decode => decode,
+    }
 }
 
 /// Event-driven simulator for a disaggregated deployment.
 pub struct DisaggSimulator {
     config: DisaggConfig,
-    source: RuntimeSource,
     trace: Trace,
-    prefill: Vec<PoolReplica>,
-    decode: Vec<PoolReplica>,
-    metrics: MetricsCollector,
-    inflight: HashMap<u64, (Pool, u32, BatchComposition)>,
-    next_batch_id: u64,
-    rng: SimRng,
+    engine: BatchEngine,
+    prefill: Vec<EngineReplica>,
+    decode: Vec<EngineReplica>,
     rr_prefill: usize,
-    completed_target: usize,
-    deadline: Option<SimTime>,
-    deadline_hit: bool,
 }
 
 impl std::fmt::Debug for DisaggSimulator {
@@ -148,73 +156,34 @@ impl DisaggSimulator {
             .base
             .memory_plan()
             .expect("configuration cannot host the model");
-        let stages = config.base.parallelism.pipeline_parallel as usize;
-        let mk_pool = |n: usize| {
-            (0..n)
-                .map(|_| PoolReplica {
-                    scheduler: ReplicaScheduler::new(
-                        config.base.scheduler,
-                        plan.num_kv_blocks,
-                        config.base.block_size,
-                    ),
-                    pipeline: PipelineTracker::new(stages),
-                    wakeup_at: None,
-                })
-                .collect::<Vec<_>>()
-        };
-        let prefill = mk_pool(config.prefill_replicas);
-        let decode = mk_pool(config.decode_replicas);
-        let metrics = MetricsCollector::new(config.prefill_replicas + config.decode_replicas);
-        DisaggSimulator {
-            completed_target: trace.len(),
-            deadline: config.base.max_sim_time,
-            config,
+        let prefill = EngineReplica::pool(&config.base, &plan, config.prefill_replicas);
+        let decode = EngineReplica::pool(&config.base, &plan, config.decode_replicas);
+        let engine = BatchEngine::new(
+            &config.base,
             source,
+            seed,
+            config.prefill_replicas + config.decode_replicas,
+        );
+        DisaggSimulator {
+            config,
             trace,
+            engine,
             prefill,
             decode,
-            metrics,
-            inflight: HashMap::new(),
-            next_batch_id: 0,
-            rng: SimRng::new(seed),
             rr_prefill: 0,
-            deadline_hit: false,
         }
     }
 
     /// Runs to completion and returns the report.
     pub fn run(mut self) -> SimulationReport {
-        let mut queue = EventQueue::new();
-        for (i, req) in self.trace.requests.iter().enumerate() {
-            queue.push(req.arrival, DisaggEvent::Arrival(i as u32));
-        }
-        event::run(&mut self, &mut queue, 200_000_000);
-        let preempt: u64 = self
-            .prefill
-            .iter()
-            .chain(self.decode.iter())
-            .map(|r| r.scheduler.preemptions())
-            .sum();
-        let gpus = self.config.total_gpus() as f64;
-        let sku = &self.config.base.sku;
-        self.metrics.into_report(
+        let arrivals = engine::trace_arrivals(&self.trace, DisaggEvent::Arrival);
+        engine::drive(&mut self, arrivals);
+        self.engine.finish(
             self.trace.len(),
-            sku.peak_fp16_flops * gpus,
-            sku.mem_bandwidth * gpus,
-            preempt,
-            PowerSpec {
-                tdp_watts: sku.tdp_watts,
-                idle_watts: sku.idle_watts,
-                total_gpus: self.config.total_gpus(),
-            },
+            &self.config.base.sku,
+            self.config.total_gpus(),
+            self.prefill.iter().chain(self.decode.iter()),
         )
-    }
-
-    fn pool_mut(&mut self, pool: Pool) -> &mut Vec<PoolReplica> {
-        match pool {
-            Pool::Prefill => &mut self.prefill,
-            Pool::Decode => &mut self.decode,
-        }
     }
 
     fn metrics_replica_index(&self, pool: Pool, replica: u32) -> usize {
@@ -224,73 +193,26 @@ impl DisaggSimulator {
         }
     }
 
-    fn cpu_overhead(&mut self) -> f64 {
-        let base = self.config.base.cpu_overhead;
-        if matches!(self.source, RuntimeSource::Oracle(_)) {
-            let mut t = base * self.rng.log_normal(0.0, 0.25);
-            if self.rng.bernoulli(0.02) {
-                t += self.rng.exponential(1.0 / 2.0e-3);
-            }
-            t
-        } else {
-            base
-        }
-    }
-
-    fn try_schedule(&mut self, pool: Pool, replica: u32, now: SimTime, queue: &mut EventQueue<DisaggEvent>) {
-        loop {
-            let r = replica as usize;
-            let free_at = self.pool_mut(pool)[r].pipeline.stage0_free_at();
-            if free_at > now {
-                let state = &mut self.pool_mut(pool)[r];
-                let need = state.wakeup_at.is_none_or(|at| at > free_at);
-                if need {
-                    state.wakeup_at = Some(free_at);
-                    queue.push(free_at, DisaggEvent::Wakeup(pool, replica));
-                }
-                return;
-            }
-            let Some(batch) = self.pool_mut(pool)[r].scheduler.next_batch() else {
-                return;
-            };
-            let plan =
-                ExecutionPlan::build(&self.config.base.model, &self.config.base.parallelism, &batch);
-            let predictor: &dyn RuntimePredictor = match &self.source {
-                RuntimeSource::Oracle(o) => o,
-                RuntimeSource::Estimator(e) => e,
-            };
-            let mut stage_secs: Vec<f64> = Vec::with_capacity(plan.num_stages());
-            let mut op_acc: Vec<(vidur_model::Operator, f64)> = Vec::with_capacity(20);
-            for stage in 0..plan.num_stages() {
-                let mut total = 0.0;
-                for inv in plan.stage(stage) {
-                    let t = predictor.invocation_time(inv);
-                    op_acc.push((inv.op, t));
-                    total += t;
-                }
-                stage_secs.push(total);
-            }
-            for (op, t) in op_acc {
-                self.metrics.on_op_time(op, t);
-            }
-            stage_secs[0] += self.cpu_overhead();
-            let durations: Vec<SimDuration> = stage_secs
-                .iter()
-                .map(|&s| SimDuration::from_secs_f64(s.max(0.0)))
-                .collect();
-            let tp = self.config.base.parallelism.tensor_parallel as f64;
-            let gpu_secs = stage_secs.iter().sum::<f64>() * tp;
-            let completion = self.pool_mut(pool)[r].pipeline.schedule(now, &durations);
-            self.metrics.on_batch_scheduled(now, &batch, plan.model_flops(), 0.0);
-            self.metrics.on_gpu_busy(gpu_secs);
-            let kv_util = self.pool_mut(pool)[r].scheduler.blocks().utilization();
-            let idx = self.metrics_replica_index(pool, replica);
-            self.metrics.on_kv_sample(idx, now, kv_util);
-            let id = self.next_batch_id;
-            self.next_batch_id += 1;
-            self.inflight.insert(id, (pool, replica, batch));
-            queue.push(completion, DisaggEvent::BatchComplete(pool, replica, id));
-        }
+    fn try_schedule(
+        &mut self,
+        pool: Pool,
+        replica: u32,
+        now: SimTime,
+        queue: &mut EventQueue<DisaggEvent>,
+    ) {
+        let metrics_idx = self.metrics_replica_index(pool, replica);
+        let pool_replicas = pool_mut(&mut self.prefill, &mut self.decode, pool);
+        self.engine.try_schedule(
+            &mut pool_replicas[replica as usize],
+            metrics_idx,
+            now,
+            queue,
+            // Disaggregated MBU accounting is not modeled yet; batches carry
+            // no HBM-traffic estimate (matches the pre-engine behavior).
+            |_batch| 0.0,
+            || DisaggEvent::Wakeup(pool, replica),
+            |id| DisaggEvent::BatchComplete(pool, replica, id),
+        );
     }
 
     /// Maps prefill-pool completion events to the request's real lifecycle:
@@ -317,7 +239,7 @@ impl DisaggSimulator {
             }
             translated.push(t);
         }
-        self.metrics.on_batch_complete(now, &translated);
+        self.engine.metrics.on_batch_complete(now, &translated);
     }
 }
 
@@ -325,16 +247,13 @@ impl Simulation for DisaggSimulator {
     type Event = DisaggEvent;
 
     fn handle(&mut self, now: SimTime, event: DisaggEvent, queue: &mut EventQueue<DisaggEvent>) {
-        if let Some(deadline) = self.deadline {
-            if now > deadline {
-                self.deadline_hit = true;
-                return;
-            }
+        if self.engine.deadline_exceeded(now) {
+            return;
         }
         match event {
             DisaggEvent::Arrival(idx) => {
                 let tr = self.trace.requests[idx as usize];
-                self.metrics.on_arrival(tr.id, now, tr.decode_tokens);
+                self.engine.metrics.on_arrival(tr.id, now, tr.decode_tokens);
                 // Round-robin over prefill replicas; the request "finishes"
                 // there after one output token.
                 let target = self.rr_prefill % self.prefill.len();
@@ -360,29 +279,30 @@ impl Simulation for DisaggSimulator {
                 self.try_schedule(Pool::Decode, target as u32, now, queue);
             }
             DisaggEvent::Wakeup(pool, replica) => {
-                self.pool_mut(pool)[replica as usize].wakeup_at = None;
+                pool_mut(&mut self.prefill, &mut self.decode, pool)[replica as usize]
+                    .clear_wakeup();
                 self.try_schedule(pool, replica, now, queue);
             }
             DisaggEvent::BatchComplete(pool, replica, id) => {
-                let (_, _, batch) = self.inflight.remove(&id).expect("unknown batch");
-                let events = self.pool_mut(pool)[replica as usize]
-                    .scheduler
-                    .complete_batch(&batch);
+                let metrics_idx = self.metrics_replica_index(pool, replica);
+                let pool_replicas = pool_mut(&mut self.prefill, &mut self.decode, pool);
+                let events = self.engine.retire_batch(
+                    &mut pool_replicas[replica as usize],
+                    metrics_idx,
+                    id,
+                    now,
+                );
                 match pool {
                     Pool::Prefill => self.handle_prefill_events(now, &events, queue),
-                    Pool::Decode => self.metrics.on_batch_complete(now, &events),
+                    Pool::Decode => self.engine.metrics.on_batch_complete(now, &events),
                 }
-                let kv_util =
-                    self.pool_mut(pool)[replica as usize].scheduler.blocks().utilization();
-                let idx = self.metrics_replica_index(pool, replica);
-                self.metrics.on_kv_sample(idx, now, kv_util);
                 self.try_schedule(pool, replica, now, queue);
             }
         }
     }
 
     fn is_done(&self) -> bool {
-        self.deadline_hit || self.metrics.completed() == self.completed_target
+        self.engine.halted(self.trace.len())
     }
 }
 
@@ -390,6 +310,7 @@ impl Simulation for DisaggSimulator {
 mod tests {
     use super::*;
     use crate::cluster::ClusterSimulator;
+    use vidur_core::rng::SimRng;
     use vidur_hardware::{GpuSku, KernelOracle};
     use vidur_model::{ModelSpec, ParallelismConfig};
     use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
@@ -426,8 +347,13 @@ mod tests {
     #[test]
     fn disagg_deterministic() {
         let run = || {
-            DisaggSimulator::new(DisaggConfig::new(base(), 1, 1), trace(30, 2.0, 2), oracle(), 2)
-                .run()
+            DisaggSimulator::new(
+                DisaggConfig::new(base(), 1, 1),
+                trace(30, 2.0, 2),
+                oracle(),
+                2,
+            )
+            .run()
         };
         assert_eq!(run(), run());
     }
@@ -441,8 +367,7 @@ mod tests {
         let mut agg_cfg = base();
         agg_cfg.num_replicas = 2;
         let agg = ClusterSimulator::new(agg_cfg, t.clone(), oracle(), 3).run();
-        let disagg =
-            DisaggSimulator::new(DisaggConfig::new(base(), 1, 1), t, oracle(), 3).run();
+        let disagg = DisaggSimulator::new(DisaggConfig::new(base(), 1, 1), t, oracle(), 3).run();
         assert_eq!(disagg.completed, 120);
         assert!(
             disagg.tbt.p99 < agg.tbt.p99,
@@ -475,5 +400,47 @@ mod tests {
     #[should_panic(expected = "both pools")]
     fn empty_pool_rejected() {
         DisaggConfig::new(base(), 0, 1);
+    }
+
+    #[test]
+    fn base_async_pipeline_comm_applies_to_disagg() {
+        // The shared engine honors `base.async_pipeline_comm` for
+        // disaggregated runs (the pre-engine simulator ignored it); hiding
+        // SendRecv behind compute must shorten a PP>1 run.
+        let mut b = base();
+        b.parallelism = ParallelismConfig::new(1, 4);
+        // Static arrivals keep the run compute-bound so the SendRecv saving
+        // is visible in the makespan (as in the cluster-side twin test).
+        let mut rng = SimRng::new(6);
+        let t = TraceWorkload::chat_1m().generate(30, &ArrivalProcess::Static, &mut rng);
+        let sync =
+            DisaggSimulator::new(DisaggConfig::new(b.clone(), 1, 1), t.clone(), oracle(), 6).run();
+        b.async_pipeline_comm = true;
+        let asynch = DisaggSimulator::new(DisaggConfig::new(b, 1, 1), t, oracle(), 6).run();
+        assert_eq!(asynch.completed, 30);
+        assert!(
+            asynch.makespan_secs < sync.makespan_secs,
+            "hiding send/recv must help: {} vs {}",
+            asynch.makespan_secs,
+            sync.makespan_secs
+        );
+    }
+
+    #[test]
+    fn base_late_abort_applies_to_disagg() {
+        // The shared engine honors `base.late_abort` for disaggregated runs
+        // (the pre-engine simulator ignored it); an overloaded run must now
+        // trip the guardrail instead of draining.
+        let mut b = base();
+        b.late_abort = Some(crate::config::LateAbort {
+            delay_limit_secs: 0.05,
+            max_late: 3,
+        });
+        let cfg = DisaggConfig::new(b, 1, 1);
+        let report = DisaggSimulator::new(cfg, trace(400, 50.0, 5), oracle(), 5).run();
+        assert!(
+            report.completed < 400,
+            "late-abort guardrail must stop an overloaded disagg run"
+        );
     }
 }

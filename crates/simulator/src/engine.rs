@@ -1,0 +1,384 @@
+//! The shared event-driven batch-execution engine.
+//!
+//! [`ClusterSimulator`](crate::cluster::ClusterSimulator) and
+//! [`DisaggSimulator`](crate::disagg::DisaggSimulator) are the same machine
+//! wearing different routing policies: requests arrive, replicas greedily
+//! form batches whenever pipeline stage 0 is free, per-stage execution times
+//! come from a [`RuntimePredictor`], and completions retire requests and wake
+//! the replica. This module hoists that machinery — replica wake-up
+//! deduplication, batch formation and timing, CPU-overhead jitter, in-flight
+//! batch tracking, metrics flushes, and the report assembly — so each
+//! concrete simulator implements only its policy delta (global routing,
+//! pool topology, KV handoff) on top of [`vidur_core::event::Simulation`]
+//! and is driven through [`vidur_core::event::run`].
+//!
+//! Future backends (pipeline variants, hybrid pools) should build on
+//! [`BatchEngine`] the same way: own the engine plus a set of
+//! [`EngineReplica`]s, translate engine callbacks into their own event type,
+//! and keep policy state next to it.
+
+use crate::config::{ClusterConfig, LateAbort};
+use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
+use std::collections::HashMap;
+use std::fmt;
+use vidur_core::event::{self, EventQueue, Simulation};
+use vidur_core::rng::SimRng;
+use vidur_core::time::{SimDuration, SimTime};
+use vidur_estimator::RuntimeEstimator;
+use vidur_hardware::{GpuSku, KernelOracle};
+use vidur_model::batch::{BatchComposition, ExecutionPlan};
+use vidur_model::memory::MemoryPlan;
+use vidur_model::runtime::RuntimePredictor;
+use vidur_model::{ModelSpec, Operator, ParallelismConfig};
+use vidur_scheduler::replica::CompletionEvent;
+use vidur_scheduler::{PipelineTracker, ReplicaScheduler};
+
+/// Event budget for one simulation run. Generous: batching means a few
+/// events per iteration, so real runs finish far below this.
+pub const MAX_EVENTS: u64 = 200_000_000;
+
+/// Where batch runtimes come from.
+///
+/// `Oracle` is this repo's stand-in for the real testbed: ground-truth
+/// analytical kernel times **plus stochastic CPU-overhead jitter** (real
+/// serving systems exhibit framework hiccups; the paper attributes the 7B
+/// model's elevated error to exactly this). `Estimator` is Vidur proper:
+/// trained runtime models and a constant nominal CPU overhead.
+#[derive(Debug, Clone)]
+pub enum RuntimeSource {
+    /// Ground truth with jittered CPU overhead (the paper's "Real").
+    Oracle(KernelOracle),
+    /// Trained estimator with nominal CPU overhead (the paper's
+    /// "Predicted").
+    Estimator(RuntimeEstimator),
+}
+
+impl RuntimeSource {
+    fn op_source(&self) -> &dyn RuntimePredictor {
+        match self {
+            RuntimeSource::Oracle(o) => o,
+            RuntimeSource::Estimator(e) => e,
+        }
+    }
+
+    fn jitters(&self) -> bool {
+        matches!(self, RuntimeSource::Oracle(_))
+    }
+}
+
+/// One replica's scheduling state: its batch scheduler, pipeline-stage
+/// tracker, and the earliest pending wake-up (dedupes `Wakeup` events).
+#[derive(Debug)]
+pub struct EngineReplica {
+    /// Batch formation and KV block accounting.
+    pub scheduler: ReplicaScheduler,
+    /// Pipeline-stage occupancy (resolves stage contention and bubbles).
+    pub pipeline: PipelineTracker,
+    wakeup_at: Option<SimTime>,
+}
+
+impl EngineReplica {
+    /// Builds one replica for `config` with the KV capacity from `plan`.
+    pub fn new(config: &ClusterConfig, plan: &MemoryPlan) -> Self {
+        EngineReplica {
+            scheduler: ReplicaScheduler::new(
+                config.scheduler,
+                plan.num_kv_blocks,
+                config.block_size,
+            ),
+            pipeline: PipelineTracker::new(config.parallelism.pipeline_parallel as usize),
+            wakeup_at: None,
+        }
+    }
+
+    /// Builds a pool of `n` identical replicas.
+    pub fn pool(config: &ClusterConfig, plan: &MemoryPlan, n: usize) -> Vec<Self> {
+        (0..n).map(|_| EngineReplica::new(config, plan)).collect()
+    }
+
+    /// Clears the pending wake-up marker (call when handling its event).
+    pub fn clear_wakeup(&mut self) {
+        self.wakeup_at = None;
+    }
+}
+
+/// The policy-free core of an event-driven serving simulation.
+///
+/// Owns everything both simulators used to duplicate: the runtime source,
+/// the metrics collector, the deterministic RNG behind CPU-overhead jitter,
+/// the in-flight batch table, and the stop conditions (deadline, late-abort).
+/// Concrete simulators call [`BatchEngine::try_schedule`] whenever a replica
+/// might make progress and [`BatchEngine::retire_batch`] when a batch
+/// completion event fires.
+pub struct BatchEngine {
+    /// Metrics sink shared by the engine and the policy layer (arrivals and
+    /// completion events are policy-specific, so simulators record those).
+    pub metrics: MetricsCollector,
+    source: RuntimeSource,
+    rng: SimRng,
+    model: ModelSpec,
+    parallelism: ParallelismConfig,
+    cpu_overhead: f64,
+    async_pipeline_comm: bool,
+    inflight: HashMap<u64, BatchComposition>,
+    next_batch_id: u64,
+    deadline: Option<SimTime>,
+    deadline_hit: bool,
+    late_abort: Option<LateAbort>,
+}
+
+impl fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("inflight", &self.inflight.len())
+            .field("next_batch_id", &self.next_batch_id)
+            .field("deadline_hit", &self.deadline_hit)
+            .finish()
+    }
+}
+
+impl BatchEngine {
+    /// Builds the engine for `config` with `metrics_replicas` KV-utilization
+    /// series (aggregated clusters use one per replica; disaggregated ones,
+    /// one per pool member).
+    pub fn new(
+        config: &ClusterConfig,
+        source: RuntimeSource,
+        seed: u64,
+        metrics_replicas: usize,
+    ) -> Self {
+        let mut metrics = MetricsCollector::new(metrics_replicas);
+        if let Some(la) = config.late_abort {
+            metrics.set_late_limit(la.delay_limit_secs);
+        }
+        BatchEngine {
+            metrics,
+            source,
+            rng: SimRng::new(seed),
+            model: config.model.clone(),
+            parallelism: config.parallelism,
+            cpu_overhead: config.cpu_overhead,
+            async_pipeline_comm: config.async_pipeline_comm,
+            inflight: HashMap::new(),
+            next_batch_id: 0,
+            deadline: config.max_sim_time,
+            deadline_hit: false,
+            late_abort: config.late_abort,
+        }
+    }
+
+    /// Number of batches currently executing.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Latches and reports the deadline: call at the top of every event
+    /// handler; once `now` passes the configured cap the handler should drop
+    /// the event, and [`BatchEngine::halted`] reports done.
+    pub fn deadline_exceeded(&mut self, now: SimTime) -> bool {
+        if let Some(deadline) = self.deadline {
+            if now > deadline {
+                self.deadline_hit = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Engine-level stop condition: deadline hit, all `target` requests
+    /// completed, or the late-abort guardrail tripped. Policy layers may OR
+    /// in their own conditions.
+    pub fn halted(&self, target: usize) -> bool {
+        if self.deadline_hit || self.metrics.completed() == target {
+            return true;
+        }
+        if let Some(la) = self.late_abort {
+            if self.metrics.late_count() > la.max_late {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Per-iteration CPU/framework overhead in seconds.
+    ///
+    /// The oracle source adds a log-normal wiggle plus rare multi-millisecond
+    /// hiccups — the part of the real system a simulator cannot predict; the
+    /// estimator source uses the constant nominal overhead.
+    fn cpu_overhead(&mut self) -> f64 {
+        let base = self.cpu_overhead;
+        if self.source.jitters() {
+            let mut t = base * self.rng.log_normal(0.0, 0.25);
+            if self.rng.bernoulli(0.02) {
+                t += self.rng.exponential(1.0 / 2.0e-3);
+            }
+            t
+        } else {
+            base
+        }
+    }
+
+    /// Greedily forms and launches batches on `replica` while its first
+    /// pipeline stage is free; arms a deduplicated wake-up otherwise.
+    ///
+    /// `bytes_of` prices one batch iteration's HBM traffic for MBU
+    /// accounting. `wakeup` and `complete` construct the caller's event
+    /// payloads; the engine itself schedules them on `queue`. The handler
+    /// for the `wakeup()` event must call
+    /// [`EngineReplica::clear_wakeup`] and re-enter `try_schedule` for this
+    /// replica; the handler for `complete(id)` must route the finished
+    /// batch id back into [`BatchEngine::retire_batch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_schedule<E>(
+        &mut self,
+        replica: &mut EngineReplica,
+        metrics_idx: usize,
+        now: SimTime,
+        queue: &mut EventQueue<E>,
+        bytes_of: impl Fn(&BatchComposition) -> f64,
+        wakeup: impl Fn() -> E,
+        complete: impl Fn(u64) -> E,
+    ) {
+        loop {
+            let free_at = replica.pipeline.stage0_free_at();
+            if free_at > now {
+                // Busy: wake up when stage 0 frees (dedupe identical wakeups).
+                let need = replica.wakeup_at.is_none_or(|at| at > free_at);
+                if need {
+                    replica.wakeup_at = Some(free_at);
+                    queue.push(free_at, wakeup());
+                }
+                return;
+            }
+            let Some(batch) = replica.scheduler.next_batch() else {
+                return;
+            };
+            let plan = ExecutionPlan::build(&self.model, &self.parallelism, &batch);
+            // Per-stage times with per-operator attribution (paper §5.2's
+            // operator-level metrics come for free from this loop).
+            let predictor = self.source.op_source();
+            let mut stage_secs: Vec<f64> = Vec::with_capacity(plan.num_stages());
+            let mut op_acc: Vec<(Operator, f64)> = Vec::with_capacity(20);
+            for stage in 0..plan.num_stages() {
+                let mut total = 0.0;
+                for inv in plan.stage(stage) {
+                    let t = predictor.invocation_time(inv);
+                    op_acc.push((inv.op, t));
+                    // Async stage scheduling hides inter-stage send/recv
+                    // behind compute; the transfer still happens (energy,
+                    // op metrics) but leaves the stage's critical path.
+                    if self.async_pipeline_comm && inv.op == Operator::SendRecv {
+                        continue;
+                    }
+                    total += t;
+                }
+                stage_secs.push(total);
+            }
+            for (op, t) in op_acc {
+                self.metrics.on_op_time(op, t);
+            }
+            stage_secs[0] += self.cpu_overhead();
+            let tp_gpus = self.parallelism.tensor_parallel as f64;
+            self.metrics
+                .on_gpu_busy(stage_secs.iter().sum::<f64>() * tp_gpus);
+            let durations: Vec<SimDuration> = stage_secs
+                .iter()
+                .map(|&s| SimDuration::from_secs_f64(s.max(0.0)))
+                .collect();
+            let completion = replica.pipeline.schedule(now, &durations);
+            let bytes = bytes_of(&batch);
+            self.metrics
+                .on_batch_scheduled(now, &batch, plan.model_flops(), bytes);
+            self.metrics
+                .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
+            let id = self.next_batch_id;
+            self.next_batch_id += 1;
+            self.inflight.insert(id, batch);
+            queue.push(completion, complete(id));
+            // Loop: with PP, stage 0 may free before completion, allowing
+            // another microbatch now-ish; the next loop iteration either
+            // schedules it or arms a wakeup.
+        }
+    }
+
+    /// Pops finished batch `id`, retires it on `replica`'s scheduler, and
+    /// samples KV utilization. Returns the per-request completion events for
+    /// the policy layer to translate (e.g. disaggregated prefill handoff)
+    /// and record via `metrics.on_batch_complete`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in flight, which would indicate a simulator bug.
+    pub fn retire_batch(
+        &mut self,
+        replica: &mut EngineReplica,
+        metrics_idx: usize,
+        id: u64,
+        now: SimTime,
+    ) -> Vec<CompletionEvent> {
+        let batch = self.inflight.remove(&id).expect("unknown in-flight batch");
+        let events = replica.scheduler.complete_batch(&batch);
+        self.metrics
+            .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
+        events
+    }
+
+    /// Consumes the engine and assembles the final [`SimulationReport`],
+    /// summing preemptions over the backend's replicas.
+    pub fn finish<'r>(
+        self,
+        trace_len: usize,
+        sku: &GpuSku,
+        total_gpus: u32,
+        replicas: impl Iterator<Item = &'r EngineReplica>,
+    ) -> SimulationReport {
+        let preemptions = replicas.map(|r| r.scheduler.preemptions()).sum();
+        self.into_report(trace_len, sku, total_gpus, preemptions)
+    }
+
+    /// Consumes the engine and assembles the final [`SimulationReport`].
+    pub fn into_report(
+        self,
+        trace_len: usize,
+        sku: &GpuSku,
+        total_gpus: u32,
+        preemptions: u64,
+    ) -> SimulationReport {
+        let gpus = total_gpus as f64;
+        self.metrics.into_report(
+            trace_len,
+            sku.peak_fp16_flops * gpus,
+            sku.mem_bandwidth * gpus,
+            preemptions,
+            PowerSpec {
+                tdp_watts: sku.tdp_watts,
+                idle_watts: sku.idle_watts,
+                total_gpus,
+            },
+        )
+    }
+}
+
+/// Translates a trace into arrival events via `mk` (taking the trace index).
+pub fn trace_arrivals<E>(
+    trace: &vidur_workload::Trace,
+    mk: impl Fn(u32) -> E,
+) -> Vec<(SimTime, E)> {
+    trace
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(i, req)| (req.arrival, mk(i as u32)))
+        .collect()
+}
+
+/// Seeds an event queue with `arrivals` and runs `sim` to completion through
+/// the shared [`vidur_core::event::run`] driver. Returns the last processed
+/// timestamp and the number of events processed.
+pub fn drive<S: Simulation>(sim: &mut S, arrivals: Vec<(SimTime, S::Event)>) -> (SimTime, u64) {
+    let mut queue = EventQueue::new();
+    for (time, event) in arrivals {
+        queue.push(time, event);
+    }
+    event::run(sim, &mut queue, MAX_EVENTS)
+}

@@ -40,12 +40,18 @@ impl FidelityReport {
 
     /// Error on median normalized end-to-end latency (Fig. 4a metric).
     pub fn err_norm_e2e_p50(&self) -> f64 {
-        Self::pct(self.real.normalized_e2e.p50, self.predicted.normalized_e2e.p50)
+        Self::pct(
+            self.real.normalized_e2e.p50,
+            self.predicted.normalized_e2e.p50,
+        )
     }
 
     /// Error on P95 normalized end-to-end latency (Fig. 4b metric).
     pub fn err_norm_e2e_p95(&self) -> f64 {
-        Self::pct(self.real.normalized_e2e.p95, self.predicted.normalized_e2e.p95)
+        Self::pct(
+            self.real.normalized_e2e.p95,
+            self.predicted.normalized_e2e.p95,
+        )
     }
 
     /// Error on median normalized execution latency (Fig. 3a metric).

@@ -13,7 +13,10 @@
 //! module packages that comparison.
 //!
 //! * [`config`] — cluster/deployment configuration;
-//! * [`cluster`] — the event-driven simulator;
+//! * [`engine`] — the shared batch-execution engine both simulators (and
+//!   future backends) plug their policies into;
+//! * [`cluster`] — the event-driven aggregated-cluster simulator;
+//! * [`disagg`] — the prefill/decode-disaggregated simulator;
 //! * [`metrics`] — request- and cluster-level reports (TTFT, TBT,
 //!   normalized latency, MFU, MBU, KV utilization);
 //! * [`onboarding`] — the model-onboarding pipeline (profile → train) with a
@@ -26,13 +29,15 @@
 pub mod cluster;
 pub mod config;
 pub mod disagg;
+pub mod engine;
 pub mod fidelity;
 pub mod metrics;
 pub mod onboarding;
 
-pub use cluster::{ClusterSimulator, RuntimeSource};
-pub use disagg::{DisaggConfig, DisaggSimulator};
+pub use cluster::ClusterSimulator;
 pub use config::ClusterConfig;
-pub use fidelity::{FidelityReport, run_fidelity_pair};
+pub use disagg::{DisaggConfig, DisaggSimulator};
+pub use engine::{BatchEngine, EngineReplica, RuntimeSource};
+pub use fidelity::{run_fidelity_pair, FidelityReport};
 pub use metrics::{DigestSummary, SimulationReport};
 pub use onboarding::onboard;

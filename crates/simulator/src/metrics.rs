@@ -190,7 +190,13 @@ impl MetricsCollector {
     }
 
     /// Marks requests in a freshly scheduled batch and accounts batch work.
-    pub fn on_batch_scheduled(&mut self, now: SimTime, batch: &BatchComposition, flops: f64, bytes: f64) {
+    pub fn on_batch_scheduled(
+        &mut self,
+        now: SimTime,
+        batch: &BatchComposition,
+        flops: f64,
+        bytes: f64,
+    ) {
         self.total_batches += 1;
         self.total_tokens += batch.total_query_tokens();
         self.total_batch_requests += batch.num_requests() as u64;
@@ -308,8 +314,7 @@ impl MetricsCollector {
             .filter(|(_, &secs)| secs > 0.0)
             .map(|(op, &secs)| (op.id().to_string(), secs))
             .collect();
-        operator_time_breakdown
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
+        operator_time_breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
         SimulationReport {
             num_requests,
             completed: self.completed,

@@ -127,9 +127,6 @@ mod tests {
     #[test]
     fn median_accessor() {
         assert_eq!(LengthDistribution::Fixed { value: 9 }.median(), 9.0);
-        assert_eq!(
-            LengthDistribution::log_normal(100.0, 300.0).median(),
-            100.0
-        );
+        assert_eq!(LengthDistribution::log_normal(100.0, 300.0).median(), 100.0);
     }
 }

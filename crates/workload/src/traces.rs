@@ -282,8 +282,16 @@ mod tests {
     #[test]
     fn deterministic_generation() {
         let w = TraceWorkload::chat_1m();
-        let t1 = w.generate(20, &ArrivalProcess::Poisson { qps: 5.0 }, &mut SimRng::new(9));
-        let t2 = w.generate(20, &ArrivalProcess::Poisson { qps: 5.0 }, &mut SimRng::new(9));
+        let t1 = w.generate(
+            20,
+            &ArrivalProcess::Poisson { qps: 5.0 },
+            &mut SimRng::new(9),
+        );
+        let t2 = w.generate(
+            20,
+            &ArrivalProcess::Poisson { qps: 5.0 },
+            &mut SimRng::new(9),
+        );
         assert_eq!(t1, t2);
     }
 }

@@ -49,7 +49,10 @@ fn main() {
         );
     }
     if let (Some(fastest), Some(cheapest)) = (evals.first(), best_by_cost(&evals)) {
-        println!("\nfastest : {} ({:.0} s)", fastest.label, fastest.makespan_secs);
+        println!(
+            "\nfastest : {} ({:.0} s)",
+            fastest.label, fastest.makespan_secs
+        );
         println!(
             "cheapest: {} (${:.2})",
             cheapest.label, cheapest.cost_dollars

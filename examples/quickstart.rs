@@ -45,19 +45,25 @@ fn main() {
     println!("onboarded  : {} operators", est.operators().count());
 
     // 4. Simulate and report.
-    let report = ClusterSimulator::new(
-        config,
-        trace,
-        RuntimeSource::Estimator((*est).clone()),
-        42,
-    )
-    .run();
+    let report =
+        ClusterSimulator::new(config, trace, RuntimeSource::Estimator((*est).clone()), 42).run();
     println!();
-    println!("completed        : {}/{}", report.completed, report.num_requests);
+    println!(
+        "completed        : {}/{}",
+        report.completed, report.num_requests
+    );
     println!("makespan         : {:.1} s", report.makespan_secs);
     println!("throughput       : {:.2} QPS", report.throughput_qps);
-    println!("TTFT    p50/p90  : {:.0} / {:.0} ms", report.ttft.p50 * 1e3, report.ttft.p90 * 1e3);
-    println!("TBT     p50/p99  : {:.0} / {:.0} ms", report.tbt.p50 * 1e3, report.tbt.p99 * 1e3);
+    println!(
+        "TTFT    p50/p90  : {:.0} / {:.0} ms",
+        report.ttft.p50 * 1e3,
+        report.ttft.p90 * 1e3
+    );
+    println!(
+        "TBT     p50/p99  : {:.0} / {:.0} ms",
+        report.tbt.p50 * 1e3,
+        report.tbt.p99 * 1e3
+    );
     println!(
         "norm. latency p50: {:.1} ms/token",
         report.normalized_e2e.p50 * 1e3
@@ -65,6 +71,8 @@ fn main() {
     println!("MFU              : {:.1} %", report.mfu * 100.0);
     println!("MBU              : {:.1} %", report.mbu * 100.0);
     println!("KV utilization   : {:.1} %", report.kv_utilization * 100.0);
-    println!("batches          : {} (mean {:.1} reqs, {:.0} tokens)",
-        report.total_batches, report.mean_batch_size, report.mean_batch_tokens);
+    println!(
+        "batches          : {} (mean {:.1} reqs, {:.0} tokens)",
+        report.total_batches, report.mean_batch_size, report.mean_batch_tokens
+    );
 }

@@ -48,7 +48,10 @@ fn main() {
 
     for (name, trace) in [("BWB-4K (translation)", &bwb), ("Chat-1M (chat)", &chat)] {
         println!("\nLLaMA2-70B, TP4, Sarathi-512 — workload: {name}");
-        println!("{:<10} {:>6} {:>12} {:>10}", "SKU", "batch", "QPS/$", "KV util");
+        println!(
+            "{:<10} {:>6} {:>12} {:>10}",
+            "SKU", "batch", "QPS/$", "KV util"
+        );
         for sku in [GpuSku::a100_80g(), GpuSku::h100_80g()] {
             for batch in [32, 64, 256] {
                 match evaluate(&model, sku.clone(), batch, trace) {

@@ -121,8 +121,7 @@ fn cmd_workloads() -> ExitCode {
 
 fn build_config(flags: &HashMap<String, String>) -> Result<ClusterConfig, String> {
     let model_name: String = get(flags, "model", "llama2-7b".to_string())?;
-    let model =
-        ModelSpec::by_name(&model_name).ok_or(format!("unknown model '{model_name}'"))?;
+    let model = ModelSpec::by_name(&model_name).ok_or(format!("unknown model '{model_name}'"))?;
     let sku_name: String = get(flags, "sku", "a100".to_string())?;
     let sku = GpuSku::by_name(&sku_name).ok_or(format!("unknown SKU '{sku_name}'"))?;
     let tp: u32 = get(flags, "tp", 1)?;
@@ -174,7 +173,11 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         let config = build_config(&flags)?;
         let trace = build_trace(&flags)?;
         let seed: u64 = get(&flags, "seed", 42)?;
-        eprintln!("simulating {} on {} requests...", config.label(), trace.len());
+        eprintln!(
+            "simulating {} on {} requests...",
+            config.label(),
+            trace.len()
+        );
         let est = onboard(
             &config.model,
             &config.parallelism,
@@ -194,14 +197,32 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
             );
         } else {
-            println!("completed      : {}/{}", report.completed, report.num_requests);
+            println!(
+                "completed      : {}/{}",
+                report.completed, report.num_requests
+            );
             println!("makespan       : {:.1} s", report.makespan_secs);
             println!("throughput     : {:.2} QPS", report.throughput_qps);
-            println!("TTFT p50/p90   : {:.0} / {:.0} ms", report.ttft.p50 * 1e3, report.ttft.p90 * 1e3);
-            println!("TBT p50/p99    : {:.0} / {:.0} ms", report.tbt.p50 * 1e3, report.tbt.p99 * 1e3);
-            println!("MFU / MBU      : {:.1}% / {:.1}%", report.mfu * 100.0, report.mbu * 100.0);
+            println!(
+                "TTFT p50/p90   : {:.0} / {:.0} ms",
+                report.ttft.p50 * 1e3,
+                report.ttft.p90 * 1e3
+            );
+            println!(
+                "TBT p50/p99    : {:.0} / {:.0} ms",
+                report.tbt.p50 * 1e3,
+                report.tbt.p99 * 1e3
+            );
+            println!(
+                "MFU / MBU      : {:.1}% / {:.1}%",
+                report.mfu * 100.0,
+                report.mbu * 100.0
+            );
             println!("KV utilization : {:.1}%", report.kv_utilization * 100.0);
-            println!("energy         : {:.3} kWh ({:.1} Wh/request)", report.energy_kwh, report.energy_wh_per_request);
+            println!(
+                "energy         : {:.3} kWh ({:.1} Wh/request)",
+                report.energy_kwh, report.energy_wh_per_request
+            );
             println!("top operators  :");
             for (op, secs) in report.operator_time_breakdown.iter().take(5) {
                 println!("  {op:<16} {secs:.2} s");
@@ -242,7 +263,10 @@ fn cmd_search(args: &[String]) -> ExitCode {
         let params = CapacityParams::default();
         let outcome = run_search(&configs, &trace, &params, EstimatorKind::default());
         let slo = SloConstraints::default();
-        println!("{:<62} {:>9} {:>9} {:>9}", "config", "QPS/$", "TTFT p90", "TBT p99");
+        println!(
+            "{:<62} {:>9} {:>9} {:>9}",
+            "config", "QPS/$", "TTFT p90", "TBT p99"
+        );
         let mut ranked: Vec<&ConfigEvaluation> = outcome.evaluations.iter().collect();
         ranked.sort_by(|a, b| b.qps_per_dollar.partial_cmp(&a.qps_per_dollar).unwrap());
         for e in ranked.iter().take(10) {
@@ -255,7 +279,10 @@ fn cmd_search(args: &[String]) -> ExitCode {
             );
         }
         match outcome.best(&slo) {
-            Some(best) => println!("\nbest under SLOs: {} ({:.4} QPS/$)", best.label, best.qps_per_dollar),
+            Some(best) => println!(
+                "\nbest under SLOs: {} ({:.4} QPS/$)",
+                best.label, best.qps_per_dollar
+            ),
             None => println!("\nno SLO-compliant configuration found"),
         }
         Ok(())

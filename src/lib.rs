@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use vidur_simulator::cluster::RuntimeSource;
     pub use vidur_simulator::{
-        onboard, run_fidelity_pair, ClusterConfig, ClusterSimulator, FidelityReport,
-        SimulationReport,
+        onboard, run_fidelity_pair, ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator,
+        FidelityReport, SimulationReport,
     };
     pub use vidur_workload::{ArrivalProcess, Trace, TraceRequest, TraceWorkload, WorkloadStats};
 }

@@ -29,7 +29,13 @@ fn run(config: ClusterConfig, trace: Trace, seed: u64) -> SimulationReport {
         &config.sku,
         EstimatorKind::default(),
     );
-    ClusterSimulator::new(config, trace, RuntimeSource::Estimator((*est).clone()), seed).run()
+    ClusterSimulator::new(
+        config,
+        trace,
+        RuntimeSource::Estimator((*est).clone()),
+        seed,
+    )
+    .run()
 }
 
 #[test]

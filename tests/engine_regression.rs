@@ -1,0 +1,74 @@
+//! Engine regression pins: both simulators run through the shared
+//! `vidur_simulator::engine` batch engine, so these tests pin observable
+//! outcomes for fixed seeds. If a refactor of the engine (or of either
+//! policy layer) changes batching behavior, these fail before anything
+//! subtler does.
+
+use vidur::prelude::*;
+
+fn base_config() -> ClusterConfig {
+    ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        1,
+        SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+    )
+}
+
+fn fixed_trace(n: usize, qps: f64, seed: u64) -> Trace {
+    let mut rng = SimRng::new(seed);
+    TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Poisson { qps }, &mut rng)
+}
+
+fn oracle() -> RuntimeSource {
+    RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()))
+}
+
+/// Pinned: the aggregated cluster engine drains a fixed seed's trace.
+#[test]
+fn cluster_engine_completed_pinned_for_seed_42() {
+    let report = ClusterSimulator::new(base_config(), fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_eq!(report.completed, 80);
+    assert!(report.makespan_secs > 0.0);
+}
+
+/// Pinned: the disaggregated engine drains the same fixed trace.
+#[test]
+fn disagg_engine_completed_pinned_for_seed_42() {
+    let cfg = DisaggConfig::new(base_config(), 1, 1);
+    let report = DisaggSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_eq!(report.completed, 80);
+    assert!(report.makespan_secs > 0.0);
+}
+
+/// The two policy layers share one engine path; neither may lose
+/// determinism: identical (config, trace, seed) inputs must reproduce
+/// byte-identical reports.
+#[test]
+fn cluster_and_disagg_reports_are_reproducible() {
+    let cluster =
+        || ClusterSimulator::new(base_config(), fixed_trace(60, 3.0, 7), oracle(), 7).run();
+    assert_eq!(cluster(), cluster());
+
+    let disagg = || {
+        let cfg = DisaggConfig::new(base_config(), 1, 1);
+        DisaggSimulator::new(cfg, fixed_trace(60, 3.0, 7), oracle(), 7).run()
+    };
+    assert_eq!(disagg(), disagg());
+}
+
+/// Under an aggressive simulated-time cap, the shared deadline latch stops
+/// both simulators the same way: incomplete but nonzero progress.
+#[test]
+fn deadline_latch_consistent_across_backends() {
+    let mut cfg = base_config();
+    cfg.max_sim_time = Some(SimTime::from_secs_f64(10.0));
+    let trace = fixed_trace(1000, 100.0, 13);
+
+    let cluster = ClusterSimulator::new(cfg.clone(), trace.clone(), oracle(), 13).run();
+    assert!(cluster.completed > 0 && cluster.completed < 1000);
+
+    let disagg = DisaggSimulator::new(DisaggConfig::new(cfg, 1, 1), trace, oracle(), 13).run();
+    assert!(disagg.completed > 0 && disagg.completed < 1000);
+}

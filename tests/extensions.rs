@@ -56,9 +56,11 @@ fn disagg_pools_scale_throughput() {
         42,
     )
     .run();
-    let big =
-        DisaggSimulator::new(DisaggConfig::new(cfg, 2, 2), t, source, 42).run();
-    assert!(big.e2e.p90 <= small.e2e.p90 * 1.01, "more pools can't hurt tails");
+    let big = DisaggSimulator::new(DisaggConfig::new(cfg, 2, 2), t, source, 42).run();
+    assert!(
+        big.e2e.p90 <= small.e2e.p90 * 1.01,
+        "more pools can't hurt tails"
+    );
 }
 
 #[test]
@@ -74,7 +76,9 @@ fn deferred_routing_tightens_tail_under_bursts() {
     let source = est_source(&rr);
     let rr_report = ClusterSimulator::new(rr.clone(), t.clone(), source.clone(), 43).run();
     let mut def = rr;
-    def.global_policy = GlobalPolicyKind::Deferred { max_outstanding: 24 };
+    def.global_policy = GlobalPolicyKind::Deferred {
+        max_outstanding: 24,
+    };
     let def_report = ClusterSimulator::new(def, t, source, 43).run();
     assert_eq!(def_report.completed, 160);
     // Load-aware late binding never loses badly to blind round-robin.

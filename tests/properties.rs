@@ -35,7 +35,13 @@ fn run_sim(policy: BatchPolicyKind, reqs: &[(u64, u64)], qps: f64, seed: u64) ->
         &config.sku,
         EstimatorKind::default(),
     );
-    ClusterSimulator::new(config, trace, RuntimeSource::Estimator((*est).clone()), seed).run()
+    ClusterSimulator::new(
+        config,
+        trace,
+        RuntimeSource::Estimator((*est).clone()),
+        seed,
+    )
+    .run()
 }
 
 proptest! {
