@@ -1,0 +1,159 @@
+//! Criterion micro-benchmark for the batch-shape stage-time cache: an
+//! estimator-sourced capacity search over `chat_1m` — the inner loop of
+//! Vidur-Search, where the ~10⁵-config sweeps of the paper spend their
+//! time — run with the plan cache off and on, plus a hit-rate report.
+//!
+//! The searched slice of the grid is one parallelism point (llama2-7B,
+//! TP1-PP4) across twelve scheduler variants (four policies × three
+//! batch sizes). Stage times depend on the parallelism, not the
+//! scheduler, so all twelve capacity searches share one
+//! [`StageTimer`] — exactly what `onboard_timer`'s process-wide cache gives
+//! Vidur-Search — and every timer here is built fresh so each measured
+//! iteration starts from a cold shape cache.
+//!
+//! The acceptance bar for the cache is a ≥2× speedup on this search;
+//! `CostLedger` surfaces the hit/miss counters behind it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use vidur_core::rng::SimRng;
+use vidur_estimator::EstimatorKind;
+use vidur_hardware::GpuSku;
+use vidur_model::{ModelSpec, ParallelismConfig};
+use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
+use vidur_search::{find_capacity_with_timer, CapacityParams, CostLedger};
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::{onboard, ClusterConfig, StageTimer};
+use vidur_workload::{ArrivalProcess, Trace, TraceWorkload};
+
+fn parallelism() -> ParallelismConfig {
+    ParallelismConfig::new(1, 4)
+}
+
+fn scheduler_grid() -> Vec<(BatchPolicyKind, usize)> {
+    let mut grid = Vec::new();
+    for bs in [32, 64, 128] {
+        grid.push((BatchPolicyKind::Vllm, bs));
+        grid.push((BatchPolicyKind::SarathiServe { chunk_size: 512 }, bs));
+        grid.push((BatchPolicyKind::SarathiServe { chunk_size: 1024 }, bs));
+        grid.push((BatchPolicyKind::OrcaPlus, bs));
+    }
+    grid
+}
+
+fn config(policy: BatchPolicyKind, batch_size: usize) -> ClusterConfig {
+    ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        parallelism(),
+        1,
+        SchedulerConfig::new(policy, batch_size),
+    )
+}
+
+fn base_trace() -> Trace {
+    let mut rng = SimRng::new(77);
+    TraceWorkload::chat_1m().generate(60, &ArrivalProcess::Static, &mut rng)
+}
+
+fn params() -> CapacityParams {
+    CapacityParams {
+        bisect_iters: 7,
+        ..CapacityParams::default()
+    }
+}
+
+/// A fresh (cold-cache) stage timer for the grid's parallelism point.
+fn fresh_timer(cached: bool) -> StageTimer {
+    let cfg = config(BatchPolicyKind::Vllm, 64);
+    let est = onboard(
+        &cfg.model,
+        &cfg.parallelism,
+        &cfg.sku,
+        EstimatorKind::default(),
+    );
+    StageTimer::new(
+        cfg.model.clone(),
+        cfg.parallelism,
+        cfg.async_pipeline_comm,
+        RuntimeSource::Estimator((*est).clone()),
+        cached,
+    )
+}
+
+/// Capacity-searches the scheduler grid through one shared timer,
+/// recording into `ledger`. Returns summed capacity (an output sink).
+fn run_grid(timer: &StageTimer, ledger: &mut CostLedger, base: &Trace) -> f64 {
+    let mut acc = 0.0;
+    for (policy, bs) in scheduler_grid() {
+        let cfg = config(policy, bs);
+        if let Some(cap) = find_capacity_with_timer(&cfg, base, &params(), timer, ledger) {
+            acc += cap.capacity_qps;
+        }
+    }
+    acc
+}
+
+fn bench_capacity_search(c: &mut Criterion) {
+    let base = base_trace();
+    // Warm the process-wide estimator cache so onboarding cost (shared by
+    // both variants) stays out of the measurement.
+    let _ = fresh_timer(false);
+    let mut group = c.benchmark_group("capacity_search_chat1m");
+    group.bench_function("cache_off", |b| {
+        b.iter(|| {
+            let timer = fresh_timer(false);
+            let mut ledger = CostLedger::new();
+            black_box(run_grid(&timer, &mut ledger, &base))
+        });
+    });
+    group.bench_function("cache_on", |b| {
+        b.iter(|| {
+            let timer = fresh_timer(true);
+            let mut ledger = CostLedger::new();
+            black_box(run_grid(&timer, &mut ledger, &base))
+        });
+    });
+    group.finish();
+}
+
+/// Prints the speedup and the ledger-surfaced hit/miss counters (the
+/// acceptance report: ≥2× with the cache on), and cross-checks that both
+/// cache states find identical capacities.
+fn report_hit_rate(_c: &mut Criterion) {
+    let base = base_trace();
+    let timed = |cached: bool| {
+        // Best-of-3 cold runs, matching the shim's measurement loop.
+        let mut best = f64::INFINITY;
+        let mut last = (0.0, CostLedger::new());
+        for _ in 0..3 {
+            let timer = fresh_timer(cached);
+            let mut ledger = CostLedger::new();
+            let started = Instant::now();
+            let acc = run_grid(&timer, &mut ledger, &base);
+            best = best.min(started.elapsed().as_secs_f64());
+            ledger.record_cache(timer.stats());
+            last = (acc, ledger);
+        }
+        (best, last.0, last.1)
+    };
+    let (off_secs, off_acc, _) = timed(false);
+    let (on_secs, on_acc, ledger) = timed(true);
+    assert_eq!(
+        off_acc.to_bits(),
+        on_acc.to_bits(),
+        "cache must not change search results"
+    );
+    println!(
+        "plan_cache: off {:.3}s on {:.3}s speedup {:.2}x | hits {} misses {} hit-rate {:.1}%",
+        off_secs,
+        on_secs,
+        off_secs / on_secs,
+        ledger.cache_hits(),
+        ledger.cache_misses(),
+        ledger.cache_hit_rate() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_capacity_search, report_hit_rate);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 
 use crate::operators::{OpInput, OpInvocation, Operator};
 use crate::parallelism::ParallelismConfig;
+use crate::shape::BatchShapeKey;
 use crate::spec::ModelSpec;
 use serde::{Deserialize, Serialize};
 
@@ -163,90 +164,117 @@ pub struct ExecutionPlan {
     model_flops: f64,
 }
 
+/// Builds the per-layer invocations shared by every pipeline stage of a
+/// shape's plan. Split out of [`ExecutionPlan::for_shape`] so plan assembly
+/// is reusable without duplicating the operator enumeration.
+fn layer_invocations(
+    model: &ModelSpec,
+    par: &ParallelismConfig,
+    shape: &BatchShapeKey,
+) -> Vec<OpInvocation> {
+    let tp = par.tensor_parallel;
+    let d = model.embed_dim as u64;
+    let dtype = model.dtype_bytes as u64;
+    let tokens = shape.total_query_tokens();
+    let layers = par.layers_per_stage(model);
+    let q_dim = par.q_dim_per_device(model);
+    let kv_dim = par.kv_dim_per_device(model);
+    let mlp_dim = par.mlp_dim_per_device(model);
+
+    let mut layer_ops: Vec<OpInvocation> = Vec::with_capacity(18);
+    let mm = |op, k, n| OpInvocation::new(op, OpInput::Matmul { m: tokens, k, n }, layers);
+    let pw = |op, width| OpInvocation::new(op, OpInput::Pointwise { tokens, width }, layers);
+    layer_ops.push(pw(Operator::InputNorm, d));
+    layer_ops.push(mm(Operator::QkvProj, d, q_dim + 2 * kv_dim));
+    layer_ops.push(pw(Operator::Rope, q_dim + kv_dim));
+    let equiv = shape.prefill_equivalent_length();
+    if equiv > 0 {
+        layer_ops.push(OpInvocation::new(
+            Operator::AttnPrefill,
+            OpInput::AttentionPrefill {
+                equiv_len: equiv,
+                q_heads: par.q_heads_per_device(model),
+                head_dim: model.head_dim as u64,
+            },
+            layers,
+        ));
+    }
+    let decode_kv_tokens = shape.decode_kv_read_tokens();
+    if decode_kv_tokens > 0 {
+        // Bytes fetched per layer on this device: K and V planes.
+        let kv_bytes = decode_kv_tokens * 2 * kv_dim * dtype;
+        layer_ops.push(OpInvocation::new(
+            Operator::AttnDecode,
+            OpInput::AttentionDecode {
+                kv_bytes,
+                tokens: shape.num_decode(),
+            },
+            layers,
+        ));
+    }
+    layer_ops.push(pw(Operator::KvCacheSave, 2 * kv_dim));
+    layer_ops.push(mm(Operator::AttnOutProj, q_dim, d));
+    if tp > 1 {
+        layer_ops.push(OpInvocation::new(
+            Operator::AllReduce,
+            OpInput::Comm {
+                bytes: tokens * d * dtype,
+                world: tp,
+            },
+            layers,
+        ));
+    }
+    layer_ops.push(pw(Operator::ResidualAdd, d));
+    layer_ops.push(pw(Operator::PostAttnNorm, d));
+    layer_ops.push(mm(Operator::MlpUpProj, d, mlp_dim));
+    if model.gated_mlp {
+        layer_ops.push(mm(Operator::MlpGateProj, d, mlp_dim));
+    }
+    layer_ops.push(pw(Operator::MlpActivation, mlp_dim));
+    layer_ops.push(mm(Operator::MlpDownProj, mlp_dim, d));
+    if tp > 1 {
+        layer_ops.push(OpInvocation::new(
+            Operator::AllReduce,
+            OpInput::Comm {
+                bytes: tokens * d * dtype,
+                world: tp,
+            },
+            layers,
+        ));
+    }
+    layer_ops.push(pw(Operator::ResidualAdd, d));
+    layer_ops
+}
+
 impl ExecutionPlan {
     /// Builds the per-stage operator invocation list for `batch` on a
     /// replica running `model` with parallelism `par`.
+    ///
+    /// Delegates through the batch's [`BatchShapeKey`]: the plan (and hence
+    /// every predicted stage time) is a function of the shape alone, which
+    /// is what makes shape-keyed memoization exact.
     ///
     /// # Panics
     ///
     /// Panics if the parallelism configuration is invalid for the model
     /// (validate configurations at construction time).
     pub fn build(model: &ModelSpec, par: &ParallelismConfig, batch: &BatchComposition) -> Self {
+        ExecutionPlan::for_shape(model, par, &BatchShapeKey::from_batch(batch))
+    }
+
+    /// Builds the plan for a batch *shape* (see [`ExecutionPlan::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parallelism configuration is invalid for the model.
+    pub fn for_shape(model: &ModelSpec, par: &ParallelismConfig, shape: &BatchShapeKey) -> Self {
         par.validate_for(model)
             .expect("parallelism config must be valid for model");
-        let tp = par.tensor_parallel;
         let d = model.embed_dim as u64;
         let dtype = model.dtype_bytes as u64;
-        let tokens = batch.total_query_tokens();
-        let layers = par.layers_per_stage(model);
-        let q_dim = par.q_dim_per_device(model);
-        let kv_dim = par.kv_dim_per_device(model);
-        let mlp_dim = par.mlp_dim_per_device(model);
+        let tokens = shape.total_query_tokens();
         let num_stages = par.pipeline_parallel as usize;
-
-        // Per-layer invocations shared by every stage.
-        let mut layer_ops: Vec<OpInvocation> = Vec::with_capacity(18);
-        let mm = |op, k, n| OpInvocation::new(op, OpInput::Matmul { m: tokens, k, n }, layers);
-        let pw = |op, width| OpInvocation::new(op, OpInput::Pointwise { tokens, width }, layers);
-        layer_ops.push(pw(Operator::InputNorm, d));
-        layer_ops.push(mm(Operator::QkvProj, d, q_dim + 2 * kv_dim));
-        layer_ops.push(pw(Operator::Rope, q_dim + kv_dim));
-        let equiv = batch.prefill_equivalent_length();
-        if equiv > 0 {
-            layer_ops.push(OpInvocation::new(
-                Operator::AttnPrefill,
-                OpInput::AttentionPrefill {
-                    equiv_len: equiv,
-                    q_heads: par.q_heads_per_device(model),
-                    head_dim: model.head_dim as u64,
-                },
-                layers,
-            ));
-        }
-        let decode_kv_tokens = batch.decode_kv_read_tokens();
-        if decode_kv_tokens > 0 {
-            // Bytes fetched per layer on this device: K and V planes.
-            let kv_bytes = decode_kv_tokens * 2 * kv_dim * dtype;
-            layer_ops.push(OpInvocation::new(
-                Operator::AttnDecode,
-                OpInput::AttentionDecode {
-                    kv_bytes,
-                    tokens: batch.num_decode() as u64,
-                },
-                layers,
-            ));
-        }
-        layer_ops.push(pw(Operator::KvCacheSave, 2 * kv_dim));
-        layer_ops.push(mm(Operator::AttnOutProj, q_dim, d));
-        if tp > 1 {
-            layer_ops.push(OpInvocation::new(
-                Operator::AllReduce,
-                OpInput::Comm {
-                    bytes: tokens * d * dtype,
-                    world: tp,
-                },
-                layers,
-            ));
-        }
-        layer_ops.push(pw(Operator::ResidualAdd, d));
-        layer_ops.push(pw(Operator::PostAttnNorm, d));
-        layer_ops.push(mm(Operator::MlpUpProj, d, mlp_dim));
-        if model.gated_mlp {
-            layer_ops.push(mm(Operator::MlpGateProj, d, mlp_dim));
-        }
-        layer_ops.push(pw(Operator::MlpActivation, mlp_dim));
-        layer_ops.push(mm(Operator::MlpDownProj, mlp_dim, d));
-        if tp > 1 {
-            layer_ops.push(OpInvocation::new(
-                Operator::AllReduce,
-                OpInput::Comm {
-                    bytes: tokens * d * dtype,
-                    world: tp,
-                },
-                layers,
-            ));
-        }
-        layer_ops.push(pw(Operator::ResidualAdd, d));
+        let layer_ops = layer_invocations(model, par, shape);
 
         let mut stages = Vec::with_capacity(num_stages);
         for stage in 0..num_stages {
@@ -261,7 +289,7 @@ impl ExecutionPlan {
             ops.extend(layer_ops.iter().copied());
             if stage == num_stages - 1 {
                 // Logits are computed only for each sequence's last position.
-                let seqs = batch.num_requests() as u64;
+                let seqs = shape.num_requests();
                 ops.push(OpInvocation::new(
                     Operator::FinalNorm,
                     OpInput::Pointwise {
@@ -293,7 +321,7 @@ impl ExecutionPlan {
             stages.push(ops);
         }
 
-        let model_flops = crate::flops::batch_flops(model, batch);
+        let model_flops = crate::flops::shape_flops(model, shape);
         ExecutionPlan {
             stages,
             total_tokens: tokens,
@@ -318,6 +346,17 @@ impl ExecutionPlan {
     /// Iterates over all invocations across stages.
     pub fn iter(&self) -> impl Iterator<Item = &OpInvocation> {
         self.stages.iter().flatten()
+    }
+
+    /// Enumerates every invocation with its pipeline-stage index, in stage
+    /// order — the traversal a per-stage timing sweep performs (see
+    /// [`crate::shape::PlanTiming`]), exposed so consumers never rebuild the
+    /// plan just to walk it.
+    pub fn enumerate(&self) -> impl Iterator<Item = (usize, &OpInvocation)> {
+        self.stages
+            .iter()
+            .enumerate()
+            .flat_map(|(stage, ops)| ops.iter().map(move |inv| (stage, inv)))
     }
 
     /// Tokens processed this iteration.

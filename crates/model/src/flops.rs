@@ -51,6 +51,25 @@ pub fn batch_flops(model: &ModelSpec, batch: &BatchComposition) -> f64 {
     dense + attn + lm_head_flops(model, batch.num_requests() as u64)
 }
 
+/// [`batch_flops`] computed from a batch *shape* (the execution-plan path).
+///
+/// The per-slice attention sums fold into the shape's aggregates exactly:
+/// a prefill slice's causal score entries are `p(h + (p+1)/2)
+/// = (p(p+2h) + p) / 2` (the numerator is always even), and a decode
+/// slice's are `h + 1`, its KV read. Mathematically equal to the per-slice
+/// sum; floating-point association may differ in the last ulps.
+pub fn shape_flops(model: &ModelSpec, shape: &crate::shape::BatchShapeKey) -> f64 {
+    let dense = dense_flops_per_token(model) * shape.total_query_tokens() as f64;
+    let entries =
+        (shape.prefill_work() + shape.prefill_query_tokens()) / 2 + shape.decode_kv_read_tokens();
+    let attn = 4.0
+        * entries as f64
+        * model.head_dim as f64
+        * model.num_q_heads as f64
+        * model.num_layers as f64;
+    dense + attn + lm_head_flops(model, shape.num_requests())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +116,21 @@ mod tests {
         let attn = attention_flops(&m, 100, 0) + attention_flops(&m, 1, 500);
         let head = lm_head_flops(&m, 2);
         assert!((total - (dense + attn + head)).abs() < 1.0);
+    }
+
+    #[test]
+    fn shape_flops_matches_batch_flops() {
+        let m = ModelSpec::llama2_7b();
+        let b = BatchComposition::new(vec![
+            RequestSlice::prefill(1, 100, 0),
+            RequestSlice::prefill(2, 33, 451),
+            RequestSlice::decode(3, 500),
+            RequestSlice::decode(4, 7),
+        ]);
+        let via_shape = shape_flops(&m, &crate::shape::BatchShapeKey::from_batch(&b));
+        let via_slices = batch_flops(&m, &b);
+        let rel = (via_shape - via_slices).abs() / via_slices;
+        assert!(rel < 1e-12, "rel {rel}");
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * [`batch`] — batch composition (mixed prefill/decode) and its reduction
 //!   to operator invocations (the execution plan both the hardware oracle and
 //!   the runtime estimator consume);
+//! * [`shape`] — the canonical, request-id-free batch shape key and the
+//!   reusable plan-timing sweep (the memoization seam of the prediction
+//!   pipeline);
 //! * [`flops`] — FLOP accounting used for MFU reporting.
 
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod memory;
 pub mod operators;
 pub mod parallelism;
 pub mod runtime;
+pub mod shape;
 pub mod spec;
 
 pub use batch::{BatchComposition, ExecutionPlan, RequestSlice};
@@ -45,4 +49,5 @@ pub use memory::MemoryPlan;
 pub use operators::{OpClass, OpInvocation, Operator};
 pub use parallelism::ParallelismConfig;
 pub use runtime::RuntimePredictor;
+pub use shape::{BatchShapeKey, PlanTiming};
 pub use spec::ModelSpec;

@@ -78,8 +78,11 @@ pub enum Operator {
 }
 
 impl Operator {
+    /// Number of distinct operators ([`Operator::ALL`]'s length).
+    pub const COUNT: usize = 19;
+
     /// All operators, in canonical order.
-    pub const ALL: [Operator; 19] = [
+    pub const ALL: [Operator; Operator::COUNT] = [
         Operator::Embedding,
         Operator::QkvProj,
         Operator::Rope,

@@ -24,6 +24,7 @@ pub mod global;
 pub mod memory;
 pub mod replica;
 pub mod request;
+pub mod slab;
 pub mod stage;
 
 pub use config::{BatchPolicyKind, SchedulerConfig};
@@ -31,4 +32,5 @@ pub use global::{GlobalPolicy, GlobalPolicyKind};
 pub use memory::BlockManager;
 pub use replica::ReplicaScheduler;
 pub use request::{Request, RequestId, RequestPhase, TrackedRequest};
+pub use slab::IdSlab;
 pub use stage::PipelineTracker;

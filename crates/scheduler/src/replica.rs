@@ -14,8 +14,9 @@
 use crate::config::{BatchPolicyKind, SchedulerConfig};
 use crate::memory::BlockManager;
 use crate::request::{Request, RequestId, RequestPhase, TrackedRequest};
+use crate::slab::IdSlab;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use vidur_model::batch::{BatchComposition, RequestSlice};
 
 /// What happened to a request when a batch completed.
@@ -51,7 +52,7 @@ pub struct CompletionEvent {
 pub struct ReplicaScheduler {
     config: SchedulerConfig,
     blocks: BlockManager,
-    requests: HashMap<RequestId, TrackedRequest>,
+    requests: IdSlab<TrackedRequest>,
     waiting: VecDeque<RequestId>,
     /// Admitted requests in admission order (vLLM preempts from the back).
     running: Vec<RequestId>,
@@ -66,7 +67,7 @@ impl ReplicaScheduler {
         ReplicaScheduler {
             blocks: BlockManager::new(total_blocks, block_size, config.watermark_frac),
             config,
-            requests: HashMap::new(),
+            requests: IdSlab::new(),
             waiting: VecDeque::new(),
             running: Vec::new(),
             preemptions: 0,

@@ -13,7 +13,7 @@ use vidur_core::rng::SimRng;
 use vidur_core::time::SimTime;
 use vidur_simulator::cluster::RuntimeSource;
 use vidur_simulator::config::LateAbort;
-use vidur_simulator::{ClusterConfig, ClusterSimulator, SimulationReport};
+use vidur_simulator::{ClusterConfig, ClusterSimulator, SimulationReport, StageTimer};
 use vidur_workload::{ArrivalProcess, Trace};
 
 /// Parameters of a capacity search.
@@ -55,7 +55,7 @@ fn probe(
     base: &Trace,
     qps: f64,
     params: &CapacityParams,
-    source: &RuntimeSource,
+    timer: &StageTimer,
     ledger: &mut CostLedger,
 ) -> (bool, SimulationReport) {
     let mut rng = SimRng::new(params.seed ^ qps.to_bits());
@@ -72,7 +72,7 @@ fn probe(
         delay_limit_secs: params.sched_delay_p99_limit,
         max_late: trace.len() / 100,
     });
-    let report = ClusterSimulator::new(cfg, trace, source.clone(), params.seed).run();
+    let report = ClusterSimulator::with_timer(cfg, trace, timer.clone(), params.seed).run();
     ledger.record_run(&report, config);
     let feasible = report.completed == report.num_requests
         && report.scheduling_delay.p99 < params.sched_delay_p99_limit;
@@ -82,12 +82,31 @@ fn probe(
 /// Finds the capacity of `config` on the request-length distribution of
 /// `base` (arrival times in `base` are ignored and replaced per probe).
 ///
+/// Builds a [`StageTimer`] for the configuration internally; use
+/// [`find_capacity_with_timer`] to control the timer (and read its cache
+/// statistics) from the caller, as [`crate::runner::evaluate_config`] does.
+///
 /// Returns `None` if even the lightest probed load is infeasible.
 pub fn find_capacity(
     config: &ClusterConfig,
     base: &Trace,
     params: &CapacityParams,
     source: &RuntimeSource,
+    ledger: &mut CostLedger,
+) -> Option<CapacityResult> {
+    let timer = StageTimer::for_config(config, source.clone());
+    find_capacity_with_timer(config, base, params, &timer, ledger)
+}
+
+/// [`find_capacity`] with a caller-supplied [`StageTimer`]: the offline
+/// bounding run and every bisection probe clone the timer, so they all share
+/// one batch-shape cache — decode-heavy shapes priced by the offline run are
+/// replayed for free across the ~`bisect_iters` probes.
+pub fn find_capacity_with_timer(
+    config: &ClusterConfig,
+    base: &Trace,
+    params: &CapacityParams,
+    timer: &StageTimer,
     ledger: &mut CostLedger,
 ) -> Option<CapacityResult> {
     assert!(!base.is_empty(), "capacity search needs a non-empty trace");
@@ -97,7 +116,8 @@ pub fn find_capacity(
         base.with_arrivals(&ArrivalProcess::Static, &mut rng)
     };
     let offline_report =
-        ClusterSimulator::new(config.clone(), offline_trace, source.clone(), params.seed).run();
+        ClusterSimulator::with_timer(config.clone(), offline_trace, timer.clone(), params.seed)
+            .run();
     ledger.record_run(&offline_report, config);
     let mut probes = 1u32;
     if offline_report.completed < offline_report.num_requests {
@@ -115,7 +135,7 @@ pub fn find_capacity(
         if mid <= 0.0 {
             break;
         }
-        let (feasible, report) = probe(config, base, mid, params, source, ledger);
+        let (feasible, report) = probe(config, base, mid, params, timer, ledger);
         probes += 1;
         if feasible {
             lo = mid;

@@ -13,13 +13,16 @@ use vidur_simulator::{ClusterConfig, SimulationReport};
 /// Azure 96-core CPU machine rental price per hour (paper §1/§6).
 pub const CPU_MACHINE_PRICE_PER_HOUR: f64 = 9.93;
 
-/// Accumulates projected-actual vs simulated search costs.
+/// Accumulates projected-actual vs simulated search costs, plus the
+/// stage-time shape-cache hit/miss counters of the runs it priced.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CostLedger {
     runs: u64,
     projected_gpu_hours: f64,
     projected_dollars: f64,
     wall_clock_secs: f64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl CostLedger {
@@ -39,6 +42,34 @@ impl CostLedger {
     /// Adds measured simulation wall-clock seconds.
     pub fn add_wall_clock(&mut self, secs: f64) {
         self.wall_clock_secs += secs;
+    }
+
+    /// Records a stage-timer cache's hit/miss counters (see
+    /// [`vidur_simulator::CacheStats`]).
+    pub fn record_cache(&mut self, stats: vidur_simulator::CacheStats) {
+        self.cache_hits += stats.hits;
+        self.cache_misses += stats.misses;
+    }
+
+    /// Batch-shape cache hits across recorded runs.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Batch-shape cache misses across recorded runs.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Fraction of stage-time lookups served from the shape cache (0 when
+    /// no lookups were recorded).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 
     /// Simulation runs recorded.
@@ -82,6 +113,8 @@ impl CostLedger {
         self.projected_gpu_hours += other.projected_gpu_hours;
         self.projected_dollars += other.projected_dollars;
         self.wall_clock_secs += other.wall_clock_secs;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -164,5 +197,25 @@ mod tests {
     #[test]
     fn empty_ledger_infinite_savings() {
         assert!(CostLedger::new().savings_factor().is_infinite());
+    }
+
+    #[test]
+    fn cache_stats_accumulate_and_merge() {
+        use vidur_simulator::CacheStats;
+        let mut a = CostLedger::new();
+        assert_eq!(a.cache_hit_rate(), 0.0);
+        a.record_cache(CacheStats {
+            hits: 30,
+            misses: 10,
+        });
+        let mut b = CostLedger::new();
+        b.record_cache(CacheStats {
+            hits: 10,
+            misses: 0,
+        });
+        a.merge(&b);
+        assert_eq!(a.cache_hits(), 40);
+        assert_eq!(a.cache_misses(), 10);
+        assert!((a.cache_hit_rate() - 0.8).abs() < 1e-12);
     }
 }

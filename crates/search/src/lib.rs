@@ -25,7 +25,7 @@ pub mod pareto;
 pub mod runner;
 pub mod space;
 
-pub use capacity::{find_capacity, CapacityParams, CapacityResult};
+pub use capacity::{find_capacity, find_capacity_with_timer, CapacityParams, CapacityResult};
 pub use cost::CostLedger;
 pub use misconfig::misconfiguration_matrix;
 pub use offline::{best_by_cost, run_offline_search, OfflineEvaluation};

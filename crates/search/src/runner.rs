@@ -7,15 +7,14 @@
 //! feed the Pareto/SLO analysis, the optimal-configuration tables (Figures
 //! 1a and 6) and the cost ledger (Table 2).
 
-use crate::capacity::{find_capacity, CapacityParams};
+use crate::capacity::{find_capacity_with_timer, CapacityParams};
 use crate::cost::CostLedger;
 use crate::pareto::SloConstraints;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vidur_estimator::EstimatorKind;
-use vidur_simulator::cluster::RuntimeSource;
-use vidur_simulator::{onboard, ClusterConfig};
+use vidur_simulator::{onboard_timer, ClusterConfig};
 use vidur_workload::Trace;
 
 /// One configuration's search result.
@@ -56,24 +55,24 @@ pub struct SearchOutcome {
 
 impl SearchOutcome {
     /// The best (highest QPS/$) evaluation subject to SLOs, if any.
+    ///
+    /// NaN objectives (which a healthy search never produces) are excluded
+    /// from candidacy, and the comparison uses [`f64::total_cmp`] — no
+    /// panic, and no electing a broken configuration as the optimum.
     pub fn best(&self, slo: &SloConstraints) -> Option<&ConfigEvaluation> {
         self.evaluations
             .iter()
-            .filter(|e| slo.satisfied_by(e))
-            .max_by(|a, b| {
-                a.qps_per_dollar
-                    .partial_cmp(&b.qps_per_dollar)
-                    .expect("no NaN")
-            })
+            .filter(|e| !e.qps_per_dollar.is_nan() && slo.satisfied_by(e))
+            .max_by(|a, b| a.qps_per_dollar.total_cmp(&b.qps_per_dollar))
     }
 
-    /// The best evaluation ignoring SLOs.
+    /// The best evaluation ignoring SLOs (NaN-excluding, like
+    /// [`SearchOutcome::best`]).
     pub fn best_unconstrained(&self) -> Option<&ConfigEvaluation> {
-        self.evaluations.iter().max_by(|a, b| {
-            a.qps_per_dollar
-                .partial_cmp(&b.qps_per_dollar)
-                .expect("no NaN")
-        })
+        self.evaluations
+            .iter()
+            .filter(|e| !e.qps_per_dollar.is_nan())
+            .max_by(|a, b| a.qps_per_dollar.total_cmp(&b.qps_per_dollar))
     }
 }
 
@@ -93,12 +92,17 @@ pub fn evaluate_config(
 ) -> (Option<ConfigEvaluation>, CostLedger) {
     let mut ledger = CostLedger::new();
     let started = Instant::now();
-    let est = onboard(&config.model, &config.parallelism, &config.sku, kind);
-    let source = RuntimeSource::Estimator((*est).clone());
+    // The onboarding-cached stage timer: one shape map shared by the
+    // offline bounding run, every bisection probe, and every other
+    // configuration at this parallelism point — but with hit/miss counters
+    // private to this handle, so the ledger's counts are exact even when
+    // rayon workers share the map concurrently.
+    let timer = onboard_timer(config, kind);
     let mut probe_config = config.clone();
     probe_config.num_replicas = 1;
-    let result = find_capacity(&probe_config, base_trace, params, &source, &mut ledger);
+    let result = find_capacity_with_timer(&probe_config, base_trace, params, &timer, &mut ledger);
     ledger.add_wall_clock(started.elapsed().as_secs_f64());
+    ledger.record_cache(timer.stats());
     let eval = result.map(|r| ConfigEvaluation {
         label: config.label(),
         capacity_qps: r.capacity_qps * config.num_replicas as f64,
@@ -187,6 +191,44 @@ mod tests {
             assert!(e.qps_per_dollar > 0.0);
             assert!(e.config.is_some());
         }
+        // The shape cache was consulted across every probe, and sharing one
+        // timer per parallelism point must yield actual reuse. (Misses may
+        // be zero here: the process-wide timer cache can arrive pre-warmed
+        // by other tests.)
+        assert!(
+            outcome.ledger.cache_hits() > 0,
+            "bisection probes must reuse cached shapes"
+        );
+    }
+
+    /// Regression: a NaN objective must neither panic `best` nor be
+    /// elected the optimum — it is excluded from candidacy.
+    #[test]
+    fn best_tolerates_nan_objective() {
+        let eval = |label: &str, qpd: f64| ConfigEvaluation {
+            config: None,
+            label: label.to_string(),
+            capacity_qps: 1.0,
+            qps_per_dollar: qpd,
+            ttft_p90: 0.1,
+            tbt_p99: 0.01,
+            sched_delay_p99: 0.1,
+            mfu: 0.5,
+            kv_utilization: 0.5,
+            dollars_per_hour: 1.0,
+        };
+        let outcome = SearchOutcome {
+            workload: "synthetic".to_string(),
+            evaluations: vec![eval("ok", 2.0), eval("nan", f64::NAN), eval("best", 3.0)],
+            ledger: CostLedger::new(),
+        };
+        // No panic, and the NaN entry never wins.
+        assert_eq!(outcome.best_unconstrained().unwrap().label, "best");
+        let loose = SloConstraints {
+            ttft_p90_max: 1e9,
+            tbt_p99_max: 1e9,
+        };
+        assert_eq!(outcome.best(&loose).unwrap().label, "best");
     }
 
     #[test]

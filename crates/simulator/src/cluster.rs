@@ -74,12 +74,31 @@ impl ClusterSimulator {
     /// Panics if the configuration cannot host the model (run
     /// [`ClusterConfig::memory_plan`] first to pre-validate).
     pub fn new(config: ClusterConfig, trace: Trace, source: RuntimeSource, seed: u64) -> Self {
+        let timer = crate::timing::StageTimer::for_config(&config, source);
+        ClusterSimulator::with_timer(config, trace, timer, seed)
+    }
+
+    /// Builds a simulator around an existing [`StageTimer`], sharing its
+    /// batch-shape cache with other runs cloned from the same timer (the
+    /// capacity search prices every bisection probe of a configuration this
+    /// way). The timer must have been built for a configuration with the
+    /// same model, parallelism, and `async_pipeline_comm` as `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot host the model.
+    pub fn with_timer(
+        config: ClusterConfig,
+        trace: Trace,
+        timer: crate::timing::StageTimer,
+        seed: u64,
+    ) -> Self {
         let plan = config
             .memory_plan()
             .expect("configuration cannot host the model");
         let replicas = EngineReplica::pool(&config, &plan, config.num_replicas);
         let router = GlobalPolicy::new(config.global_policy, config.num_replicas, seed ^ 0x9E37);
-        let engine = BatchEngine::new(&config, source, seed, config.num_replicas);
+        let engine = BatchEngine::with_timer(&config, timer, seed, config.num_replicas);
         ClusterSimulator {
             config,
             trace,

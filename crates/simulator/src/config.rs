@@ -48,6 +48,12 @@ pub struct ClusterConfig {
     /// handful of blown deadlines instead of simulating the full queue
     /// explosion.
     pub late_abort: Option<LateAbort>,
+    /// Memoize per-stage predicted times by batch shape (see
+    /// `vidur_simulator::timing::StageTimer`). Reports are byte-identical
+    /// either way — the cache only trades memory for speed — so this
+    /// defaults on; disable it to bound memory on extremely long
+    /// high-entropy runs or to benchmark the uncached path.
+    pub plan_cache: bool,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -86,6 +92,7 @@ impl ClusterConfig {
             max_sim_time: None,
             async_pipeline_comm: false,
             late_abort: None,
+            plan_cache: true,
         }
     }
 

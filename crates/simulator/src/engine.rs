@@ -4,7 +4,8 @@
 //! [`DisaggSimulator`](crate::disagg::DisaggSimulator) are the same machine
 //! wearing different routing policies: requests arrive, replicas greedily
 //! form batches whenever pipeline stage 0 is free, per-stage execution times
-//! come from a [`RuntimePredictor`], and completions retire requests and wake
+//! come from a [`RuntimeSource`] through the memoized
+//! [`StageTimer`] pipeline, and completions retire requests and wake
 //! the replica. This module hoists that machinery — replica wake-up
 //! deduplication, batch formation and timing, CPU-overhead jitter, in-flight
 //! batch tracking, metrics flushes, and the report assembly — so each
@@ -19,52 +20,23 @@
 
 use crate::config::{ClusterConfig, LateAbort};
 use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
+use crate::timing::StageTimer;
 use std::collections::HashMap;
 use std::fmt;
 use vidur_core::event::{self, EventQueue, Simulation};
 use vidur_core::rng::SimRng;
 use vidur_core::time::{SimDuration, SimTime};
-use vidur_estimator::RuntimeEstimator;
-use vidur_hardware::{GpuSku, KernelOracle};
-use vidur_model::batch::{BatchComposition, ExecutionPlan};
+use vidur_hardware::GpuSku;
+use vidur_model::batch::BatchComposition;
 use vidur_model::memory::MemoryPlan;
-use vidur_model::runtime::RuntimePredictor;
-use vidur_model::{ModelSpec, Operator, ParallelismConfig};
 use vidur_scheduler::replica::CompletionEvent;
 use vidur_scheduler::{PipelineTracker, ReplicaScheduler};
+
+pub use crate::timing::RuntimeSource;
 
 /// Event budget for one simulation run. Generous: batching means a few
 /// events per iteration, so real runs finish far below this.
 pub const MAX_EVENTS: u64 = 200_000_000;
-
-/// Where batch runtimes come from.
-///
-/// `Oracle` is this repo's stand-in for the real testbed: ground-truth
-/// analytical kernel times **plus stochastic CPU-overhead jitter** (real
-/// serving systems exhibit framework hiccups; the paper attributes the 7B
-/// model's elevated error to exactly this). `Estimator` is Vidur proper:
-/// trained runtime models and a constant nominal CPU overhead.
-#[derive(Debug, Clone)]
-pub enum RuntimeSource {
-    /// Ground truth with jittered CPU overhead (the paper's "Real").
-    Oracle(KernelOracle),
-    /// Trained estimator with nominal CPU overhead (the paper's
-    /// "Predicted").
-    Estimator(RuntimeEstimator),
-}
-
-impl RuntimeSource {
-    fn op_source(&self) -> &dyn RuntimePredictor {
-        match self {
-            RuntimeSource::Oracle(o) => o,
-            RuntimeSource::Estimator(e) => e,
-        }
-    }
-
-    fn jitters(&self) -> bool {
-        matches!(self, RuntimeSource::Oracle(_))
-    }
-}
 
 /// One replica's scheduling state: its batch scheduler, pipeline-stage
 /// tracker, and the earliest pending wake-up (dedupes `Wakeup` events).
@@ -114,17 +86,19 @@ pub struct BatchEngine {
     /// Metrics sink shared by the engine and the policy layer (arrivals and
     /// completion events are policy-specific, so simulators record those).
     pub metrics: MetricsCollector,
-    source: RuntimeSource,
+    timer: StageTimer,
     rng: SimRng,
-    model: ModelSpec,
-    parallelism: ParallelismConfig,
+    tp_gpus: f64,
     cpu_overhead: f64,
-    async_pipeline_comm: bool,
     inflight: HashMap<u64, BatchComposition>,
     next_batch_id: u64,
     deadline: Option<SimTime>,
     deadline_hit: bool,
     late_abort: Option<LateAbort>,
+    /// Per-batch scratch (jittered stage times / stage durations), reused to
+    /// keep allocations out of the scheduling hot loop.
+    scratch_secs: Vec<f64>,
+    scratch_durations: Vec<SimDuration>,
 }
 
 impl fmt::Debug for BatchEngine {
@@ -140,10 +114,33 @@ impl fmt::Debug for BatchEngine {
 impl BatchEngine {
     /// Builds the engine for `config` with `metrics_replicas` KV-utilization
     /// series (aggregated clusters use one per replica; disaggregated ones,
-    /// one per pool member).
+    /// one per pool member). The stage timer (and its shape cache, per
+    /// [`ClusterConfig::plan_cache`]) is private to this engine; use
+    /// [`BatchEngine::with_timer`] to share a warm cache across runs.
     pub fn new(
         config: &ClusterConfig,
         source: RuntimeSource,
+        seed: u64,
+        metrics_replicas: usize,
+    ) -> Self {
+        BatchEngine::with_timer(
+            config,
+            StageTimer::for_config(config, source),
+            seed,
+            metrics_replicas,
+        )
+    }
+
+    /// Builds the engine around an existing [`StageTimer`], sharing its
+    /// shape cache with other engines cloned from the same timer (the
+    /// capacity search prices ~10 probes per configuration this way).
+    ///
+    /// `timer` must have been built for a configuration with the same model,
+    /// parallelism, and `async_pipeline_comm` as `config` — cached stage
+    /// times are only reusable within that context.
+    pub fn with_timer(
+        config: &ClusterConfig,
+        timer: StageTimer,
         seed: u64,
         metrics_replicas: usize,
     ) -> Self {
@@ -153,18 +150,23 @@ impl BatchEngine {
         }
         BatchEngine {
             metrics,
-            source,
+            timer,
             rng: SimRng::new(seed),
-            model: config.model.clone(),
-            parallelism: config.parallelism,
+            tp_gpus: config.parallelism.tensor_parallel as f64,
             cpu_overhead: config.cpu_overhead,
-            async_pipeline_comm: config.async_pipeline_comm,
             inflight: HashMap::new(),
             next_batch_id: 0,
             deadline: config.max_sim_time,
             deadline_hit: false,
             late_abort: config.late_abort,
+            scratch_secs: Vec::new(),
+            scratch_durations: Vec::new(),
         }
+    }
+
+    /// The engine's stage timer (for cache statistics inspection).
+    pub fn timer(&self) -> &StageTimer {
+        &self.timer
     }
 
     /// Number of batches currently executing.
@@ -207,7 +209,7 @@ impl BatchEngine {
     /// estimator source uses the constant nominal overhead.
     fn cpu_overhead(&mut self) -> f64 {
         let base = self.cpu_overhead;
-        if self.source.jitters() {
+        if self.timer.jitters() {
             let mut t = base * self.rng.log_normal(0.0, 0.25);
             if self.rng.bernoulli(0.02) {
                 t += self.rng.exponential(1.0 / 2.0e-3);
@@ -253,42 +255,29 @@ impl BatchEngine {
             let Some(batch) = replica.scheduler.next_batch() else {
                 return;
             };
-            let plan = ExecutionPlan::build(&self.model, &self.parallelism, &batch);
-            // Per-stage times with per-operator attribution (paper §5.2's
-            // operator-level metrics come for free from this loop).
-            let predictor = self.source.op_source();
-            let mut stage_secs: Vec<f64> = Vec::with_capacity(plan.num_stages());
-            let mut op_acc: Vec<(Operator, f64)> = Vec::with_capacity(20);
-            for stage in 0..plan.num_stages() {
-                let mut total = 0.0;
-                for inv in plan.stage(stage) {
-                    let t = predictor.invocation_time(inv);
-                    op_acc.push((inv.op, t));
-                    // Async stage scheduling hides inter-stage send/recv
-                    // behind compute; the transfer still happens (energy,
-                    // op metrics) but leaves the stage's critical path.
-                    if self.async_pipeline_comm && inv.op == Operator::SendRecv {
-                        continue;
-                    }
-                    total += t;
-                }
-                stage_secs.push(total);
-            }
-            for (op, t) in op_acc {
-                self.metrics.on_op_time(op, t);
-            }
-            stage_secs[0] += self.cpu_overhead();
-            let tp_gpus = self.parallelism.tensor_parallel as f64;
-            self.metrics
-                .on_gpu_busy(stage_secs.iter().sum::<f64>() * tp_gpus);
-            let durations: Vec<SimDuration> = stage_secs
-                .iter()
-                .map(|&s| SimDuration::from_secs_f64(s.max(0.0)))
-                .collect();
-            let completion = replica.pipeline.schedule(now, &durations);
+            // The memoized prediction pipeline: shape key → cached plan
+            // timing → jitter. Per-operator attribution (paper §5.2's
+            // operator-level metrics) is replayed from the cached totals,
+            // and the stochastic CPU overhead draws after the lookup, so
+            // reports are byte-identical with the cache on or off.
+            let timing = self.timer.time_batch(&batch);
+            self.metrics.on_op_secs(timing.op_secs());
+            let overhead = self.cpu_overhead();
+            self.scratch_secs.clear();
+            self.scratch_secs.extend_from_slice(timing.stage_secs());
+            self.scratch_secs[0] += overhead;
+            let busy: f64 = self.scratch_secs.iter().sum();
+            self.metrics.on_gpu_busy(busy * self.tp_gpus);
+            self.scratch_durations.clear();
+            self.scratch_durations.extend(
+                self.scratch_secs
+                    .iter()
+                    .map(|&s| SimDuration::from_secs_f64(s.max(0.0))),
+            );
+            let completion = replica.pipeline.schedule(now, &self.scratch_durations);
             let bytes = bytes_of(&batch);
             self.metrics
-                .on_batch_scheduled(now, &batch, plan.model_flops(), bytes);
+                .on_batch_scheduled(now, &batch, timing.model_flops(), bytes);
             self.metrics
                 .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
             let id = self.next_batch_id;
@@ -360,10 +349,20 @@ impl BatchEngine {
 }
 
 /// Translates a trace into arrival events via `mk` (taking the trace index).
+///
+/// # Panics
+///
+/// Panics if the trace holds more than `u32::MAX` requests — event payloads
+/// carry `u32` indices, and silently truncating would alias requests.
 pub fn trace_arrivals<E>(
     trace: &vidur_workload::Trace,
     mk: impl Fn(u32) -> E,
 ) -> Vec<(SimTime, E)> {
+    assert!(
+        u32::try_from(trace.requests.len()).is_ok(),
+        "trace of {} requests exceeds the u32 event-index range",
+        trace.requests.len()
+    );
     trace
         .requests
         .iter()

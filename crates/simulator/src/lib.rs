@@ -15,6 +15,8 @@
 //! * [`config`] — cluster/deployment configuration;
 //! * [`engine`] — the shared batch-execution engine both simulators (and
 //!   future backends) plug their policies into;
+//! * [`timing`] — the memoized stage-time pipeline ([`StageTimer`]): runtime
+//!   source → execution plan → per-stage prediction, cached by batch shape;
 //! * [`cluster`] — the event-driven aggregated-cluster simulator;
 //! * [`disagg`] — the prefill/decode-disaggregated simulator;
 //! * [`metrics`] — request- and cluster-level reports (TTFT, TBT,
@@ -33,6 +35,7 @@ pub mod engine;
 pub mod fidelity;
 pub mod metrics;
 pub mod onboarding;
+pub mod timing;
 
 pub use cluster::ClusterSimulator;
 pub use config::ClusterConfig;
@@ -40,4 +43,5 @@ pub use disagg::{DisaggConfig, DisaggSimulator};
 pub use engine::{BatchEngine, EngineReplica, RuntimeSource};
 pub use fidelity::{run_fidelity_pair, FidelityReport};
 pub use metrics::{DigestSummary, SimulationReport};
-pub use onboarding::onboard;
+pub use onboarding::{onboard, onboard_timer};
+pub use timing::{CacheStats, StageTimer};

@@ -6,13 +6,12 @@
 //! statistics, and preemption counts.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use vidur_core::metrics::{QuantileDigest, TimeWeightedSeries};
 use vidur_core::time::SimTime;
 use vidur_model::batch::BatchComposition;
 use vidur_model::operators::Operator;
 use vidur_scheduler::replica::CompletionEvent;
-use vidur_scheduler::RequestId;
+use vidur_scheduler::{IdSlab, RequestId};
 
 /// Five-number-plus-mean summary of a latency distribution (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -112,7 +111,9 @@ struct RequestRecord {
 /// Streaming metrics collector driven by the cluster simulator.
 #[derive(Debug)]
 pub struct MetricsCollector {
-    records: BTreeMap<RequestId, RequestRecord>,
+    /// Per-request records, id-indexed: simulators feed dense trace
+    /// indices, so the slab beats a map on the per-slice hot paths.
+    records: IdSlab<RequestRecord>,
     tbt: QuantileDigest,
     completed: usize,
     last_completion: SimTime,
@@ -132,7 +133,7 @@ impl MetricsCollector {
     /// Creates a collector for `num_replicas` replicas.
     pub fn new(num_replicas: usize) -> Self {
         MetricsCollector {
-            records: BTreeMap::new(),
+            records: IdSlab::new(),
             tbt: QuantileDigest::new(),
             completed: 0,
             last_completion: SimTime::ZERO,
@@ -174,6 +175,15 @@ impl MetricsCollector {
         self.op_secs[op.index()] += secs;
     }
 
+    /// Attributes one batch's per-operator time totals (indexed by
+    /// [`Operator::index`]) in a single pass — the cached-timing replay
+    /// path.
+    pub fn on_op_secs(&mut self, secs: &[f64; Operator::ALL.len()]) {
+        for (acc, s) in self.op_secs.iter_mut().zip(secs) {
+            *acc += s;
+        }
+    }
+
     /// Registers an arriving request.
     pub fn on_arrival(&mut self, id: RequestId, arrival: SimTime, decode_tokens: u64) {
         self.records.insert(
@@ -203,6 +213,13 @@ impl MetricsCollector {
         self.flops += flops;
         self.bytes += bytes;
         for slice in batch.slices() {
+            // Only a request's first prefill chunk can be its first
+            // schedule; decode and continuation slices belong to requests
+            // already marked, so skip their map lookups (the engine's
+            // batches are decode-dominated).
+            if !slice.is_prefill || slice.cached_tokens > 0 {
+                continue;
+            }
             if let Some(rec) = self.records.get_mut(&slice.request_id) {
                 if rec.first_scheduled.is_none() {
                     rec.first_scheduled = Some(now);

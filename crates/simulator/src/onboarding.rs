@@ -7,6 +7,7 @@
 //! estimators are cached process-wide (the paper similarly reuses compute
 //! profiles across the search).
 
+use crate::timing::{RuntimeSource, StageTimer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,6 +25,15 @@ const TRAIN_SEED: u64 = 0x5EED_0002;
 type CacheKey = (String, u32, String, String);
 
 static CACHE: Mutex<Option<HashMap<CacheKey, Arc<RuntimeEstimator>>>> = Mutex::new(None);
+
+/// Stage timers are shared one level wider than estimators: the batch-shape
+/// cache depends on (model, TP, PP, SKU, estimator kind, async-comm), but
+/// *not* on the scheduler policy, batch size, or replica count — so every
+/// scheduler variant of a parallelism point in a search grid replays the
+/// same cached shapes.
+type TimerKey = (String, u32, u32, String, String, bool);
+
+static TIMERS: Mutex<Option<HashMap<TimerKey, StageTimer>>> = Mutex::new(None);
 
 /// Onboards a model: profiles the operators for (model, TP, SKU) against the
 /// kernel oracle and trains a runtime estimator of the given kind.
@@ -81,9 +91,54 @@ pub fn onboard_uncached(
     RuntimeEstimator::train(&table, kind, TRAIN_SEED)
 }
 
-/// Drops all cached estimators (test hygiene / memory reclamation).
+/// Drops all cached estimators and stage timers (test hygiene / memory
+/// reclamation).
 pub fn clear_cache() {
     *CACHE.lock() = None;
+    *TIMERS.lock() = None;
+}
+
+/// Onboards the estimator for `config` and wraps it in a [`StageTimer`] —
+/// the full prediction pipeline (profile → train → shape-cached stage
+/// times) in one step.
+///
+/// Both halves are cached process-wide: the estimator by (model, TP, SKU,
+/// kind) as [`onboard`] does, and the timer — batch-shape cache included —
+/// by (model, TP, PP, SKU, kind, async-comm). Configurations differing only
+/// in scheduler policy, batch size, or replica count therefore *share* one
+/// shape cache, which is where Vidur-Search's grids recoup most of their
+/// stage-time work (cached values are pure functions of the shape, so
+/// sharing never changes a report). Timers with `config.plan_cache` off are
+/// stateless and returned fresh.
+pub fn onboard_timer(config: &crate::config::ClusterConfig, kind: EstimatorKind) -> StageTimer {
+    if !config.plan_cache {
+        let est = onboard(&config.model, &config.parallelism, &config.sku, kind);
+        return StageTimer::for_config(config, RuntimeSource::Estimator((*est).clone()));
+    }
+    let key: TimerKey = (
+        config.model.name.clone(),
+        config.parallelism.tensor_parallel,
+        config.parallelism.pipeline_parallel,
+        config.sku.name.clone(),
+        kind.to_string(),
+        config.async_pipeline_comm,
+    );
+    {
+        let guard = TIMERS.lock();
+        if let Some(timers) = guard.as_ref() {
+            if let Some(hit) = timers.get(&key) {
+                // Fresh counters per caller: the shape map is shared, but
+                // hit/miss stats stay exact per configuration evaluation
+                // even under concurrent rayon workers.
+                return hit.with_fresh_stats();
+            }
+        }
+    }
+    let est = onboard(&config.model, &config.parallelism, &config.sku, kind);
+    let timer = StageTimer::for_config(config, RuntimeSource::Estimator((*est).clone()));
+    let mut guard = TIMERS.lock();
+    let timers = guard.get_or_insert_with(HashMap::new);
+    timers.entry(key).or_insert(timer).with_fresh_stats()
 }
 
 #[cfg(test)]

@@ -54,13 +54,14 @@ pub mod prelude {
         BatchPolicyKind, GlobalPolicyKind, ReplicaScheduler, Request, SchedulerConfig,
     };
     pub use vidur_search::{
-        find_capacity, misconfiguration_matrix, pareto_frontier, run_search, CapacityParams,
-        ConfigEvaluation, CostLedger, SearchOutcome, SearchSpace, SloConstraints,
+        find_capacity, find_capacity_with_timer, misconfiguration_matrix, pareto_frontier,
+        run_search, CapacityParams, ConfigEvaluation, CostLedger, SearchOutcome, SearchSpace,
+        SloConstraints,
     };
     pub use vidur_simulator::cluster::RuntimeSource;
     pub use vidur_simulator::{
-        onboard, run_fidelity_pair, ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator,
-        FidelityReport, SimulationReport,
+        onboard, onboard_timer, run_fidelity_pair, CacheStats, ClusterConfig, ClusterSimulator,
+        DisaggConfig, DisaggSimulator, FidelityReport, SimulationReport, StageTimer,
     };
     pub use vidur_workload::{ArrivalProcess, Trace, TraceRequest, TraceWorkload, WorkloadStats};
 }

@@ -58,6 +58,52 @@ fn cluster_and_disagg_reports_are_reproducible() {
     assert_eq!(disagg(), disagg());
 }
 
+/// The batch-shape cache is a pure speed/memory trade: with the cache on
+/// (the default) the report must be **byte-identical** to a cache-off run —
+/// per-op attribution is replayed from the cached timing stream and the
+/// oracle's stochastic CPU-overhead jitter draws after the cache lookup.
+#[test]
+fn plan_cache_report_identical_oracle() {
+    let trace = fixed_trace(70, 2.5, 21);
+    let on = ClusterSimulator::new(base_config(), trace.clone(), oracle(), 21).run();
+    let mut cfg = base_config();
+    cfg.plan_cache = false;
+    let off = ClusterSimulator::new(cfg, trace, oracle(), 21).run();
+    assert_eq!(on, off, "cache must not change oracle-sourced reports");
+}
+
+/// Same pin for the estimator source (the Vidur-Search hot path).
+#[test]
+fn plan_cache_report_identical_estimator() {
+    let cfg = base_config();
+    let est = vidur::simulator::onboard(
+        &cfg.model,
+        &cfg.parallelism,
+        &cfg.sku,
+        EstimatorKind::default(),
+    );
+    let source = RuntimeSource::Estimator((*est).clone());
+    let trace = fixed_trace(70, 2.5, 22);
+    let on = ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 22).run();
+    let mut off_cfg = cfg;
+    off_cfg.plan_cache = false;
+    let off = ClusterSimulator::new(off_cfg, trace, source, 22).run();
+    assert_eq!(on, off, "cache must not change estimator-sourced reports");
+}
+
+/// The disaggregated policy layer rides the same engine path; the cache
+/// must be invisible there too.
+#[test]
+fn plan_cache_report_identical_disagg() {
+    let trace = fixed_trace(50, 2.5, 23);
+    let on_cfg = DisaggConfig::new(base_config(), 1, 1);
+    let on = DisaggSimulator::new(on_cfg, trace.clone(), oracle(), 23).run();
+    let mut base = base_config();
+    base.plan_cache = false;
+    let off = DisaggSimulator::new(DisaggConfig::new(base, 1, 1), trace, oracle(), 23).run();
+    assert_eq!(on, off, "cache must not change disaggregated reports");
+}
+
 /// Under an aggressive simulated-time cap, the shared deadline latch stops
 /// both simulators the same way: incomplete but nonzero progress.
 #[test]
