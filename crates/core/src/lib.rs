@@ -41,6 +41,8 @@ pub mod rng;
 pub mod time;
 
 pub use event::{EventQueue, Simulation};
-pub use metrics::{Histogram, QuantileDigest, TimeWeightedSeries};
+pub use metrics::{
+    Histogram, P2Quantile, QuantileDigest, QuantileMode, StreamingSummary, TimeWeightedSeries,
+};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -8,11 +8,20 @@
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// An exact quantile digest: stores every sample and sorts lazily.
+/// An exact quantile digest: stores every sample; reads require sorted
+/// (sealed) storage.
 ///
 /// Vidur simulations track at most a few hundred thousand requests, so exact
 /// quantiles are affordable and avoid the sketch-accuracy caveats that would
-/// otherwise muddy fidelity comparisons.
+/// otherwise muddy fidelity comparisons. For per-token streams on very long
+/// runs, [`StreamingSummary`] provides a bounded-memory alternative.
+///
+/// Sorting is an explicit `&mut` operation: call [`QuantileDigest::seal`]
+/// after the last `record` and before the first `quantile` read. The dirty
+/// flag amortizes away for monotone streams (recording in non-decreasing
+/// order keeps the digest sealed), and [`FromIterator`] seals on collect, so
+/// the common paths never pay a sort. Reading an unsealed digest panics
+/// rather than silently sorting a temporary copy.
 ///
 /// # Example
 ///
@@ -22,16 +31,25 @@ use serde::{Deserialize, Serialize};
 /// for i in 1..=100 {
 ///     d.record(i as f64);
 /// }
+/// d.seal();
 /// assert_eq!(d.quantile(0.5), Some(50.5));
 /// assert_eq!(d.min(), Some(1.0));
 /// assert_eq!(d.max(), Some(100.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantileDigest {
     samples: Vec<f64>,
+    /// Whether `samples` is known to be in non-decreasing order. Skipped by
+    /// serde: a deserialized digest conservatively re-seals before reads.
     #[serde(skip)]
-    sorted: std::cell::Cell<bool>,
+    sorted: bool,
     sum: f64,
+}
+
+impl Default for QuantileDigest {
+    fn default() -> Self {
+        QuantileDigest::new()
+    }
 }
 
 impl QuantileDigest {
@@ -39,7 +57,7 @@ impl QuantileDigest {
     pub fn new() -> Self {
         QuantileDigest {
             samples: Vec::new(),
-            sorted: std::cell::Cell::new(true),
+            sorted: true,
             sum: 0.0,
         }
     }
@@ -51,8 +69,14 @@ impl QuantileDigest {
     /// Panics if `value` is NaN.
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "cannot record NaN sample");
+        if self.sorted {
+            if let Some(&last) = self.samples.last() {
+                if value < last {
+                    self.sorted = false;
+                }
+            }
+        }
         self.samples.push(value);
-        self.sorted.set(false);
         self.sum += value;
     }
 
@@ -85,39 +109,20 @@ impl QuantileDigest {
         }
     }
 
-    fn ensure_sorted(&self) -> &[f64] {
-        if !self.sorted.get() {
-            // Interior sort through a raw pointer would be UB; instead we
-            // only ever sort through &mut. Public read paths go through
-            // `quantile`/`min`/`max` below which take &self, so keep a sorted
-            // shadow: sort on demand via unsafe-free approach — clone-free by
-            // sorting in `record`'s amortized path is wasteful, so we accept
-            // the &mut requirement and provide `quantile` on &self using a
-            // sorted copy only when dirty. Simpler: sort here via interior
-            // mutability is not possible on Vec<f64> without RefCell; the
-            // digest therefore sorts eagerly in the rare dirty case.
-            unreachable!("ensure_sorted called while dirty; use sorted_samples()")
-        } else {
-            &self.samples
-        }
-    }
-
-    fn sorted_samples(&self) -> std::borrow::Cow<'_, [f64]> {
-        if self.sorted.get() {
-            std::borrow::Cow::Borrowed(self.ensure_sorted())
-        } else {
-            let mut copy = self.samples.clone();
-            copy.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in digest"));
-            std::borrow::Cow::Owned(copy)
-        }
-    }
-
-    /// Sorts the backing storage so subsequent `quantile` calls are
-    /// allocation-free. Called automatically by the report builders.
+    /// Sorts the backing storage so `quantile` reads are valid. A no-op when
+    /// the digest is already sorted (monotone record streams, fresh
+    /// collects). Called by the report builders before summarizing.
     pub fn seal(&mut self) {
-        self.samples
-            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN in digest"));
-        self.sorted.set(true);
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN in digest"));
+            self.sorted = true;
+        }
+    }
+
+    /// Whether the digest is sealed (reads allowed).
+    pub fn is_sealed(&self) -> bool {
+        self.sorted
     }
 
     /// Returns the `q`-quantile (0 ≤ q ≤ 1) with linear interpolation, or
@@ -125,13 +130,18 @@ impl QuantileDigest {
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`, or if samples were recorded out of
+    /// order and the digest was not [sealed](Self::seal) since.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.samples.is_empty() {
             return None;
         }
-        let sorted = self.sorted_samples();
+        assert!(
+            self.sorted,
+            "quantile read on an unsealed digest: call seal() after recording"
+        );
+        let sorted = &self.samples;
         let n = sorted.len();
         if n == 1 {
             return Some(sorted[0]);
@@ -172,16 +182,22 @@ impl QuantileDigest {
         Some(var.sqrt())
     }
 
-    /// Immutable view of the raw samples (unsorted).
+    /// Immutable view of the raw samples (sorted iff sealed).
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
 
-    /// Merges another digest into this one.
+    /// Merges another digest into this one. Stays sealed when simple
+    /// concatenation preserves order; otherwise [`seal`](Self::seal) again
+    /// before reading quantiles.
     pub fn merge(&mut self, other: &QuantileDigest) {
+        let joined_in_order = match (self.samples.last(), other.samples.first()) {
+            (Some(&a), Some(&b)) => self.sorted && other.sorted && a <= b,
+            _ => self.sorted && other.sorted,
+        };
         self.samples.extend_from_slice(&other.samples);
         self.sum += other.sum;
-        self.sorted.set(false);
+        self.sorted = joined_in_order;
     }
 }
 
@@ -191,6 +207,7 @@ impl FromIterator<f64> for QuantileDigest {
         for x in iter {
             d.record(x);
         }
+        d.seal();
         d
     }
 }
@@ -200,6 +217,283 @@ impl Extend<f64> for QuantileDigest {
         for x in iter {
             self.record(x);
         }
+    }
+}
+
+/// How a metrics collector aggregates latency distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QuantileMode {
+    /// Store every sample in a [`QuantileDigest`] (the default): quantiles
+    /// are exact and reports are bit-reproducible, at O(samples) memory.
+    #[default]
+    Exact,
+    /// Stream samples through P² marker sketches ([`StreamingSummary`]):
+    /// O(1) memory per distribution, approximate mid-quantiles, exact
+    /// count/sum/min/max. For very long runs (per-token TBT streams).
+    Sketch,
+}
+
+/// A single-quantile P² estimator (Jain & Chlamtac, 1985): approximates one
+/// quantile of a stream with five markers and no stored samples.
+///
+/// The five marker heights track the minimum, the target quantile, the
+/// midpoints on either side, and the maximum; marker positions are nudged
+/// toward their ideal locations with a piecewise-parabolic (P²) height
+/// update on every observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    count: u64,
+    /// Marker heights; doubles as the initial observation buffer while
+    /// `count < 5`.
+    q: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "P² quantile must be in (0, 1): {p}");
+        P2Quantile {
+            p,
+            count: 0,
+            q: [0.0; 5],
+            n: [0.0; 5],
+            np: [0.0; 5],
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        if self.count < 5 {
+            self.q[self.count as usize] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.n = [1.0, 2.0, 3.0, 4.0, 5.0];
+                let p = self.p;
+                self.np = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0];
+            }
+            return;
+        }
+        // Locate the cell k with q[k] <= value < q[k+1], clamping the ends.
+        let k = if value < self.q[0] {
+            self.q[0] = value;
+            0
+        } else if value >= self.q[4] {
+            self.q[4] = value.max(self.q[4]);
+            3
+        } else {
+            (0..4)
+                .rev()
+                .find(|&i| self.q[i] <= value)
+                .expect("value within [q0, q4)")
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        let p = self.p;
+        let dnp = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0];
+        for (np, d) in self.np.iter_mut().zip(dnp) {
+            *np += d;
+        }
+        // Nudge interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right_gap = self.n[i + 1] - self.n[i];
+            let left_gap = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let parabolic = self.q[i]
+                    + d / (self.n[i + 1] - self.n[i - 1])
+                        * ((self.n[i] - self.n[i - 1] + d) * (self.q[i + 1] - self.q[i])
+                            / (self.n[i + 1] - self.n[i])
+                            + (self.n[i + 1] - self.n[i] - d) * (self.q[i] - self.q[i - 1])
+                                / (self.n[i] - self.n[i - 1]));
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    // Linear fallback toward the neighbor in direction d.
+                    let j = if d > 0.0 { i + 1 } else { i - 1 };
+                    self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+                };
+                self.n[i] += d;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// The current quantile estimate, or `None` if empty. Exact while fewer
+    /// than five observations have been seen.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut head = [0.0; 5];
+            let n = self.count as usize;
+            head[..n].copy_from_slice(&self.q[..n]);
+            let head = &mut head[..n];
+            head.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let pos = self.p * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            return Some(head[lo] * (1.0 - frac) + head[hi] * frac);
+        }
+        Some(self.q[2])
+    }
+}
+
+/// The report quantiles a [`StreamingSummary`] tracks.
+pub const SUMMARY_QUANTILES: [f64; 4] = [0.5, 0.9, 0.95, 0.99];
+
+/// Bounded-memory counterpart of [`QuantileDigest`]: exact count, sum, min
+/// and max, plus one [`P2Quantile`] marker sketch per report quantile
+/// (p50/p90/p95/p99). Memory is O(1) regardless of stream length.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::metrics::StreamingSummary;
+/// let mut s = StreamingSummary::new();
+/// for i in 1..=1000 {
+///     s.record(i as f64);
+/// }
+/// assert_eq!(s.len(), 1000);
+/// assert_eq!(s.max(), Some(1000.0));
+/// let p50 = s.quantile(0.5).unwrap();
+/// assert!((p50 - 500.0).abs() < 25.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSummary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    sketches: [P2Quantile; 4],
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        StreamingSummary::new()
+    }
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary tracking [`SUMMARY_QUANTILES`].
+    pub fn new() -> Self {
+        StreamingSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sketches: SUMMARY_QUANTILES.map(P2Quantile::new),
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        for s in &mut self.sketches {
+            s.record(value);
+        }
+    }
+
+    /// Records a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (exact), or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest sample (exact).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample (exact).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The estimated `q`-quantile for one of [`SUMMARY_QUANTILES`], or
+    /// `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not one of the tracked quantiles.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let idx = SUMMARY_QUANTILES
+            .iter()
+            .position(|&t| t == q)
+            .unwrap_or_else(|| panic!("untracked quantile {q}; see SUMMARY_QUANTILES"));
+        self.sketches[idx].estimate()
     }
 }
 
@@ -504,6 +798,101 @@ mod tests {
     }
 
     #[test]
+    fn monotone_records_stay_sealed() {
+        let mut d = QuantileDigest::new();
+        for x in [1.0, 2.0, 2.0, 5.0] {
+            d.record(x);
+        }
+        assert!(d.is_sealed(), "non-decreasing stream needs no sort");
+        assert_eq!(d.median(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsealed")]
+    fn unsealed_digest_read_panics() {
+        let mut d = QuantileDigest::new();
+        d.record(2.0);
+        d.record(1.0);
+        let _ = d.quantile(0.5);
+    }
+
+    #[test]
+    fn merge_tracks_seal_state() {
+        let mut a: QuantileDigest = vec![1.0, 2.0].into_iter().collect();
+        let b: QuantileDigest = vec![3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert!(a.is_sealed(), "in-order concatenation stays sealed");
+        let c: QuantileDigest = vec![0.5].into_iter().collect();
+        a.merge(&c);
+        assert!(!a.is_sealed());
+        a.seal();
+        assert_eq!(a.min(), Some(0.5));
+        assert_eq!(a.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn p2_small_streams_are_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        for x in [3.0, 1.0, 2.0] {
+            p.record(x);
+        }
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn p2_converges_on_uniform() {
+        let mut p = P2Quantile::new(0.9);
+        // Deterministic low-discrepancy stream over [0, 1).
+        let mut x = 0.0f64;
+        for _ in 0..10_000 {
+            x = (x + 0.754_877_666) % 1.0;
+            p.record(x);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.9).abs() < 0.02, "p90 estimate {est}");
+    }
+
+    #[test]
+    fn streaming_summary_tracks_exact_moments() {
+        let mut s = StreamingSummary::new();
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.sum(), 5050.0);
+        assert_eq!(s.mean(), Some(50.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+        for q in SUMMARY_QUANTILES {
+            let exact = q * 99.0 + 1.0;
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= 5.0,
+                "q{q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked quantile")]
+    fn streaming_summary_rejects_untracked() {
+        let mut s = StreamingSummary::new();
+        s.record(1.0);
+        let _ = s.quantile(0.42);
+    }
+
+    #[test]
+    fn streaming_summary_empty() {
+        let s = StreamingSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
     fn series_mean_with_tail() {
         let mut s = TimeWeightedSeries::new();
         s.record(SimTime::ZERO, 2.0);
@@ -587,6 +976,32 @@ mod tests {
             }
             prop_assert_eq!(d.quantile(0.0).unwrap(), d.min().unwrap());
             prop_assert_eq!(d.quantile(1.0).unwrap(), d.max().unwrap());
+        }
+
+        #[test]
+        fn sketch_tracks_exact_within_tolerance(
+            xs in proptest::collection::vec(0f64..1000.0, 100..1500)
+        ) {
+            let exact: QuantileDigest = xs.iter().copied().collect();
+            let mut sketch = StreamingSummary::new();
+            for &x in &xs {
+                sketch.record(x);
+            }
+            // Moments are exact (same accumulation order => same bits).
+            prop_assert_eq!(sketch.sum(), exact.sum());
+            prop_assert_eq!(sketch.min(), exact.min());
+            prop_assert_eq!(sketch.max(), exact.max());
+            prop_assert_eq!(sketch.len() as usize, exact.len());
+            // Mid-quantiles are approximate: within 20% of the spread.
+            let spread = exact.max().unwrap() - exact.min().unwrap();
+            for q in SUMMARY_QUANTILES {
+                let e = exact.quantile(q).unwrap();
+                let s = sketch.quantile(q).unwrap();
+                prop_assert!(
+                    (e - s).abs() <= 0.2 * spread + 1e-9,
+                    "q{}: exact {} sketch {}", q, e, s
+                );
+            }
         }
 
         #[test]

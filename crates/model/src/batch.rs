@@ -97,6 +97,12 @@ impl BatchComposition {
         &self.slices
     }
 
+    /// Consumes the batch, returning its slice storage — lets schedulers
+    /// recycle the allocation for the next formed batch.
+    pub fn into_slices(self) -> Vec<RequestSlice> {
+        self.slices
+    }
+
     /// Number of requests in the batch.
     pub fn num_requests(&self) -> usize {
         self.slices.len()

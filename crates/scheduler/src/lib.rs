@@ -22,6 +22,7 @@
 pub mod config;
 pub mod global;
 pub mod memory;
+pub mod reference;
 pub mod replica;
 pub mod request;
 pub mod slab;
@@ -30,6 +31,7 @@ pub mod stage;
 pub use config::{BatchPolicyKind, SchedulerConfig};
 pub use global::{GlobalPolicy, GlobalPolicyKind};
 pub use memory::BlockManager;
+pub use reference::ReferenceScheduler;
 pub use replica::ReplicaScheduler;
 pub use request::{Request, RequestId, RequestPhase, TrackedRequest};
 pub use slab::IdSlab;

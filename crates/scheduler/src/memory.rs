@@ -8,7 +8,6 @@
 
 use crate::request::RequestId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Paged KV-cache accounting for one replica.
 ///
@@ -27,7 +26,13 @@ pub struct BlockManager {
     total_blocks: u64,
     block_size: u32,
     watermark_blocks: u64,
-    held: BTreeMap<RequestId, u64>,
+    /// Blocks held per request, indexed densely by request id (0 = not a
+    /// holder; a holder always owns ≥ 1 block since requests are non-empty).
+    /// Request ids are dense trace indices, so this trades a bounded id-range
+    /// vector for allocation-free reserve/grow/release on the per-batch hot
+    /// path (the seed's `BTreeMap` allocated a node per admission).
+    held: Vec<u64>,
+    holders: usize,
     used_blocks: u64,
 }
 
@@ -52,8 +57,24 @@ impl BlockManager {
             total_blocks,
             block_size,
             watermark_blocks,
-            held: BTreeMap::new(),
+            held: Vec::new(),
+            holders: 0,
             used_blocks: 0,
+        }
+    }
+
+    /// Sets `id`'s held-block count, keeping the holder count in sync.
+    fn set_held(&mut self, id: RequestId, blocks: u64) {
+        let idx = id as usize;
+        if idx >= self.held.len() {
+            self.held.resize(idx + 1, 0);
+        }
+        let prev = self.held[idx];
+        self.held[idx] = blocks;
+        match (prev, blocks) {
+            (0, b) if b > 0 => self.holders += 1,
+            (p, 0) if p > 0 => self.holders -= 1,
+            _ => {}
         }
     }
 
@@ -89,7 +110,7 @@ impl BlockManager {
 
     /// Blocks currently held by `id`.
     pub fn held_by(&self, id: RequestId) -> u64 {
-        self.held.get(&id).copied().unwrap_or(0)
+        self.held.get(id as usize).copied().unwrap_or(0)
     }
 
     /// Whether an *admission* reserving blocks for `tokens` tokens would
@@ -113,7 +134,7 @@ impl BlockManager {
             return false;
         }
         self.used_blocks += need;
-        self.held.insert(id, target);
+        self.set_held(id, target);
         true
     }
 
@@ -131,21 +152,23 @@ impl BlockManager {
             return false;
         }
         self.used_blocks += need;
-        self.held.insert(id, target);
+        self.set_held(id, target);
         true
     }
 
     /// Releases all blocks held by `id` (request finished or preempted).
     pub fn release(&mut self, id: RequestId) {
-        if let Some(blocks) = self.held.remove(&id) {
+        let blocks = self.held_by(id);
+        if blocks > 0 {
             debug_assert!(self.used_blocks >= blocks);
             self.used_blocks -= blocks;
+            self.set_held(id, 0);
         }
     }
 
     /// Number of requests currently holding blocks.
     pub fn num_holders(&self) -> usize {
-        self.held.len()
+        self.holders
     }
 }
 

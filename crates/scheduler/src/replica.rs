@@ -10,10 +10,29 @@
 //! in-flight until [`ReplicaScheduler::complete_batch`] is called, so with
 //! pipeline parallelism several disjoint batches can execute concurrently
 //! without double-scheduling a request.
+//!
+//! # Hot-loop design
+//!
+//! `next_batch` runs once per simulated iteration — hundreds of thousands of
+//! times per run, millions of times per search — so its steady state is
+//! allocation-free and scan-free:
+//!
+//! * The running set is **phase-partitioned** into two intrusive
+//!   doubly-linked lists ([`Self::prefilling`] / [`Self::decoding`]) threaded
+//!   through `TrackedRequest::{prev, next}` and ordered by an admission
+//!   sequence number, which reproduces the seed's single admission-ordered
+//!   `running` vector exactly (the differential proptest in
+//!   `tests/formation_equivalence.rs` pins this). Admit, finish and preempt
+//!   are O(1) unlinks instead of `retain`/`rposition` scans.
+//! * Per-call id snapshots go through one reusable scratch buffer; batch
+//!   slice vectors are pooled and round-trip through
+//!   [`ReplicaScheduler::recycle_batch`].
+//! * LightLLM's projected-KV admission bound is a counter maintained on
+//!   admit/finish/preempt instead of a per-call re-sum over the running set.
 
 use crate::config::{BatchPolicyKind, SchedulerConfig};
 use crate::memory::BlockManager;
-use crate::request::{Request, RequestId, RequestPhase, TrackedRequest};
+use crate::request::{Request, RequestId, RequestPhase, TrackedRequest, NO_REQ};
 use crate::slab::IdSlab;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -54,10 +73,99 @@ pub struct ReplicaScheduler {
     blocks: BlockManager,
     requests: IdSlab<TrackedRequest>,
     waiting: VecDeque<RequestId>,
-    /// Admitted requests in admission order (vLLM preempts from the back).
-    running: Vec<RequestId>,
+    /// Admitted requests still prefilling, in admission order.
+    prefilling: PhaseList,
+    /// Admitted requests in decode phase, in admission order.
+    decoding: PhaseList,
+    /// Next admission sequence number (re-assigned on re-admission, so list
+    /// order always matches the seed's admission-ordered `running` vector).
+    admit_seq: u64,
+    /// Σ `spec.total_tokens()` over the running set (LightLLM's projected
+    /// KV footprint), maintained incrementally on admit/finish/preempt.
+    projected_tokens: u64,
+    /// Reusable id-snapshot buffer for batch formation passes.
+    ids_scratch: Vec<RequestId>,
+    /// Recycled slice storage for formed batches (see
+    /// [`ReplicaScheduler::recycle_batch`]).
+    slice_pool: Vec<Vec<RequestSlice>>,
     preemptions: u64,
     completed: u64,
+}
+
+/// An intrusive doubly-linked list over [`TrackedRequest`]s, ordered by
+/// admission sequence. Links live in the requests themselves, so unlink is
+/// O(1) and iteration allocates nothing.
+#[derive(Debug, Clone, Copy)]
+struct PhaseList {
+    head: RequestId,
+    tail: RequestId,
+    len: usize,
+}
+
+impl PhaseList {
+    const fn new() -> Self {
+        PhaseList {
+            head: NO_REQ,
+            tail: NO_REQ,
+            len: 0,
+        }
+    }
+
+    /// Inserts `id` keeping the list sorted by `admit_seq`. Appending is the
+    /// overwhelmingly common case (new admissions get the highest sequence;
+    /// prefill→decode transitions almost always happen in admission order) —
+    /// the backward walk only pays when pipeline parallelism lets a
+    /// later-admitted request finish its chunked prefill first.
+    fn insert_ordered(&mut self, requests: &mut IdSlab<TrackedRequest>, id: RequestId) {
+        let seq = requests[&id].admit_seq;
+        let mut after = self.tail;
+        while after != NO_REQ && requests[&after].admit_seq > seq {
+            after = requests[&after].prev;
+        }
+        let before = if after == NO_REQ {
+            self.head
+        } else {
+            requests[&after].next
+        };
+        {
+            let r = requests.get_mut(&id).expect("tracked");
+            r.prev = after;
+            r.next = before;
+        }
+        if after == NO_REQ {
+            self.head = id;
+        } else {
+            requests.get_mut(&after).expect("tracked").next = id;
+        }
+        if before == NO_REQ {
+            self.tail = id;
+        } else {
+            requests.get_mut(&before).expect("tracked").prev = id;
+        }
+        self.len += 1;
+    }
+
+    /// Unlinks `id` in O(1) via its intrusive links.
+    fn unlink(&mut self, requests: &mut IdSlab<TrackedRequest>, id: RequestId) {
+        let (prev, next) = {
+            let r = &requests[&id];
+            (r.prev, r.next)
+        };
+        if prev == NO_REQ {
+            self.head = next;
+        } else {
+            requests.get_mut(&prev).expect("tracked").next = next;
+        }
+        if next == NO_REQ {
+            self.tail = prev;
+        } else {
+            requests.get_mut(&next).expect("tracked").prev = prev;
+        }
+        let r = requests.get_mut(&id).expect("tracked");
+        r.prev = NO_REQ;
+        r.next = NO_REQ;
+        self.len -= 1;
+    }
 }
 
 impl ReplicaScheduler {
@@ -69,7 +177,12 @@ impl ReplicaScheduler {
             config,
             requests: IdSlab::new(),
             waiting: VecDeque::new(),
-            running: Vec::new(),
+            prefilling: PhaseList::new(),
+            decoding: PhaseList::new(),
+            admit_seq: 0,
+            projected_tokens: 0,
+            ids_scratch: Vec::new(),
+            slice_pool: Vec::new(),
             preemptions: 0,
             completed: 0,
         }
@@ -123,7 +236,7 @@ impl ReplicaScheduler {
     /// from a prefill replica) straight into the running set. Called by
     /// every policy before batch formation; FIFO order is preserved.
     fn admit_prefetched(&mut self) {
-        while self.running.len() < self.config.max_batch_size {
+        while self.num_running() < self.config.max_batch_size {
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -137,9 +250,45 @@ impl ReplicaScheduler {
                 break;
             }
             self.waiting.pop_front();
-            self.running.push(id);
-            self.requests.get_mut(&id).expect("tracked").phase = RequestPhase::Decoding;
+            self.enter_running(id, RequestPhase::Decoding);
         }
+    }
+
+    /// Moves `id` (already dequeued from `waiting`) into the running set
+    /// under `phase`, assigning its admission sequence and maintaining the
+    /// phase lists and the projected-KV counter.
+    fn enter_running(&mut self, id: RequestId, phase: RequestPhase) {
+        let seq = self.admit_seq;
+        self.admit_seq += 1;
+        let total = {
+            let r = self.requests.get_mut(&id).expect("tracked");
+            r.phase = phase;
+            r.admit_seq = seq;
+            r.spec.total_tokens()
+        };
+        self.projected_tokens += total;
+        let list = match phase {
+            RequestPhase::Prefilling => &mut self.prefilling,
+            RequestPhase::Decoding => &mut self.decoding,
+            _ => unreachable!("requests enter running as Prefilling or Decoding"),
+        };
+        list.insert_ordered(&mut self.requests, id);
+    }
+
+    /// Removes `id` from its phase list and the projected-KV counter (the
+    /// shared half of finishing and preempting).
+    fn leave_running(&mut self, id: RequestId) {
+        let (phase, total) = {
+            let r = &self.requests[&id];
+            (r.phase, r.spec.total_tokens())
+        };
+        let list = match phase {
+            RequestPhase::Prefilling => &mut self.prefilling,
+            RequestPhase::Decoding => &mut self.decoding,
+            _ => unreachable!("only running requests leave the running set"),
+        };
+        list.unlink(&mut self.requests, id);
+        self.projected_tokens -= total;
     }
 
     /// Requests waiting for admission.
@@ -149,12 +298,12 @@ impl ReplicaScheduler {
 
     /// Requests admitted and unfinished.
     pub fn num_running(&self) -> usize {
-        self.running.len()
+        self.prefilling.len + self.decoding.len
     }
 
     /// All unfinished requests on this replica.
     pub fn outstanding(&self) -> usize {
-        self.waiting.len() + self.running.len()
+        self.waiting.len() + self.num_running()
     }
 
     /// Total preemption-restarts so far (the paper's vLLM restart metric).
@@ -173,30 +322,65 @@ impl ReplicaScheduler {
     }
 
     /// Forms the next batch, or `None` when nothing can run (idle or all
-    /// in-flight).
+    /// in-flight). Slice storage comes from the recycle pool, so the steady
+    /// state allocates nothing.
     pub fn next_batch(&mut self) -> Option<BatchComposition> {
         self.admit_prefetched();
-        let slices = match self.config.policy {
-            BatchPolicyKind::Vllm => self.vllm_batch(),
-            BatchPolicyKind::OrcaPlus => self.orca_batch(),
-            BatchPolicyKind::SarathiServe { chunk_size } => self.sarathi_batch(chunk_size),
-            BatchPolicyKind::FasterTransformer => self.ft_batch(),
-            BatchPolicyKind::LightLlm => self.lightllm_batch(),
-        };
+        let mut slices = self.slice_pool.pop().unwrap_or_default();
+        debug_assert!(slices.is_empty());
+        match self.config.policy {
+            BatchPolicyKind::Vllm => self.vllm_batch(&mut slices),
+            BatchPolicyKind::OrcaPlus => self.orca_batch(&mut slices),
+            BatchPolicyKind::SarathiServe { chunk_size } => {
+                self.sarathi_batch(chunk_size, &mut slices)
+            }
+            BatchPolicyKind::FasterTransformer => self.ft_batch(&mut slices),
+            BatchPolicyKind::LightLlm => self.lightllm_batch(&mut slices),
+        }
         if slices.is_empty() {
+            self.slice_pool.push(slices);
             None
         } else {
             Some(BatchComposition::new(slices))
         }
     }
 
+    /// Returns a retired batch's slice storage to the formation pool so the
+    /// next [`ReplicaScheduler::next_batch`] call is allocation-free.
+    /// Optional: dropping a batch instead merely costs a reallocation later.
+    pub fn recycle_batch(&mut self, batch: BatchComposition) {
+        let mut storage = batch.into_slices();
+        storage.clear();
+        self.slice_pool.push(storage);
+    }
+
     /// Applies the effects of a finished batch, returning per-request events.
+    ///
+    /// Allocates the event vector; drivers on the hot path should use
+    /// [`ReplicaScheduler::complete_batch_into`] with a reused buffer.
     ///
     /// # Panics
     ///
     /// Panics if the batch references unknown requests (a driver bug).
     pub fn complete_batch(&mut self, batch: &BatchComposition) -> Vec<CompletionEvent> {
         let mut events = Vec::with_capacity(batch.num_requests());
+        self.complete_batch_into(batch, &mut events);
+        events
+    }
+
+    /// Applies the effects of a finished batch, writing per-request events
+    /// into `events` (cleared first). Steady-state allocation-free when the
+    /// buffer's capacity has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch references unknown requests (a driver bug).
+    pub fn complete_batch_into(
+        &mut self,
+        batch: &BatchComposition,
+        events: &mut Vec<CompletionEvent>,
+    ) {
+        events.clear();
         for slice in batch.slices() {
             let id = slice.request_id;
             let Some(req) = self.requests.get_mut(&id) else {
@@ -213,14 +397,14 @@ impl ReplicaScheduler {
                 req.prefilled += slice.query_tokens;
                 debug_assert!(req.prefilled <= req.spec.prefill_tokens);
                 if req.prefill_complete() {
-                    req.phase = RequestPhase::Decoding;
                     if req.decoded == 0 {
                         // The prefill iteration yields the first output token.
                         req.decoded = 1;
                         ev.prefill_completed = true;
                         ev.produced_token = true;
                     }
-                    if req.finished() {
+                    self.promote_to_decode(id);
+                    if self.requests[&id].finished() {
                         ev.finished = true;
                         self.finish(id);
                     }
@@ -236,50 +420,94 @@ impl ReplicaScheduler {
             }
             events.push(ev);
         }
-        events
+    }
+
+    /// Moves a request whose prefill just completed from the prefilling list
+    /// to the decoding list (same admission sequence, so admission order is
+    /// preserved across the phase transition).
+    fn promote_to_decode(&mut self, id: RequestId) {
+        self.prefilling.unlink(&mut self.requests, id);
+        self.requests.get_mut(&id).expect("tracked").phase = RequestPhase::Decoding;
+        self.decoding.insert_ordered(&mut self.requests, id);
     }
 
     fn finish(&mut self, id: RequestId) {
         self.blocks.release(id);
-        self.running.retain(|&r| r != id);
-        if let Some(r) = self.requests.get_mut(&id) {
-            r.phase = RequestPhase::Finished;
-        }
+        self.leave_running(id);
         self.requests.remove(&id);
         self.completed += 1;
     }
 
     /// Admits the front waiting request, reserving `reserve_tokens` of KV
     /// capacity. Returns the id on success.
+    ///
+    /// Requests that need no prefill (remote-prefilled KV) are refused here:
+    /// they are [`admit_prefetched`](Self::admit_prefetched)'s job. Without
+    /// this guard, a preemption that frees memory *between* the prefetch
+    /// pass and the policy admission loop would re-prefill already-cached
+    /// work, pushing `prefilled` past the prompt length and underflowing
+    /// `remaining_prefill` (a latent seed bug, reachable in disaggregated
+    /// decode pools under memory pressure).
     fn admit_front(&mut self, reserve_tokens: u64) -> Option<RequestId> {
         let &id = self.waiting.front()?;
+        if self.requests[&id].remaining_prefill() == 0 {
+            return None;
+        }
         if !self.blocks.try_reserve(id, reserve_tokens) {
             return None;
         }
         self.waiting.pop_front();
-        self.running.push(id);
-        let req = self.requests.get_mut(&id).expect("tracked");
-        req.phase = RequestPhase::Prefilling;
+        self.enter_running(id, RequestPhase::Prefilling);
         Some(id)
+    }
+
+    /// Evicts a running request (vLLM recompute-restart): releases its KV,
+    /// resets its prefill progress, and requeues it at the waiting front.
+    fn evict(&mut self, id: RequestId) {
+        self.leave_running(id);
+        self.blocks.release(id);
+        let req = self.requests.get_mut(&id).expect("tracked");
+        req.restart();
+        self.waiting.push_front(id);
+        self.preemptions += 1;
     }
 
     /// Preempts (recompute-restarts) the most recently admitted running
     /// request that is not in flight and not `protect`. Returns `true` if a
     /// victim was evicted.
+    ///
+    /// Victim selection merges the two phase lists tail-first by admission
+    /// sequence — the same order as the seed's `rposition` over its single
+    /// admission-ordered vector, but it stops at the first eligible request
+    /// instead of rescanning the whole set.
     fn preempt_one(&mut self, protect: RequestId) -> bool {
-        let victim_pos = self
-            .running
-            .iter()
-            .rposition(|&id| id != protect && self.requests[&id].inflight_tokens == 0);
-        let Some(pos) = victim_pos else {
-            return false;
+        let mut dec = self.decoding.tail;
+        let mut pre = self.prefilling.tail;
+        let victim = loop {
+            let pick_decode = if dec == NO_REQ && pre == NO_REQ {
+                break NO_REQ;
+            } else if pre == NO_REQ {
+                true
+            } else if dec == NO_REQ {
+                false
+            } else {
+                self.requests[&dec].admit_seq > self.requests[&pre].admit_seq
+            };
+            let id = if pick_decode { dec } else { pre };
+            let r = &self.requests[&id];
+            if id != protect && r.inflight_tokens == 0 {
+                break id;
+            }
+            if pick_decode {
+                dec = r.prev;
+            } else {
+                pre = r.prev;
+            }
         };
-        let victim = self.running.remove(pos);
-        self.blocks.release(victim);
-        let req = self.requests.get_mut(&victim).expect("tracked");
-        req.restart();
-        self.waiting.push_front(victim);
-        self.preemptions += 1;
+        if victim == NO_REQ {
+            return false;
+        }
+        self.evict(victim);
         true
     }
 
@@ -294,12 +522,7 @@ impl ReplicaScheduler {
             }
             if !self.preempt_one(id) {
                 // Last resort: preempt the request itself.
-                self.running.retain(|&r| r != id);
-                self.blocks.release(id);
-                let req = self.requests.get_mut(&id).expect("tracked");
-                req.restart();
-                self.waiting.push_front(id);
-                self.preemptions += 1;
+                self.evict(id);
                 return false;
             }
         }
@@ -309,27 +532,39 @@ impl ReplicaScheduler {
         self.requests.get_mut(&id).expect("tracked").inflight_tokens = tokens;
     }
 
-    /// Running requests in decode phase that are schedulable now.
-    fn schedulable_decodes(&self) -> Vec<RequestId> {
-        self.running
-            .iter()
-            .copied()
-            .filter(|id| {
-                let r = &self.requests[id];
-                r.phase == RequestPhase::Decoding && r.inflight_tokens == 0 && !r.finished()
-            })
-            .collect()
+    /// Snapshots the ids of `list` that pass `keep` into the scratch buffer
+    /// and returns it (swap it back when done). Snapshotting lets formation
+    /// passes mutate the lists (growth-driven preemption) mid-iteration.
+    fn snapshot_ids(
+        &mut self,
+        list: &PhaseList,
+        keep: impl Fn(&TrackedRequest) -> bool,
+    ) -> Vec<RequestId> {
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        let mut cur = list.head;
+        while cur != NO_REQ {
+            let r = &self.requests[&cur];
+            if keep(r) {
+                ids.push(cur);
+            }
+            cur = r.next;
+        }
+        ids
     }
 
     /// Builds decode slices for up to `limit` schedulable decode requests,
     /// handling memory growth with preemption.
     fn collect_decodes(&mut self, limit: usize, slices: &mut Vec<RequestSlice>) {
-        for id in self.schedulable_decodes() {
+        let decoding = self.decoding;
+        let ids = self.snapshot_ids(&decoding, |r| r.inflight_tokens == 0 && !r.finished());
+        for &id in &ids {
             if slices.len() >= limit {
                 break;
             }
-            // The request may have been preempted by an earlier growth.
-            if !self.running.contains(&id) {
+            // The request may have been preempted (back to Waiting) by an
+            // earlier growth in this same pass.
+            if self.requests[&id].phase != RequestPhase::Decoding {
                 continue;
             }
             if !self.grow_or_preempt(id) {
@@ -339,16 +574,16 @@ impl ReplicaScheduler {
             slices.push(RequestSlice::decode(id, cached));
             self.mark_inflight(id, 1);
         }
+        self.ids_scratch = ids;
     }
 
     // ---- vLLM: prefill-prioritizing -------------------------------------
 
-    fn vllm_batch(&mut self) -> Vec<RequestSlice> {
+    fn vllm_batch(&mut self, slices: &mut Vec<RequestSlice>) {
         let budget = self.config.token_budget();
-        let mut slices = Vec::new();
         let mut tokens = 0u64;
         // Eagerly admit waiting prompts as a prefill-only batch.
-        while self.running.len() < self.config.max_batch_size {
+        while self.num_running() < self.config.max_batch_size {
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -364,21 +599,19 @@ impl ReplicaScheduler {
             tokens += prompt;
         }
         if !slices.is_empty() {
-            return slices;
+            return;
         }
         // Otherwise resume decodes for everything running.
-        self.collect_decodes(self.config.max_batch_size, &mut slices);
-        slices
+        self.collect_decodes(self.config.max_batch_size, slices);
     }
 
     // ---- Orca+: mixed iteration-level batching ---------------------------
 
-    fn orca_batch(&mut self) -> Vec<RequestSlice> {
+    fn orca_batch(&mut self, slices: &mut Vec<RequestSlice>) {
         let budget = self.config.token_budget();
-        let mut slices = Vec::new();
-        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        self.collect_decodes(self.config.max_batch_size, slices);
         let mut tokens = slices.len() as u64;
-        while self.running.len() < self.config.max_batch_size
+        while self.num_running() < self.config.max_batch_size
             && slices.len() < self.config.max_batch_size
         {
             let Some(&id) = self.waiting.front() else {
@@ -395,26 +628,17 @@ impl ReplicaScheduler {
             self.mark_inflight(id, prompt);
             tokens += prompt;
         }
-        slices
     }
 
     // ---- Sarathi-Serve: chunked prefills under a token budget ------------
 
-    fn sarathi_batch(&mut self, chunk_size: u64) -> Vec<RequestSlice> {
-        let mut slices = Vec::new();
-        self.collect_decodes(self.config.max_batch_size, &mut slices);
+    fn sarathi_batch(&mut self, chunk_size: u64, slices: &mut Vec<RequestSlice>) {
+        self.collect_decodes(self.config.max_batch_size, slices);
         let mut budget = chunk_size.saturating_sub(slices.len() as u64);
         // Continue partially-prefilled running requests first.
-        let partial: Vec<RequestId> = self
-            .running
-            .iter()
-            .copied()
-            .filter(|id| {
-                let r = &self.requests[id];
-                r.phase == RequestPhase::Prefilling && r.inflight_tokens == 0
-            })
-            .collect();
-        for id in partial {
+        let prefilling = self.prefilling;
+        let partial = self.snapshot_ids(&prefilling, |r| r.inflight_tokens == 0);
+        for &id in &partial {
             if budget == 0 || slices.len() >= self.config.max_batch_size {
                 break;
             }
@@ -427,9 +651,10 @@ impl ReplicaScheduler {
             self.mark_inflight(id, take);
             budget -= take;
         }
+        self.ids_scratch = partial;
         // Admit new requests with the remaining budget.
         while budget > 0
-            && self.running.len() < self.config.max_batch_size
+            && self.num_running() < self.config.max_batch_size
             && slices.len() < self.config.max_batch_size
         {
             let Some(&front) = self.waiting.front() else {
@@ -444,17 +669,16 @@ impl ReplicaScheduler {
             self.mark_inflight(id, take);
             budget -= take;
         }
-        slices
     }
 
     // ---- FasterTransformer: cohort (request-level) batching ---------------
 
-    fn ft_batch(&mut self) -> Vec<RequestSlice> {
+    fn ft_batch(&mut self, slices: &mut Vec<RequestSlice>) {
         let budget = self.config.token_budget();
-        if self.running.is_empty() {
+        if self.num_running() == 0 {
             // Admit a fresh cohort, preallocating each request's full KV
             // footprint (FT reserves max sequence length up front).
-            while self.running.len() < self.config.max_batch_size {
+            while self.num_running() < self.config.max_batch_size {
                 let Some(&id) = self.waiting.front() else {
                     break;
                 };
@@ -467,18 +691,10 @@ impl ReplicaScheduler {
         }
         // Prefill phase: process cohort prompts (token budget may spread
         // them over several iterations).
-        let mut slices = Vec::new();
         let mut tokens = 0u64;
-        let pending_prefill: Vec<RequestId> = self
-            .running
-            .iter()
-            .copied()
-            .filter(|id| {
-                let r = &self.requests[id];
-                r.phase == RequestPhase::Prefilling && r.inflight_tokens == 0
-            })
-            .collect();
-        for id in pending_prefill {
+        let prefilling = self.prefilling;
+        let pending = self.snapshot_ids(&prefilling, |r| r.inflight_tokens == 0);
+        for &id in &pending {
             let prompt = self.requests[&id].spec.prefill_tokens;
             if tokens + prompt > budget && tokens > 0 {
                 break;
@@ -487,30 +703,27 @@ impl ReplicaScheduler {
             self.mark_inflight(id, prompt);
             tokens += prompt;
         }
+        self.ids_scratch = pending;
         if !slices.is_empty() {
-            return slices;
+            return;
         }
         // Decode phase: everyone decodes until the whole cohort finishes
         // (no new admissions in between — decode prioritizing).
-        self.collect_decodes(self.config.max_batch_size, &mut slices);
-        slices
+        self.collect_decodes(self.config.max_batch_size, slices);
     }
 
     // ---- LightLLM: token-level admission control --------------------------
 
-    fn lightllm_batch(&mut self) -> Vec<RequestSlice> {
+    fn lightllm_batch(&mut self, slices: &mut Vec<RequestSlice>) {
         let budget = self.config.token_budget();
         let capacity_tokens = self.blocks.total_blocks() * self.blocks.block_size() as u64;
-        let mut slices = Vec::new();
-        self.collect_decodes(self.config.max_batch_size, &mut slices);
+        self.collect_decodes(self.config.max_batch_size, slices);
         let mut tokens = slices.len() as u64;
-        // Projected KV footprint of everything running, at completion.
-        let mut projected: u64 = self
-            .running
-            .iter()
-            .map(|id| self.requests[id].spec.total_tokens())
-            .sum();
-        while self.running.len() < self.config.max_batch_size
+        // Projected KV footprint of everything running, at completion —
+        // maintained incrementally on admit/finish/preempt rather than
+        // re-summed over the running set per call.
+        let mut projected = self.projected_tokens;
+        while self.num_running() < self.config.max_batch_size
             && slices.len() < self.config.max_batch_size
         {
             let Some(&id) = self.waiting.front() else {
@@ -533,7 +746,6 @@ impl ReplicaScheduler {
             tokens += spec.prefill_tokens;
             projected += spec.total_tokens();
         }
-        slices
     }
 }
 

@@ -12,6 +12,9 @@ use vidur_core::time::SimTime;
 /// Unique request identifier.
 pub type RequestId = u64;
 
+/// Sentinel for "no request" in the scheduler's intrusive phase lists.
+pub(crate) const NO_REQ: RequestId = RequestId::MAX;
+
 /// The immutable description of a request, as read from a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Request {
@@ -78,6 +81,17 @@ pub struct TrackedRequest {
     /// Tokens queued in the *current in-flight batch* for this request
     /// (guards against double-scheduling).
     pub inflight_tokens: u64,
+    /// Admission sequence number, assigned by the replica scheduler each
+    /// time the request (re-)enters the running set. Orders the intrusive
+    /// phase lists identically to the seed's single admission-ordered
+    /// `running` vector.
+    pub(crate) admit_seq: u64,
+    /// Intrusive link: previous request in this request's phase list
+    /// ([`NO_REQ`] at the head). Maintained by `ReplicaScheduler`.
+    pub(crate) prev: RequestId,
+    /// Intrusive link: next request in this request's phase list
+    /// ([`NO_REQ`] at the tail).
+    pub(crate) next: RequestId,
 }
 
 impl TrackedRequest {
@@ -90,6 +104,9 @@ impl TrackedRequest {
             phase: RequestPhase::Waiting,
             restarts: 0,
             inflight_tokens: 0,
+            admit_seq: 0,
+            prev: NO_REQ,
+            next: NO_REQ,
         }
     }
 

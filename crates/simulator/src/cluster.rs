@@ -201,13 +201,15 @@ impl Simulation for ClusterSimulator {
                 self.try_schedule(replica, now, queue);
             }
             SimEvent::BatchComplete(replica, id) => {
-                let events = self.engine.retire_batch(
+                self.engine.retire_batch(
                     &mut self.replicas[replica as usize],
                     replica as usize,
                     id,
                     now,
+                    queue,
+                    // Aggregated clusters record completion events as-is.
+                    |_ev, _queue| {},
                 );
-                self.engine.metrics.on_batch_complete(now, &events);
                 self.drain_deferred(now, queue);
                 self.try_schedule(replica, now, queue);
             }

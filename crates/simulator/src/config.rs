@@ -1,6 +1,7 @@
 //! Cluster / deployment configuration — the "Simulation Spec" of Figure 2.
 
 use serde::{Deserialize, Serialize};
+use vidur_core::metrics::QuantileMode;
 use vidur_core::time::SimTime;
 use vidur_hardware::GpuSku;
 use vidur_model::memory::{MemoryPlan, DEFAULT_BLOCK_SIZE};
@@ -54,6 +55,13 @@ pub struct ClusterConfig {
     /// defaults on; disable it to bound memory on extremely long
     /// high-entropy runs or to benchmark the uncached path.
     pub plan_cache: bool,
+    /// How the metrics collector aggregates latency distributions:
+    /// [`QuantileMode::Exact`] (the default) stores every sample so report
+    /// quantiles are exact and bit-reproducible; [`QuantileMode::Sketch`]
+    /// streams samples through P² marker sketches and retires per-request
+    /// records as they complete, bounding metrics memory on very long runs
+    /// (per-token TBT streams) at the cost of approximate mid-quantiles.
+    pub quantile_mode: QuantileMode,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -93,6 +101,7 @@ impl ClusterConfig {
             async_pipeline_comm: false,
             late_abort: None,
             plan_cache: true,
+            quantile_mode: QuantileMode::Exact,
         }
     }
 

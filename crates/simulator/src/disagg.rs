@@ -25,7 +25,6 @@ use crate::metrics::SimulationReport;
 use serde::{Deserialize, Serialize};
 use vidur_core::event::{EventQueue, Simulation};
 use vidur_core::time::{SimDuration, SimTime};
-use vidur_scheduler::replica::CompletionEvent;
 use vidur_scheduler::Request;
 use vidur_workload::Trace;
 
@@ -214,33 +213,6 @@ impl DisaggSimulator {
             |id| DisaggEvent::BatchComplete(pool, replica, id),
         );
     }
-
-    /// Maps prefill-pool completion events to the request's real lifecycle:
-    /// "finished on the prefill replica" means "prefill done, first token
-    /// out, KV must move" unless the request only ever wanted one token.
-    fn handle_prefill_events(
-        &mut self,
-        now: SimTime,
-        events: &[CompletionEvent],
-        queue: &mut EventQueue<DisaggEvent>,
-    ) {
-        let kv_per_token = self.config.base.model.kv_bytes_per_token();
-        let mut translated = Vec::with_capacity(events.len());
-        for ev in events {
-            let idx = ev.id as usize;
-            let real_decode = self.trace.requests[idx].decode_tokens;
-            let mut t = *ev;
-            if ev.finished && real_decode > 1 {
-                // Not actually finished: the decode pool takes over.
-                t.finished = false;
-                let bytes = self.trace.requests[idx].prefill_tokens * kv_per_token;
-                let arrive = now + self.config.transfer_time(bytes);
-                queue.push(arrive, DisaggEvent::KvArrived(ev.id as u32));
-            }
-            translated.push(t);
-        }
-        self.engine.metrics.on_batch_complete(now, &translated);
-    }
 }
 
 impl Simulation for DisaggSimulator {
@@ -285,17 +257,37 @@ impl Simulation for DisaggSimulator {
             }
             DisaggEvent::BatchComplete(pool, replica, id) => {
                 let metrics_idx = self.metrics_replica_index(pool, replica);
+                let trace = &self.trace;
+                let config = &self.config;
+                let kv_per_token = config.base.model.kv_bytes_per_token();
                 let pool_replicas = pool_mut(&mut self.prefill, &mut self.decode, pool);
-                let events = self.engine.retire_batch(
+                self.engine.retire_batch(
                     &mut pool_replicas[replica as usize],
                     metrics_idx,
                     id,
                     now,
+                    queue,
+                    // Prefill-pool completions map to the request's real
+                    // lifecycle: "finished on the prefill replica" means
+                    // "prefill done, first token out, KV must move" unless
+                    // the request only ever wanted one token. Decode-pool
+                    // events pass through unchanged.
+                    |ev, queue| {
+                        if pool != Pool::Prefill {
+                            return;
+                        }
+                        let idx = ev.id as usize;
+                        let real_decode = trace.requests[idx].decode_tokens;
+                        if ev.finished && real_decode > 1 {
+                            // Not actually finished: the decode pool takes
+                            // over once the KV transfer lands.
+                            ev.finished = false;
+                            let bytes = trace.requests[idx].prefill_tokens * kv_per_token;
+                            let arrive = now + config.transfer_time(bytes);
+                            queue.push(arrive, DisaggEvent::KvArrived(ev.id as u32));
+                        }
+                    },
                 );
-                match pool {
-                    Pool::Prefill => self.handle_prefill_events(now, &events, queue),
-                    Pool::Decode => self.engine.metrics.on_batch_complete(now, &events),
-                }
                 self.try_schedule(pool, replica, now, queue);
             }
         }

@@ -39,7 +39,9 @@ pub use crate::timing::RuntimeSource;
 pub const MAX_EVENTS: u64 = 200_000_000;
 
 /// One replica's scheduling state: its batch scheduler, pipeline-stage
-/// tracker, and the earliest pending wake-up (dedupes `Wakeup` events).
+/// tracker, the earliest pending wake-up (dedupes `Wakeup` events), and the
+/// completion times of its in-flight batches (coalesces wake-ups that a
+/// completion handler would cover anyway).
 #[derive(Debug)]
 pub struct EngineReplica {
     /// Batch formation and KV block accounting.
@@ -47,6 +49,9 @@ pub struct EngineReplica {
     /// Pipeline-stage occupancy (resolves stage contention and bubbles).
     pub pipeline: PipelineTracker,
     wakeup_at: Option<SimTime>,
+    /// Completion times of in-flight batches in launch order (monotone:
+    /// the synchronous pipeline retires batches FIFO).
+    pending_completions: std::collections::VecDeque<SimTime>,
 }
 
 impl EngineReplica {
@@ -60,6 +65,7 @@ impl EngineReplica {
             ),
             pipeline: PipelineTracker::new(config.parallelism.pipeline_parallel as usize),
             wakeup_at: None,
+            pending_completions: std::collections::VecDeque::new(),
         }
     }
 
@@ -95,10 +101,12 @@ pub struct BatchEngine {
     deadline: Option<SimTime>,
     deadline_hit: bool,
     late_abort: Option<LateAbort>,
-    /// Per-batch scratch (jittered stage times / stage durations), reused to
-    /// keep allocations out of the scheduling hot loop.
+    /// Per-batch scratch (jittered stage times / stage durations /
+    /// completion events), reused to keep allocations out of the scheduling
+    /// hot loop.
     scratch_secs: Vec<f64>,
     scratch_durations: Vec<SimDuration>,
+    events_scratch: Vec<CompletionEvent>,
 }
 
 impl fmt::Debug for BatchEngine {
@@ -144,7 +152,7 @@ impl BatchEngine {
         seed: u64,
         metrics_replicas: usize,
     ) -> Self {
-        let mut metrics = MetricsCollector::new(metrics_replicas);
+        let mut metrics = MetricsCollector::with_mode(metrics_replicas, config.quantile_mode);
         if let Some(la) = config.late_abort {
             metrics.set_late_limit(la.delay_limit_secs);
         }
@@ -161,6 +169,7 @@ impl BatchEngine {
             late_abort: config.late_abort,
             scratch_secs: Vec::new(),
             scratch_durations: Vec::new(),
+            events_scratch: Vec::new(),
         }
     }
 
@@ -244,7 +253,16 @@ impl BatchEngine {
         loop {
             let free_at = replica.pipeline.stage0_free_at();
             if free_at > now {
-                // Busy: wake up when stage 0 frees (dedupe identical wakeups).
+                // Busy. A completion event for this replica at exactly
+                // `free_at` re-enters try_schedule with the stage already
+                // free, so a wake-up for the same instant would pop right
+                // after it and do nothing — coalesce it away. With PP=1
+                // stage 0 always frees exactly at batch completion, so this
+                // halves the steady-state event traffic.
+                if replica.pending_completions.iter().any(|&t| t == free_at) {
+                    return;
+                }
+                // Otherwise arm a wake-up (dedupe identical ones).
                 let need = replica.wakeup_at.is_none_or(|at| at > free_at);
                 if need {
                     replica.wakeup_at = Some(free_at);
@@ -283,6 +301,7 @@ impl BatchEngine {
             let id = self.next_batch_id;
             self.next_batch_id += 1;
             self.inflight.insert(id, batch);
+            replica.pending_completions.push_back(completion);
             queue.push(completion, complete(id));
             // Loop: with PP, stage 0 may free before completion, allowing
             // another microbatch now-ish; the next loop iteration either
@@ -290,26 +309,40 @@ impl BatchEngine {
         }
     }
 
-    /// Pops finished batch `id`, retires it on `replica`'s scheduler, and
-    /// samples KV utilization. Returns the per-request completion events for
-    /// the policy layer to translate (e.g. disaggregated prefill handoff)
-    /// and record via `metrics.on_batch_complete`.
+    /// Pops finished batch `id`, retires it on `replica`'s scheduler,
+    /// samples KV utilization, and records the completion events — after
+    /// giving the policy layer a chance to rewrite each event via
+    /// `translate` (e.g. the disaggregated prefill→decode handoff, which
+    /// un-finishes requests and schedules their KV transfer on `queue`).
+    ///
+    /// The event buffer and the batch's slice storage are both recycled, so
+    /// the steady-state retire path is allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not in flight, which would indicate a simulator bug.
-    pub fn retire_batch(
+    pub fn retire_batch<E>(
         &mut self,
         replica: &mut EngineReplica,
         metrics_idx: usize,
         id: u64,
         now: SimTime,
-    ) -> Vec<CompletionEvent> {
+        queue: &mut EventQueue<E>,
+        mut translate: impl FnMut(&mut CompletionEvent, &mut EventQueue<E>),
+    ) {
         let batch = self.inflight.remove(&id).expect("unknown in-flight batch");
-        let events = replica.scheduler.complete_batch(&batch);
+        let done = replica.pending_completions.pop_front();
+        debug_assert_eq!(done, Some(now), "completions must retire in order");
+        let mut events = std::mem::take(&mut self.events_scratch);
+        replica.scheduler.complete_batch_into(&batch, &mut events);
         self.metrics
             .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
-        events
+        for ev in events.iter_mut() {
+            translate(ev, queue);
+        }
+        self.metrics.on_batch_complete(now, &events);
+        self.events_scratch = events;
+        replica.scheduler.recycle_batch(batch);
     }
 
     /// Consumes the engine and assembles the final [`SimulationReport`],

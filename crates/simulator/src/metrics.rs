@@ -6,7 +6,7 @@
 //! statistics, and preemption counts.
 
 use serde::{Deserialize, Serialize};
-use vidur_core::metrics::{QuantileDigest, TimeWeightedSeries};
+use vidur_core::metrics::{QuantileDigest, QuantileMode, StreamingSummary, TimeWeightedSeries};
 use vidur_core::time::SimTime;
 use vidur_model::batch::BatchComposition;
 use vidur_model::operators::Operator;
@@ -31,11 +31,12 @@ pub struct DigestSummary {
 }
 
 impl DigestSummary {
-    /// Summarizes a digest (zeros if empty).
-    pub fn from_digest(d: &QuantileDigest) -> Self {
+    /// Summarizes a digest (zeros if empty), sealing it for quantile reads.
+    pub fn from_digest(d: &mut QuantileDigest) -> Self {
         if d.is_empty() {
             return DigestSummary::default();
         }
+        d.seal();
         DigestSummary {
             mean: d.mean().unwrap_or(0.0),
             p50: d.quantile(0.5).unwrap_or(0.0),
@@ -43,6 +44,76 @@ impl DigestSummary {
             p95: d.quantile(0.95).unwrap_or(0.0),
             p99: d.quantile(0.99).unwrap_or(0.0),
             max: d.max().unwrap_or(0.0),
+        }
+    }
+
+    /// Summarizes a bounded-memory streaming sketch (zeros if empty).
+    pub fn from_streaming(s: &StreamingSummary) -> Self {
+        if s.is_empty() {
+            return DigestSummary::default();
+        }
+        DigestSummary {
+            mean: s.mean().unwrap_or(0.0),
+            p50: s.quantile(0.5).unwrap_or(0.0),
+            p90: s.quantile(0.9).unwrap_or(0.0),
+            p95: s.quantile(0.95).unwrap_or(0.0),
+            p99: s.quantile(0.99).unwrap_or(0.0),
+            max: s.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A latency-distribution sink that is either exact or bounded-memory,
+/// per [`QuantileMode`].
+#[derive(Debug, Clone)]
+enum StatSink {
+    Exact(QuantileDigest),
+    // Boxed: the sketch variant carries 16 P² markers inline (~576 bytes)
+    // while the exact variant is a Vec header.
+    Sketch(Box<StreamingSummary>),
+}
+
+impl StatSink {
+    fn new(mode: QuantileMode) -> Self {
+        match mode {
+            QuantileMode::Exact => StatSink::Exact(QuantileDigest::new()),
+            QuantileMode::Sketch => StatSink::Sketch(Box::new(StreamingSummary::new())),
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        match self {
+            StatSink::Exact(d) => d.record(value),
+            StatSink::Sketch(s) => s.record(value),
+        }
+    }
+
+    fn summary(&mut self) -> DigestSummary {
+        match self {
+            StatSink::Exact(d) => DigestSummary::from_digest(d),
+            StatSink::Sketch(s) => DigestSummary::from_streaming(s),
+        }
+    }
+}
+
+/// Per-request latency sinks maintained incrementally in sketch mode.
+#[derive(Debug, Clone)]
+struct RequestSinks {
+    sched_delay: StreamingSummary,
+    ttft: StreamingSummary,
+    norm_e2e: StreamingSummary,
+    norm_exec: StreamingSummary,
+    e2e: StreamingSummary,
+}
+
+impl RequestSinks {
+    fn new() -> Self {
+        RequestSinks {
+            sched_delay: StreamingSummary::new(),
+            ttft: StreamingSummary::new(),
+            norm_e2e: StreamingSummary::new(),
+            norm_exec: StreamingSummary::new(),
+            e2e: StreamingSummary::new(),
         }
     }
 }
@@ -112,9 +183,13 @@ struct RequestRecord {
 #[derive(Debug)]
 pub struct MetricsCollector {
     /// Per-request records, id-indexed: simulators feed dense trace
-    /// indices, so the slab beats a map on the per-slice hot paths.
+    /// indices, so the slab beats a map on the per-slice hot paths. In
+    /// sketch mode records retire into [`RequestSinks`] as requests
+    /// complete instead of accumulating until the final report.
     records: IdSlab<RequestRecord>,
-    tbt: QuantileDigest,
+    tbt: StatSink,
+    /// `Some` iff the collector runs in [`QuantileMode::Sketch`].
+    request_sinks: Option<RequestSinks>,
     completed: usize,
     last_completion: SimTime,
     total_batches: u64,
@@ -130,11 +205,21 @@ pub struct MetricsCollector {
 }
 
 impl MetricsCollector {
-    /// Creates a collector for `num_replicas` replicas.
+    /// Creates a collector for `num_replicas` replicas with exact quantiles.
     pub fn new(num_replicas: usize) -> Self {
+        MetricsCollector::with_mode(num_replicas, QuantileMode::Exact)
+    }
+
+    /// Creates a collector for `num_replicas` replicas in the given
+    /// [`QuantileMode`].
+    pub fn with_mode(num_replicas: usize, mode: QuantileMode) -> Self {
         MetricsCollector {
             records: IdSlab::new(),
-            tbt: QuantileDigest::new(),
+            tbt: StatSink::new(mode),
+            request_sinks: match mode {
+                QuantileMode::Exact => None,
+                QuantileMode::Sketch => Some(RequestSinks::new()),
+            },
             completed: 0,
             last_completion: SimTime::ZERO,
             total_batches: 0,
@@ -213,27 +298,42 @@ impl MetricsCollector {
         self.flops += flops;
         self.bytes += bytes;
         for slice in batch.slices() {
-            // Only a request's first prefill chunk can be its first
-            // schedule; decode and continuation slices belong to requests
-            // already marked, so skip their map lookups (the engine's
-            // batches are decode-dominated).
-            if !slice.is_prefill || slice.cached_tokens > 0 {
-                continue;
-            }
-            if let Some(rec) = self.records.get_mut(&slice.request_id) {
-                if rec.first_scheduled.is_none() {
-                    rec.first_scheduled = Some(now);
-                    if let Some(limit) = self.late_limit_secs {
-                        if now.saturating_duration_since(rec.arrival).as_secs_f64() > limit {
-                            self.late_count += 1;
-                        }
-                    }
-                }
+            // Fast-path filter only: decode and continuation slices belong
+            // to requests whose first schedule already happened, so their
+            // record lookups are skipped (the engine's batches are
+            // decode-dominated). Whether the request is *actually* newly
+            // scheduled is decided by the record alone in
+            // `mark_first_scheduled` — a preemption-restarted prefill
+            // re-enters here with `cached_tokens == 0` and must not count
+            // twice.
+            if slice.is_prefill && slice.cached_tokens == 0 {
+                self.mark_first_scheduled(slice.request_id, now);
             }
         }
     }
 
-    /// Applies completion events from a finished batch.
+    /// Single authority for first-schedule marking and late accounting: the
+    /// record's `first_scheduled` field. Lateness is judged once, against
+    /// the *original* first schedule, so the count cannot depend on slice
+    /// order within a batch or on restarts after preemption.
+    fn mark_first_scheduled(&mut self, id: RequestId, now: SimTime) {
+        let Some(rec) = self.records.get_mut(&id) else {
+            return;
+        };
+        if rec.first_scheduled.is_some() {
+            return;
+        }
+        rec.first_scheduled = Some(now);
+        if let Some(limit) = self.late_limit_secs {
+            if now.saturating_duration_since(rec.arrival).as_secs_f64() > limit {
+                self.late_count += 1;
+            }
+        }
+    }
+
+    /// Applies completion events from a finished batch. In sketch mode,
+    /// finished requests stream their request-level latencies into the
+    /// bounded sinks immediately and their records are dropped.
     pub fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]) {
         for ev in events {
             let Some(rec) = self.records.get_mut(&ev.id) else {
@@ -252,6 +352,13 @@ impl MetricsCollector {
                 rec.completed = Some(now);
                 self.completed += 1;
                 self.last_completion = self.last_completion.max(now);
+                if self.request_sinks.is_some() {
+                    let rec = *rec;
+                    if let Some(sinks) = self.request_sinks.as_mut() {
+                        record_request_latencies(sinks, &rec);
+                    }
+                    self.records.remove(&ev.id);
+                }
             }
         }
     }
@@ -276,35 +383,55 @@ impl MetricsCollector {
     /// `peak_bandwidth_total` are cluster-wide peaks (per-GPU × GPU count),
     /// `preemptions` comes from the replica schedulers.
     pub fn into_report(
-        self,
+        mut self,
         num_requests: usize,
         peak_flops_total: f64,
         peak_bandwidth_total: f64,
         preemptions: u64,
         power: PowerSpec,
     ) -> SimulationReport {
-        let mut sched_delay = QuantileDigest::new();
-        let mut ttft = QuantileDigest::new();
-        let mut norm_e2e = QuantileDigest::new();
-        let mut norm_exec = QuantileDigest::new();
-        let mut e2e = QuantileDigest::new();
-        for rec in self.records.values() {
-            let Some(completed) = rec.completed else {
-                continue;
-            };
-            let Some(first_sched) = rec.first_scheduled else {
-                continue;
-            };
-            sched_delay.record(first_sched.duration_since(rec.arrival).as_secs_f64());
-            if let Some(pd) = rec.prefill_done {
-                ttft.record(pd.duration_since(rec.arrival).as_secs_f64());
+        // Request-level summaries: streamed incrementally in sketch mode,
+        // one exact pass over the retained records otherwise.
+        let (sched_delay, ttft, norm_e2e, norm_exec, e2e) = match self.request_sinks.take() {
+            Some(sinks) => (
+                DigestSummary::from_streaming(&sinks.sched_delay),
+                DigestSummary::from_streaming(&sinks.ttft),
+                DigestSummary::from_streaming(&sinks.norm_e2e),
+                DigestSummary::from_streaming(&sinks.norm_exec),
+                DigestSummary::from_streaming(&sinks.e2e),
+            ),
+            None => {
+                let mut sched_delay = QuantileDigest::new();
+                let mut ttft = QuantileDigest::new();
+                let mut norm_e2e = QuantileDigest::new();
+                let mut norm_exec = QuantileDigest::new();
+                let mut e2e = QuantileDigest::new();
+                for rec in self.records.values() {
+                    let Some(completed) = rec.completed else {
+                        continue;
+                    };
+                    let Some(first_sched) = rec.first_scheduled else {
+                        continue;
+                    };
+                    sched_delay.record(first_sched.duration_since(rec.arrival).as_secs_f64());
+                    if let Some(pd) = rec.prefill_done {
+                        ttft.record(pd.duration_since(rec.arrival).as_secs_f64());
+                    }
+                    let total = completed.duration_since(rec.arrival).as_secs_f64();
+                    let exec = completed.duration_since(first_sched).as_secs_f64();
+                    e2e.record(total);
+                    norm_e2e.record(total / rec.decode_tokens as f64);
+                    norm_exec.record(exec / rec.decode_tokens as f64);
+                }
+                (
+                    DigestSummary::from_digest(&mut sched_delay),
+                    DigestSummary::from_digest(&mut ttft),
+                    DigestSummary::from_digest(&mut norm_e2e),
+                    DigestSummary::from_digest(&mut norm_exec),
+                    DigestSummary::from_digest(&mut e2e),
+                )
             }
-            let total = completed.duration_since(rec.arrival).as_secs_f64();
-            let exec = completed.duration_since(first_sched).as_secs_f64();
-            e2e.record(total);
-            norm_e2e.record(total / rec.decode_tokens as f64);
-            norm_exec.record(exec / rec.decode_tokens as f64);
-        }
+        };
         let makespan = self.last_completion.as_secs_f64();
         let kv_utilization = {
             let vals: Vec<f64> = self
@@ -337,12 +464,12 @@ impl MetricsCollector {
             completed: self.completed,
             makespan_secs: makespan,
             throughput_qps: self.completed as f64 / denom_time,
-            scheduling_delay: DigestSummary::from_digest(&sched_delay),
-            ttft: DigestSummary::from_digest(&ttft),
-            tbt: DigestSummary::from_digest(&self.tbt),
-            normalized_e2e: DigestSummary::from_digest(&norm_e2e),
-            normalized_exec: DigestSummary::from_digest(&norm_exec),
-            e2e: DigestSummary::from_digest(&e2e),
+            scheduling_delay: sched_delay,
+            ttft,
+            tbt: self.tbt.summary(),
+            normalized_e2e: norm_e2e,
+            normalized_exec: norm_exec,
+            e2e,
             mfu: (self.flops / (denom_time * peak_flops_total)).min(1.0),
             mbu: (self.bytes / (denom_time * peak_bandwidth_total)).min(1.0),
             kv_utilization,
@@ -361,6 +488,31 @@ impl MetricsCollector {
             operator_time_breakdown,
         }
     }
+}
+
+/// Streams one completed request's latency metrics into the bounded sinks
+/// (sketch mode's incremental replacement for the exact end-of-run pass —
+/// the guards mirror that pass exactly).
+fn record_request_latencies(sinks: &mut RequestSinks, rec: &RequestRecord) {
+    let Some(completed) = rec.completed else {
+        return;
+    };
+    let Some(first_sched) = rec.first_scheduled else {
+        return;
+    };
+    sinks
+        .sched_delay
+        .record(first_sched.duration_since(rec.arrival).as_secs_f64());
+    if let Some(pd) = rec.prefill_done {
+        sinks
+            .ttft
+            .record(pd.duration_since(rec.arrival).as_secs_f64());
+    }
+    let total = completed.duration_since(rec.arrival).as_secs_f64();
+    let exec = completed.duration_since(first_sched).as_secs_f64();
+    sinks.e2e.record(total);
+    sinks.norm_e2e.record(total / rec.decode_tokens as f64);
+    sinks.norm_exec.record(exec / rec.decode_tokens as f64);
 }
 
 /// Cluster power characteristics for energy accounting.
@@ -393,15 +545,15 @@ mod tests {
 
     #[test]
     fn digest_summary_orders() {
-        let d: QuantileDigest = (1..=100).map(|i| i as f64).collect();
-        let s = DigestSummary::from_digest(&d);
+        let mut d: QuantileDigest = (1..=100).map(|i| i as f64).collect();
+        let s = DigestSummary::from_digest(&mut d);
         assert!(s.p50 < s.p90 && s.p90 < s.p95 && s.p95 < s.p99 && s.p99 <= s.max);
         assert_eq!(s.max, 100.0);
     }
 
     #[test]
     fn empty_digest_summary_is_zero() {
-        let s = DigestSummary::from_digest(&QuantileDigest::new());
+        let s = DigestSummary::from_digest(&mut QuantileDigest::new());
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.max, 0.0);
     }
@@ -470,6 +622,67 @@ mod tests {
         assert_eq!(r.completed, 0);
         assert_eq!(r.num_requests, 2);
         assert_eq!(r.e2e.mean, 0.0);
+    }
+
+    #[test]
+    fn late_count_is_first_schedule_only_and_order_independent() {
+        // Lateness is judged once, at the ORIGINAL first schedule; a
+        // preemption-restarted prefill chunk (same slice shape: prefill with
+        // cached_tokens == 0) must not re-judge it, however late it runs.
+        let mut m = MetricsCollector::new(1);
+        m.set_late_limit(1.0);
+        m.on_arrival(1, t(0.0), 5);
+        m.on_arrival(2, t(0.0), 5);
+        // Request 1 first-scheduled on time, request 2 late — slice order
+        // within the batch must not matter, so put the late one first.
+        let b = BatchComposition::new(vec![
+            RequestSlice::prefill(2, 10, 0),
+            RequestSlice::prefill(1, 10, 0),
+        ]);
+        m.on_batch_scheduled(t(0.5), &b, 0.0, 0.0);
+        assert_eq!(m.late_count(), 0);
+        let late = BatchComposition::new(vec![RequestSlice::prefill(3, 10, 0)]);
+        m.on_arrival(3, t(0.0), 5);
+        m.on_batch_scheduled(t(5.0), &late, 0.0, 0.0);
+        assert_eq!(m.late_count(), 1, "request 3 was first-scheduled late");
+        // Restart chunks of requests 1 and 3 re-enter arbitrarily late:
+        // neither may bump the counter (1 was on time; 3 already counted).
+        let restart = BatchComposition::new(vec![
+            RequestSlice::prefill(1, 10, 0),
+            RequestSlice::prefill(3, 10, 0),
+        ]);
+        m.on_batch_scheduled(t(100.0), &restart, 0.0, 0.0);
+        assert_eq!(m.late_count(), 1, "restarts must not re-judge lateness");
+        // Decode and continuation slices never mark at all.
+        let cont = BatchComposition::new(vec![
+            RequestSlice::prefill(2, 10, 10),
+            RequestSlice::decode(1, 20),
+        ]);
+        m.on_batch_scheduled(t(200.0), &cont, 0.0, 0.0);
+        assert_eq!(m.late_count(), 1);
+    }
+
+    #[test]
+    fn sketch_mode_retires_records_incrementally() {
+        use vidur_core::metrics::QuantileMode;
+        let mut m = MetricsCollector::with_mode(1, QuantileMode::Sketch);
+        m.on_arrival(1, t(0.0), 1);
+        let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
+        m.on_batch_scheduled(t(1.0), &b, 0.0, 0.0);
+        m.on_batch_complete(
+            t(2.0),
+            &[CompletionEvent {
+                id: 1,
+                prefill_completed: true,
+                produced_token: true,
+                finished: true,
+            }],
+        );
+        let r = m.into_report(1, 1e15, 1e13, 0, test_power());
+        assert_eq!(r.completed, 1);
+        assert!((r.scheduling_delay.p50 - 1.0).abs() < 1e-9);
+        assert!((r.ttft.p50 - 2.0).abs() < 1e-9);
+        assert!((r.e2e.mean - 2.0).abs() < 1e-9);
     }
 
     #[test]

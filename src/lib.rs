@@ -61,7 +61,7 @@ pub mod prelude {
     pub use vidur_simulator::cluster::RuntimeSource;
     pub use vidur_simulator::{
         onboard, onboard_timer, run_fidelity_pair, CacheStats, ClusterConfig, ClusterSimulator,
-        DisaggConfig, DisaggSimulator, FidelityReport, SimulationReport, StageTimer,
+        DisaggConfig, DisaggSimulator, FidelityReport, QuantileMode, SimulationReport, StageTimer,
     };
     pub use vidur_workload::{ArrivalProcess, Trace, TraceRequest, TraceWorkload, WorkloadStats};
 }

@@ -25,12 +25,127 @@ fn oracle() -> RuntimeSource {
     RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()))
 }
 
+/// Asserts a report's bit-exact fingerprint. The expected values were
+/// captured from the seed (pre-hot-loop-refactor) engine, so any change to
+/// batch formation order, preemption victim choice, event scheduling, float
+/// accumulation order, or RNG draw order fails here — byte-identity, not
+/// approximate equality.
+#[allow(clippy::too_many_arguments)]
+fn assert_fingerprint(
+    label: &str,
+    r: &SimulationReport,
+    makespan: u64,
+    ttft_p99: u64,
+    tbt_p50: u64,
+    e2e_mean: u64,
+    mfu: u64,
+    batches: u64,
+    tokens: u64,
+    preemptions: u64,
+) {
+    assert_eq!(r.makespan_secs.to_bits(), makespan, "{label}: makespan");
+    assert_eq!(r.ttft.p99.to_bits(), ttft_p99, "{label}: ttft.p99");
+    assert_eq!(r.tbt.p50.to_bits(), tbt_p50, "{label}: tbt.p50");
+    assert_eq!(r.e2e.mean.to_bits(), e2e_mean, "{label}: e2e.mean");
+    assert_eq!(r.mfu.to_bits(), mfu, "{label}: mfu");
+    assert_eq!(r.total_batches, batches, "{label}: total_batches");
+    assert_eq!(r.total_tokens, tokens, "{label}: total_tokens");
+    assert_eq!(r.preemptions, preemptions, "{label}: preemptions");
+}
+
 /// Pinned: the aggregated cluster engine drains a fixed seed's trace.
 #[test]
 fn cluster_engine_completed_pinned_for_seed_42() {
     let report = ClusterSimulator::new(base_config(), fixed_trace(80, 2.5, 42), oracle(), 42).run();
     assert_eq!(report.completed, 80);
     assert!(report.makespan_secs > 0.0);
+}
+
+/// Bit-exact pin of the oracle-sourced cluster report (seed values).
+#[test]
+fn cluster_oracle_report_bits_pinned() {
+    let report = ClusterSimulator::new(base_config(), fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_fingerprint(
+        "cluster_oracle_seed42",
+        &report,
+        0x4044b9f98e76d0c2,
+        0x3fd0f1caa605d583,
+        0x3f87c9e679ad5143,
+        0x4005f128a0255786,
+        0x3fb31cc55a505cba,
+        3420,
+        71716,
+        0,
+    );
+}
+
+/// Bit-exact pin of the disaggregated report (seed values).
+#[test]
+fn disagg_oracle_report_bits_pinned() {
+    let cfg = DisaggConfig::new(base_config(), 1, 1);
+    let report = DisaggSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_fingerprint(
+        "disagg_oracle_seed42",
+        &report,
+        0x404496aec9e236c1,
+        0x3fcfeb42ca2325fe,
+        0x3f874d979611d84d,
+        0x40046ac83cb4db23,
+        0x3fa33d87fa9285e4,
+        3777,
+        71716,
+        0,
+    );
+}
+
+/// Bit-exact pin of the estimator-sourced cluster report (seed values).
+#[test]
+fn cluster_estimator_report_bits_pinned() {
+    let cfg = base_config();
+    let est = vidur::simulator::onboard(
+        &cfg.model,
+        &cfg.parallelism,
+        &cfg.sku,
+        EstimatorKind::default(),
+    );
+    let source = RuntimeSource::Estimator((*est).clone());
+    let report = ClusterSimulator::new(cfg, fixed_trace(70, 2.5, 22), source, 22).run();
+    assert_fingerprint(
+        "cluster_estimator_seed22",
+        &report,
+        0x4043a20e819c918a,
+        0x3fd4132e63178cf2,
+        0x3f888bdd65c3a0a1,
+        0x4007dd582c3e676b,
+        0x3fb34c2dfb56fb04,
+        3001,
+        68564,
+        0,
+    );
+}
+
+/// Bit-exact pin of a preemption-heavy run (seed values): long generations
+/// on vLLM overcommit KV, so the recompute-restart path — victim selection
+/// order included — is pinned, not just the smooth paths.
+#[test]
+fn cluster_preemption_report_bits_pinned() {
+    let mut cfg = base_config();
+    cfg.scheduler = SchedulerConfig::new(BatchPolicyKind::Vllm, 256);
+    let mut rng = SimRng::new(11);
+    let trace = TraceWorkload::bwb_4k().generate(300, &ArrivalProcess::Static, &mut rng);
+    let report = ClusterSimulator::new(cfg, trace, oracle(), 11).run();
+    assert_fingerprint(
+        "cluster_preempt_seed11",
+        &report,
+        0x408030c8a8ecaefc,
+        0x407b04e063f3b7f8,
+        0x3fac5f7d690c5e07,
+        0x40726d67b0b118ac,
+        0x3fb6d6ee6dd6c005,
+        9650,
+        1050838,
+        211,
+    );
 }
 
 /// Pinned: the disaggregated engine drains the same fixed trace.
@@ -117,4 +232,52 @@ fn deadline_latch_consistent_across_backends() {
 
     let disagg = DisaggSimulator::new(DisaggConfig::new(cfg, 1, 1), trace, oracle(), 13).run();
     assert!(disagg.completed > 0 && disagg.completed < 1000);
+}
+
+/// Sketch-mode metrics are a memory/accuracy trade, not a behavior change:
+/// the simulation itself is untouched (same batches, makespan, counters,
+/// exact means and maxima — bit-equal), only mid-quantiles become
+/// approximate.
+#[test]
+fn sketch_metrics_change_only_quantiles() {
+    let trace = fixed_trace(80, 2.5, 42);
+    let exact = ClusterSimulator::new(base_config(), trace.clone(), oracle(), 42).run();
+    let mut cfg = base_config();
+    cfg.quantile_mode = QuantileMode::Sketch;
+    let sketch = ClusterSimulator::new(cfg, trace, oracle(), 42).run();
+    // Simulation-side outcomes: identical bits.
+    assert_eq!(sketch.completed, exact.completed);
+    assert_eq!(
+        sketch.makespan_secs.to_bits(),
+        exact.makespan_secs.to_bits()
+    );
+    assert_eq!(sketch.total_batches, exact.total_batches);
+    assert_eq!(sketch.total_tokens, exact.total_tokens);
+    assert_eq!(sketch.mfu.to_bits(), exact.mfu.to_bits());
+    assert_eq!(sketch.energy_kwh.to_bits(), exact.energy_kwh.to_bits());
+    // TBT moments survive sketching bit-for-bit: both modes stream token
+    // samples in the same order. Request-level means accumulate in
+    // completion order rather than id order, so they agree only to float
+    // rounding; maxima are order-independent and stay bit-equal.
+    assert_eq!(sketch.tbt.mean.to_bits(), exact.tbt.mean.to_bits());
+    assert_eq!(sketch.tbt.max.to_bits(), exact.tbt.max.to_bits());
+    assert_eq!(sketch.e2e.max.to_bits(), exact.e2e.max.to_bits());
+    assert!((sketch.e2e.mean - exact.e2e.mean).abs() <= 1e-9 * exact.e2e.mean.abs());
+    // Mid-quantiles are approximate but must stay close.
+    for (s, e, name) in [
+        (sketch.tbt.p50, exact.tbt.p50, "tbt.p50"),
+        (sketch.e2e.p50, exact.e2e.p50, "e2e.p50"),
+        (sketch.ttft.p90, exact.ttft.p90, "ttft.p90"),
+        (
+            sketch.normalized_e2e.p50,
+            exact.normalized_e2e.p50,
+            "ne2e.p50",
+        ),
+    ] {
+        let tol = 0.25 * e.abs().max(1e-9);
+        assert!(
+            (s - e).abs() <= tol,
+            "{name}: sketch {s} vs exact {e} beyond 25%"
+        );
+    }
 }
