@@ -3,13 +3,16 @@
 //! iteration — hundreds of thousands of times per run, millions per search —
 //! so this suite tracks its cost across PRs.
 //!
-//! Four scenarios cover the hot-loop regimes:
+//! Five scenarios cover the hot-loop regimes:
 //!
 //! * `decode_heavy` — a saturated decode pool (the steady state of every
 //!   long-running replica; the ≥2× acceptance gate lives here),
 //! * `churn_preempt` — vLLM recompute churn under KV pressure,
 //! * `sarathi_chunked` — chunked prefills riding decode batches,
-//! * `lightllm_10k` — token-level admission over a 10k-request backlog.
+//! * `lightllm_10k` — token-level admission over a 10k-request backlog,
+//! * `multi_tenant_burst` — four interleaved priority classes under KV
+//!   pressure: tier-ordered admission inserts plus the full-scan
+//!   priority-aware preemption victim walk.
 //!
 //! Every scenario runs both the optimized `ReplicaScheduler` and the seed's
 //! `ReferenceScheduler` (see `vidur_scheduler::reference`) in the same
@@ -32,13 +35,14 @@ use vidur_scheduler::{
     BatchPolicyKind, ReferenceScheduler, ReplicaScheduler, Request, SchedulerConfig,
 };
 
-/// One scenario's workload description.
+/// One scenario's workload description:
+/// `(prefill, decode, priority)` per request.
 struct Scenario {
     name: &'static str,
     policy: BatchPolicyKind,
     max_batch: usize,
     total_blocks: u64,
-    requests: Vec<(u64, u64)>,
+    requests: Vec<(u64, u64, u8)>,
 }
 
 fn scenarios(smoke: bool) -> Vec<Scenario> {
@@ -58,7 +62,7 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
             max_batch: 192,
             total_blocks: 500_000,
             requests: (0..scale(384) as u64)
-                .map(|i| (32 + i % 64, 250 + i % 57))
+                .map(|i| (32 + i % 64, 250 + i % 57, 0))
                 .collect(),
         },
         // Churn-heavy: vLLM recompute under tight KV — admissions, growth
@@ -71,7 +75,7 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
             max_batch: 64,
             total_blocks: 500,
             requests: (0..scale(128) as u64)
-                .map(|i| (40 + i % 90, 160 + i % 80))
+                .map(|i| (40 + i % 90, 160 + i % 80, 0))
                 .collect(),
         },
         // Sarathi: long prompts chunked at 512 tokens with decodes riding
@@ -82,7 +86,7 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
             max_batch: 64,
             total_blocks: 500_000,
             requests: (0..scale(200) as u64)
-                .map(|i| (900 + (i * 131) % 1600, 40 + i % 80))
+                .map(|i| (900 + (i * 131) % 1600, 40 + i % 80, 0))
                 .collect(),
         },
         // LightLLM over a deep backlog: the projected-KV admission bound was
@@ -93,7 +97,21 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
             max_batch: 256,
             total_blocks: 200_000,
             requests: (0..scale(10_000) as u64)
-                .map(|i| (50 + i % 350, 10 + i % 60))
+                .map(|i| (50 + i % 350, 10 + i % 60, 0))
+                .collect(),
+        },
+        // Multi-tenant priority burst: four interleaved priority classes
+        // under KV pressure, so every admission pays the tier-ordered
+        // insert and every OOM runs the full priority-aware victim walk
+        // (the uniform-priority scenarios above keep their early-exit fast
+        // paths honest by comparison).
+        Scenario {
+            name: "multi_tenant_burst",
+            policy: BatchPolicyKind::Vllm,
+            max_batch: 128,
+            total_blocks: 1_100,
+            requests: (0..scale(1_500) as u64)
+                .map(|i| (60 + i % 200, 30 + i % 90, (i % 4) as u8))
                 .collect(),
         },
     ]
@@ -108,8 +126,8 @@ fn drain_optimized(sc: &Scenario) -> (u64, u64) {
         sc.total_blocks,
         16,
     );
-    for (i, &(p, d)) in sc.requests.iter().enumerate() {
-        s.add_request(Request::new(i as u64, SimTime::ZERO, p, d));
+    for (i, &(p, d, prio)) in sc.requests.iter().enumerate() {
+        s.add_request(Request::new(i as u64, SimTime::ZERO, p, d).with_priority(prio));
     }
     let mut events = Vec::new();
     let mut batches = 0u64;
@@ -129,8 +147,8 @@ fn drain_reference(sc: &Scenario) -> (u64, u64) {
         sc.total_blocks,
         16,
     );
-    for (i, &(p, d)) in sc.requests.iter().enumerate() {
-        s.add_request(Request::new(i as u64, SimTime::ZERO, p, d));
+    for (i, &(p, d, prio)) in sc.requests.iter().enumerate() {
+        s.add_request(Request::new(i as u64, SimTime::ZERO, p, d).with_priority(prio));
     }
     let mut batches = 0u64;
     while s.outstanding() > 0 {
@@ -195,10 +213,11 @@ fn main() {
         // The churn scenario only measures what it claims while preemption
         // actually fires; fail loudly if a workload/scheduler change ever
         // turns it into a smooth decode run.
-        if sc.name == "churn_preempt" {
+        if sc.name == "churn_preempt" || sc.name == "multi_tenant_burst" {
             assert!(
                 opt_preempt > 0,
-                "churn_preempt stopped preempting — retune the scenario"
+                "{} stopped preempting — retune the scenario",
+                sc.name
             );
         }
         let r = ScenarioResult {

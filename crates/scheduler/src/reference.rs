@@ -1,6 +1,8 @@
 //! Executable specification of batch formation: the seed's straightforward
-//! `ReplicaScheduler` implementation, kept verbatim as a differential
-//! oracle.
+//! `ReplicaScheduler` implementation, kept in lockstep as a differential
+//! oracle (extended, like the optimized scheduler, with priority-tiered
+//! admission and priority-aware preemption — implemented here as naive
+//! scans).
 //!
 //! [`ReferenceScheduler`] stores the running set as one admission-ordered
 //! vector and re-derives everything per call — `Vec` allocations for each
@@ -60,7 +62,9 @@ impl ReferenceScheduler {
         &self.blocks
     }
 
-    /// Enqueues an arriving request.
+    /// Enqueues an arriving request at the back of its priority tier
+    /// (strict classes, FIFO within a class; plain FIFO when every request
+    /// is priority 0).
     ///
     /// # Panics
     ///
@@ -68,7 +72,7 @@ impl ReferenceScheduler {
     pub fn add_request(&mut self, req: Request) {
         let prev = self.requests.insert(req.id, TrackedRequest::new(req));
         assert!(prev.is_none(), "duplicate request id {}", req.id);
-        self.waiting.push_back(req.id);
+        self.enqueue_waiting_back(req.id);
     }
 
     /// Enqueues a remotely-prefilled request (disaggregation handoff).
@@ -86,7 +90,36 @@ impl ReferenceScheduler {
         tracked.decoded = already_decoded;
         let prev = self.requests.insert(req.id, tracked);
         assert!(prev.is_none(), "duplicate request id {}", req.id);
-        self.waiting.push_back(req.id);
+        self.enqueue_waiting_back(req.id);
+    }
+
+    /// Tier-ordered enqueue: insert at the back of the new request's own
+    /// tier — after the last waiting request of the same or a more urgent
+    /// class. Scanning from the rear keeps the uniform-priority case O(1)
+    /// (a front scan would make deep-backlog setups quadratic and skew the
+    /// benchmark baseline this scheduler provides); the position is
+    /// identical either way on a tier-sorted queue.
+    fn enqueue_waiting_back(&mut self, id: RequestId) {
+        let p = self.requests[&id].spec.priority;
+        let pos = self
+            .waiting
+            .iter()
+            .rposition(|w| self.requests[w].spec.priority <= p)
+            .map_or(0, |i| i + 1);
+        self.waiting.insert(pos, id);
+    }
+
+    /// Naive preemption requeue: insert before the first waiting request of
+    /// the same or a less urgent class (the front of the victim's own
+    /// tier). Reduces to `push_front` when priorities are uniform.
+    fn enqueue_waiting_front(&mut self, id: RequestId) {
+        let p = self.requests[&id].spec.priority;
+        let pos = self
+            .waiting
+            .iter()
+            .position(|w| self.requests[w].spec.priority >= p)
+            .unwrap_or(self.waiting.len());
+        self.waiting.insert(pos, id);
     }
 
     fn admit_prefetched(&mut self) {
@@ -224,10 +257,17 @@ impl ReferenceScheduler {
     }
 
     fn preempt_one(&mut self, protect: RequestId) -> bool {
+        // Victim choice: the least urgent (numerically highest) priority
+        // class first, latest-admitted within the class. `running` is in
+        // admission order, so `max_by_key` over (priority, position) — with
+        // uniform priorities this is exactly the seed's `rposition`.
         let victim_pos = self
             .running
             .iter()
-            .rposition(|&id| id != protect && self.requests[&id].inflight_tokens == 0);
+            .enumerate()
+            .filter(|(_, &id)| id != protect && self.requests[&id].inflight_tokens == 0)
+            .max_by_key(|(pos, &id)| (self.requests[&id].spec.priority, *pos))
+            .map(|(pos, _)| pos);
         let Some(pos) = victim_pos else {
             return false;
         };
@@ -235,7 +275,7 @@ impl ReferenceScheduler {
         self.blocks.release(victim);
         let req = self.requests.get_mut(&victim).expect("tracked");
         req.restart();
-        self.waiting.push_front(victim);
+        self.enqueue_waiting_front(victim);
         self.preemptions += 1;
         true
     }
@@ -251,7 +291,7 @@ impl ReferenceScheduler {
                 self.blocks.release(id);
                 let req = self.requests.get_mut(&id).expect("tracked");
                 req.restart();
-                self.waiting.push_front(id);
+                self.enqueue_waiting_front(id);
                 self.preemptions += 1;
                 return false;
             }

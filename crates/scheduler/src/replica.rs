@@ -83,6 +83,11 @@ pub struct ReplicaScheduler {
     /// Σ `spec.total_tokens()` over the running set (LightLLM's projected
     /// KV footprint), maintained incrementally on admit/finish/preempt.
     projected_tokens: u64,
+    /// Latched once any request arrives with a non-zero priority class.
+    /// While `false` the waiting queue degenerates to plain FIFO and the
+    /// preemption victim walk keeps its early-exit fast path, so
+    /// single-priority runs pay nothing for the tier machinery.
+    priority_in_use: bool,
     /// Reusable id-snapshot buffer for batch formation passes.
     ids_scratch: Vec<RequestId>,
     /// Recycled slice storage for formed batches (see
@@ -181,6 +186,7 @@ impl ReplicaScheduler {
             decoding: PhaseList::new(),
             admit_seq: 0,
             projected_tokens: 0,
+            priority_in_use: false,
             ids_scratch: Vec::new(),
             slice_pool: Vec::new(),
             preemptions: 0,
@@ -198,7 +204,7 @@ impl ReplicaScheduler {
         &self.blocks
     }
 
-    /// Enqueues an arriving request.
+    /// Enqueues an arriving request at the back of its priority tier.
     ///
     /// # Panics
     ///
@@ -206,7 +212,8 @@ impl ReplicaScheduler {
     pub fn add_request(&mut self, req: Request) {
         let prev = self.requests.insert(req.id, TrackedRequest::new(req));
         assert!(prev.is_none(), "duplicate request id {}", req.id);
-        self.waiting.push_back(req.id);
+        self.priority_in_use |= req.priority != 0;
+        self.enqueue_waiting_back(req.id);
     }
 
     /// Enqueues a request whose prompt was prefilled on *another* replica
@@ -229,7 +236,45 @@ impl ReplicaScheduler {
         tracked.decoded = already_decoded;
         let prev = self.requests.insert(req.id, tracked);
         assert!(prev.is_none(), "duplicate request id {}", req.id);
-        self.waiting.push_back(req.id);
+        self.priority_in_use |= req.priority != 0;
+        self.enqueue_waiting_back(req.id);
+    }
+
+    /// Inserts `id` at the **back of its priority tier** in the waiting
+    /// queue: after every request of its class or a more urgent one, before
+    /// the first request of a less urgent class. The queue is always sorted
+    /// by (priority, enqueue order), so the scan from the back is O(1)
+    /// whenever the new request's class is the least urgent present — the
+    /// overwhelmingly common case, and always true in single-priority runs.
+    fn enqueue_waiting_back(&mut self, id: RequestId) {
+        if !self.priority_in_use {
+            self.waiting.push_back(id);
+            return;
+        }
+        let p = self.requests[&id].spec.priority;
+        let pos = self
+            .waiting
+            .iter()
+            .rposition(|w| self.requests[w].spec.priority <= p)
+            .map_or(0, |i| i + 1);
+        self.waiting.insert(pos, id);
+    }
+
+    /// Inserts `id` at the **front of its priority tier** — the preemption
+    /// requeue position: a restarted victim goes back ahead of its own
+    /// class but never ahead of a more urgent one.
+    fn enqueue_waiting_front(&mut self, id: RequestId) {
+        if !self.priority_in_use {
+            self.waiting.push_front(id);
+            return;
+        }
+        let p = self.requests[&id].spec.priority;
+        let pos = self
+            .waiting
+            .iter()
+            .position(|w| self.requests[w].spec.priority >= p)
+            .unwrap_or(self.waiting.len());
+        self.waiting.insert(pos, id);
     }
 
     /// Admits waiting requests that need **no** prefill (their KV arrived
@@ -462,30 +507,37 @@ impl ReplicaScheduler {
     }
 
     /// Evicts a running request (vLLM recompute-restart): releases its KV,
-    /// resets its prefill progress, and requeues it at the waiting front.
+    /// resets its prefill progress, and requeues it at the front of its
+    /// priority tier in the waiting queue.
     fn evict(&mut self, id: RequestId) {
         self.leave_running(id);
         self.blocks.release(id);
         let req = self.requests.get_mut(&id).expect("tracked");
         req.restart();
-        self.waiting.push_front(id);
+        self.enqueue_waiting_front(id);
         self.preemptions += 1;
     }
 
-    /// Preempts (recompute-restarts) the most recently admitted running
-    /// request that is not in flight and not `protect`. Returns `true` if a
-    /// victim was evicted.
+    /// Preempts (recompute-restarts) one running request that is not in
+    /// flight and not `protect`: the **least urgent** (numerically highest)
+    /// priority class first, and within that class the most recently
+    /// admitted. Returns `true` if a victim was evicted.
     ///
-    /// Victim selection merges the two phase lists tail-first by admission
-    /// sequence — the same order as the seed's `rposition` over its single
-    /// admission-ordered vector, but it stops at the first eligible request
-    /// instead of rescanning the whole set.
+    /// With a single priority class the victim is simply the most recently
+    /// admitted eligible request, so the walk merges the two phase lists
+    /// tail-first by admission sequence — the same order as the seed's
+    /// `rposition` over its single admission-ordered vector — and stops at
+    /// the first eligible request. Mixed priorities disable the early exit:
+    /// the merged walk continues and keeps the best (priority, admit_seq)
+    /// victim seen.
     fn preempt_one(&mut self, protect: RequestId) -> bool {
         let mut dec = self.decoding.tail;
         let mut pre = self.prefilling.tail;
-        let victim = loop {
+        let mut victim = NO_REQ;
+        let mut victim_key = (0u8, 0u64);
+        loop {
             let pick_decode = if dec == NO_REQ && pre == NO_REQ {
-                break NO_REQ;
+                break;
             } else if pre == NO_REQ {
                 true
             } else if dec == NO_REQ {
@@ -496,14 +548,23 @@ impl ReplicaScheduler {
             let id = if pick_decode { dec } else { pre };
             let r = &self.requests[&id];
             if id != protect && r.inflight_tokens == 0 {
-                break id;
+                let key = (r.spec.priority, r.admit_seq);
+                if victim == NO_REQ || key > victim_key {
+                    victim = id;
+                    victim_key = key;
+                }
+                // Uniform priority: the first eligible request in the
+                // merged tail-first walk is the final answer.
+                if !self.priority_in_use {
+                    break;
+                }
             }
             if pick_decode {
                 dec = r.prev;
             } else {
                 pre = r.prev;
             }
-        };
+        }
         if victim == NO_REQ {
             return false;
         }
@@ -974,6 +1035,50 @@ mod tests {
         let ev = s.complete_batch(&b);
         assert!(ev[0].prefill_completed && ev[0].finished);
         assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn priority_tiers_reorder_admission() {
+        let mut s =
+            ReplicaScheduler::new(SchedulerConfig::new(BatchPolicyKind::Vllm, 1), 10_000, 16);
+        s.add_request(req(0, 100, 2).with_priority(2));
+        s.add_request(req(1, 100, 2).with_priority(0));
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.slices()[0].request_id, 1, "urgent class admits first");
+    }
+
+    #[test]
+    fn priority_fifo_within_tier() {
+        let mut s =
+            ReplicaScheduler::new(SchedulerConfig::new(BatchPolicyKind::Vllm, 1), 10_000, 16);
+        s.add_request(req(0, 100, 2).with_priority(1));
+        s.add_request(req(1, 100, 2).with_priority(1));
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.slices()[0].request_id, 0, "same class stays FIFO");
+    }
+
+    #[test]
+    fn preemption_prefers_low_priority_victims() {
+        // 10 blocks × 16 = 160 tokens. Admission order (pinned by
+        // sequential prefill batches): r0 prio 0 (3 blocks), r1 prio 2,
+        // r2 prio 1, r3 prio 0 (2 blocks each) — 9 blocks held, 1 free.
+        // First decode pass: r0's growth takes the last block, r1's growth
+        // OOMs with r0 already in-flight, so the eligible victims are r2
+        // (priority 1) and r3 (priority 0). The seed would evict r3 — the
+        // latest admission — but priority-aware selection must take the
+        // less urgent r2.
+        let mut s = sched(BatchPolicyKind::Vllm, 10);
+        for (id, priority, prefill) in [(0u64, 0u8, 48u64), (1, 2, 32), (2, 1, 32), (3, 0, 32)] {
+            s.add_request(req(id, prefill, 30).with_priority(priority));
+            let b = s.next_batch().unwrap();
+            assert_eq!(b.slices()[0].request_id, id);
+            s.complete_batch(&b);
+        }
+        let b = s.next_batch().unwrap();
+        s.complete_batch(&b);
+        assert_eq!(s.preemptions(), 1, "growth must have preempted once");
+        assert_eq!(s.request(2).unwrap().restarts, 1, "r2 is the victim");
+        assert_eq!(s.request(3).unwrap().restarts, 0, "urgent r3 survives");
     }
 
     #[test]

@@ -27,10 +27,17 @@ pub struct Request {
     /// Output length in tokens (must be ≥ 1; the first is produced at
     /// prefill completion).
     pub decode_tokens: u64,
+    /// Tenant index, for per-tenant metrics attribution (scheduling itself
+    /// is tenant-agnostic).
+    pub tenant: u32,
+    /// Priority class: 0 is the most urgent. Admission runs strict tiers —
+    /// a lower class is always admitted before a higher one, FIFO within a
+    /// class — and preemption evicts the highest class first.
+    pub priority: u8,
 }
 
 impl Request {
-    /// Creates a request.
+    /// Creates a request (tenant 0, priority 0 — the single-tenant default).
     ///
     /// # Panics
     ///
@@ -43,7 +50,21 @@ impl Request {
             arrival,
             prefill_tokens,
             decode_tokens,
+            tenant: 0,
+            priority: 0,
         }
+    }
+
+    /// Sets the priority class (builder-style).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the tenant index (builder-style).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Total tokens the request will ever hold in KV-cache.

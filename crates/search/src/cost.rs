@@ -150,6 +150,7 @@ mod tests {
             mean_power_watts: 0.0,
             energy_wh_per_request: 0.0,
             operator_time_breakdown: Vec::new(),
+            per_tenant: Vec::new(),
         }
     }
 

@@ -98,7 +98,12 @@ impl ClusterSimulator {
             .expect("configuration cannot host the model");
         let replicas = EngineReplica::pool(&config, &plan, config.num_replicas);
         let router = GlobalPolicy::new(config.global_policy, config.num_replicas, seed ^ 0x9E37);
-        let engine = BatchEngine::with_timer(&config, timer, seed, config.num_replicas);
+        let mut engine = BatchEngine::with_timer(&config, timer, seed, config.num_replicas);
+        if !trace.tenants.is_empty() {
+            engine
+                .metrics
+                .set_tenants(&trace.tenants, config.tenant_slo);
+        }
         ClusterSimulator {
             config,
             trace,
@@ -142,12 +147,11 @@ impl ClusterSimulator {
         queue: &mut EventQueue<SimEvent>,
     ) {
         let tr = self.trace.requests[idx as usize];
-        self.replicas[target].scheduler.add_request(Request::new(
-            tr.id,
-            tr.arrival,
-            tr.prefill_tokens,
-            tr.decode_tokens,
-        ));
+        self.replicas[target].scheduler.add_request(
+            Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
+                .with_tenant(tr.tenant)
+                .with_priority(tr.priority),
+        );
         self.try_schedule(target as u32, now, queue);
     }
 
@@ -190,7 +194,9 @@ impl Simulation for ClusterSimulator {
         match event {
             SimEvent::Arrival(idx) => {
                 let tr = self.trace.requests[idx as usize];
-                self.engine.metrics.on_arrival(tr.id, now, tr.decode_tokens);
+                self.engine
+                    .metrics
+                    .on_arrival(tr.id, now, tr.decode_tokens, tr.tenant);
                 match self.route_one() {
                     Some(target) => self.dispatch(idx, target, now, queue),
                     None => self.deferred.push_back(idx),

@@ -1,5 +1,6 @@
 //! Cluster / deployment configuration — the "Simulation Spec" of Figure 2.
 
+use crate::metrics::TenantSlo;
 use serde::{Deserialize, Serialize};
 use vidur_core::metrics::QuantileMode;
 use vidur_core::time::SimTime;
@@ -62,6 +63,11 @@ pub struct ClusterConfig {
     /// records as they complete, bounding metrics memory on very long runs
     /// (per-token TBT streams) at the cost of approximate mid-quantiles.
     pub quantile_mode: QuantileMode,
+    /// Latency SLO judged per completed request for the per-tenant
+    /// attainment column of the report. Only consulted on multi-tenant
+    /// traces (ones that declare tenants); `None` reports latencies without
+    /// attainment.
+    pub tenant_slo: Option<TenantSlo>,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -102,6 +108,7 @@ impl ClusterConfig {
             late_abort: None,
             plan_cache: true,
             quantile_mode: QuantileMode::Exact,
+            tenant_slo: None,
         }
     }
 

@@ -157,12 +157,17 @@ impl DisaggSimulator {
             .expect("configuration cannot host the model");
         let prefill = EngineReplica::pool(&config.base, &plan, config.prefill_replicas);
         let decode = EngineReplica::pool(&config.base, &plan, config.decode_replicas);
-        let engine = BatchEngine::new(
+        let mut engine = BatchEngine::new(
             &config.base,
             source,
             seed,
             config.prefill_replicas + config.decode_replicas,
         );
+        if !trace.tenants.is_empty() {
+            engine
+                .metrics
+                .set_tenants(&trace.tenants, config.base.tenant_slo);
+        }
         DisaggSimulator {
             config,
             trace,
@@ -225,17 +230,18 @@ impl Simulation for DisaggSimulator {
         match event {
             DisaggEvent::Arrival(idx) => {
                 let tr = self.trace.requests[idx as usize];
-                self.engine.metrics.on_arrival(tr.id, now, tr.decode_tokens);
+                self.engine
+                    .metrics
+                    .on_arrival(tr.id, now, tr.decode_tokens, tr.tenant);
                 // Round-robin over prefill replicas; the request "finishes"
                 // there after one output token.
                 let target = self.rr_prefill % self.prefill.len();
                 self.rr_prefill += 1;
-                self.prefill[target].scheduler.add_request(Request::new(
-                    tr.id,
-                    now,
-                    tr.prefill_tokens,
-                    1,
-                ));
+                self.prefill[target].scheduler.add_request(
+                    Request::new(tr.id, now, tr.prefill_tokens, 1)
+                        .with_tenant(tr.tenant)
+                        .with_priority(tr.priority),
+                );
                 self.try_schedule(Pool::Prefill, target as u32, now, queue);
             }
             DisaggEvent::KvArrived(idx) => {
@@ -245,7 +251,9 @@ impl Simulation for DisaggSimulator {
                     .min_by_key(|&i| self.decode[i].scheduler.outstanding())
                     .expect("decode pool non-empty");
                 self.decode[target].scheduler.add_remote_prefilled(
-                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens),
+                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
+                        .with_tenant(tr.tenant)
+                        .with_priority(tr.priority),
                     1,
                 );
                 self.try_schedule(Pool::Decode, target as u32, now, queue);

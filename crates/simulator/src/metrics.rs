@@ -96,6 +96,61 @@ impl StatSink {
     }
 }
 
+/// Latency SLO evaluated per completed request for per-tenant attainment
+/// reporting: a request meets the SLO when its TTFT and its per-output-token
+/// end-to-end latency are both within bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantSlo {
+    /// Time-to-first-token bound, seconds.
+    pub ttft_secs: f64,
+    /// End-to-end latency bound per output token, seconds.
+    pub e2e_per_token_secs: f64,
+}
+
+/// Per-tenant slice of the simulation report (latency/SLO breakdown).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name (from the trace's declared tenants, or `tenant-<id>` for
+    /// requests carrying an undeclared index).
+    pub tenant: String,
+    /// Requests that arrived for this tenant.
+    pub arrived: usize,
+    /// Requests that completed before the simulation ended.
+    pub completed: usize,
+    /// Time to first token.
+    pub ttft: DigestSummary,
+    /// Raw end-to-end latency.
+    pub e2e: DigestSummary,
+    /// Fraction of completed requests meeting the configured [`TenantSlo`]
+    /// (`None` when no SLO was configured; `0.0` when nothing completed).
+    pub slo_attainment: Option<f64>,
+}
+
+/// Per-tenant accumulation state (latencies honor the collector's
+/// [`QuantileMode`], so sketch-mode runs stay bounded-memory per tenant).
+#[derive(Debug, Clone)]
+struct TenantStat {
+    name: String,
+    arrived: usize,
+    completed: usize,
+    slo_met: usize,
+    ttft: StatSink,
+    e2e: StatSink,
+}
+
+impl TenantStat {
+    fn new(name: String, mode: QuantileMode) -> Self {
+        TenantStat {
+            name,
+            arrived: 0,
+            completed: 0,
+            slo_met: 0,
+            ttft: StatSink::new(mode),
+            e2e: StatSink::new(mode),
+        }
+    }
+}
+
 /// Per-request latency sinks maintained incrementally in sketch mode.
 #[derive(Debug, Clone)]
 struct RequestSinks {
@@ -167,16 +222,60 @@ pub struct SimulationReport {
     /// Total predicted execution time attributed to each operator, seconds,
     /// sorted descending (the paper's operator-level metrics, §5.2).
     pub operator_time_breakdown: Vec<(String, f64)>,
+    /// Per-tenant latency/SLO breakdowns, tenant-id order. Empty unless the
+    /// driving simulator armed tenant tracking (multi-tenant traces).
+    pub per_tenant: Vec<TenantReport>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct RequestRecord {
     arrival: SimTime,
     decode_tokens: u64,
+    tenant: u32,
     first_scheduled: Option<SimTime>,
     prefill_done: Option<SimTime>,
     last_token: Option<SimTime>,
     completed: Option<SimTime>,
+}
+
+/// One finished request's derived latencies. Computed in exactly one place
+/// ([`RequestRecord::latencies`]) and consumed by every sink — the exact
+/// end-of-run pass, the sketch-mode streaming sinks, and the per-tenant
+/// breakdowns — so the defining formulas cannot drift apart.
+#[derive(Debug, Clone, Copy)]
+struct RequestLatencies {
+    /// Arrival → first scheduling.
+    sched_delay: f64,
+    /// Arrival → prefill completion (`None` if the prefill never finished
+    /// being observed, e.g. remotely-prefilled requests).
+    ttft: Option<f64>,
+    /// Arrival → completion.
+    e2e: f64,
+    /// `e2e` per output token.
+    norm_e2e: f64,
+    /// First-schedule → completion, per output token.
+    norm_exec: f64,
+}
+
+impl RequestRecord {
+    /// Derives the request's latency tuple; `None` until the request has
+    /// both a first schedule and a completion (incomplete requests are
+    /// excluded from every latency distribution).
+    fn latencies(&self) -> Option<RequestLatencies> {
+        let completed = self.completed?;
+        let first_sched = self.first_scheduled?;
+        let e2e = completed.duration_since(self.arrival).as_secs_f64();
+        let exec = completed.duration_since(first_sched).as_secs_f64();
+        Some(RequestLatencies {
+            sched_delay: first_sched.duration_since(self.arrival).as_secs_f64(),
+            ttft: self
+                .prefill_done
+                .map(|pd| pd.duration_since(self.arrival).as_secs_f64()),
+            e2e,
+            norm_e2e: e2e / self.decode_tokens as f64,
+            norm_exec: exec / self.decode_tokens as f64,
+        })
+    }
 }
 
 /// Streaming metrics collector driven by the cluster simulator.
@@ -190,6 +289,12 @@ pub struct MetricsCollector {
     tbt: StatSink,
     /// `Some` iff the collector runs in [`QuantileMode::Sketch`].
     request_sinks: Option<RequestSinks>,
+    mode: QuantileMode,
+    /// Per-tenant accumulation, armed by [`MetricsCollector::set_tenants`];
+    /// stays empty (and costs nothing) on single-tenant runs.
+    tenants: Vec<TenantStat>,
+    track_tenants: bool,
+    tenant_slo: Option<TenantSlo>,
     completed: usize,
     last_completion: SimTime,
     total_batches: u64,
@@ -220,6 +325,10 @@ impl MetricsCollector {
                 QuantileMode::Exact => None,
                 QuantileMode::Sketch => Some(RequestSinks::new()),
             },
+            mode,
+            tenants: Vec::new(),
+            track_tenants: false,
+            tenant_slo: None,
             completed: 0,
             last_completion: SimTime::ZERO,
             total_batches: 0,
@@ -249,6 +358,30 @@ impl MetricsCollector {
         self.late_count
     }
 
+    /// Arms per-tenant breakdown reporting: `names` maps tenant ids to
+    /// display names (requests referencing an index beyond the list get a
+    /// synthesized `tenant-<id>` entry), `slo` enables attainment
+    /// accounting. Simulators call this when the trace declares tenants;
+    /// unarmed collectors skip all per-tenant work.
+    pub fn set_tenants(&mut self, names: &[String], slo: Option<TenantSlo>) {
+        self.track_tenants = true;
+        self.tenant_slo = slo;
+        self.tenants = names
+            .iter()
+            .map(|n| TenantStat::new(n.clone(), self.mode))
+            .collect();
+    }
+
+    /// Grows the per-tenant table to cover `tenant` and returns its entry.
+    fn tenant_entry(&mut self, tenant: u32) -> &mut TenantStat {
+        let idx = tenant as usize;
+        while self.tenants.len() <= idx {
+            let name = format!("tenant-{}", self.tenants.len());
+            self.tenants.push(TenantStat::new(name, self.mode));
+        }
+        &mut self.tenants[idx]
+    }
+
     /// Accounts GPU-busy seconds for a scheduled batch (stage time x GPUs
     /// in the stage's TP group, summed over stages).
     pub fn on_gpu_busy(&mut self, gpu_secs: f64) {
@@ -269,19 +402,24 @@ impl MetricsCollector {
         }
     }
 
-    /// Registers an arriving request.
-    pub fn on_arrival(&mut self, id: RequestId, arrival: SimTime, decode_tokens: u64) {
+    /// Registers an arriving request under its tenant (0 for single-tenant
+    /// runs).
+    pub fn on_arrival(&mut self, id: RequestId, arrival: SimTime, decode_tokens: u64, tenant: u32) {
         self.records.insert(
             id,
             RequestRecord {
                 arrival,
                 decode_tokens,
+                tenant,
                 first_scheduled: None,
                 prefill_done: None,
                 last_token: None,
                 completed: None,
             },
         );
+        if self.track_tenants {
+            self.tenant_entry(tenant).arrived += 1;
+        }
     }
 
     /// Marks requests in a freshly scheduled batch and accounts batch work.
@@ -352,13 +490,38 @@ impl MetricsCollector {
                 rec.completed = Some(now);
                 self.completed += 1;
                 self.last_completion = self.last_completion.max(now);
+                let done = *rec;
+                if self.track_tenants {
+                    self.note_tenant_completion(&done);
+                }
                 if self.request_sinks.is_some() {
-                    let rec = *rec;
                     if let Some(sinks) = self.request_sinks.as_mut() {
-                        record_request_latencies(sinks, &rec);
+                        record_request_latencies(sinks, &done);
                     }
                     self.records.remove(&ev.id);
                 }
+            }
+        }
+    }
+
+    /// Streams one finished request's latencies into its tenant's sinks and
+    /// judges the SLO (both quantile modes share this incremental path —
+    /// per-tenant quantiles are completion-ordered in either mode).
+    fn note_tenant_completion(&mut self, rec: &RequestRecord) {
+        let Some(l) = rec.latencies() else {
+            return;
+        };
+        let slo = self.tenant_slo;
+        let stat = self.tenant_entry(rec.tenant);
+        stat.completed += 1;
+        stat.e2e.record(l.e2e);
+        if let Some(t) = l.ttft {
+            stat.ttft.record(t);
+        }
+        if let Some(slo) = slo {
+            let ttft_ok = l.ttft.is_none_or(|t| t <= slo.ttft_secs);
+            if ttft_ok && l.norm_e2e <= slo.e2e_per_token_secs {
+                stat.slo_met += 1;
             }
         }
     }
@@ -407,21 +570,16 @@ impl MetricsCollector {
                 let mut norm_exec = QuantileDigest::new();
                 let mut e2e = QuantileDigest::new();
                 for rec in self.records.values() {
-                    let Some(completed) = rec.completed else {
+                    let Some(l) = rec.latencies() else {
                         continue;
                     };
-                    let Some(first_sched) = rec.first_scheduled else {
-                        continue;
-                    };
-                    sched_delay.record(first_sched.duration_since(rec.arrival).as_secs_f64());
-                    if let Some(pd) = rec.prefill_done {
-                        ttft.record(pd.duration_since(rec.arrival).as_secs_f64());
+                    sched_delay.record(l.sched_delay);
+                    if let Some(t) = l.ttft {
+                        ttft.record(t);
                     }
-                    let total = completed.duration_since(rec.arrival).as_secs_f64();
-                    let exec = completed.duration_since(first_sched).as_secs_f64();
-                    e2e.record(total);
-                    norm_e2e.record(total / rec.decode_tokens as f64);
-                    norm_exec.record(exec / rec.decode_tokens as f64);
+                    e2e.record(l.e2e);
+                    norm_e2e.record(l.norm_e2e);
+                    norm_exec.record(l.norm_exec);
                 }
                 (
                     DigestSummary::from_digest(&mut sched_delay),
@@ -459,6 +617,25 @@ impl MetricsCollector {
             .map(|(op, &secs)| (op.id().to_string(), secs))
             .collect();
         operator_time_breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
+        let tenant_slo = self.tenant_slo;
+        let per_tenant = self
+            .tenants
+            .iter_mut()
+            .map(|t| TenantReport {
+                tenant: std::mem::take(&mut t.name),
+                arrived: t.arrived,
+                completed: t.completed,
+                ttft: t.ttft.summary(),
+                e2e: t.e2e.summary(),
+                slo_attainment: tenant_slo.map(|_| {
+                    if t.completed > 0 {
+                        t.slo_met as f64 / t.completed as f64
+                    } else {
+                        0.0
+                    }
+                }),
+            })
+            .collect();
         SimulationReport {
             num_requests,
             completed: self.completed,
@@ -486,33 +663,25 @@ impl MetricsCollector {
                 0.0
             },
             operator_time_breakdown,
+            per_tenant,
         }
     }
 }
 
 /// Streams one completed request's latency metrics into the bounded sinks
 /// (sketch mode's incremental replacement for the exact end-of-run pass —
-/// the guards mirror that pass exactly).
+/// both consume the same [`RequestRecord::latencies`] derivation).
 fn record_request_latencies(sinks: &mut RequestSinks, rec: &RequestRecord) {
-    let Some(completed) = rec.completed else {
+    let Some(l) = rec.latencies() else {
         return;
     };
-    let Some(first_sched) = rec.first_scheduled else {
-        return;
-    };
-    sinks
-        .sched_delay
-        .record(first_sched.duration_since(rec.arrival).as_secs_f64());
-    if let Some(pd) = rec.prefill_done {
-        sinks
-            .ttft
-            .record(pd.duration_since(rec.arrival).as_secs_f64());
+    sinks.sched_delay.record(l.sched_delay);
+    if let Some(t) = l.ttft {
+        sinks.ttft.record(t);
     }
-    let total = completed.duration_since(rec.arrival).as_secs_f64();
-    let exec = completed.duration_since(first_sched).as_secs_f64();
-    sinks.e2e.record(total);
-    sinks.norm_e2e.record(total / rec.decode_tokens as f64);
-    sinks.norm_exec.record(exec / rec.decode_tokens as f64);
+    sinks.e2e.record(l.e2e);
+    sinks.norm_e2e.record(l.norm_e2e);
+    sinks.norm_exec.record(l.norm_exec);
 }
 
 /// Cluster power characteristics for energy accounting.
@@ -561,7 +730,7 @@ mod tests {
     #[test]
     fn full_request_lifecycle_metrics() {
         let mut m = MetricsCollector::new(1);
-        m.on_arrival(1, t(0.0), 3);
+        m.on_arrival(1, t(0.0), 3, 0);
         let prefill = BatchComposition::new(vec![RequestSlice::prefill(1, 100, 0)]);
         m.on_batch_scheduled(t(1.0), &prefill, 1e12, 1e9);
         m.on_batch_complete(
@@ -605,8 +774,8 @@ mod tests {
     #[test]
     fn incomplete_requests_excluded() {
         let mut m = MetricsCollector::new(1);
-        m.on_arrival(1, t(0.0), 5);
-        m.on_arrival(2, t(0.0), 5);
+        m.on_arrival(1, t(0.0), 5, 0);
+        m.on_arrival(2, t(0.0), 5, 0);
         let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
         m.on_batch_scheduled(t(0.1), &b, 0.0, 0.0);
         m.on_batch_complete(
@@ -631,8 +800,8 @@ mod tests {
         // cached_tokens == 0) must not re-judge it, however late it runs.
         let mut m = MetricsCollector::new(1);
         m.set_late_limit(1.0);
-        m.on_arrival(1, t(0.0), 5);
-        m.on_arrival(2, t(0.0), 5);
+        m.on_arrival(1, t(0.0), 5, 0);
+        m.on_arrival(2, t(0.0), 5, 0);
         // Request 1 first-scheduled on time, request 2 late — slice order
         // within the batch must not matter, so put the late one first.
         let b = BatchComposition::new(vec![
@@ -642,7 +811,7 @@ mod tests {
         m.on_batch_scheduled(t(0.5), &b, 0.0, 0.0);
         assert_eq!(m.late_count(), 0);
         let late = BatchComposition::new(vec![RequestSlice::prefill(3, 10, 0)]);
-        m.on_arrival(3, t(0.0), 5);
+        m.on_arrival(3, t(0.0), 5, 0);
         m.on_batch_scheduled(t(5.0), &late, 0.0, 0.0);
         assert_eq!(m.late_count(), 1, "request 3 was first-scheduled late");
         // Restart chunks of requests 1 and 3 re-enter arbitrarily late:
@@ -666,7 +835,7 @@ mod tests {
     fn sketch_mode_retires_records_incrementally() {
         use vidur_core::metrics::QuantileMode;
         let mut m = MetricsCollector::with_mode(1, QuantileMode::Sketch);
-        m.on_arrival(1, t(0.0), 1);
+        m.on_arrival(1, t(0.0), 1, 0);
         let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
         m.on_batch_scheduled(t(1.0), &b, 0.0, 0.0);
         m.on_batch_complete(
@@ -690,7 +859,7 @@ mod tests {
         let mut m = MetricsCollector::new(2);
         m.on_kv_sample(0, t(0.0), 0.2);
         m.on_kv_sample(1, t(0.0), 0.6);
-        m.on_arrival(1, t(0.0), 1);
+        m.on_arrival(1, t(0.0), 1, 0);
         let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
         m.on_batch_scheduled(t(0.0), &b, 0.0, 0.0);
         m.on_batch_complete(
@@ -705,5 +874,84 @@ mod tests {
         let r = m.into_report(1, 1e15, 1e13, 3, test_power());
         assert!((r.kv_utilization - 0.4).abs() < 1e-9);
         assert_eq!(r.preemptions, 3);
+    }
+
+    /// Drives one finished request for `tenant` through a tenant-armed
+    /// collector: scheduled at 1s, prefill done at `ttft`, finished at
+    /// `e2e` (3 output tokens).
+    fn drive_tenant_request(m: &mut MetricsCollector, id: u64, tenant: u32, ttft: f64, e2e: f64) {
+        m.on_arrival(id, t(0.0), 3, tenant);
+        let b = BatchComposition::new(vec![RequestSlice::prefill(id, 10, 0)]);
+        m.on_batch_scheduled(t(1.0), &b, 0.0, 0.0);
+        m.on_batch_complete(
+            t(ttft),
+            &[CompletionEvent {
+                id,
+                prefill_completed: true,
+                produced_token: true,
+                finished: false,
+            }],
+        );
+        m.on_batch_complete(
+            t(e2e),
+            &[CompletionEvent {
+                id,
+                prefill_completed: false,
+                produced_token: true,
+                finished: true,
+            }],
+        );
+    }
+
+    #[test]
+    fn per_tenant_breakdown_and_slo() {
+        for mode in [QuantileMode::Exact, QuantileMode::Sketch] {
+            let mut m = MetricsCollector::with_mode(1, mode);
+            m.set_tenants(
+                &["gold".to_string(), "bulk".to_string()],
+                Some(TenantSlo {
+                    ttft_secs: 3.0,
+                    e2e_per_token_secs: 2.0,
+                }),
+            );
+            // gold: two requests, one blows the TTFT SLO.
+            drive_tenant_request(&mut m, 1, 0, 2.0, 4.0);
+            drive_tenant_request(&mut m, 2, 0, 5.0, 7.0);
+            // bulk: one request within SLO; a second never completes.
+            drive_tenant_request(&mut m, 3, 1, 2.5, 5.5);
+            m.on_arrival(4, t(0.0), 3, 1);
+            let r = m.into_report(4, 1e15, 1e13, 0, test_power());
+            assert_eq!(r.per_tenant.len(), 2, "{mode:?}");
+            let gold = &r.per_tenant[0];
+            assert_eq!(gold.tenant, "gold");
+            assert_eq!((gold.arrived, gold.completed), (2, 2));
+            assert!((gold.ttft.max - 5.0).abs() < 1e-9);
+            assert!((gold.e2e.mean - 5.5).abs() < 1e-9);
+            assert_eq!(gold.slo_attainment, Some(0.5));
+            let bulk = &r.per_tenant[1];
+            assert_eq!((bulk.arrived, bulk.completed), (2, 1));
+            assert_eq!(bulk.slo_attainment, Some(1.0));
+        }
+    }
+
+    #[test]
+    fn undeclared_tenant_ids_grow_the_table() {
+        let mut m = MetricsCollector::new(1);
+        m.set_tenants(&["only".to_string()], None);
+        drive_tenant_request(&mut m, 1, 2, 2.0, 4.0);
+        let r = m.into_report(1, 1e15, 1e13, 0, test_power());
+        assert_eq!(r.per_tenant.len(), 3);
+        assert_eq!(r.per_tenant[1].tenant, "tenant-1");
+        assert_eq!(r.per_tenant[2].tenant, "tenant-2");
+        assert_eq!(r.per_tenant[2].completed, 1);
+        assert_eq!(r.per_tenant[2].slo_attainment, None);
+    }
+
+    #[test]
+    fn unarmed_collector_reports_no_tenants() {
+        let mut m = MetricsCollector::new(1);
+        drive_tenant_request(&mut m, 1, 0, 2.0, 4.0);
+        let r = m.into_report(1, 1e15, 1e13, 0, test_power());
+        assert!(r.per_tenant.is_empty());
     }
 }

@@ -14,19 +14,30 @@
 //! `(prefill_tokens, decode_tokens, arrival)` tuples, so matching these
 //! marginals reproduces each dataset's pressure on the serving stack.
 //!
-//! [`arrival`] supplies Poisson and Gamma arrival processes and the static
+//! [`arrival`] supplies Poisson and Gamma arrival processes, the static
 //! (all-at-once) mode used for the paper's offline-fidelity experiments
-//! (Figure 3).
+//! (Figure 3), and the production-traffic zoo: Markov-modulated Poisson
+//! bursts, diurnal sinusoidal rate curves, and superposed multi-tenant
+//! streams — all generated incrementally so million-request runs stay
+//! bounded-memory.
+//!
+//! [`replay`] adds the line-oriented on-disk trace format with a streaming
+//! loader and typed parse errors; [`traces`] adds multi-tenant trace
+//! generation ([`MultiTenantWorkload`]) and derived-stat resampling
+//! ([`Trace::amplify`]) for amplifying small real traces to millions of
+//! requests.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod arrival;
 pub mod distributions;
+pub mod replay;
 pub mod stats;
 pub mod traces;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalIter, ArrivalProcess, ArrivalTimes};
 pub use distributions::LengthDistribution;
+pub use replay::{TraceError, TraceReader};
 pub use stats::WorkloadStats;
-pub use traces::{Trace, TraceRequest, TraceWorkload};
+pub use traces::{MultiTenantWorkload, TenantStream, Trace, TraceRequest, TraceWorkload};

@@ -1,0 +1,638 @@
+//! Trace replay: a line-oriented on-disk trace format with a streaming
+//! loader.
+//!
+//! Production traces are plain text, one request per line, so they can be
+//! produced with `awk` from any serving log and diffed in code review:
+//!
+//! ```text
+//! #vidur-trace v1
+//! # comments and blank lines are ignored
+//! workload prod-us-east
+//! tenant interactive
+//! tenant batch
+//! 0.25 417 139 interactive 0
+//! 1.5  2730 167 batch 2
+//! 3.75 100 10
+//! ```
+//!
+//! * The first non-blank line must be the `#vidur-trace v1` magic.
+//! * `workload <name>` and `tenant <name>` directives must precede the
+//!   first record; tenant declaration order assigns tenant ids.
+//! * Records are whitespace-separated:
+//!   `<arrival-secs> <prefill> <decode> [<tenant> [<priority>]]` — arrival
+//!   timestamps are decimal seconds with nanosecond precision (parsed
+//!   exactly, no float round-trip), must be non-decreasing, and lengths
+//!   must be ≥ 1. Omitted tenant/priority default to the first tenant and
+//!   priority 0.
+//!
+//! Malformed input yields a typed [`TraceError`] carrying the 1-based line
+//! number — the loader never panics. [`Trace::from_file`] /
+//! [`Trace::to_file`] round-trip exactly for traces whose tenant table is
+//! self-consistent (tenants declared, or fully-default single-tenant); the
+//! one writer-side normalization is that undeclared tenant/priority usage
+//! gets synthesized `tenant-<id>` declarations, which the reload then
+//! carries in [`Trace::tenants`] (see [`Trace::to_writer`]).
+//! [`TraceReader`] streams records one at a time so multi-gigabyte traces
+//! never need to fit in memory (beyond whatever the caller retains).
+
+use crate::traces::{Trace, TraceRequest};
+use std::fmt;
+use std::io::{BufRead, Write};
+use vidur_core::time::SimTime;
+
+/// Magic first line of a trace file.
+pub const TRACE_MAGIC: &str = "#vidur-trace v1";
+
+/// A typed trace-format error. Every parse variant carries the 1-based line
+/// number of the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io {
+        /// File path (or `"<reader>"` for in-memory sources).
+        path: String,
+        /// The I/O error message.
+        message: String,
+    },
+    /// The file does not start with [`TRACE_MAGIC`].
+    MissingHeader {
+        /// Line that should have been the magic.
+        line: usize,
+    },
+    /// A malformed `workload` / `tenant` directive, a duplicate
+    /// declaration, or a directive after the first record.
+    Directive {
+        /// Offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A record with fewer than three fields.
+    Truncated {
+        /// Offending line.
+        line: usize,
+        /// Fields actually present.
+        found: usize,
+    },
+    /// A record with more than five fields.
+    TooManyFields {
+        /// Offending line.
+        line: usize,
+        /// Fields actually present.
+        found: usize,
+    },
+    /// An unparseable or negative arrival timestamp.
+    BadTimestamp {
+        /// Offending line.
+        line: usize,
+        /// The raw field.
+        value: String,
+    },
+    /// An arrival earlier than the preceding record's.
+    NonMonotonic {
+        /// Offending line.
+        line: usize,
+    },
+    /// An unparseable, negative, or zero token length.
+    BadLength {
+        /// Offending line.
+        line: usize,
+        /// Which length field (`"prefill"` or `"decode"`).
+        field: &'static str,
+        /// The raw field.
+        value: String,
+    },
+    /// A record referencing an undeclared tenant.
+    UnknownTenant {
+        /// Offending line.
+        line: usize,
+        /// The tenant name as written.
+        name: String,
+    },
+    /// An unparseable priority field.
+    BadPriority {
+        /// Offending line.
+        line: usize,
+        /// The raw field.
+        value: String,
+    },
+    /// Serialization: a request's tenant index is outside the declared
+    /// tenant list.
+    TenantIndexOutOfRange {
+        /// The out-of-range index.
+        tenant: u32,
+        /// Number of declared tenants.
+        declared: usize,
+    },
+    /// Serialization: a workload or tenant name that the line format cannot
+    /// represent (empty, containing whitespace, or starting with `#`) —
+    /// writing it would produce a file the reader rejects.
+    UnwritableName {
+        /// Which directive the name belongs to (`"workload"` or `"tenant"`).
+        field: &'static str,
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, message } => write!(f, "{path}: {message}"),
+            TraceError::MissingHeader { line } => {
+                write!(f, "line {line}: expected `{TRACE_MAGIC}` header")
+            }
+            TraceError::Directive { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::Truncated { line, found } => write!(
+                f,
+                "line {line}: truncated record ({found} of at least 3 fields)"
+            ),
+            TraceError::TooManyFields { line, found } => {
+                write!(f, "line {line}: too many fields ({found}, at most 5)")
+            }
+            TraceError::BadTimestamp { line, value } => {
+                write!(f, "line {line}: bad arrival timestamp `{value}`")
+            }
+            TraceError::NonMonotonic { line } => {
+                write!(f, "line {line}: arrival earlier than the previous record")
+            }
+            TraceError::BadLength { line, field, value } => {
+                write!(f, "line {line}: bad {field} length `{value}` (need ≥ 1)")
+            }
+            TraceError::UnknownTenant { line, name } => {
+                write!(f, "line {line}: unknown tenant `{name}`")
+            }
+            TraceError::BadPriority { line, value } => {
+                write!(f, "line {line}: bad priority `{value}` (need 0..=255)")
+            }
+            TraceError::TenantIndexOutOfRange { tenant, declared } => write!(
+                f,
+                "tenant index {tenant} out of range ({declared} declared)"
+            ),
+            TraceError::UnwritableName { field, name } => write!(
+                f,
+                "{field} name `{name}` cannot be written (must be a \
+                 non-empty whitespace-free token not starting with `#`)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a decimal-seconds timestamp (`secs[.frac]`, ≤ 9 fraction digits)
+/// into exact nanoseconds. No float round-trip, so formatting and parsing
+/// are mutually inverse for every representable [`SimTime`].
+fn parse_timestamp(s: &str) -> Option<u64> {
+    let (secs, frac) = match s.split_once('.') {
+        Some((s, f)) => (s, f),
+        None => (s, ""),
+    };
+    if secs.is_empty() || frac.len() > 9 {
+        return None;
+    }
+    if !secs.bytes().all(|b| b.is_ascii_digit()) || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let secs: u64 = secs.parse().ok()?;
+    let mut nanos: u64 = 0;
+    for (i, b) in frac.bytes().enumerate() {
+        nanos += (b - b'0') as u64 * 10u64.pow(8 - i as u32);
+    }
+    secs.checked_mul(1_000_000_000)?.checked_add(nanos)
+}
+
+/// Formats nanoseconds as decimal seconds, trailing zeros trimmed.
+fn format_timestamp(nanos: u64) -> String {
+    let secs = nanos / 1_000_000_000;
+    let frac = nanos % 1_000_000_000;
+    if frac == 0 {
+        return secs.to_string();
+    }
+    let mut s = format!("{secs}.{frac:09}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+/// Streaming trace reader: parses the header eagerly, then yields one
+/// [`TraceRequest`] per record line. Ids are assigned sequentially in file
+/// order.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    workload_name: String,
+    tenants: Vec<String>,
+    /// The first record line, consumed while scanning past the directives.
+    pending: Option<(usize, String)>,
+    line: usize,
+    next_id: u64,
+    last_arrival: SimTime,
+    /// Set after an error or EOF; the iterator then stays finished.
+    done: bool,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Opens a trace stream: validates the magic and consumes the directive
+    /// block (everything up to the first record).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on I/O failure, a missing header, or a
+    /// malformed directive.
+    pub fn new(mut reader: R) -> Result<Self, TraceError> {
+        let mut line_no = 0usize;
+        let mut saw_magic = false;
+        let mut workload_name = String::new();
+        let mut tenants: Vec<String> = Vec::new();
+        let mut pending = None;
+        loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).map_err(|e| TraceError::Io {
+                path: "<reader>".to_string(),
+                message: e.to_string(),
+            })?;
+            if n == 0 {
+                if !saw_magic {
+                    return Err(TraceError::MissingHeader { line: line_no + 1 });
+                }
+                break;
+            }
+            line_no += 1;
+            let trimmed = line.trim();
+            if !saw_magic {
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if trimmed != TRACE_MAGIC {
+                    return Err(TraceError::MissingHeader { line: line_no });
+                }
+                saw_magic = true;
+                continue;
+            }
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            match fields.next() {
+                Some("workload") => {
+                    let name: Vec<&str> = fields.collect();
+                    if name.len() != 1 {
+                        return Err(TraceError::Directive {
+                            line: line_no,
+                            message: "`workload` takes exactly one name".to_string(),
+                        });
+                    }
+                    if !workload_name.is_empty() {
+                        return Err(TraceError::Directive {
+                            line: line_no,
+                            message: "duplicate `workload` directive".to_string(),
+                        });
+                    }
+                    workload_name = name[0].to_string();
+                }
+                Some("tenant") => {
+                    let name: Vec<&str> = fields.collect();
+                    if name.len() != 1 {
+                        return Err(TraceError::Directive {
+                            line: line_no,
+                            message: "`tenant` takes exactly one name".to_string(),
+                        });
+                    }
+                    if tenants.iter().any(|t| t == name[0]) {
+                        return Err(TraceError::Directive {
+                            line: line_no,
+                            message: format!("duplicate tenant `{}`", name[0]),
+                        });
+                    }
+                    tenants.push(name[0].to_string());
+                }
+                Some(_) => {
+                    // First record: the directive block ends here.
+                    pending = Some((line_no, trimmed.to_string()));
+                    break;
+                }
+                None => unreachable!("non-empty trimmed line has a token"),
+            }
+        }
+        Ok(TraceReader {
+            reader,
+            workload_name,
+            tenants,
+            pending,
+            line: line_no,
+            next_id: 0,
+            last_arrival: SimTime::ZERO,
+            done: false,
+        })
+    }
+
+    /// The `workload` directive's name (empty if absent).
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// Declared tenant names in declaration (= id) order.
+    pub fn tenants(&self) -> &[String] {
+        &self.tenants
+    }
+
+    fn parse_record(&mut self, line_no: usize, line: &str) -> Result<TraceRequest, TraceError> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if matches!(fields.first(), Some(&"workload") | Some(&"tenant")) {
+            return Err(TraceError::Directive {
+                line: line_no,
+                message: format!("`{}` directive after the first record", fields[0]),
+            });
+        }
+        if fields.len() < 3 {
+            return Err(TraceError::Truncated {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        if fields.len() > 5 {
+            return Err(TraceError::TooManyFields {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        let nanos = parse_timestamp(fields[0]).ok_or_else(|| TraceError::BadTimestamp {
+            line: line_no,
+            value: fields[0].to_string(),
+        })?;
+        let arrival = SimTime::from_nanos(nanos);
+        if arrival < self.last_arrival {
+            return Err(TraceError::NonMonotonic { line: line_no });
+        }
+        let length = |field: &'static str, raw: &str| -> Result<u64, TraceError> {
+            match raw.parse::<u64>() {
+                Ok(v) if v >= 1 => Ok(v),
+                _ => Err(TraceError::BadLength {
+                    line: line_no,
+                    field,
+                    value: raw.to_string(),
+                }),
+            }
+        };
+        let prefill_tokens = length("prefill", fields[1])?;
+        let decode_tokens = length("decode", fields[2])?;
+        let tenant = match fields.get(3) {
+            None => 0,
+            Some(&name) => self.tenants.iter().position(|t| t == name).ok_or_else(|| {
+                TraceError::UnknownTenant {
+                    line: line_no,
+                    name: name.to_string(),
+                }
+            })? as u32,
+        };
+        let priority = match fields.get(4) {
+            None => 0,
+            Some(&raw) => raw.parse::<u8>().map_err(|_| TraceError::BadPriority {
+                line: line_no,
+                value: raw.to_string(),
+            })?,
+        };
+        self.last_arrival = arrival;
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(TraceRequest {
+            id,
+            arrival,
+            prefill_tokens,
+            decode_tokens,
+            tenant,
+            priority,
+        })
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceRequest, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let (line_no, line) = if let Some(pending) = self.pending.take() {
+            pending
+        } else {
+            loop {
+                let mut line = String::new();
+                match self.reader.read_line(&mut line) {
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(TraceError::Io {
+                            path: "<reader>".to_string(),
+                            message: e.to_string(),
+                        }));
+                    }
+                    Ok(0) => {
+                        self.done = true;
+                        return None;
+                    }
+                    Ok(_) => {
+                        self.line += 1;
+                        let trimmed = line.trim();
+                        if trimmed.is_empty() || trimmed.starts_with('#') {
+                            continue;
+                        }
+                        break (self.line, trimmed.to_string());
+                    }
+                }
+            }
+        };
+        let parsed = self.parse_record(line_no, &line);
+        if parsed.is_err() {
+            self.done = true;
+        }
+        Some(parsed)
+    }
+}
+
+impl Trace {
+    /// Parses a trace from any buffered reader (see the module docs for the
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered.
+    pub fn from_reader<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
+        let mut tr = TraceReader::new(reader)?;
+        let mut requests = Vec::new();
+        for record in &mut tr {
+            requests.push(record?);
+        }
+        Ok(Trace {
+            workload_name: tr.workload_name,
+            tenants: tr.tenants,
+            requests,
+        })
+    }
+
+    /// Parses a trace from an in-memory string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        Trace::from_reader(text.as_bytes())
+    }
+
+    /// Loads a trace file (streaming; the file is read once, line by line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on I/O failure or malformed input.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Trace, TraceError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| TraceError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Trace::from_reader(std::io::BufReader::new(file)).map_err(|e| match e {
+            TraceError::Io { message, .. } => TraceError::Io {
+                path: path.display().to_string(),
+                message,
+            },
+            other => other,
+        })
+    }
+
+    /// Serializes this trace in the line-oriented format. Single-tenant,
+    /// all-priority-0 traces write compact three-field records; anything
+    /// else declares tenants and writes full five-field records. A trace
+    /// that uses tenant indices or priorities without declaring tenants
+    /// gets synthesized `tenant-<id>` declarations — the one lossy-upward
+    /// normalization: reloading such a file yields the synthesized names in
+    /// [`Trace::tenants`] (everything else round-trips exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::TenantIndexOutOfRange`] if a request's tenant
+    /// index exceeds the declared tenant list,
+    /// [`TraceError::UnwritableName`] if the workload or a tenant name is
+    /// not representable in the line format (empty, whitespace, leading
+    /// `#`), or an I/O error.
+    pub fn to_writer<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        let io_err = |e: std::io::Error| TraceError::Io {
+            path: "<writer>".to_string(),
+            message: e.to_string(),
+        };
+        // Refuse names the reader cannot parse back: directive names are
+        // single whitespace-delimited tokens, and record tenant fields
+        // split on whitespace too.
+        let writable = |n: &str| {
+            !n.is_empty()
+                && !n.starts_with('#')
+                && n.split_whitespace().count() == 1
+                && n.trim() == n
+        };
+        if !self.workload_name.is_empty() && !writable(&self.workload_name) {
+            return Err(TraceError::UnwritableName {
+                field: "workload",
+                name: self.workload_name.clone(),
+            });
+        }
+        if let Some(bad) = self.tenants.iter().find(|t| !writable(t)) {
+            return Err(TraceError::UnwritableName {
+                field: "tenant",
+                name: bad.clone(),
+            });
+        }
+        let mut tenants = self.tenants.clone();
+        if tenants.is_empty()
+            && self
+                .requests
+                .iter()
+                .any(|r| r.tenant != 0 || r.priority != 0)
+        {
+            let max = self.requests.iter().map(|r| r.tenant).max().unwrap_or(0);
+            tenants = (0..=max).map(|i| format!("tenant-{i}")).collect();
+        }
+        if let Some(r) = self
+            .requests
+            .iter()
+            .find(|r| !tenants.is_empty() && r.tenant as usize >= tenants.len())
+        {
+            return Err(TraceError::TenantIndexOutOfRange {
+                tenant: r.tenant,
+                declared: tenants.len(),
+            });
+        }
+        writeln!(w, "{TRACE_MAGIC}").map_err(io_err)?;
+        if !self.workload_name.is_empty() {
+            writeln!(w, "workload {}", self.workload_name).map_err(io_err)?;
+        }
+        for t in &tenants {
+            writeln!(w, "tenant {t}").map_err(io_err)?;
+        }
+        for r in &self.requests {
+            let ts = format_timestamp(r.arrival.as_nanos());
+            if tenants.is_empty() {
+                writeln!(w, "{ts} {} {}", r.prefill_tokens, r.decode_tokens).map_err(io_err)?;
+            } else {
+                writeln!(
+                    w,
+                    "{ts} {} {} {} {}",
+                    r.prefill_tokens, r.decode_tokens, tenants[r.tenant as usize], r.priority
+                )
+                .map_err(io_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes this trace to `path` in the line-oriented format.
+    ///
+    /// # Errors
+    ///
+    /// See [`Trace::to_writer`].
+    pub fn to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        let file = std::fs::File::create(path).map_err(|e| TraceError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        self.to_writer(std::io::BufWriter::new(file))
+            .map_err(|e| match e {
+                TraceError::Io { message, .. } => TraceError::Io {
+                    path: path.display().to_string(),
+                    message,
+                },
+                other => other,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_parse_and_format_are_inverse() {
+        for nanos in [
+            0u64,
+            1,
+            999_999_999,
+            1_000_000_000,
+            1_500_000_000,
+            86_400_000_000_123,
+            u64::from(u32::MAX) * 1_000_000_000 + 42,
+        ] {
+            let s = format_timestamp(nanos);
+            assert_eq!(parse_timestamp(&s), Some(nanos), "{s}");
+        }
+        assert_eq!(format_timestamp(1_500_000_000), "1.5");
+        assert_eq!(format_timestamp(2_000_000_000), "2");
+        assert_eq!(parse_timestamp("0.250"), Some(250_000_000));
+    }
+
+    #[test]
+    fn bad_timestamps_rejected() {
+        for s in ["", ".", "-1", "1.0000000001", "1e3", "1.2.3", "abc"] {
+            assert_eq!(parse_timestamp(s), None, "{s}");
+        }
+    }
+}

@@ -151,6 +151,7 @@ mod tests {
     fn empty_trace_panics() {
         let t = Trace {
             workload_name: "x".to_string(),
+            tenants: Vec::new(),
             requests: Vec::new(),
         };
         WorkloadStats::compute(&t);

@@ -106,13 +106,189 @@ impl TraceWorkload {
                     arrival,
                     prefill_tokens,
                     decode_tokens,
+                    tenant: 0,
+                    priority: 0,
                 }
             })
             .collect();
         Trace {
             workload_name: self.name.clone(),
+            tenants: Vec::new(),
             requests,
         }
+    }
+}
+
+/// One tenant's traffic in a [`MultiTenantWorkload`]: its own length
+/// distributions, arrival process, and priority class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStream {
+    /// Tenant name (becomes an entry in [`Trace::tenants`]).
+    pub tenant: String,
+    /// Priority class for every request of this tenant (0 = most urgent).
+    pub priority: u8,
+    /// Length distributions for this tenant's requests.
+    pub workload: TraceWorkload,
+    /// This tenant's arrival process.
+    pub arrivals: ArrivalProcess,
+}
+
+/// Several tenants sharing a cluster: each stream generates independently
+/// (own forked RNG streams for arrivals and lengths, so adding a tenant
+/// never perturbs another's draws) and the traces merge in arrival order.
+///
+/// # Example
+///
+/// ```
+/// use vidur_core::rng::SimRng;
+/// use vidur_workload::{ArrivalProcess, MultiTenantWorkload, TenantStream, TraceWorkload};
+///
+/// let mix = MultiTenantWorkload::new(
+///     "prod-mix",
+///     vec![
+///         TenantStream {
+///             tenant: "interactive".into(),
+///             priority: 0,
+///             workload: TraceWorkload::chat_1m(),
+///             arrivals: ArrivalProcess::Poisson { qps: 2.0 },
+///         },
+///         TenantStream {
+///             tenant: "batch".into(),
+///             priority: 2,
+///             workload: TraceWorkload::arxiv_4k(),
+///             arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+///         },
+///     ],
+/// );
+/// let trace = mix.generate(100, &mut SimRng::new(7));
+/// assert_eq!(trace.tenants.len(), 2);
+/// assert!(trace.requests.iter().any(|r| r.tenant == 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantWorkload {
+    /// Mix name (becomes [`Trace::workload_name`]).
+    pub name: String,
+    /// The tenant streams (index = tenant id in generated traces).
+    pub streams: Vec<TenantStream>,
+}
+
+impl MultiTenantWorkload {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or any stream uses
+    /// [`ArrivalProcess::Static`] — a Static tenant emits infinitely many
+    /// t=0 arrivals, so the merge would never yield any other tenant.
+    pub fn new(name: impl Into<String>, streams: Vec<TenantStream>) -> Self {
+        assert!(!streams.is_empty(), "multi-tenant mix needs streams");
+        let mix = MultiTenantWorkload {
+            name: name.into(),
+            streams,
+        };
+        mix.validate();
+        mix
+    }
+
+    fn validate(&self) {
+        assert!(!self.streams.is_empty(), "multi-tenant mix needs streams");
+        for s in &self.streams {
+            assert!(
+                !matches!(s.arrivals, ArrivalProcess::Static),
+                "tenant `{}`: Static arrivals would starve every other \
+                 tenant in the merge",
+                s.tenant
+            );
+        }
+    }
+
+    /// Incremental request generator: an infinite stream of requests merged
+    /// across tenants in arrival order (ties break toward the lower tenant
+    /// id), with ids assigned sequentially in merged order. The first `n`
+    /// items equal [`MultiTenantWorkload::generate`]`(n, rng).requests`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid mix (see [`MultiTenantWorkload::new`]; the
+    /// fields are public, so the invariants are re-checked here).
+    pub fn requests(&self, rng: &mut SimRng) -> MultiTenantIter {
+        self.validate();
+        let streams = self
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut arrivals = s.arrivals.times(rng.fork(2 * i as u64));
+                let lengths = rng.fork(2 * i as u64 + 1);
+                let next_arrival = arrivals.next().expect("arrival streams are infinite");
+                StreamState {
+                    arrivals,
+                    lengths,
+                    workload: s.workload.clone(),
+                    priority: s.priority,
+                    next_arrival,
+                }
+            })
+            .collect();
+        MultiTenantIter {
+            streams,
+            next_id: 0,
+        }
+    }
+
+    /// Generates a merged trace of `n` requests. Equivalent to collecting
+    /// `n` items from [`MultiTenantWorkload::requests`].
+    pub fn generate(&self, n: usize, rng: &mut SimRng) -> Trace {
+        let requests = self.requests(rng).take(n).collect();
+        Trace {
+            workload_name: self.name.clone(),
+            tenants: self.streams.iter().map(|s| s.tenant.clone()).collect(),
+            requests,
+        }
+    }
+}
+
+/// Per-tenant generation state inside [`MultiTenantIter`].
+#[derive(Debug)]
+struct StreamState {
+    arrivals: crate::arrival::ArrivalTimes,
+    lengths: SimRng,
+    workload: TraceWorkload,
+    priority: u8,
+    next_arrival: SimTime,
+}
+
+/// Infinite merged request iterator (see [`MultiTenantWorkload::requests`]).
+#[derive(Debug)]
+pub struct MultiTenantIter {
+    streams: Vec<StreamState>,
+    next_id: u64,
+}
+
+impl Iterator for MultiTenantIter {
+    type Item = TraceRequest;
+
+    fn next(&mut self) -> Option<TraceRequest> {
+        let idx = self
+            .streams
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.next_arrival.cmp(&b.next_arrival))
+            .map(|(i, _)| i)?;
+        let s = &mut self.streams[idx];
+        let arrival = s.next_arrival;
+        s.next_arrival = s.arrivals.next().expect("arrival streams are infinite");
+        let (prefill_tokens, decode_tokens) = s.workload.sample_lengths(&mut s.lengths);
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(TraceRequest {
+            id,
+            arrival,
+            prefill_tokens,
+            decode_tokens,
+            tenant: idx as u32,
+            priority: s.priority,
+        })
     }
 }
 
@@ -127,6 +303,11 @@ pub struct TraceRequest {
     pub prefill_tokens: u64,
     /// Output tokens.
     pub decode_tokens: u64,
+    /// Tenant index into [`Trace::tenants`] (0 for single-tenant traces).
+    pub tenant: u32,
+    /// Priority class: 0 is the most urgent; schedulers admit lower values
+    /// first and preempt higher values first.
+    pub priority: u8,
 }
 
 /// A generated (or loaded) request trace.
@@ -134,6 +315,9 @@ pub struct TraceRequest {
 pub struct Trace {
     /// Name of the generating workload.
     pub workload_name: String,
+    /// Declared tenant names; [`TraceRequest::tenant`] indexes this list.
+    /// Empty for single-tenant traces (all requests implicitly tenant 0).
+    pub tenants: Vec<String>,
     /// Requests ordered by arrival.
     pub requests: Vec<TraceRequest>,
 }
@@ -149,6 +333,19 @@ impl Trace {
         self.requests.is_empty()
     }
 
+    /// Number of declared tenants (0 for single-tenant traces).
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Name of tenant `id`, or `"tenant-<id>"` when undeclared.
+    pub fn tenant_name(&self, id: u32) -> String {
+        self.tenants
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("tenant-{id}"))
+    }
+
     /// Re-times this trace's arrivals with a new process (used by capacity
     /// search to sweep QPS while holding lengths fixed).
     pub fn with_arrivals(&self, arrivals: &ArrivalProcess, rng: &mut SimRng) -> Trace {
@@ -161,6 +358,68 @@ impl Trace {
             .collect();
         Trace {
             workload_name: self.workload_name.clone(),
+            tenants: self.tenants.clone(),
+            requests,
+        }
+    }
+
+    /// Fits an arrival process to this trace's empirical interarrival
+    /// statistics: a [`ArrivalProcess::Gamma`] matching the observed mean
+    /// rate and coefficient of variation (`Static` when the trace is too
+    /// short or spans no time). Near-deterministic gaps keep a
+    /// floored-tiny-cv Gamma — collapsing to Poisson would replace the
+    /// measured CV ≈ 0 with CV = 1 and fabricate burstiness the trace
+    /// never had.
+    pub fn fit_arrivals(&self) -> ArrivalProcess {
+        if self.requests.len() < 2 {
+            return ArrivalProcess::Static;
+        }
+        let gaps: Vec<f64> = self
+            .requests
+            .windows(2)
+            .map(|w| w[1].arrival.duration_since(w[0].arrival).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        if mean <= 0.0 {
+            return ArrivalProcess::Static;
+        }
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = (var.sqrt() / mean).max(1e-6);
+        ArrivalProcess::Gamma {
+            qps: 1.0 / mean,
+            cv,
+        }
+    }
+
+    /// Amplifies this trace to `n` requests by derived-stat resampling:
+    /// arrivals come from [`Trace::fit_arrivals`]; each generated request
+    /// bootstraps its `(prefill, decode, tenant, priority)` tuple from a
+    /// uniformly-drawn source record, preserving the joint length/tenant
+    /// mix. A 1k-line trace amplifies to millions of requests in O(n)
+    /// output with O(original) working memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn amplify(&self, n: usize, rng: &mut SimRng) -> Trace {
+        assert!(!self.is_empty(), "cannot amplify an empty trace");
+        let arrivals = self.fit_arrivals();
+        let times = arrivals.generate(n, rng);
+        let requests = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let src = &self.requests[rng.next_below(self.requests.len() as u64) as usize];
+                TraceRequest {
+                    id: i as u64,
+                    arrival,
+                    ..*src
+                }
+            })
+            .collect();
+        Trace {
+            workload_name: format!("{}-amplified", self.workload_name),
+            tenants: self.tenants.clone(),
             requests,
         }
     }
@@ -277,6 +536,169 @@ mod tests {
         assert!(TraceWorkload::by_name("Chat-1M").is_some());
         assert!(TraceWorkload::by_name("ARXIV-4K").is_some());
         assert!(TraceWorkload::by_name("unknown").is_none());
+    }
+
+    fn mix() -> MultiTenantWorkload {
+        MultiTenantWorkload::new(
+            "mix",
+            vec![
+                TenantStream {
+                    tenant: "interactive".into(),
+                    priority: 0,
+                    workload: TraceWorkload::chat_1m(),
+                    arrivals: ArrivalProcess::Poisson { qps: 4.0 },
+                },
+                TenantStream {
+                    tenant: "batch".into(),
+                    priority: 2,
+                    workload: TraceWorkload::arxiv_4k(),
+                    arrivals: ArrivalProcess::Mmpp {
+                        qps_base: 0.5,
+                        qps_burst: 10.0,
+                        mean_base_secs: 20.0,
+                        mean_burst_secs: 5.0,
+                    },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn multi_tenant_merges_in_arrival_order() {
+        let t = mix().generate(500, &mut SimRng::new(21));
+        assert_eq!(t.tenants, vec!["interactive", "batch"]);
+        assert!(t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t.requests.iter().enumerate().all(|(i, r)| r.id == i as u64));
+        assert!(t.requests.iter().any(|r| r.tenant == 0));
+        assert!(t.requests.iter().any(|r| r.tenant == 1));
+        for r in &t.requests {
+            let expect = if r.tenant == 0 { 0 } else { 2 };
+            assert_eq!(r.priority, expect);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_iterator_matches_generate() {
+        let m = mix();
+        let batch = m.generate(300, &mut SimRng::new(22));
+        let incremental: Vec<TraceRequest> = m.requests(&mut SimRng::new(22)).take(300).collect();
+        assert_eq!(batch.requests, incremental);
+    }
+
+    #[test]
+    fn adding_a_tenant_does_not_perturb_existing_streams() {
+        // Forked per-stream RNGs: tenant 0's (arrival, lengths) subsequence
+        // must be identical whether or not a third tenant joins the mix.
+        let two = mix().generate(400, &mut SimRng::new(23));
+        let mut three = mix();
+        three.streams.push(TenantStream {
+            tenant: "background".into(),
+            priority: 3,
+            workload: TraceWorkload::bwb_4k(),
+            arrivals: ArrivalProcess::Poisson { qps: 2.0 },
+        });
+        let merged = three.generate(600, &mut SimRng::new(23));
+        let a: Vec<(SimTime, u64, u64)> = two
+            .requests
+            .iter()
+            .filter(|r| r.tenant == 0)
+            .map(|r| (r.arrival, r.prefill_tokens, r.decode_tokens))
+            .collect();
+        let b: Vec<(SimTime, u64, u64)> = merged
+            .requests
+            .iter()
+            .filter(|r| r.tenant == 0)
+            .map(|r| (r.arrival, r.prefill_tokens, r.decode_tokens))
+            .collect();
+        let common = a.len().min(b.len());
+        assert!(common > 50, "need a meaningful overlap");
+        assert_eq!(a[..common], b[..common]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Static arrivals would starve")]
+    fn static_tenant_stream_rejected() {
+        MultiTenantWorkload::new(
+            "bad",
+            vec![
+                TenantStream {
+                    tenant: "offline".into(),
+                    priority: 2,
+                    workload: TraceWorkload::arxiv_4k(),
+                    arrivals: ArrivalProcess::Static,
+                },
+                TenantStream {
+                    tenant: "online".into(),
+                    priority: 0,
+                    workload: TraceWorkload::chat_1m(),
+                    arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn fit_arrivals_recovers_rate_and_burstiness() {
+        let w = TraceWorkload::chat_1m();
+        let t = w.generate(
+            20_000,
+            &ArrivalProcess::Gamma { qps: 6.0, cv: 2.5 },
+            &mut SimRng::new(24),
+        );
+        match t.fit_arrivals() {
+            ArrivalProcess::Gamma { qps, cv } => {
+                assert!((qps / 6.0 - 1.0).abs() < 0.1, "qps {qps}");
+                assert!((cv / 2.5 - 1.0).abs() < 0.15, "cv {cv}");
+            }
+            other => panic!("expected Gamma, fitted {other:?}"),
+        }
+        let static_trace = w.generate(10, &ArrivalProcess::Static, &mut SimRng::new(25));
+        assert_eq!(static_trace.fit_arrivals(), ArrivalProcess::Static);
+        // Near-deterministic gaps (fixed-rate load generator) must keep
+        // their tiny measured CV — not collapse to Poisson's CV of 1.
+        let mut even = w.generate(100, &ArrivalProcess::Static, &mut SimRng::new(26));
+        for (i, r) in even.requests.iter_mut().enumerate() {
+            r.arrival = SimTime::from_secs_f64(i as f64);
+        }
+        match even.fit_arrivals() {
+            ArrivalProcess::Gamma { qps, cv } => {
+                assert!((qps - 1.0).abs() < 1e-9, "qps {qps}");
+                assert!(cv <= 1e-3, "cv {cv} should stay near-deterministic");
+            }
+            other => panic!("expected tiny-cv Gamma, fitted {other:?}"),
+        }
+    }
+
+    #[test]
+    fn amplify_preserves_mix_and_rate() {
+        let small = mix().generate(1_000, &mut SimRng::new(26));
+        let big = small.amplify(50_000, &mut SimRng::new(27));
+        assert_eq!(big.len(), 50_000);
+        assert_eq!(big.tenants, small.tenants);
+        assert!(big
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        // Rate within 10% of the source.
+        let rate = |t: &Trace| {
+            (t.len() - 1) as f64
+                / t.requests
+                    .last()
+                    .unwrap()
+                    .arrival
+                    .duration_since(t.requests[0].arrival)
+                    .as_secs_f64()
+        };
+        assert!((rate(&big) / rate(&small) - 1.0).abs() < 0.1);
+        // Tenant mix within a few points of the source.
+        let frac =
+            |t: &Trace| t.requests.iter().filter(|r| r.tenant == 0).count() as f64 / t.len() as f64;
+        assert!((frac(&big) - frac(&small)).abs() < 0.05);
+        // Bootstrapped tuples keep tenant↔priority pairing intact.
+        for r in &big.requests {
+            let expect = if r.tenant == 0 { 0 } else { 2 };
+            assert_eq!(r.priority, expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Multi-tenant trace replay: the production-traffic pipeline end to end.
+//!
+//! 1. Synthesize a small multi-tenant seed trace — three tenants with their
+//!    own length distributions, arrival processes (diurnal, Poisson,
+//!    MMPP-bursty), and priority classes.
+//! 2. Round-trip it through the on-disk trace format (`to_file` /
+//!    `from_file`) — the same path a real production trace would enter by.
+//! 3. Amplify the seed by derived-stat resampling to the target request
+//!    count, exactly how a 1k-line log becomes a million-request what-if.
+//! 4. Replay on a cluster under the bounded-memory sketch quantile mode and
+//!    report per-tenant latency/SLO breakdowns.
+//!
+//! Run with: `cargo run --release --example multi_tenant_replay`
+//! (2 000 requests by default; set `VIDUR_FULL=1` for the 1M-request run,
+//! or `VIDUR_REPLAY_REQUESTS=<n>` for any size).
+
+use vidur::prelude::*;
+
+fn target_requests() -> usize {
+    if let Ok(n) = std::env::var("VIDUR_REPLAY_REQUESTS") {
+        return n.parse().expect("VIDUR_REPLAY_REQUESTS must be a number");
+    }
+    match std::env::var("VIDUR_FULL") {
+        Ok(v) if v == "1" => 1_000_000,
+        _ => 2_000,
+    }
+}
+
+fn main() {
+    // 1. Three tenants sharing the cluster, each with its own traffic shape.
+    let mix = MultiTenantWorkload::new(
+        "prod-mix",
+        vec![
+            TenantStream {
+                tenant: "interactive".into(),
+                priority: 0,
+                workload: TraceWorkload::chat_1m(),
+                arrivals: ArrivalProcess::Diurnal {
+                    mean_qps: 2.0,
+                    amplitude: 0.8,
+                    period_secs: 600.0,
+                },
+            },
+            TenantStream {
+                tenant: "standard".into(),
+                priority: 1,
+                workload: TraceWorkload::bwb_4k(),
+                arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+            },
+            TenantStream {
+                tenant: "batch".into(),
+                priority: 2,
+                workload: TraceWorkload::arxiv_4k(),
+                arrivals: ArrivalProcess::Mmpp {
+                    qps_base: 0.3,
+                    qps_burst: 10.0,
+                    mean_base_secs: 60.0,
+                    mean_burst_secs: 10.0,
+                },
+            },
+        ],
+    );
+    let mut rng = SimRng::new(42);
+    let seed_trace = mix.generate(1_000, &mut rng);
+
+    // 2. Round-trip through the on-disk format.
+    let path = std::env::temp_dir().join(format!("vidur-replay-{}.vtrace", std::process::id()));
+    seed_trace.to_file(&path).expect("write trace");
+    let loaded = Trace::from_file(&path).expect("reload trace");
+    assert_eq!(loaded, seed_trace, "trace format round-trips exactly");
+    println!(
+        "trace file : {} ({} requests, {} tenants, round-trip exact)",
+        path.display(),
+        loaded.len(),
+        loaded.num_tenants()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // 3. Amplify by derived-stat resampling.
+    let n = target_requests();
+    let trace = loaded.amplify(n, &mut rng);
+    println!(
+        "amplified  : {} → {} requests (fitted arrivals: {:?})",
+        loaded.len(),
+        trace.len(),
+        loaded.fit_arrivals()
+    );
+
+    // 4. Replay under bounded-memory metrics with a latency SLO.
+    let mut config = ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        6,
+        SchedulerConfig::new(BatchPolicyKind::Vllm, 256),
+    );
+    config.quantile_mode = QuantileMode::Sketch;
+    config.tenant_slo = Some(TenantSlo {
+        ttft_secs: 2.0,
+        e2e_per_token_secs: 0.5,
+    });
+    println!("deployment : {}", config.label());
+    let source = RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()));
+    let report = ClusterSimulator::new(config, trace, source, 42).run();
+
+    println!();
+    println!(
+        "completed  : {}/{} in {:.0} s simulated ({:.2} QPS, {} preemptions)",
+        report.completed,
+        report.num_requests,
+        report.makespan_secs,
+        report.throughput_qps,
+        report.preemptions
+    );
+    println!();
+    println!("tenant       arrived completed  TTFT p50/p99 (s)   e2e p50/p99 (s)   SLO");
+    for t in &report.per_tenant {
+        println!(
+            "{:<12} {:>7} {:>9}   {:>6.2} / {:>6.2}   {:>6.1} / {:>6.1}   {:>4.0}%",
+            t.tenant,
+            t.arrived,
+            t.completed,
+            t.ttft.p50,
+            t.ttft.p99,
+            t.e2e.p50,
+            t.e2e.p99,
+            t.slo_attainment.unwrap_or(0.0) * 100.0
+        );
+    }
+    assert_eq!(report.per_tenant.len(), 3);
+    assert!(
+        report.per_tenant.iter().all(|t| t.completed > 0),
+        "every tenant must make progress"
+    );
+}

@@ -62,6 +62,10 @@ pub mod prelude {
     pub use vidur_simulator::{
         onboard, onboard_timer, run_fidelity_pair, CacheStats, ClusterConfig, ClusterSimulator,
         DisaggConfig, DisaggSimulator, FidelityReport, QuantileMode, SimulationReport, StageTimer,
+        TenantReport, TenantSlo,
     };
-    pub use vidur_workload::{ArrivalProcess, Trace, TraceRequest, TraceWorkload, WorkloadStats};
+    pub use vidur_workload::{
+        ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceError, TraceReader,
+        TraceRequest, TraceWorkload, WorkloadStats,
+    };
 }

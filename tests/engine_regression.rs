@@ -219,6 +219,96 @@ fn plan_cache_report_identical_disagg() {
     assert_eq!(on, off, "cache must not change disaggregated reports");
 }
 
+/// A multi-tenant bursty replay: three tenants (diurnal chat at priority 0,
+/// Poisson translation at priority 1, MMPP-bursty summarization at
+/// priority 2) on vLLM with a large batch cap, so KV overcommit forces
+/// priority-aware preemptions. Pins the whole production-traffic path —
+/// merged multi-stream generation, tiered admission, the priority victim
+/// walk, and per-tenant metrics — bit-exactly.
+fn multi_tenant_bursty_trace(n: usize, seed: u64) -> Trace {
+    let mix = MultiTenantWorkload::new(
+        "bursty-mix",
+        vec![
+            TenantStream {
+                tenant: "interactive".into(),
+                priority: 0,
+                workload: TraceWorkload::chat_1m(),
+                arrivals: ArrivalProcess::Diurnal {
+                    mean_qps: 2.0,
+                    amplitude: 0.8,
+                    period_secs: 60.0,
+                },
+            },
+            TenantStream {
+                tenant: "standard".into(),
+                priority: 1,
+                workload: TraceWorkload::bwb_4k(),
+                arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+            },
+            TenantStream {
+                tenant: "batch".into(),
+                priority: 2,
+                workload: TraceWorkload::arxiv_4k(),
+                arrivals: ArrivalProcess::Mmpp {
+                    qps_base: 0.2,
+                    qps_burst: 12.0,
+                    mean_base_secs: 20.0,
+                    mean_burst_secs: 4.0,
+                },
+            },
+        ],
+    );
+    let mut rng = SimRng::new(seed);
+    mix.generate(n, &mut rng)
+}
+
+#[test]
+fn multi_tenant_bursty_report_bits_pinned() {
+    let mut cfg = base_config();
+    cfg.scheduler = SchedulerConfig::new(BatchPolicyKind::Vllm, 256);
+    cfg.tenant_slo = Some(TenantSlo {
+        ttft_secs: 2.0,
+        e2e_per_token_secs: 0.5,
+    });
+    let report = ClusterSimulator::new(cfg, multi_tenant_bursty_trace(260, 17), oracle(), 17).run();
+    assert_fingerprint(
+        "multi_tenant_bursty_seed17",
+        &report,
+        0x4064d9bfaa52238e,
+        0x405982023e17fb90,
+        0x3fac6f979b1a55ca,
+        0x4047f4b407fc4b83,
+        0x3fc3198bb04cd169,
+        3751,
+        565762,
+        24,
+    );
+    assert_eq!(report.completed, 260);
+    assert!(
+        report.preemptions > 0,
+        "scenario must force priority-aware preemptions"
+    );
+    // Per-tenant breakdown: all three tenants present, counts conserve,
+    // attainment populated, and the urgent tenant is served at least as
+    // well as the bulk tier.
+    assert_eq!(report.per_tenant.len(), 3);
+    let names: Vec<&str> = report
+        .per_tenant
+        .iter()
+        .map(|t| t.tenant.as_str())
+        .collect();
+    assert_eq!(names, ["interactive", "standard", "batch"]);
+    let arrived: usize = report.per_tenant.iter().map(|t| t.arrived).sum();
+    let completed: usize = report.per_tenant.iter().map(|t| t.completed).sum();
+    assert_eq!(arrived, 260);
+    assert_eq!(completed, 260);
+    for t in &report.per_tenant {
+        assert!(t.completed > 0, "{}: no completions", t.tenant);
+        assert!(t.slo_attainment.is_some());
+        assert!(t.ttft.p99 >= t.ttft.p50);
+    }
+}
+
 /// Under an aggressive simulated-time cap, the shared deadline latch stops
 /// both simulators the same way: incomplete but nonzero progress.
 #[test]

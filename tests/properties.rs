@@ -17,6 +17,7 @@ fn run_sim(policy: BatchPolicyKind, reqs: &[(u64, u64)], qps: f64, seed: u64) ->
     let times = arrivals.generate(reqs.len(), &mut rng);
     let trace = Trace {
         workload_name: "prop".to_string(),
+        tenants: Vec::new(),
         requests: reqs
             .iter()
             .zip(times)
@@ -26,6 +27,8 @@ fn run_sim(policy: BatchPolicyKind, reqs: &[(u64, u64)], qps: f64, seed: u64) ->
                 arrival,
                 prefill_tokens: p,
                 decode_tokens: d,
+                tenant: 0,
+                priority: 0,
             })
             .collect(),
     };
