@@ -32,7 +32,8 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vidur_core::time::SimTime;
 use vidur_scheduler::{
-    BatchPolicyKind, ReferenceScheduler, ReplicaScheduler, Request, SchedulerConfig,
+    BatchPolicyKind, GlobalPolicyKind, ReferenceScheduler, ReplicaScheduler, Request, RouteRequest,
+    RoutingTier, SchedulerConfig,
 };
 
 /// One scenario's workload description:
@@ -159,6 +160,117 @@ fn drain_reference(sc: &Scenario) -> (u64, u64) {
     (batches, s.preemptions())
 }
 
+// ---- routing_fairshare: the global tier under skewed multi-tenant load ---
+
+/// Replicas behind the routing tier in the fair-share scenario.
+const ROUTING_REPLICAS: usize = 4;
+
+/// One arrival in the round-stepped routing drive:
+/// `(round, tenant, prefill, decode)`.
+fn routing_arrivals(smoke: bool) -> Vec<(u64, u32, u64, u64)> {
+    let rounds = if smoke { 120 } else { 240 };
+    let mut arrivals = Vec::new();
+    for round in 0..rounds as u64 {
+        // Heavy tenant 0: a 64-request burst every 24 rounds.
+        if round % 24 == 0 {
+            for i in 0..64u64 {
+                arrivals.push((round, 0, 48 + i % 64, 8));
+            }
+        }
+        // Light tenants 1..3: one request every other round each.
+        if round % 2 == 0 {
+            for tenant in 1..4u32 {
+                arrivals.push((round, tenant, 64, 8));
+            }
+        }
+    }
+    arrivals
+}
+
+/// Drives the skewed 4-tenant schedule through a [`RoutingTier`] over four
+/// replica schedulers, one batch per replica per round. Returns
+/// `(batches, worst light-tenant p99 first-schedule delay in rounds)` —
+/// the starvation measure the fairness gate compares across policies.
+fn drive_routing(kind: GlobalPolicyKind, smoke: bool) -> (u64, u64) {
+    let arrivals = routing_arrivals(smoke);
+    let total = arrivals.len();
+    let mut tier = RoutingTier::new(kind, ROUTING_REPLICAS, 7, &[]);
+    let mut replicas: Vec<ReplicaScheduler> = (0..ROUTING_REPLICAS)
+        .map(|_| {
+            ReplicaScheduler::new(SchedulerConfig::new(BatchPolicyKind::Vllm, 16), 100_000, 16)
+        })
+        .collect();
+    let mut first_sched: Vec<Option<u64>> = vec![None; total];
+    let mut events = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut completed = 0usize;
+    let mut batches = 0u64;
+    let mut round = 0u64;
+    let dispatch = |replicas: &mut Vec<ReplicaScheduler>,
+                    arrivals: &Vec<(u64, u32, u64, u64)>,
+                    key: u64,
+                    target: usize| {
+        let (_, tenant, prefill, decode) = arrivals[key as usize];
+        replicas[target]
+            .add_request(Request::new(key, SimTime::ZERO, prefill, decode).with_tenant(tenant));
+    };
+    while completed < total {
+        assert!(round < 100_000, "routing drive must converge");
+        while next_arrival < total && arrivals[next_arrival].0 <= round {
+            let (_, tenant, prefill, decode) = arrivals[next_arrival];
+            let req = RouteRequest {
+                key: next_arrival as u64,
+                tenant,
+                priority: 0,
+                tokens: prefill + decode,
+            };
+            if let Some(target) = tier.route(req) {
+                dispatch(&mut replicas, &arrivals, req.key, target);
+            }
+            next_arrival += 1;
+        }
+        for (r, replica) in replicas.iter_mut().enumerate() {
+            let Some(batch) = replica.next_batch() else {
+                continue;
+            };
+            batches += 1;
+            for slice in batch.slices() {
+                let entry = &mut first_sched[slice.request_id as usize];
+                if entry.is_none() {
+                    *entry = Some(round);
+                }
+            }
+            replica.complete_batch_into(&batch, &mut events);
+            for ev in &events {
+                if ev.finished {
+                    completed += 1;
+                    let (_, tenant, prefill, decode) = arrivals[ev.id as usize];
+                    tier.on_finished(r, tenant, prefill + decode);
+                }
+            }
+            replica.recycle_batch(batch);
+        }
+        while let Some((req, target)) = tier.next_ready() {
+            dispatch(&mut replicas, &arrivals, req.key, target);
+        }
+        round += 1;
+    }
+    // Worst light-tenant p99 of (first-schedule round - arrival round).
+    let mut worst = 0u64;
+    for tenant in 1..4u32 {
+        let mut delays: Vec<u64> = arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.1 == tenant)
+            .map(|(i, a)| first_sched[i].expect("scheduled") - a.0)
+            .collect();
+        delays.sort_unstable();
+        let p99 = delays[(delays.len() * 99).div_ceil(100).saturating_sub(1)];
+        worst = worst.max(p99);
+    }
+    (batches, worst)
+}
+
 /// Best-of-`reps` wall-clock nanoseconds for `f` (one untimed warm-up).
 fn best_of<F: FnMut() -> (u64, u64)>(reps: usize, mut f: F) -> (f64, u64, u64) {
     let (batches, preemptions) = f();
@@ -239,6 +351,42 @@ fn main() {
         );
         results.push(r);
     }
+
+    // Global-tier scenario: fair-share vs round-robin over a skewed
+    // 4-tenant load. "optimized" = fair-share, "reference" = round-robin;
+    // the hard gate is fairness, not speed — the worst light tenant's
+    // first-schedule p99 (in rounds) must strictly improve, which is an
+    // in-process, hardware-independent property.
+    {
+        let (fs_ns, fs_batches, fs_worst) = best_of(reps, || {
+            drive_routing(GlobalPolicyKind::FairShare { max_outstanding: 8 }, smoke)
+        });
+        let (rr_ns, rr_batches, rr_worst) =
+            best_of(reps, || drive_routing(GlobalPolicyKind::RoundRobin, smoke));
+        println!(
+            "bench: scheduler_routing/routing_fairshare {:>9.0} ns/batch (round-robin {:>9.0} ns/batch, light-tenant p99 wait {} vs {} rounds)",
+            fs_ns / fs_batches as f64,
+            rr_ns / rr_batches as f64,
+            fs_worst,
+            rr_worst
+        );
+        assert!(
+            fs_worst < rr_worst,
+            "fair-share routing stopped bounding starvation: light-tenant \
+             p99 wait {fs_worst} rounds vs round-robin {rr_worst}"
+        );
+        // `speedup` records the starvation-improvement factor (round-robin
+        // worst light-tenant p99 wait / fair-share's), not a time ratio.
+        results.push(ScenarioResult {
+            name: "routing_fairshare".to_string(),
+            batches: fs_batches,
+            preemptions: 0,
+            optimized_ns_per_batch: fs_ns / fs_batches as f64,
+            reference_ns_per_batch: rr_ns / rr_batches as f64,
+            speedup: rr_worst as f64 / fs_worst.max(1) as f64,
+        });
+    }
+
     let report = BenchReport {
         schema: 1,
         smoke,

@@ -4,10 +4,14 @@
 //!
 //! Sweeps the arrival coefficient of variation (Gamma interarrivals;
 //! cv = 1 is Poisson, higher is burstier) over a 4-replica LLaMA2-7B
-//! cluster and compares round-robin, least-outstanding, and deferred
-//! routing on tail latency. Expected shape: all policies tie on smooth
-//! traffic; under bursts, early binding (round-robin) develops long queue
-//! tails that load-aware and deferred binding avoid.
+//! cluster and compares every tier policy — round-robin, least-outstanding,
+//! deferred, priority-aware, fair-share, affinity — on tail latency.
+//! Expected shape: all policies tie on smooth traffic; under bursts, early
+//! binding (round-robin) develops long queue tails that load-aware and
+//! deferred binding avoid. (Single-tenant sweep: fair-share degenerates to
+//! deferred and affinity to sticky-one-replica-with-spill; the multi-tenant
+//! fairness story lives in `tests/routing.rs` and the `routing_fairshare`
+//! bench scenario.)
 
 use vidur_bench::{print_markdown_table, write_json, Scale};
 use vidur_core::rng::SimRng;
@@ -42,6 +46,13 @@ fn main() {
             GlobalPolicyKind::Deferred {
                 max_outstanding: 48,
             },
+            GlobalPolicyKind::PriorityAware {
+                max_outstanding: 48,
+            },
+            GlobalPolicyKind::FairShare {
+                max_outstanding: 48,
+            },
+            GlobalPolicyKind::Affinity { spill_margin: 8 },
         ] {
             let mut config = ClusterConfig::new(
                 model.clone(),

@@ -1,8 +1,14 @@
 //! Global (cluster-tier) request routing (paper §4.5, first tier).
 //!
-//! Routes each arriving request to one of the replicas. Supports the
-//! standard stateless policies (round-robin, random) plus the stateful
-//! least-outstanding-requests policy that routes on live replica load.
+//! [`GlobalPolicyKind`] names every routing policy; [`GlobalPolicy`] is the
+//! seed's straightforward router over an explicit outstanding-count slice,
+//! kept as the executable spec for the four seed policies. The simulators
+//! route through the [`router`](crate::router) subsystem
+//! ([`RoutingTier`](crate::RoutingTier)), which re-expresses those policies
+//! over an incrementally-maintained [`RouterView`](crate::RouterView) —
+//! byte-identical decisions, pinned by `tests/routing_equivalence.rs` — and
+//! adds the stateful tier policies (priority-aware, fair-share, affinity)
+//! this spec router deliberately refuses to run.
 
 use serde::{Deserialize, Serialize};
 use vidur_core::rng::SimRng;
@@ -24,17 +30,55 @@ pub enum GlobalPolicyKind {
         /// accepts new work.
         max_outstanding: usize,
     },
+    /// Deferred routing that drains the held queue in (priority, arrival)
+    /// order: the most urgent waiting tier binds first, spread across the
+    /// least-loaded replicas. Tier-only (see
+    /// [`RoutingTier`](crate::RoutingTier)).
+    PriorityAware {
+        /// Largest outstanding-request count at which a replica still
+        /// accepts new work.
+        max_outstanding: usize,
+    },
+    /// Weighted fair-share admission (WFQ-style virtual time per tenant):
+    /// under contention the tenant with the least weighted service bound so
+    /// far binds first. Weights come from the cluster configuration.
+    /// Tier-only (see [`RoutingTier`](crate::RoutingTier)).
+    FairShare {
+        /// Largest outstanding-request count at which a replica still
+        /// accepts new work.
+        max_outstanding: usize,
+    },
+    /// Sticky tenant→replica routing with load-aware spill, modelling
+    /// KV/prefix reuse on a tenant's home replica. Tier-only (see
+    /// [`RoutingTier`](crate::RoutingTier)).
+    Affinity {
+        /// How many outstanding requests above the least-loaded replica the
+        /// home replica may be before requests spill away from it.
+        spill_margin: usize,
+    },
 }
 
 impl std::fmt::Display for GlobalPolicyKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            GlobalPolicyKind::RoundRobin => "round-robin",
-            GlobalPolicyKind::LeastOutstanding => "least-outstanding",
-            GlobalPolicyKind::Random => "random",
-            GlobalPolicyKind::Deferred { .. } => "deferred",
-        };
-        f.write_str(s)
+        match self {
+            GlobalPolicyKind::RoundRobin => f.write_str("round-robin"),
+            GlobalPolicyKind::LeastOutstanding => f.write_str("least-outstanding"),
+            GlobalPolicyKind::Random => f.write_str("random"),
+            // The parameter is part of the identity: search/report labels
+            // must distinguish two deferred configs.
+            GlobalPolicyKind::Deferred { max_outstanding } => {
+                write!(f, "deferred(max={max_outstanding})")
+            }
+            GlobalPolicyKind::PriorityAware { max_outstanding } => {
+                write!(f, "priority-aware(max={max_outstanding})")
+            }
+            GlobalPolicyKind::FairShare { max_outstanding } => {
+                write!(f, "fair-share(max={max_outstanding})")
+            }
+            GlobalPolicyKind::Affinity { spill_margin } => {
+                write!(f, "affinity(spill={spill_margin})")
+            }
+        }
     }
 }
 
@@ -121,6 +165,13 @@ impl GlobalPolicy {
                 .filter(|&(_, &n)| n < max_outstanding)
                 .min_by_key(|&(_, &n)| n)
                 .map(|(i, _)| i),
+            GlobalPolicyKind::PriorityAware { .. }
+            | GlobalPolicyKind::FairShare { .. }
+            | GlobalPolicyKind::Affinity { .. } => panic!(
+                "{} is a stateful tier policy: route through \
+                 vidur_scheduler::RoutingTier",
+                self.kind
+            ),
         }
     }
 }
@@ -186,5 +237,36 @@ mod tests {
     fn mismatched_outstanding_panics() {
         let mut g = GlobalPolicy::new(GlobalPolicyKind::RoundRobin, 2, 0);
         g.route(&[0, 0, 0]);
+    }
+
+    #[test]
+    fn display_distinguishes_parameters() {
+        // Two deferred configs must not collapse to the same label.
+        let a = GlobalPolicyKind::Deferred { max_outstanding: 4 }.to_string();
+        let b = GlobalPolicyKind::Deferred {
+            max_outstanding: 48,
+        }
+        .to_string();
+        assert_ne!(a, b);
+        assert_eq!(a, "deferred(max=4)");
+        assert_eq!(
+            GlobalPolicyKind::FairShare { max_outstanding: 8 }.to_string(),
+            "fair-share(max=8)"
+        );
+        assert_eq!(
+            GlobalPolicyKind::PriorityAware { max_outstanding: 8 }.to_string(),
+            "priority-aware(max=8)"
+        );
+        assert_eq!(
+            GlobalPolicyKind::Affinity { spill_margin: 2 }.to_string(),
+            "affinity(spill=2)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stateful tier policy")]
+    fn spec_router_refuses_tier_policies() {
+        let mut g = GlobalPolicy::new(GlobalPolicyKind::FairShare { max_outstanding: 4 }, 2, 0);
+        g.try_route(&[0, 0]);
     }
 }

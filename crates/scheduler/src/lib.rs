@@ -2,8 +2,12 @@
 //!
 //! Vidur's three-tier hierarchical scheduler (paper §4.5):
 //!
-//! 1. **Global scheduler** ([`global`]) — routes arriving requests to
-//!    replicas (round-robin, least-outstanding-requests, random).
+//! 1. **Global scheduler** ([`global`], [`router`]) — routes arriving
+//!    requests to replicas. [`router::RoutingTier`] is the live subsystem
+//!    (seven policies over an incrementally-maintained replica view,
+//!    deferred-queue bookkeeping, per-tenant routing stats);
+//!    [`global::GlobalPolicy`] survives as the seed-faithful spec for the
+//!    four original policies.
 //! 2. **Replica scheduler** ([`replica`]) — forms batches each iteration and
 //!    manages KV-cache memory through the paged [`memory::BlockManager`].
 //!    Five batching policies are implemented, matching the paper's set:
@@ -25,6 +29,7 @@ pub mod memory;
 pub mod reference;
 pub mod replica;
 pub mod request;
+pub mod router;
 pub mod slab;
 pub mod stage;
 
@@ -34,5 +39,8 @@ pub use memory::BlockManager;
 pub use reference::ReferenceScheduler;
 pub use replica::ReplicaScheduler;
 pub use request::{Request, RequestId, RequestPhase, TrackedRequest};
+pub use router::{
+    DeferredEntry, ReplicaLoad, RouteRequest, Router, RouterView, RoutingTier, TenantRouting,
+};
 pub use slab::IdSlab;
 pub use stage::PipelineTracker;

@@ -88,6 +88,24 @@ pub struct ReplicaScheduler {
     /// preemption victim walk keeps its early-exit fast path, so
     /// single-priority runs pay nothing for the tier machinery.
     priority_in_use: bool,
+    /// Per-tenant KV block quotas (index = tenant id; tenants at or beyond
+    /// the list are unlimited). Empty = quotas disabled; every quota branch
+    /// below is gated on non-emptiness, so the default hot loop is
+    /// untouched.
+    tenant_quota_blocks: Vec<u64>,
+    /// Blocks currently held per tenant on this replica. Maintained only
+    /// while quotas are enabled.
+    tenant_held_blocks: Vec<u64>,
+    /// Requests parked because admitting them would put their tenant over
+    /// quota. They re-enter the front of their priority tier once the
+    /// tenant's holdings drop (see
+    /// [`ReplicaScheduler::apply_quota_parking`]).
+    quota_parked: VecDeque<RequestId>,
+    /// Per-tenant admission denials (waiting → parked transitions).
+    quota_denied: Vec<u64>,
+    /// Reusable buffers for the park/unpark pre-pass.
+    park_scratch: Vec<RequestId>,
+    quota_extra_scratch: Vec<u64>,
     /// Reusable id-snapshot buffer for batch formation passes.
     ids_scratch: Vec<RequestId>,
     /// Recycled slice storage for formed batches (see
@@ -187,11 +205,45 @@ impl ReplicaScheduler {
             admit_seq: 0,
             projected_tokens: 0,
             priority_in_use: false,
+            tenant_quota_blocks: Vec::new(),
+            tenant_held_blocks: Vec::new(),
+            quota_parked: VecDeque::new(),
+            quota_denied: Vec::new(),
+            park_scratch: Vec::new(),
+            quota_extra_scratch: Vec::new(),
             ids_scratch: Vec::new(),
             slice_pool: Vec::new(),
             preemptions: 0,
             completed: 0,
         }
+    }
+
+    /// Arms per-tenant KV block quotas: `quota_blocks[t]` caps the blocks
+    /// tenant `t` may hold on this replica *through admission* (decode
+    /// growth of already-admitted work is never quota-blocked, mirroring
+    /// the watermark philosophy). Tenants at or beyond the slice are
+    /// unlimited. A request whose solo admission need already exceeds its
+    /// tenant's quota is exempt — otherwise the quota could never admit it
+    /// and the queue would deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request was already added: per-tenant holdings are
+    /// only tracked while quotas are armed, so arming mid-run would
+    /// under-count pre-existing reservations (and underflow when they
+    /// release).
+    pub fn set_tenant_quotas(&mut self, quota_blocks: &[u64]) {
+        assert!(
+            self.requests.is_empty(),
+            "tenant quotas must be armed before any request is added"
+        );
+        self.tenant_quota_blocks = quota_blocks.to_vec();
+    }
+
+    /// Per-tenant quota denial counts so far (index = tenant id; empty when
+    /// quotas are disabled or nothing was denied yet).
+    pub fn quota_denied(&self) -> &[u64] {
+        &self.quota_denied
     }
 
     /// The scheduler configuration.
@@ -277,11 +329,191 @@ impl ReplicaScheduler {
         self.waiting.insert(pos, id);
     }
 
+    // ---- per-tenant KV quotas -------------------------------------------
+
+    /// The tenant's quota, or `u64::MAX` when unlimited.
+    fn quota_of(&self, tenant: u32) -> u64 {
+        self.tenant_quota_blocks
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Blocks tenant `tenant` currently holds on this replica.
+    fn tenant_held(&self, tenant: u32) -> u64 {
+        self.tenant_held_blocks
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn add_tenant_held(&mut self, tenant: u32, delta: i64) {
+        let idx = tenant as usize;
+        if idx >= self.tenant_held_blocks.len() {
+            self.tenant_held_blocks.resize(idx + 1, 0);
+        }
+        let held = &mut self.tenant_held_blocks[idx];
+        *held = held
+            .checked_add_signed(delta)
+            .expect("tenant block accounting underflow");
+    }
+
+    fn bump_quota_denied(&mut self, tenant: u32) {
+        let idx = tenant as usize;
+        if idx >= self.quota_denied.len() {
+            self.quota_denied.resize(idx + 1, 0);
+        }
+        self.quota_denied[idx] += 1;
+    }
+
+    /// Whether admitting `id` with a reservation for `tokens` keeps its
+    /// tenant within quota. Solo-infeasible requests (need > quota outright)
+    /// are exempt — see [`ReplicaScheduler::set_tenant_quotas`].
+    fn within_quota(&self, id: RequestId, tokens: u64) -> bool {
+        if self.tenant_quota_blocks.is_empty() {
+            return true;
+        }
+        let tenant = self.requests[&id].spec.tenant;
+        let quota = self.quota_of(tenant);
+        if quota == u64::MAX {
+            return true;
+        }
+        let need = self.blocks.blocks_for(tokens);
+        if need > quota {
+            return true;
+        }
+        self.tenant_held(tenant) + need <= quota
+    }
+
+    /// The blocks-worth of tokens the admission path will reserve for `id`:
+    /// the transferred KV plus one token for remote-prefilled requests, the
+    /// full footprint for FasterTransformer cohorts, the prompt otherwise.
+    fn admission_tokens_for(&self, id: RequestId) -> u64 {
+        let r = &self.requests[&id];
+        if r.remaining_prefill() == 0 {
+            return r.cached_tokens() + 1;
+        }
+        match self.config.policy {
+            BatchPolicyKind::FasterTransformer => r.spec.total_tokens(),
+            _ => r.spec.prefill_tokens,
+        }
+    }
+
+    /// The quota unpark pre-pass, run at the top of every `next_batch`
+    /// while quotas are armed: parked requests whose tenant is back under
+    /// quota rejoin the front of their priority tier (in original order,
+    /// bounded by what actually fits so one release never floods the queue
+    /// with requests that would immediately re-park).
+    fn apply_quota_parking(&mut self) {
+        if self.tenant_quota_blocks.is_empty() || self.quota_parked.is_empty() {
+            return;
+        }
+        self.quota_extra_scratch.clear();
+        self.quota_extra_scratch
+            .resize(self.tenant_quota_blocks.len(), 0);
+        let mut unpark = std::mem::take(&mut self.park_scratch);
+        unpark.clear();
+        for &id in &self.quota_parked {
+            let tenant = self.requests[&id].spec.tenant;
+            let quota = self.quota_of(tenant);
+            let need = self.blocks.blocks_for(self.admission_tokens_for(id));
+            let extra = self
+                .quota_extra_scratch
+                .get(tenant as usize)
+                .copied()
+                .unwrap_or(0);
+            if need > quota || self.tenant_held(tenant) + extra + need <= quota {
+                unpark.push(id);
+                if let Some(e) = self.quota_extra_scratch.get_mut(tenant as usize) {
+                    *e += need;
+                }
+            }
+        }
+        for &id in &unpark {
+            let pos = self
+                .quota_parked
+                .iter()
+                .position(|&p| p == id)
+                .expect("parked");
+            self.quota_parked.remove(pos);
+        }
+        // Front-of-tier inserts prepend within the tier, so walk the batch
+        // backwards to restore original order.
+        for &id in unpark.iter().rev() {
+            self.enqueue_waiting_front(id);
+        }
+        self.park_scratch = unpark;
+    }
+
+    /// Parks consecutive quota-blocked requests at the waiting front so the
+    /// next admissible request surfaces — an over-quota tenant's backlog
+    /// must not head-of-line-block other tenants. Called by every admission
+    /// loop before it reads the front; no-op while quotas are disarmed.
+    fn park_quota_blocked_front(&mut self) {
+        if self.tenant_quota_blocks.is_empty() {
+            return;
+        }
+        while let Some(&id) = self.waiting.front() {
+            if self.within_quota(id, self.admission_tokens_for(id)) {
+                break;
+            }
+            self.waiting.pop_front();
+            self.quota_parked.push_back(id);
+            let tenant = self.requests[&id].spec.tenant;
+            self.bump_quota_denied(tenant);
+        }
+    }
+
+    /// [`BlockManager::try_reserve`] plus per-tenant holding accounting
+    /// (admission path).
+    fn reserve_blocks(&mut self, id: RequestId, tokens: u64) -> bool {
+        if self.tenant_quota_blocks.is_empty() {
+            return self.blocks.try_reserve(id, tokens);
+        }
+        let before = self.blocks.held_by(id);
+        let ok = self.blocks.try_reserve(id, tokens);
+        if ok {
+            let delta = self.blocks.held_by(id) - before;
+            let tenant = self.requests[&id].spec.tenant;
+            self.add_tenant_held(tenant, delta as i64);
+        }
+        ok
+    }
+
+    /// [`BlockManager::try_grow`] plus per-tenant holding accounting
+    /// (decode-growth path; never quota-blocked).
+    fn grow_blocks(&mut self, id: RequestId, tokens: u64) -> bool {
+        if self.tenant_quota_blocks.is_empty() {
+            return self.blocks.try_grow(id, tokens);
+        }
+        let before = self.blocks.held_by(id);
+        let ok = self.blocks.try_grow(id, tokens);
+        if ok {
+            let delta = self.blocks.held_by(id) - before;
+            let tenant = self.requests[&id].spec.tenant;
+            self.add_tenant_held(tenant, delta as i64);
+        }
+        ok
+    }
+
+    /// [`BlockManager::release`] plus per-tenant holding accounting.
+    fn release_blocks(&mut self, id: RequestId) {
+        if !self.tenant_quota_blocks.is_empty() {
+            let held = self.blocks.held_by(id);
+            if held > 0 {
+                let tenant = self.requests[&id].spec.tenant;
+                self.add_tenant_held(tenant, -(held as i64));
+            }
+        }
+        self.blocks.release(id);
+    }
+
     /// Admits waiting requests that need **no** prefill (their KV arrived
     /// from a prefill replica) straight into the running set. Called by
     /// every policy before batch formation; FIFO order is preserved.
     fn admit_prefetched(&mut self) {
         while self.num_running() < self.config.max_batch_size {
+            self.park_quota_blocked_front();
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -291,7 +523,7 @@ impl ReplicaScheduler {
             }
             // Reserve the transferred KV plus room for the next token.
             let need = r.cached_tokens() + 1;
-            if !self.blocks.try_reserve(id, need) {
+            if !self.reserve_blocks(id, need) {
                 break;
             }
             self.waiting.pop_front();
@@ -346,9 +578,10 @@ impl ReplicaScheduler {
         self.prefilling.len + self.decoding.len
     }
 
-    /// All unfinished requests on this replica.
+    /// All unfinished requests on this replica (waiting, quota-parked, or
+    /// running).
     pub fn outstanding(&self) -> usize {
-        self.waiting.len() + self.num_running()
+        self.waiting.len() + self.quota_parked.len() + self.num_running()
     }
 
     /// Total preemption-restarts so far (the paper's vLLM restart metric).
@@ -370,6 +603,7 @@ impl ReplicaScheduler {
     /// in-flight). Slice storage comes from the recycle pool, so the steady
     /// state allocates nothing.
     pub fn next_batch(&mut self) -> Option<BatchComposition> {
+        self.apply_quota_parking();
         self.admit_prefetched();
         let mut slices = self.slice_pool.pop().unwrap_or_default();
         debug_assert!(slices.is_empty());
@@ -477,7 +711,7 @@ impl ReplicaScheduler {
     }
 
     fn finish(&mut self, id: RequestId) {
-        self.blocks.release(id);
+        self.release_blocks(id);
         self.leave_running(id);
         self.requests.remove(&id);
         self.completed += 1;
@@ -498,7 +732,14 @@ impl ReplicaScheduler {
         if self.requests[&id].remaining_prefill() == 0 {
             return None;
         }
-        if !self.blocks.try_reserve(id, reserve_tokens) {
+        // Backstop only: every in-tree policy loop parks quota-blocked
+        // fronts (with the same token amount) immediately before calling
+        // this, so the check cannot fire today — it guards future callers
+        // that admit without the pre-park.
+        if !self.within_quota(id, reserve_tokens) {
+            return None;
+        }
+        if !self.reserve_blocks(id, reserve_tokens) {
             return None;
         }
         self.waiting.pop_front();
@@ -511,7 +752,7 @@ impl ReplicaScheduler {
     /// priority tier in the waiting queue.
     fn evict(&mut self, id: RequestId) {
         self.leave_running(id);
-        self.blocks.release(id);
+        self.release_blocks(id);
         let req = self.requests.get_mut(&id).expect("tracked");
         req.restart();
         self.enqueue_waiting_front(id);
@@ -578,7 +819,7 @@ impl ReplicaScheduler {
     fn grow_or_preempt(&mut self, id: RequestId) -> bool {
         let target = self.requests[&id].cached_tokens() + 1;
         loop {
-            if self.blocks.try_grow(id, target) {
+            if self.grow_blocks(id, target) {
                 return true;
             }
             if !self.preempt_one(id) {
@@ -645,6 +886,7 @@ impl ReplicaScheduler {
         let mut tokens = 0u64;
         // Eagerly admit waiting prompts as a prefill-only batch.
         while self.num_running() < self.config.max_batch_size {
+            self.park_quota_blocked_front();
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -675,6 +917,7 @@ impl ReplicaScheduler {
         while self.num_running() < self.config.max_batch_size
             && slices.len() < self.config.max_batch_size
         {
+            self.park_quota_blocked_front();
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -718,6 +961,7 @@ impl ReplicaScheduler {
             && self.num_running() < self.config.max_batch_size
             && slices.len() < self.config.max_batch_size
         {
+            self.park_quota_blocked_front();
             let Some(&front) = self.waiting.front() else {
                 break;
             };
@@ -740,6 +984,7 @@ impl ReplicaScheduler {
             // Admit a fresh cohort, preallocating each request's full KV
             // footprint (FT reserves max sequence length up front).
             while self.num_running() < self.config.max_batch_size {
+                self.park_quota_blocked_front();
                 let Some(&id) = self.waiting.front() else {
                     break;
                 };
@@ -787,6 +1032,7 @@ impl ReplicaScheduler {
         while self.num_running() < self.config.max_batch_size
             && slices.len() < self.config.max_batch_size
         {
+            self.park_quota_blocked_front();
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -1124,6 +1370,98 @@ mod tests {
     fn remote_prefilled_needs_first_token() {
         let mut s = sched(BatchPolicyKind::Vllm, 100);
         s.add_remote_prefilled(req(0, 10, 5), 0);
+    }
+
+    #[test]
+    fn quota_parks_over_quota_tenant_without_blocking_others() {
+        // 1000 blocks; tenant 0 capped at 8 blocks (128 tokens). Its second
+        // request must park while tenant 1 behind it still admits.
+        let mut s = sched(BatchPolicyKind::Vllm, 1_000);
+        s.set_tenant_quotas(&[8]);
+        s.add_request(req(0, 100, 50).with_tenant(0)); // 7 blocks
+        s.add_request(req(1, 100, 50).with_tenant(0)); // would exceed 8
+        s.add_request(req(2, 100, 5).with_tenant(1)); // unlimited tenant
+        let b = s.next_batch().unwrap();
+        let admitted: Vec<u64> = b.slices().iter().map(|sl| sl.request_id).collect();
+        assert_eq!(admitted, vec![0, 2], "request 1 parked, not blocking 2");
+        assert_eq!(s.quota_denied(), &[1], "one denial for tenant 0");
+        assert_eq!(s.outstanding(), 3, "parked requests stay outstanding");
+        s.complete_batch(&b);
+        // Drain tenant 0's first request; its blocks free and 1 unparks.
+        let mut guard = 0;
+        while s.outstanding() > 0 {
+            if let Some(b) = s.next_batch() {
+                s.complete_batch(&b);
+            }
+            guard += 1;
+            assert!(guard < 1_000, "quota parking must not deadlock");
+        }
+        assert_eq!(s.completed(), 3);
+        assert_eq!(s.blocks().used_blocks(), 0);
+    }
+
+    #[test]
+    fn quota_solo_infeasible_request_is_exempt() {
+        // Quota 2 blocks but the request alone needs 7: exempt, or the
+        // queue would deadlock.
+        let mut s = sched(BatchPolicyKind::Vllm, 1_000);
+        s.set_tenant_quotas(&[2]);
+        s.add_request(req(0, 100, 5).with_tenant(0));
+        let b = s.next_batch().expect("exempt request admits");
+        assert_eq!(b.slices()[0].request_id, 0);
+        s.complete_batch(&b);
+        while s.outstanding() > 0 {
+            let b = s.next_batch().unwrap();
+            s.complete_batch(&b);
+        }
+        assert_eq!(s.completed(), 1);
+    }
+
+    #[test]
+    fn quota_disabled_is_transparent() {
+        let drive = |quotas: bool| {
+            let mut s = sched(BatchPolicyKind::Vllm, 50);
+            if quotas {
+                // Quota at full capacity: never binds.
+                s.set_tenant_quotas(&[50]);
+            }
+            for i in 0..10 {
+                s.add_request(req(i, 40 + i * 11, 10 + i % 5).with_tenant(0));
+            }
+            let mut batches = Vec::new();
+            let mut guard = 0;
+            while s.outstanding() > 0 {
+                guard += 1;
+                assert!(guard < 10_000);
+                if let Some(b) = s.next_batch() {
+                    batches.push(b.slices().to_vec());
+                    s.complete_batch(&b);
+                }
+            }
+            (batches, s.preemptions())
+        };
+        assert_eq!(drive(false), drive(true), "full-capacity quota is a no-op");
+    }
+
+    #[test]
+    fn quota_respects_tenant_isolation_under_pressure() {
+        // 20 blocks split 10/10 between two tenants; each floods. Neither
+        // tenant's holdings may exceed its quota at admission time.
+        let mut s = sched(BatchPolicyKind::Vllm, 20);
+        s.set_tenant_quotas(&[10, 10]);
+        for i in 0..6 {
+            s.add_request(req(i, 40, 10).with_tenant((i % 2) as u32));
+        }
+        let mut guard = 0;
+        while s.outstanding() > 0 {
+            guard += 1;
+            assert!(guard < 10_000, "no deadlock");
+            if let Some(b) = s.next_batch() {
+                s.complete_batch(&b);
+            }
+        }
+        assert_eq!(s.completed(), 6);
+        assert_eq!(s.blocks().used_blocks(), 0);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use vidur_core::time::SimTime;
-use vidur_scheduler::{BatchPolicyKind, ReplicaScheduler, Request, SchedulerConfig};
+use vidur_scheduler::{
+    BatchPolicyKind, GlobalPolicyKind, ReplicaScheduler, Request, RouteRequest, RoutingTier,
+    SchedulerConfig,
+};
 
 struct CountingAlloc;
 
@@ -88,6 +91,66 @@ fn steady_state_decode_loop_is_allocation_free() {
         assert_eq!(
             delta, 0,
             "{policy}: {delta} heap allocations in 200 steady-state iterations"
+        );
+    }
+}
+
+/// The steady-state routing path is allocation-free: once the tier's view,
+/// stats table, and deferred ring have warmed up, a
+/// `route` / `on_finished` / `next_ready` cycle must not touch the heap —
+/// the `RouterView` replaced the seed's per-arrival outstanding-`Vec`
+/// rebuild, and this pins it.
+#[test]
+fn steady_state_routing_is_allocation_free() {
+    for kind in [
+        GlobalPolicyKind::RoundRobin,
+        GlobalPolicyKind::LeastOutstanding,
+        GlobalPolicyKind::Random,
+        GlobalPolicyKind::Deferred { max_outstanding: 3 },
+        GlobalPolicyKind::PriorityAware { max_outstanding: 3 },
+        GlobalPolicyKind::FairShare { max_outstanding: 3 },
+        GlobalPolicyKind::Affinity { spill_margin: 2 },
+    ] {
+        let mut tier = RoutingTier::new(kind, 4, 7, &[2.0, 1.0, 1.0, 1.0]);
+        let req = |key: u64| RouteRequest {
+            key,
+            tenant: (key % 4) as u32,
+            priority: (key % 3) as u8,
+            tokens: 100 + key % 50,
+        };
+        // Warm-up: grow the tenant tables and the deferred ring past their
+        // steady sizes (deferring policies hold up to ~8 entries here).
+        let mut key = 0u64;
+        let mut inflight: Vec<(usize, u32, u64)> = Vec::with_capacity(64);
+        let pump =
+            |tier: &mut RoutingTier, key: &mut u64, inflight: &mut Vec<(usize, u32, u64)>| {
+                for _ in 0..4 {
+                    let r = req(*key);
+                    *key += 1;
+                    if let Some(target) = tier.route(r) {
+                        inflight.push((target, r.tenant, r.tokens));
+                    }
+                }
+                while inflight.len() > 8 {
+                    let (replica, tenant, tokens) = inflight.remove(0);
+                    tier.on_finished(replica, tenant, tokens);
+                    while let Some((r, target)) = tier.next_ready() {
+                        inflight.push((target, r.tenant, r.tokens));
+                    }
+                }
+            };
+        for _ in 0..50 {
+            pump(&mut tier, &mut key, &mut inflight);
+        }
+        // Measured window: pure route/finish/drain cycles.
+        let before = allocations();
+        for _ in 0..200 {
+            pump(&mut tier, &mut key, &mut inflight);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "{kind}: {delta} heap allocations in 200 steady-state routing cycles"
         );
     }
 }

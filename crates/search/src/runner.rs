@@ -78,12 +78,15 @@ impl SearchOutcome {
 
 /// Evaluates one configuration (estimator-driven, as Vidur-Search does).
 ///
-/// Capacity is probed on a **single replica** and scaled by the replica
-/// count: under round-robin routing over i.i.d. requests, replicas are
-/// independent queues, so cluster capacity is `replicas x` the per-replica
-/// capacity — and the probe trace then exercises one replica fully instead
-/// of being split 16 ways. Latency metrics come from the single-replica
-/// run at its capacity point.
+/// Under **round-robin** routing capacity is probed on a single replica and
+/// scaled by the replica count: round-robin over i.i.d. requests makes the
+/// replicas independent queues, so cluster capacity is `replicas x` the
+/// per-replica capacity — and the probe trace then exercises one replica
+/// fully instead of being split 16 ways. Any other routing policy couples
+/// the replicas (load-aware placement, deferred queues, fair-share credits),
+/// so the probe simulates the full replica set and reports its measured
+/// capacity directly. Latency metrics come from the probe run at its
+/// capacity point either way.
 pub fn evaluate_config(
     config: &ClusterConfig,
     base_trace: &Trace,
@@ -99,14 +102,22 @@ pub fn evaluate_config(
     // rayon workers share the map concurrently.
     let timer = onboard_timer(config, kind);
     let mut probe_config = config.clone();
-    probe_config.num_replicas = 1;
+    let scale = if matches!(
+        config.global_policy,
+        vidur_scheduler::GlobalPolicyKind::RoundRobin
+    ) {
+        probe_config.num_replicas = 1;
+        config.num_replicas as f64
+    } else {
+        1.0
+    };
     let result = find_capacity_with_timer(&probe_config, base_trace, params, &timer, &mut ledger);
     ledger.add_wall_clock(started.elapsed().as_secs_f64());
     ledger.record_cache(timer.stats());
     let eval = result.map(|r| ConfigEvaluation {
         label: config.label(),
-        capacity_qps: r.capacity_qps * config.num_replicas as f64,
-        qps_per_dollar: r.capacity_qps * config.num_replicas as f64 / config.dollars_per_hour(),
+        capacity_qps: r.capacity_qps * scale,
+        qps_per_dollar: r.capacity_qps * scale / config.dollars_per_hour(),
         ttft_p90: r.report_at_capacity.ttft.p90,
         tbt_p99: r.report_at_capacity.tbt.p99,
         sched_delay_p99: r.report_at_capacity.scheduling_delay.p99,

@@ -3,19 +3,19 @@
 //! Events: request arrivals, replica wake-ups (stage 0 freed), and batch
 //! completions. Batch formation, stage timing, and completion bookkeeping
 //! live in the shared [`engine`](crate::engine); this module contributes the
-//! aggregated-cluster policy: a [`GlobalPolicy`] router with stateful
-//! deferred dispatch (paper §4.5) and per-batch HBM-traffic pricing for MBU.
-//! With PP > 1, several disjoint microbatches are in flight per replica,
-//! which is exactly the paper's synchronous pipeline-parallel policy (§4.5).
+//! aggregated-cluster policy: a [`RoutingTier`] global router (paper §4.5 —
+//! stateless and stateful deferred policies, fair-share, affinity) and
+//! per-batch HBM-traffic pricing for MBU. With PP > 1, several disjoint
+//! microbatches are in flight per replica, which is exactly the paper's
+//! synchronous pipeline-parallel policy (§4.5).
 
 use crate::config::ClusterConfig;
 use crate::engine::{self, BatchEngine, EngineReplica};
-use crate::metrics::SimulationReport;
-use std::collections::VecDeque;
+use crate::metrics::{SimulationReport, TenantRoutingStats};
 use vidur_core::event::{EventQueue, Simulation};
 use vidur_core::time::SimTime;
 use vidur_model::batch::BatchComposition;
-use vidur_scheduler::{GlobalPolicy, Request};
+use vidur_scheduler::{Request, RouteRequest, RoutingTier};
 use vidur_workload::Trace;
 
 pub use crate::engine::RuntimeSource;
@@ -40,9 +40,9 @@ pub struct ClusterSimulator {
     trace: Trace,
     engine: BatchEngine,
     replicas: Vec<EngineReplica>,
-    router: GlobalPolicy,
-    /// Requests held back by a deferring global policy (trace indices).
-    deferred: VecDeque<u32>,
+    /// The global scheduling tier: routing policy, live replica view, and
+    /// deferred-queue bookkeeping (paper §4.5, first tier).
+    tier: RoutingTier,
 }
 
 impl std::fmt::Debug for ClusterSimulator {
@@ -53,6 +53,36 @@ impl std::fmt::Debug for ClusterSimulator {
             .field("inflight", &self.engine.inflight_len())
             .finish()
     }
+}
+
+/// Assembles the per-tenant routing statistics a simulator publishes into
+/// its metrics collector: the tier's routed/deferred counts and fair-share
+/// attainment, plus quota denials summed over the replicas' schedulers.
+/// Shared by the aggregated and disaggregated simulators.
+pub(crate) fn routing_stats<'r>(
+    tier: &RoutingTier,
+    replicas: impl IntoIterator<Item = &'r EngineReplica>,
+) -> Vec<TenantRoutingStats> {
+    let mut stats: Vec<TenantRoutingStats> = tier
+        .tenant_stats()
+        .iter()
+        .enumerate()
+        .map(|(t, s)| TenantRoutingStats {
+            routed: s.routed,
+            deferred: s.deferred,
+            quota_denied: 0,
+            fair_share_attainment: tier.fair_share_attainment(t as u32),
+        })
+        .collect();
+    for replica in replicas {
+        for (t, &denied) in replica.scheduler.quota_denied().iter().enumerate() {
+            if t >= stats.len() {
+                stats.resize(t + 1, TenantRoutingStats::default());
+            }
+            stats[t].quota_denied += denied;
+        }
+    }
+    stats
 }
 
 /// Approximate HBM traffic of one batch iteration (for MBU): every device
@@ -96,8 +126,18 @@ impl ClusterSimulator {
         let plan = config
             .memory_plan()
             .expect("configuration cannot host the model");
-        let replicas = EngineReplica::pool(&config, &plan, config.num_replicas);
-        let router = GlobalPolicy::new(config.global_policy, config.num_replicas, seed ^ 0x9E37);
+        let mut replicas = EngineReplica::pool(&config, &plan, config.num_replicas);
+        if let Some(quota) = config.tenant_quota_blocks(plan.num_kv_blocks) {
+            for replica in &mut replicas {
+                replica.scheduler.set_tenant_quotas(&quota);
+            }
+        }
+        let tier = RoutingTier::new(
+            config.global_policy,
+            config.num_replicas,
+            seed ^ 0x9E37,
+            &config.tenant_weights,
+        );
         let mut engine = BatchEngine::with_timer(&config, timer, seed, config.num_replicas);
         if !trace.tenants.is_empty() {
             engine
@@ -109,8 +149,7 @@ impl ClusterSimulator {
             trace,
             engine,
             replicas,
-            router,
-            deferred: VecDeque::new(),
+            tier,
         }
     }
 
@@ -120,6 +159,8 @@ impl ClusterSimulator {
     pub fn run(mut self) -> SimulationReport {
         let arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
         engine::drive(&mut self, arrivals);
+        let routing = routing_stats(&self.tier, &self.replicas);
+        self.engine.metrics.set_tenant_routing(routing);
         self.engine.finish(
             self.trace.len(),
             &self.config.sku,
@@ -128,14 +169,15 @@ impl ClusterSimulator {
         )
     }
 
-    /// Asks the global policy for a placement given current replica loads.
-    fn route_one(&mut self) -> Option<usize> {
-        let outstanding: Vec<usize> = self
-            .replicas
-            .iter()
-            .map(|r| r.scheduler.outstanding())
-            .collect();
-        self.router.try_route(&outstanding)
+    /// The tier's routing key for trace request `idx`.
+    fn route_request(&self, idx: u32) -> RouteRequest {
+        let tr = self.trace.requests[idx as usize];
+        RouteRequest {
+            key: idx as u64,
+            tenant: tr.tenant,
+            priority: tr.priority,
+            tokens: tr.prefill_tokens + tr.decode_tokens,
+        }
     }
 
     /// Binds trace request `idx` to `target` and kicks its scheduler.
@@ -155,17 +197,11 @@ impl ClusterSimulator {
         self.try_schedule(target as u32, now, queue);
     }
 
-    /// Re-offers deferred requests while some replica will take them
-    /// (stateful deferred routing, paper §4.5).
+    /// Binds deferred requests while the tier will place them (stateful
+    /// deferred routing, paper §4.5).
     fn drain_deferred(&mut self, now: SimTime, queue: &mut EventQueue<SimEvent>) {
-        while let Some(&idx) = self.deferred.front() {
-            match self.route_one() {
-                Some(target) => {
-                    self.deferred.pop_front();
-                    self.dispatch(idx, target, now, queue);
-                }
-                None => break,
-            }
+        while let Some((req, target)) = self.tier.next_ready() {
+            self.dispatch(req.key as u32, target, now, queue);
         }
     }
 
@@ -197,9 +233,11 @@ impl Simulation for ClusterSimulator {
                 self.engine
                     .metrics
                     .on_arrival(tr.id, now, tr.decode_tokens, tr.tenant);
-                match self.route_one() {
-                    Some(target) => self.dispatch(idx, target, now, queue),
-                    None => self.deferred.push_back(idx),
+                let req = self.route_request(idx);
+                // `None` means the tier holds the request; completions
+                // re-poll it via `drain_deferred`.
+                if let Some(target) = self.tier.route(req) {
+                    self.dispatch(idx, target, now, queue);
                 }
             }
             SimEvent::Wakeup(replica) => {
@@ -207,15 +245,26 @@ impl Simulation for ClusterSimulator {
                 self.try_schedule(replica, now, queue);
             }
             SimEvent::BatchComplete(replica, id) => {
+                let r = replica as usize;
+                let trace = &self.trace;
+                let tier = &mut self.tier;
                 self.engine.retire_batch(
-                    &mut self.replicas[replica as usize],
-                    replica as usize,
+                    &mut self.replicas[r],
+                    r,
                     id,
                     now,
                     queue,
-                    // Aggregated clusters record completion events as-is.
-                    |_ev, _queue| {},
+                    // Aggregated clusters record completion events as-is;
+                    // finished requests leave the tier's live view here.
+                    |ev, _queue| {
+                        if ev.finished {
+                            let tr = trace.requests[ev.id as usize];
+                            tier.on_finished(r, tr.tenant, tr.prefill_tokens + tr.decode_tokens);
+                        }
+                    },
                 );
+                self.tier
+                    .set_free_kv_blocks(r, self.replicas[r].scheduler.blocks().free_blocks());
                 self.drain_deferred(now, queue);
                 self.try_schedule(replica, now, queue);
             }

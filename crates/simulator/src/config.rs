@@ -68,6 +68,16 @@ pub struct ClusterConfig {
     /// traces (ones that declare tenants); `None` reports latencies without
     /// attainment.
     pub tenant_slo: Option<TenantSlo>,
+    /// Per-tenant fair-share weights for
+    /// [`GlobalPolicyKind::FairShare`] routing (index = tenant id; missing
+    /// entries weigh 1.0). Empty = equal weights. Other policies ignore
+    /// this.
+    pub tenant_weights: Vec<f64>,
+    /// Per-tenant KV quotas as a fraction of each replica's KV blocks
+    /// (index = tenant id; missing entries are unlimited; values clamp to
+    /// at least one block). Empty = quotas disabled. Enforced at replica
+    /// admission — see `ReplicaScheduler::set_tenant_quotas`.
+    pub tenant_kv_quota: Vec<f64>,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -109,7 +119,27 @@ impl ClusterConfig {
             plan_cache: true,
             quantile_mode: QuantileMode::Exact,
             tenant_slo: None,
+            tenant_weights: Vec::new(),
+            tenant_kv_quota: Vec::new(),
         }
+    }
+
+    /// Per-tenant KV quotas in blocks for a replica with `num_kv_blocks`
+    /// blocks, or `None` when quotas are disabled. Each fraction clamps to
+    /// `[1, num_kv_blocks]`.
+    pub fn tenant_quota_blocks(&self, num_kv_blocks: u64) -> Option<Vec<u64>> {
+        if self.tenant_kv_quota.is_empty() {
+            return None;
+        }
+        Some(
+            self.tenant_kv_quota
+                .iter()
+                .map(|&f| {
+                    let blocks = (num_kv_blocks as f64 * f).floor() as u64;
+                    blocks.clamp(1, num_kv_blocks)
+                })
+                .collect(),
+        )
     }
 
     /// Total GPUs across all replicas.
@@ -138,9 +168,11 @@ impl ClusterConfig {
     }
 
     /// Short human-readable label for reports,
-    /// e.g. `llama2-70b/a100-80g/TP4-PP1/vllm/bs64/r2`.
+    /// e.g. `llama2-70b/a100-80g/TP4-PP1/vllm/bs64/r2`. Non-default routing
+    /// policies append a segment (e.g. `/fair-share(max=32)`) so search
+    /// results over the routing dimension stay distinguishable.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}/bs{}/r{}",
             self.model.name,
             self.sku.name,
@@ -148,7 +180,12 @@ impl ClusterConfig {
             self.scheduler.policy,
             self.scheduler.max_batch_size,
             self.num_replicas
-        )
+        );
+        if self.global_policy == GlobalPolicyKind::RoundRobin {
+            base
+        } else {
+            format!("{base}/{}", self.global_policy)
+        }
     }
 }
 

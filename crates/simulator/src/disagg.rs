@@ -12,20 +12,23 @@
 //!
 //! Batch formation and stage timing come from the shared
 //! [`engine`](crate::engine); this module contributes only the disaggregated
-//! policy: pool topology, round-robin prefill placement, least-loaded decode
-//! admission, and the KV transfer hop. Both pools reuse the ordinary
+//! policy: pool topology, per-pool global routing through the shared
+//! [`RoutingTier`] (defaults reproduce the original round-robin prefill
+//! placement and least-loaded decode admission byte-for-byte), and the KV
+//! transfer hop. Both pools reuse the ordinary
 //! [`vidur_scheduler::ReplicaScheduler`]; the prefill pool registers
 //! requests with `decode_tokens = 1` (the prefill iteration produces the
 //! first token, as in Splitwise), and the decode pool admits them via
 //! [`vidur_scheduler::ReplicaScheduler::add_remote_prefilled`].
 
+use crate::cluster::routing_stats;
 use crate::config::ClusterConfig;
 use crate::engine::{self, BatchEngine, EngineReplica, RuntimeSource};
 use crate::metrics::SimulationReport;
 use serde::{Deserialize, Serialize};
 use vidur_core::event::{EventQueue, Simulation};
 use vidur_core::time::{SimDuration, SimTime};
-use vidur_scheduler::Request;
+use vidur_scheduler::{GlobalPolicyKind, Request, RouteRequest, RoutingTier};
 use vidur_workload::Trace;
 
 /// Disaggregated deployment description.
@@ -51,6 +54,18 @@ pub struct DisaggConfig {
     pub kv_transfer_bandwidth: f64,
     /// Fixed per-transfer latency in seconds.
     pub kv_transfer_latency: f64,
+    /// Routing policy of the prefill pool's tier (default
+    /// [`GlobalPolicyKind::RoundRobin`], the original hard-coded placement).
+    ///
+    /// The report's per-tenant `routed` counts follow this tier (one per
+    /// arrival); `deferred` sums holds across both pool tiers.
+    pub prefill_policy: GlobalPolicyKind,
+    /// Routing policy of the decode pool's tier (default
+    /// [`GlobalPolicyKind::LeastOutstanding`], the original hard-coded
+    /// admission). When this runs fair-share, the report's per-tenant
+    /// attainment column reflects it (taking precedence over a fair-share
+    /// prefill tier).
+    pub decode_policy: GlobalPolicyKind,
 }
 
 impl DisaggConfig {
@@ -70,6 +85,8 @@ impl DisaggConfig {
             decode_replicas,
             kv_transfer_bandwidth: 50e9,
             kv_transfer_latency: 1e-3,
+            prefill_policy: GlobalPolicyKind::RoundRobin,
+            decode_policy: GlobalPolicyKind::LeastOutstanding,
         }
     }
 
@@ -131,7 +148,10 @@ pub struct DisaggSimulator {
     engine: BatchEngine,
     prefill: Vec<EngineReplica>,
     decode: Vec<EngineReplica>,
-    rr_prefill: usize,
+    /// Global scheduling tier of the prefill pool (routes arrivals).
+    prefill_tier: RoutingTier,
+    /// Global scheduling tier of the decode pool (routes KV handoffs).
+    decode_tier: RoutingTier,
 }
 
 impl std::fmt::Debug for DisaggSimulator {
@@ -155,8 +175,25 @@ impl DisaggSimulator {
             .base
             .memory_plan()
             .expect("configuration cannot host the model");
-        let prefill = EngineReplica::pool(&config.base, &plan, config.prefill_replicas);
-        let decode = EngineReplica::pool(&config.base, &plan, config.decode_replicas);
+        let mut prefill = EngineReplica::pool(&config.base, &plan, config.prefill_replicas);
+        let mut decode = EngineReplica::pool(&config.base, &plan, config.decode_replicas);
+        if let Some(quota) = config.base.tenant_quota_blocks(plan.num_kv_blocks) {
+            for replica in prefill.iter_mut().chain(decode.iter_mut()) {
+                replica.scheduler.set_tenant_quotas(&quota);
+            }
+        }
+        let prefill_tier = RoutingTier::new(
+            config.prefill_policy,
+            config.prefill_replicas,
+            seed ^ 0x9E37,
+            &config.base.tenant_weights,
+        );
+        let decode_tier = RoutingTier::new(
+            config.decode_policy,
+            config.decode_replicas,
+            seed ^ 0xD155,
+            &config.base.tenant_weights,
+        );
         let mut engine = BatchEngine::new(
             &config.base,
             source,
@@ -174,7 +211,8 @@ impl DisaggSimulator {
             engine,
             prefill,
             decode,
-            rr_prefill: 0,
+            prefill_tier,
+            decode_tier,
         }
     }
 
@@ -182,6 +220,26 @@ impl DisaggSimulator {
     pub fn run(mut self) -> SimulationReport {
         let arrivals = engine::trace_arrivals(&self.trace, DisaggEvent::Arrival);
         engine::drive(&mut self, arrivals);
+        // Routing columns merge both tiers: `routed` counts arrivals (the
+        // prefill tier — counting the decode tier's KV handoffs too would
+        // double-count requests), `deferred` sums holds in either tier,
+        // fair-share attainment comes from whichever tier runs fair-share
+        // (decode preferred — it owns the long decode phase), and quota
+        // denials sum over both pools' schedulers.
+        let mut routing = routing_stats(
+            &self.prefill_tier,
+            self.prefill.iter().chain(self.decode.iter()),
+        );
+        for (t, s) in self.decode_tier.tenant_stats().iter().enumerate() {
+            if t >= routing.len() {
+                routing.resize(t + 1, crate::metrics::TenantRoutingStats::default());
+            }
+            routing[t].deferred += s.deferred;
+            if let Some(a) = self.decode_tier.fair_share_attainment(t as u32) {
+                routing[t].fair_share_attainment = Some(a);
+            }
+        }
+        self.engine.metrics.set_tenant_routing(routing);
         self.engine.finish(
             self.trace.len(),
             &self.config.base.sku,
@@ -194,6 +252,60 @@ impl DisaggSimulator {
         match pool {
             Pool::Prefill => replica as usize,
             Pool::Decode => self.prefill.len() + replica as usize,
+        }
+    }
+
+    /// Registers trace request `idx` with the prefill pool's `target`
+    /// replica (one output token: the prefill iteration produces it).
+    fn dispatch_prefill(
+        &mut self,
+        idx: u32,
+        target: usize,
+        now: SimTime,
+        queue: &mut EventQueue<DisaggEvent>,
+    ) {
+        let tr = self.trace.requests[idx as usize];
+        self.prefill[target].scheduler.add_request(
+            Request::new(tr.id, now, tr.prefill_tokens, 1)
+                .with_tenant(tr.tenant)
+                .with_priority(tr.priority),
+        );
+        self.try_schedule(Pool::Prefill, target as u32, now, queue);
+    }
+
+    /// Joins trace request `idx` (KV transferred) to the decode pool's
+    /// `target` replica.
+    fn dispatch_decode(
+        &mut self,
+        idx: u32,
+        target: usize,
+        now: SimTime,
+        queue: &mut EventQueue<DisaggEvent>,
+    ) {
+        let tr = self.trace.requests[idx as usize];
+        self.decode[target].scheduler.add_remote_prefilled(
+            Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
+                .with_tenant(tr.tenant)
+                .with_priority(tr.priority),
+            1,
+        );
+        self.try_schedule(Pool::Decode, target as u32, now, queue);
+    }
+
+    /// Binds deferred requests while `pool`'s tier will place them.
+    fn drain_pool(&mut self, pool: Pool, now: SimTime, queue: &mut EventQueue<DisaggEvent>) {
+        loop {
+            let next = match pool {
+                Pool::Prefill => self.prefill_tier.next_ready(),
+                Pool::Decode => self.decode_tier.next_ready(),
+            };
+            let Some((req, target)) = next else {
+                break;
+            };
+            match pool {
+                Pool::Prefill => self.dispatch_prefill(req.key as u32, target, now, queue),
+                Pool::Decode => self.dispatch_decode(req.key as u32, target, now, queue),
+            }
         }
     }
 
@@ -233,30 +345,32 @@ impl Simulation for DisaggSimulator {
                 self.engine
                     .metrics
                     .on_arrival(tr.id, now, tr.decode_tokens, tr.tenant);
-                // Round-robin over prefill replicas; the request "finishes"
-                // there after one output token.
-                let target = self.rr_prefill % self.prefill.len();
-                self.rr_prefill += 1;
-                self.prefill[target].scheduler.add_request(
-                    Request::new(tr.id, now, tr.prefill_tokens, 1)
-                        .with_tenant(tr.tenant)
-                        .with_priority(tr.priority),
-                );
-                self.try_schedule(Pool::Prefill, target as u32, now, queue);
+                // The prefill tier places the request (round-robin by
+                // default); the request "finishes" there after one output
+                // token.
+                let req = RouteRequest {
+                    key: idx as u64,
+                    tenant: tr.tenant,
+                    priority: tr.priority,
+                    tokens: tr.prefill_tokens + 1,
+                };
+                if let Some(target) = self.prefill_tier.route(req) {
+                    self.dispatch_prefill(idx, target, now, queue);
+                }
             }
             DisaggEvent::KvArrived(idx) => {
                 let tr = self.trace.requests[idx as usize];
-                // Join the least-loaded decode replica.
-                let target = (0..self.decode.len())
-                    .min_by_key(|&i| self.decode[i].scheduler.outstanding())
-                    .expect("decode pool non-empty");
-                self.decode[target].scheduler.add_remote_prefilled(
-                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
-                        .with_tenant(tr.tenant)
-                        .with_priority(tr.priority),
-                    1,
-                );
-                self.try_schedule(Pool::Decode, target as u32, now, queue);
+                // The decode tier admits the transferred KV (least-loaded
+                // by default).
+                let req = RouteRequest {
+                    key: idx as u64,
+                    tenant: tr.tenant,
+                    priority: tr.priority,
+                    tokens: tr.prefill_tokens + tr.decode_tokens,
+                };
+                if let Some(target) = self.decode_tier.route(req) {
+                    self.dispatch_decode(idx, target, now, queue);
+                }
             }
             DisaggEvent::Wakeup(pool, replica) => {
                 pool_mut(&mut self.prefill, &mut self.decode, pool)[replica as usize]
@@ -265,12 +379,15 @@ impl Simulation for DisaggSimulator {
             }
             DisaggEvent::BatchComplete(pool, replica, id) => {
                 let metrics_idx = self.metrics_replica_index(pool, replica);
+                let r = replica as usize;
                 let trace = &self.trace;
                 let config = &self.config;
                 let kv_per_token = config.base.model.kv_bytes_per_token();
+                let prefill_tier = &mut self.prefill_tier;
+                let decode_tier = &mut self.decode_tier;
                 let pool_replicas = pool_mut(&mut self.prefill, &mut self.decode, pool);
                 self.engine.retire_batch(
-                    &mut pool_replicas[replica as usize],
+                    &mut pool_replicas[r],
                     metrics_idx,
                     id,
                     now,
@@ -279,23 +396,47 @@ impl Simulation for DisaggSimulator {
                     // lifecycle: "finished on the prefill replica" means
                     // "prefill done, first token out, KV must move" unless
                     // the request only ever wanted one token. Decode-pool
-                    // events pass through unchanged.
+                    // events pass through unchanged. Either way a finished
+                    // event retires the request from its pool's tier view
+                    // (the prefill scheduler is done with it even when the
+                    // decode pool takes over).
                     |ev, queue| {
-                        if pool != Pool::Prefill {
+                        let idx = ev.id as usize;
+                        let tr = trace.requests[idx];
+                        if !ev.finished {
                             return;
                         }
-                        let idx = ev.id as usize;
-                        let real_decode = trace.requests[idx].decode_tokens;
-                        if ev.finished && real_decode > 1 {
-                            // Not actually finished: the decode pool takes
-                            // over once the KV transfer lands.
-                            ev.finished = false;
-                            let bytes = trace.requests[idx].prefill_tokens * kv_per_token;
-                            let arrive = now + config.transfer_time(bytes);
-                            queue.push(arrive, DisaggEvent::KvArrived(ev.id as u32));
+                        match pool {
+                            Pool::Prefill => {
+                                prefill_tier.on_finished(r, tr.tenant, tr.prefill_tokens + 1);
+                                if tr.decode_tokens > 1 {
+                                    // Not actually finished: the decode pool
+                                    // takes over once the KV transfer lands.
+                                    ev.finished = false;
+                                    let bytes = tr.prefill_tokens * kv_per_token;
+                                    let arrive = now + config.transfer_time(bytes);
+                                    queue.push(arrive, DisaggEvent::KvArrived(ev.id as u32));
+                                }
+                            }
+                            Pool::Decode => {
+                                decode_tier.on_finished(
+                                    r,
+                                    tr.tenant,
+                                    tr.prefill_tokens + tr.decode_tokens,
+                                );
+                            }
                         }
                     },
                 );
+                let free = pool_mut(&mut self.prefill, &mut self.decode, pool)[r]
+                    .scheduler
+                    .blocks()
+                    .free_blocks();
+                match pool {
+                    Pool::Prefill => self.prefill_tier.set_free_kv_blocks(r, free),
+                    Pool::Decode => self.decode_tier.set_free_kv_blocks(r, free),
+                }
+                self.drain_pool(pool, now, queue);
                 self.try_schedule(pool, replica, now, queue);
             }
         }

@@ -21,7 +21,6 @@
 use crate::config::{ClusterConfig, LateAbort};
 use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
 use crate::timing::StageTimer;
-use std::collections::HashMap;
 use std::fmt;
 use vidur_core::event::{self, EventQueue, Simulation};
 use vidur_core::rng::SimRng;
@@ -37,6 +36,60 @@ pub use crate::timing::RuntimeSource;
 /// Event budget for one simulation run. Generous: batching means a few
 /// events per iteration, so real runs finish far below this.
 pub const MAX_EVENTS: u64 = 200_000_000;
+
+/// Generation-tagged slot map for in-flight batches (a ROADMAP hot-path
+/// item: the seed's `HashMap<u64, BatchComposition>` hashed and probed on
+/// every launch/retire). Batch ids pack `(generation << 32) | slot`; slots
+/// recycle through a free list, so the steady state is two Vec index
+/// operations and zero hashing, while stale ids from a simulator bug still
+/// miss (the generation check) instead of aliasing a live batch.
+#[derive(Debug, Default)]
+struct InflightSlots {
+    slots: Vec<Option<BatchComposition>>,
+    generations: Vec<u32>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl InflightSlots {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Stores `batch`, returning its id.
+    fn insert(&mut self, batch: BatchComposition) -> u64 {
+        self.len += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(batch);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(batch));
+                self.generations.push(0);
+                slot
+            }
+        };
+        (self.generations[slot as usize] as u64) << 32 | slot as u64
+    }
+
+    /// Removes and returns the batch behind `id`; `None` for ids that are
+    /// stale (generation mismatch) or never existed.
+    fn remove(&mut self, id: u64) -> Option<BatchComposition> {
+        let slot = (id & u32::MAX as u64) as usize;
+        let generation = (id >> 32) as u32;
+        if self.generations.get(slot).copied() != Some(generation) {
+            return None;
+        }
+        let batch = self.slots[slot].take()?;
+        self.generations[slot] = generation.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.len -= 1;
+        Some(batch)
+    }
+}
 
 /// One replica's scheduling state: its batch scheduler, pipeline-stage
 /// tracker, the earliest pending wake-up (dedupes `Wakeup` events), and the
@@ -96,8 +149,8 @@ pub struct BatchEngine {
     rng: SimRng,
     tp_gpus: f64,
     cpu_overhead: f64,
-    inflight: HashMap<u64, BatchComposition>,
-    next_batch_id: u64,
+    inflight: InflightSlots,
+    launched: u64,
     deadline: Option<SimTime>,
     deadline_hit: bool,
     late_abort: Option<LateAbort>,
@@ -113,7 +166,7 @@ impl fmt::Debug for BatchEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BatchEngine")
             .field("inflight", &self.inflight.len())
-            .field("next_batch_id", &self.next_batch_id)
+            .field("launched", &self.launched)
             .field("deadline_hit", &self.deadline_hit)
             .finish()
     }
@@ -162,8 +215,8 @@ impl BatchEngine {
             rng: SimRng::new(seed),
             tp_gpus: config.parallelism.tensor_parallel as f64,
             cpu_overhead: config.cpu_overhead,
-            inflight: HashMap::new(),
-            next_batch_id: 0,
+            inflight: InflightSlots::default(),
+            launched: 0,
             deadline: config.max_sim_time,
             deadline_hit: false,
             late_abort: config.late_abort,
@@ -298,9 +351,8 @@ impl BatchEngine {
                 .on_batch_scheduled(now, &batch, timing.model_flops(), bytes);
             self.metrics
                 .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
-            let id = self.next_batch_id;
-            self.next_batch_id += 1;
-            self.inflight.insert(id, batch);
+            self.launched += 1;
+            let id = self.inflight.insert(batch);
             replica.pending_completions.push_back(completion);
             queue.push(completion, complete(id));
             // Loop: with PP, stage 0 may free before completion, allowing
@@ -330,7 +382,7 @@ impl BatchEngine {
         queue: &mut EventQueue<E>,
         mut translate: impl FnMut(&mut CompletionEvent, &mut EventQueue<E>),
     ) {
-        let batch = self.inflight.remove(&id).expect("unknown in-flight batch");
+        let batch = self.inflight.remove(id).expect("unknown in-flight batch");
         let done = replica.pending_completions.pop_front();
         debug_assert_eq!(done, Some(now), "completions must retire in order");
         let mut events = std::mem::take(&mut self.events_scratch);
@@ -413,4 +465,57 @@ pub fn drive<S: Simulation>(sim: &mut S, arrivals: Vec<(SimTime, S::Event)>) -> 
         queue.push(time, event);
     }
     event::run(sim, &mut queue, MAX_EVENTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vidur_model::batch::RequestSlice;
+
+    fn batch(id: u64) -> BatchComposition {
+        BatchComposition::new(vec![RequestSlice::decode(id, 10)])
+    }
+
+    #[test]
+    fn inflight_slots_roundtrip_and_recycle() {
+        let mut slots = InflightSlots::default();
+        let a = slots.insert(batch(1));
+        let b = slots.insert(batch(2));
+        assert_ne!(a, b);
+        assert_eq!(slots.len(), 2);
+        let got = slots.remove(a).expect("live id");
+        assert_eq!(got.slices()[0].request_id, 1);
+        assert_eq!(slots.len(), 1);
+        // The freed slot recycles under a new generation: the new id must
+        // differ from the retired one, and the stale id must miss.
+        let c = slots.insert(batch(3));
+        assert_ne!(c, a, "recycled slot carries a fresh generation");
+        assert!(slots.remove(a).is_none(), "stale id misses");
+        assert_eq!(slots.remove(c).unwrap().slices()[0].request_id, 3);
+        assert_eq!(slots.remove(b).unwrap().slices()[0].request_id, 2);
+        assert_eq!(slots.len(), 0);
+        assert!(slots.remove(b).is_none(), "double retire misses");
+    }
+
+    #[test]
+    fn inflight_slots_interleaved_fifo_pattern() {
+        // The engine's real pattern: a window of in-flight batches retiring
+        // FIFO while new ones launch. Ids must stay unique within the
+        // window across heavy slot reuse.
+        let mut slots = InflightSlots::default();
+        let mut window = std::collections::VecDeque::new();
+        for i in 0..1000u64 {
+            window.push_back((i, slots.insert(batch(i))));
+            if window.len() > 4 {
+                let (req, id) = window.pop_front().unwrap();
+                assert_eq!(slots.remove(id).unwrap().slices()[0].request_id, req);
+            }
+            let live: Vec<u64> = window.iter().map(|&(_, id)| id).collect();
+            let mut dedup = live.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), live.len(), "live ids must be unique");
+        }
+        assert!(slots.slots.len() <= 8, "slots recycle instead of growing");
+    }
 }

@@ -42,7 +42,9 @@ pub use config::ClusterConfig;
 pub use disagg::{DisaggConfig, DisaggSimulator};
 pub use engine::{BatchEngine, EngineReplica, RuntimeSource};
 pub use fidelity::{run_fidelity_pair, FidelityReport};
-pub use metrics::{DigestSummary, MetricsCollector, SimulationReport, TenantReport, TenantSlo};
+pub use metrics::{
+    DigestSummary, MetricsCollector, SimulationReport, TenantReport, TenantRoutingStats, TenantSlo,
+};
 pub use onboarding::{onboard, onboard_timer};
 pub use timing::{CacheStats, StageTimer};
 pub use vidur_core::metrics::QuantileMode;

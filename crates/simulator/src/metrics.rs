@@ -124,6 +124,31 @@ pub struct TenantReport {
     /// Fraction of completed requests meeting the configured [`TenantSlo`]
     /// (`None` when no SLO was configured; `0.0` when nothing completed).
     pub slo_attainment: Option<f64>,
+    /// Requests the global tier bound to a replica (immediately or after
+    /// deferral). Zero unless the driving simulator published routing stats.
+    pub routed: u64,
+    /// Requests the global tier held in its deferred queue at least once.
+    pub deferred: u64,
+    /// Replica admissions denied by this tenant's KV quota (waiting →
+    /// quota-parked transitions, summed over replicas).
+    pub quota_denied: u64,
+    /// Fraction of the weighted fair share this tenant received
+    /// (`1.0` = exact attainment). `None` unless fair-share routing ran.
+    pub fair_share_attainment: Option<f64>,
+}
+
+/// Per-tenant routing statistics a simulator publishes into the collector
+/// before assembling the report (see [`MetricsCollector::set_tenant_routing`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantRoutingStats {
+    /// Requests bound to a replica.
+    pub routed: u64,
+    /// Requests held in the deferred queue at least once.
+    pub deferred: u64,
+    /// Admissions denied by the tenant's KV quota.
+    pub quota_denied: u64,
+    /// Weighted fair-share attainment, when fair-share routing ran.
+    pub fair_share_attainment: Option<f64>,
 }
 
 /// Per-tenant accumulation state (latencies honor the collector's
@@ -295,6 +320,9 @@ pub struct MetricsCollector {
     tenants: Vec<TenantStat>,
     track_tenants: bool,
     tenant_slo: Option<TenantSlo>,
+    /// Routing statistics published by the driving simulator's tier(s),
+    /// tenant-id-indexed. Empty unless published.
+    tenant_routing: Vec<TenantRoutingStats>,
     completed: usize,
     last_completion: SimTime,
     total_batches: u64,
@@ -329,6 +357,7 @@ impl MetricsCollector {
             tenants: Vec::new(),
             track_tenants: false,
             tenant_slo: None,
+            tenant_routing: Vec::new(),
             completed: 0,
             last_completion: SimTime::ZERO,
             total_batches: 0,
@@ -370,6 +399,15 @@ impl MetricsCollector {
             .iter()
             .map(|n| TenantStat::new(n.clone(), self.mode))
             .collect();
+    }
+
+    /// Publishes per-tenant routing statistics (index = tenant id) for the
+    /// report's per-tenant breakdown. No-op on collectors without tenant
+    /// tracking — routing columns only appear on multi-tenant runs.
+    pub fn set_tenant_routing(&mut self, stats: Vec<TenantRoutingStats>) {
+        if self.track_tenants {
+            self.tenant_routing = stats;
+        }
     }
 
     /// Grows the per-tenant table to cover `tenant` and returns its entry.
@@ -618,22 +656,31 @@ impl MetricsCollector {
             .collect();
         operator_time_breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
         let tenant_slo = self.tenant_slo;
+        let tenant_routing = &self.tenant_routing;
         let per_tenant = self
             .tenants
             .iter_mut()
-            .map(|t| TenantReport {
-                tenant: std::mem::take(&mut t.name),
-                arrived: t.arrived,
-                completed: t.completed,
-                ttft: t.ttft.summary(),
-                e2e: t.e2e.summary(),
-                slo_attainment: tenant_slo.map(|_| {
-                    if t.completed > 0 {
-                        t.slo_met as f64 / t.completed as f64
-                    } else {
-                        0.0
-                    }
-                }),
+            .enumerate()
+            .map(|(idx, t)| {
+                let routing = tenant_routing.get(idx).copied().unwrap_or_default();
+                TenantReport {
+                    tenant: std::mem::take(&mut t.name),
+                    arrived: t.arrived,
+                    completed: t.completed,
+                    ttft: t.ttft.summary(),
+                    e2e: t.e2e.summary(),
+                    slo_attainment: tenant_slo.map(|_| {
+                        if t.completed > 0 {
+                            t.slo_met as f64 / t.completed as f64
+                        } else {
+                            0.0
+                        }
+                    }),
+                    routed: routing.routed,
+                    deferred: routing.deferred,
+                    quota_denied: routing.quota_denied,
+                    fair_share_attainment: routing.fair_share_attainment,
+                }
             })
             .collect();
         SimulationReport {

@@ -7,8 +7,10 @@
 //!    `from_file`) — the same path a real production trace would enter by.
 //! 3. Amplify the seed by derived-stat resampling to the target request
 //!    count, exactly how a 1k-line log becomes a million-request what-if.
-//! 4. Replay on a cluster under the bounded-memory sketch quantile mode and
-//!    report per-tenant latency/SLO breakdowns.
+//! 4. Replay on a cluster under the bounded-memory sketch quantile mode —
+//!    routed through the global tier's weighted fair-share policy with a
+//!    per-tenant KV quota on the bursty batch tenant — and report
+//!    per-tenant latency/SLO/routing breakdowns.
 //!
 //! Run with: `cargo run --release --example multi_tenant_replay`
 //! (2 000 requests by default; set `VIDUR_FULL=1` for the 1M-request run,
@@ -99,6 +101,13 @@ fn main() {
         ttft_secs: 2.0,
         e2e_per_token_secs: 0.5,
     });
+    // Global tier: weighted fair-share routing (interactive weighs 2x) with
+    // the bursty batch tenant capped at 40% of each replica's KV blocks.
+    config.global_policy = GlobalPolicyKind::FairShare {
+        max_outstanding: 96,
+    };
+    config.tenant_weights = vec![2.0, 1.0, 1.0];
+    config.tenant_kv_quota = vec![1.0, 1.0, 0.4];
     println!("deployment : {}", config.label());
     let source = RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()));
     let report = ClusterSimulator::new(config, trace, source, 42).run();
@@ -113,10 +122,12 @@ fn main() {
         report.preemptions
     );
     println!();
-    println!("tenant       arrived completed  TTFT p50/p99 (s)   e2e p50/p99 (s)   SLO");
+    println!(
+        "tenant       arrived completed  TTFT p50/p99 (s)   e2e p50/p99 (s)   SLO  deferred q-denied share"
+    );
     for t in &report.per_tenant {
         println!(
-            "{:<12} {:>7} {:>9}   {:>6.2} / {:>6.2}   {:>6.1} / {:>6.1}   {:>4.0}%",
+            "{:<12} {:>7} {:>9}   {:>6.2} / {:>6.2}   {:>6.1} / {:>6.1}   {:>4.0}%  {:>8} {:>8} {:>5.2}",
             t.tenant,
             t.arrived,
             t.completed,
@@ -124,12 +135,20 @@ fn main() {
             t.ttft.p99,
             t.e2e.p50,
             t.e2e.p99,
-            t.slo_attainment.unwrap_or(0.0) * 100.0
+            t.slo_attainment.unwrap_or(0.0) * 100.0,
+            t.deferred,
+            t.quota_denied,
+            t.fair_share_attainment.unwrap_or(0.0)
         );
     }
     assert_eq!(report.per_tenant.len(), 3);
     assert!(
         report.per_tenant.iter().all(|t| t.completed > 0),
         "every tenant must make progress"
+    );
+    let routed: u64 = report.per_tenant.iter().map(|t| t.routed).sum();
+    assert_eq!(
+        routed as usize, report.num_requests,
+        "every request routes through the tier exactly once"
     );
 }

@@ -51,7 +51,8 @@ pub mod prelude {
         RuntimePredictor,
     };
     pub use vidur_scheduler::{
-        BatchPolicyKind, GlobalPolicyKind, ReplicaScheduler, Request, SchedulerConfig,
+        BatchPolicyKind, GlobalPolicyKind, ReplicaLoad, ReplicaScheduler, Request, RouteRequest,
+        Router, RouterView, RoutingTier, SchedulerConfig, TenantRouting,
     };
     pub use vidur_search::{
         find_capacity, find_capacity_with_timer, misconfiguration_matrix, pareto_frontier,
@@ -62,7 +63,7 @@ pub mod prelude {
     pub use vidur_simulator::{
         onboard, onboard_timer, run_fidelity_pair, CacheStats, ClusterConfig, ClusterSimulator,
         DisaggConfig, DisaggSimulator, FidelityReport, QuantileMode, SimulationReport, StageTimer,
-        TenantReport, TenantSlo,
+        TenantReport, TenantRoutingStats, TenantSlo,
     };
     pub use vidur_workload::{
         ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceError, TraceReader,
