@@ -14,7 +14,13 @@
 //!   same trace and the same measurements.
 //! * [`event`] — a generic discrete-event queue ([`event::EventQueue`]) with
 //!   stable FIFO tie-breaking at equal timestamps, and a small driver loop
-//!   ([`event::Simulation`], [`event::run`]).
+//!   ([`event::Simulation`], [`event::run`]). The queue is a slab-backed
+//!   pairing heap ([`event::KeyedPairingHeap`]); the previous binary-heap
+//!   implementation survives as [`event::BaselineQueue`], the differential
+//!   oracle.
+//! * [`shard`] — shard-local event queues ([`shard::ShardQueue`]) whose pop
+//!   streams can be merged back into the exact sequential global order
+//!   ([`shard::ShardStamper`]), the foundation of the parallel simulator.
 //! * [`metrics`] — streaming metric primitives: an exact quantile digest,
 //!   time-weighted utilization series, and fixed-width histograms.
 //!
@@ -38,11 +44,13 @@
 pub mod event;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
-pub use event::{EventQueue, Simulation};
+pub use event::{BaselineQueue, EventPush, EventQueue, KeyedPairingHeap, Simulation};
 pub use metrics::{
     Histogram, P2Quantile, QuantileDigest, QuantileMode, StreamingSummary, TimeWeightedSeries,
 };
 pub use rng::SimRng;
+pub use shard::{ShardKey, ShardQueue, ShardStamper};
 pub use time::{SimDuration, SimTime};

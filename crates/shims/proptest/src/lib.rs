@@ -57,6 +57,39 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, like proptest's `prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: std::fmt::Debug, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Map").field(&self.inner).finish()
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! impl_int_range {

@@ -36,13 +36,13 @@ pub enum SimEvent {
 /// The cluster simulator. Construct with [`ClusterSimulator::new`], run with
 /// [`ClusterSimulator::run`].
 pub struct ClusterSimulator {
-    config: ClusterConfig,
-    trace: Trace,
-    engine: BatchEngine,
-    replicas: Vec<EngineReplica>,
+    pub(crate) config: ClusterConfig,
+    pub(crate) trace: Trace,
+    pub(crate) engine: BatchEngine,
+    pub(crate) replicas: Vec<EngineReplica>,
     /// The global scheduling tier: routing policy, live replica view, and
     /// deferred-queue bookkeeping (paper §4.5, first tier).
-    tier: RoutingTier,
+    pub(crate) tier: RoutingTier,
 }
 
 impl std::fmt::Debug for ClusterSimulator {
@@ -87,7 +87,7 @@ pub(crate) fn routing_stats<'r>(
 
 /// Approximate HBM traffic of one batch iteration (for MBU): every device
 /// streams its resident weights once, plus KV reads/writes.
-fn batch_bytes(config: &ClusterConfig, batch: &BatchComposition) -> f64 {
+pub(crate) fn batch_bytes(config: &ClusterConfig, batch: &BatchComposition) -> f64 {
     let weights = config.parallelism.weight_bytes_per_device(&config.model)
         * config.parallelism.gpus_per_replica() as f64;
     let kv_read = batch.decode_kv_read_tokens() as f64 * config.model.kv_bytes_per_token() as f64;
@@ -156,9 +156,18 @@ impl ClusterSimulator {
     /// Runs the simulation to completion (all requests finished, the
     /// configured time cap reached, or the event budget exhausted) and
     /// returns the report.
+    ///
+    /// With [`ClusterConfig::shards`] above 1 and a configuration on the
+    /// sharded fast path (see [`crate::sharded`]), the event loop runs one
+    /// shard per thread; reports are bit-identical to the sequential run.
     pub fn run(mut self) -> SimulationReport {
-        let arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
-        engine::drive(&mut self, arrivals);
+        let shards = self.config.shards.min(self.config.num_replicas);
+        if shards > 1 && crate::sharded::eligible(&self.config, self.engine.timer().jitters()) {
+            crate::sharded::run_sharded(&mut self, shards);
+        } else {
+            let arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
+            engine::drive(&mut self, arrivals);
+        }
         let routing = routing_stats(&self.tier, &self.replicas);
         self.engine.metrics.set_tenant_routing(routing);
         self.engine.finish(

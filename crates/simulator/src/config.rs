@@ -78,6 +78,14 @@ pub struct ClusterConfig {
     /// at least one block). Empty = quotas disabled. Enforced at replica
     /// admission — see `ReplicaScheduler::set_tenant_quotas`.
     pub tenant_kv_quota: Vec<f64>,
+    /// Number of event-loop shards to run in parallel (clamped to
+    /// `num_replicas`). `1` (the default) uses the sequential engine. Values
+    /// above 1 opt into the sharded engine for configurations on its fast
+    /// path — jitter-free runtime source, stateless global routing
+    /// (round-robin/random), no late-abort, aggregated clusters; anything
+    /// else silently falls back to the sequential engine. Reports are
+    /// bit-identical either way (see `vidur_simulator::sharded`).
+    pub shards: usize,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -121,6 +129,7 @@ impl ClusterConfig {
             tenant_slo: None,
             tenant_weights: Vec::new(),
             tenant_kv_quota: Vec::new(),
+            shards: 1,
         }
     }
 

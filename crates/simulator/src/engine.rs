@@ -22,12 +22,14 @@ use crate::config::{ClusterConfig, LateAbort};
 use crate::metrics::{MetricsCollector, PowerSpec, SimulationReport};
 use crate::timing::StageTimer;
 use std::fmt;
-use vidur_core::event::{self, EventQueue, Simulation};
+use std::sync::Arc;
+use vidur_core::event::{self, EventPush, EventQueue, Simulation};
 use vidur_core::rng::SimRng;
 use vidur_core::time::{SimDuration, SimTime};
 use vidur_hardware::GpuSku;
 use vidur_model::batch::BatchComposition;
 use vidur_model::memory::MemoryPlan;
+use vidur_model::shape::PlanTiming;
 use vidur_scheduler::replica::CompletionEvent;
 use vidur_scheduler::{PipelineTracker, ReplicaScheduler};
 
@@ -133,6 +135,87 @@ impl EngineReplica {
     }
 }
 
+/// Receiver of the engine's per-batch measurement callbacks.
+///
+/// The sequential engine sinks straight into the [`MetricsCollector`]; the
+/// sharded engine sinks into a per-shard effect log that the commit loop
+/// later replays into the shared collector in exact sequential event order.
+/// The method set mirrors the collector's accumulation API one-for-one so a
+/// replayed log is bit-identical (f64 accumulation order included) to a
+/// sequential run.
+pub trait EngineSink {
+    /// A batch's cached plan timing was applied (per-operator attribution).
+    fn on_batch_timed(&mut self, timing: &Arc<PlanTiming>);
+    /// GPU-busy seconds for a scheduled batch (stage time × TP GPUs).
+    fn on_gpu_busy(&mut self, gpu_secs: f64);
+    /// A batch was formed and launched.
+    fn on_batch_scheduled(
+        &mut self,
+        now: SimTime,
+        batch: &BatchComposition,
+        flops: f64,
+        bytes: f64,
+    );
+    /// A replica's KV occupancy changed.
+    fn on_kv_sample(&mut self, replica: usize, now: SimTime, utilization: f64);
+    /// A batch finished and produced completion events.
+    fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]);
+}
+
+impl EngineSink for MetricsCollector {
+    fn on_batch_timed(&mut self, timing: &Arc<PlanTiming>) {
+        self.on_op_secs(timing.op_secs());
+    }
+    fn on_gpu_busy(&mut self, gpu_secs: f64) {
+        MetricsCollector::on_gpu_busy(self, gpu_secs);
+    }
+    fn on_batch_scheduled(
+        &mut self,
+        now: SimTime,
+        batch: &BatchComposition,
+        flops: f64,
+        bytes: f64,
+    ) {
+        MetricsCollector::on_batch_scheduled(self, now, batch, flops, bytes);
+    }
+    fn on_kv_sample(&mut self, replica: usize, now: SimTime, utilization: f64) {
+        MetricsCollector::on_kv_sample(self, replica, now, utilization);
+    }
+    fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]) {
+        MetricsCollector::on_batch_complete(self, now, events);
+    }
+}
+
+/// The sink-agnostic scheduling core: batch formation, timing, pipeline
+/// occupancy, and in-flight tracking, with all measurement routed through an
+/// [`EngineSink`] and all event scheduling through
+/// [`EventPush`](vidur_core::event::EventPush). [`BatchEngine`] wraps one of
+/// these around the metrics collector for the sequential path; the sharded
+/// driver owns one per shard, sinking into an effect log.
+pub struct EngineCore {
+    timer: StageTimer,
+    rng: SimRng,
+    tp_gpus: f64,
+    cpu_overhead: f64,
+    inflight: InflightSlots,
+    launched: u64,
+    /// Per-batch scratch (jittered stage times / stage durations /
+    /// completion events), reused to keep allocations out of the scheduling
+    /// hot loop.
+    scratch_secs: Vec<f64>,
+    scratch_durations: Vec<SimDuration>,
+    events_scratch: Vec<CompletionEvent>,
+}
+
+impl fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("inflight", &self.inflight.len())
+            .field("launched", &self.launched)
+            .finish()
+    }
+}
+
 /// The policy-free core of an event-driven serving simulation.
 ///
 /// Owns everything both simulators used to duplicate: the runtime source,
@@ -145,30 +228,171 @@ pub struct BatchEngine {
     /// Metrics sink shared by the engine and the policy layer (arrivals and
     /// completion events are policy-specific, so simulators record those).
     pub metrics: MetricsCollector,
-    timer: StageTimer,
-    rng: SimRng,
-    tp_gpus: f64,
-    cpu_overhead: f64,
-    inflight: InflightSlots,
-    launched: u64,
+    core: EngineCore,
     deadline: Option<SimTime>,
     deadline_hit: bool,
     late_abort: Option<LateAbort>,
-    /// Per-batch scratch (jittered stage times / stage durations /
-    /// completion events), reused to keep allocations out of the scheduling
-    /// hot loop.
-    scratch_secs: Vec<f64>,
-    scratch_durations: Vec<SimDuration>,
-    events_scratch: Vec<CompletionEvent>,
 }
 
 impl fmt::Debug for BatchEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BatchEngine")
-            .field("inflight", &self.inflight.len())
-            .field("launched", &self.launched)
+            .field("inflight", &self.core.inflight.len())
+            .field("launched", &self.core.launched)
             .field("deadline_hit", &self.deadline_hit)
             .finish()
+    }
+}
+
+impl EngineCore {
+    /// Builds a core around `timer` with the jitter RNG seeded at `seed`.
+    pub fn with_timer(config: &ClusterConfig, timer: StageTimer, seed: u64) -> Self {
+        EngineCore {
+            timer,
+            rng: SimRng::new(seed),
+            tp_gpus: config.parallelism.tensor_parallel as f64,
+            cpu_overhead: config.cpu_overhead,
+            inflight: InflightSlots::default(),
+            launched: 0,
+            scratch_secs: Vec::new(),
+            scratch_durations: Vec::new(),
+            events_scratch: Vec::new(),
+        }
+    }
+
+    /// The core's stage timer (for cache statistics inspection).
+    pub fn timer(&self) -> &StageTimer {
+        &self.timer
+    }
+
+    /// Number of batches currently executing.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Batches launched so far.
+    pub fn launched(&self) -> u64 {
+        self.launched
+    }
+
+    /// Per-iteration CPU/framework overhead in seconds.
+    ///
+    /// The oracle source adds a log-normal wiggle plus rare multi-millisecond
+    /// hiccups — the part of the real system a simulator cannot predict; the
+    /// estimator source uses the constant nominal overhead. The jitter draws
+    /// come from one engine-wide RNG in launch order, which is what makes
+    /// jittered runs inherently sequential (and why the sharded fast path
+    /// requires a jitter-free source).
+    fn cpu_overhead(&mut self) -> f64 {
+        let base = self.cpu_overhead;
+        if self.timer.jitters() {
+            let mut t = base * self.rng.log_normal(0.0, 0.25);
+            if self.rng.bernoulli(0.02) {
+                t += self.rng.exponential(1.0 / 2.0e-3);
+            }
+            t
+        } else {
+            base
+        }
+    }
+
+    /// Greedily forms and launches batches on `replica` while its first
+    /// pipeline stage is free; arms a deduplicated wake-up otherwise.
+    /// Measurement callbacks go to `sink`; follow-up events to `queue`.
+    /// See [`BatchEngine::try_schedule`] for the full contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_schedule<E>(
+        &mut self,
+        replica: &mut EngineReplica,
+        metrics_idx: usize,
+        now: SimTime,
+        queue: &mut impl EventPush<E>,
+        sink: &mut impl EngineSink,
+        bytes_of: impl Fn(&BatchComposition) -> f64,
+        wakeup: impl Fn() -> E,
+        complete: impl Fn(u64) -> E,
+    ) {
+        loop {
+            let free_at = replica.pipeline.stage0_free_at();
+            if free_at > now {
+                // Busy. A completion event for this replica at exactly
+                // `free_at` re-enters try_schedule with the stage already
+                // free, so a wake-up for the same instant would pop right
+                // after it and do nothing — coalesce it away. With PP=1
+                // stage 0 always frees exactly at batch completion, so this
+                // halves the steady-state event traffic.
+                if replica.pending_completions.iter().any(|&t| t == free_at) {
+                    return;
+                }
+                // Otherwise arm a wake-up (dedupe identical ones).
+                let need = replica.wakeup_at.is_none_or(|at| at > free_at);
+                if need {
+                    replica.wakeup_at = Some(free_at);
+                    queue.push(free_at, wakeup());
+                }
+                return;
+            }
+            let Some(batch) = replica.scheduler.next_batch() else {
+                return;
+            };
+            // The memoized prediction pipeline: shape key → cached plan
+            // timing → jitter. Per-operator attribution (paper §5.2's
+            // operator-level metrics) is replayed from the cached totals,
+            // and the stochastic CPU overhead draws after the lookup, so
+            // reports are byte-identical with the cache on or off.
+            let timing = self.timer.time_batch(&batch);
+            sink.on_batch_timed(&timing);
+            let overhead = self.cpu_overhead();
+            self.scratch_secs.clear();
+            self.scratch_secs.extend_from_slice(timing.stage_secs());
+            self.scratch_secs[0] += overhead;
+            let busy: f64 = self.scratch_secs.iter().sum();
+            sink.on_gpu_busy(busy * self.tp_gpus);
+            self.scratch_durations.clear();
+            self.scratch_durations.extend(
+                self.scratch_secs
+                    .iter()
+                    .map(|&s| SimDuration::from_secs_f64(s.max(0.0))),
+            );
+            let completion = replica.pipeline.schedule(now, &self.scratch_durations);
+            let bytes = bytes_of(&batch);
+            sink.on_batch_scheduled(now, &batch, timing.model_flops(), bytes);
+            sink.on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
+            self.launched += 1;
+            let id = self.inflight.insert(batch);
+            replica.pending_completions.push_back(completion);
+            queue.push(completion, complete(id));
+            // Loop: with PP, stage 0 may free before completion, allowing
+            // another microbatch now-ish; the next loop iteration either
+            // schedules it or arms a wakeup.
+        }
+    }
+
+    /// Pops finished batch `id` and retires it on `replica`'s scheduler.
+    /// See [`BatchEngine::retire_batch`] for the full contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn retire_batch<E, Q: EventPush<E>>(
+        &mut self,
+        replica: &mut EngineReplica,
+        metrics_idx: usize,
+        id: u64,
+        now: SimTime,
+        queue: &mut Q,
+        sink: &mut impl EngineSink,
+        mut translate: impl FnMut(&mut CompletionEvent, &mut Q),
+    ) {
+        let batch = self.inflight.remove(id).expect("unknown in-flight batch");
+        let done = replica.pending_completions.pop_front();
+        debug_assert_eq!(done, Some(now), "completions must retire in order");
+        let mut events = std::mem::take(&mut self.events_scratch);
+        replica.scheduler.complete_batch_into(&batch, &mut events);
+        sink.on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
+        for ev in events.iter_mut() {
+            translate(ev, queue);
+        }
+        sink.on_batch_complete(now, &events);
+        self.events_scratch = events;
+        replica.scheduler.recycle_batch(batch);
     }
 }
 
@@ -211,29 +435,21 @@ impl BatchEngine {
         }
         BatchEngine {
             metrics,
-            timer,
-            rng: SimRng::new(seed),
-            tp_gpus: config.parallelism.tensor_parallel as f64,
-            cpu_overhead: config.cpu_overhead,
-            inflight: InflightSlots::default(),
-            launched: 0,
+            core: EngineCore::with_timer(config, timer, seed),
             deadline: config.max_sim_time,
             deadline_hit: false,
             late_abort: config.late_abort,
-            scratch_secs: Vec::new(),
-            scratch_durations: Vec::new(),
-            events_scratch: Vec::new(),
         }
     }
 
     /// The engine's stage timer (for cache statistics inspection).
     pub fn timer(&self) -> &StageTimer {
-        &self.timer
+        self.core.timer()
     }
 
     /// Number of batches currently executing.
     pub fn inflight_len(&self) -> usize {
-        self.inflight.len()
+        self.core.inflight_len()
     }
 
     /// Latches and reports the deadline: call at the top of every event
@@ -264,24 +480,6 @@ impl BatchEngine {
         false
     }
 
-    /// Per-iteration CPU/framework overhead in seconds.
-    ///
-    /// The oracle source adds a log-normal wiggle plus rare multi-millisecond
-    /// hiccups — the part of the real system a simulator cannot predict; the
-    /// estimator source uses the constant nominal overhead.
-    fn cpu_overhead(&mut self) -> f64 {
-        let base = self.cpu_overhead;
-        if self.timer.jitters() {
-            let mut t = base * self.rng.log_normal(0.0, 0.25);
-            if self.rng.bernoulli(0.02) {
-                t += self.rng.exponential(1.0 / 2.0e-3);
-            }
-            t
-        } else {
-            base
-        }
-    }
-
     /// Greedily forms and launches batches on `replica` while its first
     /// pipeline stage is free; arms a deduplicated wake-up otherwise.
     ///
@@ -303,62 +501,16 @@ impl BatchEngine {
         wakeup: impl Fn() -> E,
         complete: impl Fn(u64) -> E,
     ) {
-        loop {
-            let free_at = replica.pipeline.stage0_free_at();
-            if free_at > now {
-                // Busy. A completion event for this replica at exactly
-                // `free_at` re-enters try_schedule with the stage already
-                // free, so a wake-up for the same instant would pop right
-                // after it and do nothing — coalesce it away. With PP=1
-                // stage 0 always frees exactly at batch completion, so this
-                // halves the steady-state event traffic.
-                if replica.pending_completions.iter().any(|&t| t == free_at) {
-                    return;
-                }
-                // Otherwise arm a wake-up (dedupe identical ones).
-                let need = replica.wakeup_at.is_none_or(|at| at > free_at);
-                if need {
-                    replica.wakeup_at = Some(free_at);
-                    queue.push(free_at, wakeup());
-                }
-                return;
-            }
-            let Some(batch) = replica.scheduler.next_batch() else {
-                return;
-            };
-            // The memoized prediction pipeline: shape key → cached plan
-            // timing → jitter. Per-operator attribution (paper §5.2's
-            // operator-level metrics) is replayed from the cached totals,
-            // and the stochastic CPU overhead draws after the lookup, so
-            // reports are byte-identical with the cache on or off.
-            let timing = self.timer.time_batch(&batch);
-            self.metrics.on_op_secs(timing.op_secs());
-            let overhead = self.cpu_overhead();
-            self.scratch_secs.clear();
-            self.scratch_secs.extend_from_slice(timing.stage_secs());
-            self.scratch_secs[0] += overhead;
-            let busy: f64 = self.scratch_secs.iter().sum();
-            self.metrics.on_gpu_busy(busy * self.tp_gpus);
-            self.scratch_durations.clear();
-            self.scratch_durations.extend(
-                self.scratch_secs
-                    .iter()
-                    .map(|&s| SimDuration::from_secs_f64(s.max(0.0))),
-            );
-            let completion = replica.pipeline.schedule(now, &self.scratch_durations);
-            let bytes = bytes_of(&batch);
-            self.metrics
-                .on_batch_scheduled(now, &batch, timing.model_flops(), bytes);
-            self.metrics
-                .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
-            self.launched += 1;
-            let id = self.inflight.insert(batch);
-            replica.pending_completions.push_back(completion);
-            queue.push(completion, complete(id));
-            // Loop: with PP, stage 0 may free before completion, allowing
-            // another microbatch now-ish; the next loop iteration either
-            // schedules it or arms a wakeup.
-        }
+        self.core.try_schedule(
+            replica,
+            metrics_idx,
+            now,
+            queue,
+            &mut self.metrics,
+            bytes_of,
+            wakeup,
+            complete,
+        );
     }
 
     /// Pops finished batch `id`, retires it on `replica`'s scheduler,
@@ -380,21 +532,17 @@ impl BatchEngine {
         id: u64,
         now: SimTime,
         queue: &mut EventQueue<E>,
-        mut translate: impl FnMut(&mut CompletionEvent, &mut EventQueue<E>),
+        translate: impl FnMut(&mut CompletionEvent, &mut EventQueue<E>),
     ) {
-        let batch = self.inflight.remove(id).expect("unknown in-flight batch");
-        let done = replica.pending_completions.pop_front();
-        debug_assert_eq!(done, Some(now), "completions must retire in order");
-        let mut events = std::mem::take(&mut self.events_scratch);
-        replica.scheduler.complete_batch_into(&batch, &mut events);
-        self.metrics
-            .on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
-        for ev in events.iter_mut() {
-            translate(ev, queue);
-        }
-        self.metrics.on_batch_complete(now, &events);
-        self.events_scratch = events;
-        replica.scheduler.recycle_batch(batch);
+        self.core.retire_batch(
+            replica,
+            metrics_idx,
+            id,
+            now,
+            queue,
+            &mut self.metrics,
+            translate,
+        );
     }
 
     /// Consumes the engine and assembles the final [`SimulationReport`],

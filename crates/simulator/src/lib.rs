@@ -18,6 +18,9 @@
 //! * [`timing`] — the memoized stage-time pipeline ([`StageTimer`]): runtime
 //!   source → execution plan → per-stage prediction, cached by batch shape;
 //! * [`cluster`] — the event-driven aggregated-cluster simulator;
+//! * [`sharded`] — the parallel sharded event loop behind
+//!   [`ClusterConfig::shards`](config::ClusterConfig::shards), bit-exact
+//!   with the sequential engine;
 //! * [`disagg`] — the prefill/decode-disaggregated simulator;
 //! * [`metrics`] — request- and cluster-level reports (TTFT, TBT,
 //!   normalized latency, MFU, MBU, KV utilization);
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod fidelity;
 pub mod metrics;
 pub mod onboarding;
+pub mod sharded;
 pub mod timing;
 
 pub use cluster::ClusterSimulator;

@@ -468,11 +468,12 @@ impl MetricsCollector {
         flops: f64,
         bytes: f64,
     ) {
-        self.total_batches += 1;
-        self.total_tokens += batch.total_query_tokens();
-        self.total_batch_requests += batch.num_requests() as u64;
-        self.flops += flops;
-        self.bytes += bytes;
+        self.on_batch_work(
+            batch.total_query_tokens(),
+            batch.num_requests() as u64,
+            flops,
+            bytes,
+        );
         for slice in batch.slices() {
             // Fast-path filter only: decode and continuation slices belong
             // to requests whose first schedule already happened, so their
@@ -488,11 +489,23 @@ impl MetricsCollector {
         }
     }
 
+    /// Accounts one scheduled batch's aggregate work — the batch-shape-free
+    /// half of [`on_batch_scheduled`](Self::on_batch_scheduled), split out
+    /// so the sharded commit loop can replay it from an effect log without
+    /// materializing the batch.
+    pub(crate) fn on_batch_work(&mut self, tokens: u64, requests: u64, flops: f64, bytes: f64) {
+        self.total_batches += 1;
+        self.total_tokens += tokens;
+        self.total_batch_requests += requests;
+        self.flops += flops;
+        self.bytes += bytes;
+    }
+
     /// Single authority for first-schedule marking and late accounting: the
     /// record's `first_scheduled` field. Lateness is judged once, against
     /// the *original* first schedule, so the count cannot depend on slice
     /// order within a batch or on restarts after preemption.
-    fn mark_first_scheduled(&mut self, id: RequestId, now: SimTime) {
+    pub(crate) fn mark_first_scheduled(&mut self, id: RequestId, now: SimTime) {
         let Some(rec) = self.records.get_mut(&id) else {
             return;
         };

@@ -1,0 +1,617 @@
+//! The parallel sharded event loop — bit-exact with the sequential engine.
+//!
+//! # Shard model
+//!
+//! Replicas in an aggregated cluster interact only through the routing tier
+//! and the shared metrics collector; the per-replica simulation (batch
+//! formation, pipeline occupancy, wakeups, completions) is self-contained.
+//! When the routing decisions can be computed up front, the event loop
+//! therefore factors into fully independent pieces: replicas are dealt
+//! round-robin onto `k` shards, every shard runs its entire sub-simulation
+//! on its own thread with its own [`ShardQueue`] and
+//! [`EngineCore`](crate::engine::EngineCore), and the only serial work left
+//! is *committing* the measured effects into the metrics collector and the
+//! tier — which the main thread does by streaming the shards' effect logs
+//! and always committing the globally-earliest entry next.
+//!
+//! # Determinism argument
+//!
+//! The sequential engine's event order is exactly `(time, seq)` with `seq`
+//! the global insertion counter, and its report is a fold of metric effects
+//! in that order. The sharded run reproduces that fold bit-for-bit:
+//!
+//! * Arrivals are pre-routed by replaying `RoutingTier::route` in arrival
+//!   order before the run — legal precisely because the fast-path policies
+//!   (round-robin, random) are deterministic functions of their own state
+//!   and never read the live load view, so interleaved completions cannot
+//!   change their decisions. Each arrival's global `seq` is its trace index.
+//! * Within a shard, events are ordered by `(time, arrival-seq | local
+//!   push counter)`, which equals the sequential order restricted to the
+//!   shard (see [`vidur_core::shard`]). At commit time a
+//!   [`ShardStamper`] re-derives true global seqs: a committed handler's
+//!   children claim the next counter values in push order.
+//! * The merge then commits the lowest `(time, seq)` stream head, replaying
+//!   each entry's logged effects through the *same* collector methods the
+//!   sequential engine calls, in the same order — f64 accumulation order,
+//!   quantile-digest streams, and per-tenant bookkeeping included.
+//!
+//! The stop conditions fold in too: shards truncate at the deadline (the
+//! sequential run processes every event at `time <= deadline` and drops
+//! exactly one later event without effects), and events after global
+//! completion are provably effect-free wakeups (no batch can be in flight
+//! once every request finished), so draining them is a no-op.
+//!
+//! # Fast path and fallback
+//!
+//! `shards > 1` opts in; the sharded engine runs when the configuration is
+//! on its fast path — [`RuntimeSource`](crate::timing::RuntimeSource) does
+//! not jitter (the oracle's CPU-overhead noise draws from one engine-wide
+//! RNG in launch order, which is inherently serial), global policy is
+//! round-robin or random (stateful policies read the live view), and
+//! late-abort is off (its stop condition depends on the merged metrics
+//! mid-run). Everything else silently uses the sequential engine, which
+//! stays the differential oracle: `tests/engine_regression.rs` pins that
+//! every scenario reports identically with shards on and off.
+
+use crate::cluster::{batch_bytes, ClusterSimulator, SimEvent};
+use crate::config::ClusterConfig;
+use crate::engine::{EngineCore, EngineReplica, EngineSink, MAX_EVENTS};
+use crate::metrics::MetricsCollector;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use vidur_core::shard::{ShardKey, ShardQueue, ShardStamper};
+use vidur_core::time::SimTime;
+use vidur_model::batch::BatchComposition;
+use vidur_model::shape::PlanTiming;
+use vidur_scheduler::replica::CompletionEvent;
+use vidur_scheduler::{GlobalPolicyKind, Request, RoutingTier};
+use vidur_workload::Trace;
+
+/// Entries per [`LogChunk`] before it ships to the merger.
+const CHUNK_ENTRIES: usize = 4096;
+/// In-flight chunks per shard channel: bounds memory (shards block when the
+/// merger falls behind) while keeping the pipeline full.
+const CHANNEL_DEPTH: usize = 4;
+
+/// One measured effect, mirroring a [`MetricsCollector`] (or tier) call the
+/// sequential engine would have made. Replayed at commit time in exact
+/// sequential order.
+enum Effect {
+    /// `metrics.on_arrival` for a trace request.
+    Arrival {
+        id: u64,
+        decode_tokens: u64,
+        tenant: u32,
+    },
+    /// `metrics.on_op_secs` from a batch's cached plan timing.
+    OpSecs(Arc<PlanTiming>),
+    /// `metrics.on_gpu_busy`.
+    GpuBusy(f64),
+    /// `metrics.on_batch_work` + `mark_first_scheduled` for the next
+    /// `first_n` ids in the chunk's id stream.
+    BatchWork {
+        tokens: u64,
+        requests: u64,
+        flops: f64,
+        bytes: f64,
+        first_n: u32,
+    },
+    /// `metrics.on_kv_sample` for a replica.
+    KvSample { replica: u32, utilization: f64 },
+    /// `tier.on_finished` per finished event + `metrics.on_batch_complete`
+    /// over the next `n_events` events in the chunk's event stream.
+    Retire { replica: u32, n_events: u32 },
+    /// `tier.set_free_kv_blocks` after a retire.
+    FreeKv { replica: u32, free_blocks: u64 },
+}
+
+/// One handled event in a shard's stream: when it fired, its shard key (for
+/// global-seq reconstruction), how many follow-up events its handler pushed,
+/// and how many effects it logged.
+#[derive(Clone, Copy)]
+struct EntryRec {
+    time: SimTime,
+    key: ShardKey,
+    n_children: u32,
+    n_effects: u32,
+}
+
+/// A batch of logged entries with their flattened effect/event/id streams.
+/// Chunks recycle through a return channel, so steady-state logging does not
+/// allocate.
+#[derive(Default)]
+struct LogChunk {
+    entries: Vec<EntryRec>,
+    effects: Vec<Effect>,
+    events: Vec<CompletionEvent>,
+    ids: Vec<u64>,
+    /// Marks the shard's final chunk.
+    done: bool,
+}
+
+impl LogChunk {
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.effects.clear();
+        self.events.clear();
+        self.ids.clear();
+        self.done = false;
+    }
+}
+
+/// [`EngineSink`] that appends effects to the chunk under construction
+/// instead of touching the collector.
+struct LogSink {
+    chunk: LogChunk,
+    /// Set by the completion handler before `retire_batch`, because the
+    /// engine's `on_batch_complete` callback does not carry the replica.
+    current_replica: u32,
+}
+
+impl EngineSink for LogSink {
+    fn on_batch_timed(&mut self, timing: &Arc<PlanTiming>) {
+        self.chunk.effects.push(Effect::OpSecs(Arc::clone(timing)));
+    }
+    fn on_gpu_busy(&mut self, gpu_secs: f64) {
+        self.chunk.effects.push(Effect::GpuBusy(gpu_secs));
+    }
+    fn on_batch_scheduled(
+        &mut self,
+        _now: SimTime,
+        batch: &BatchComposition,
+        flops: f64,
+        bytes: f64,
+    ) {
+        let mut first_n = 0u32;
+        for slice in batch.slices() {
+            // Same fast-path filter as `MetricsCollector::on_batch_scheduled`;
+            // the record-based single authority still decides at replay time.
+            if slice.is_prefill && slice.cached_tokens == 0 {
+                self.chunk.ids.push(slice.request_id);
+                first_n += 1;
+            }
+        }
+        self.chunk.effects.push(Effect::BatchWork {
+            tokens: batch.total_query_tokens(),
+            requests: batch.num_requests() as u64,
+            flops,
+            bytes,
+            first_n,
+        });
+    }
+    fn on_kv_sample(&mut self, replica: usize, _now: SimTime, utilization: f64) {
+        self.chunk.effects.push(Effect::KvSample {
+            replica: replica as u32,
+            utilization,
+        });
+    }
+    fn on_batch_complete(&mut self, _now: SimTime, events: &[CompletionEvent]) {
+        self.chunk.events.extend_from_slice(events);
+        self.chunk.effects.push(Effect::Retire {
+            replica: self.current_replica,
+            n_events: events.len() as u32,
+        });
+    }
+}
+
+/// Is `sim`'s configuration on the sharded fast path? (Assumes the caller
+/// already clamped and checked `shards > 1`.)
+pub(crate) fn eligible(config: &ClusterConfig, jitters: bool) -> bool {
+    !jitters
+        && config.late_abort.is_none()
+        && matches!(
+            config.global_policy,
+            GlobalPolicyKind::RoundRobin | GlobalPolicyKind::Random
+        )
+}
+
+/// Runs `sim`'s event loop sharded `num_shards` ways. On return the metrics
+/// collector, tier, and replicas are in the exact state a sequential
+/// `engine::drive` run would have left them in.
+pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) {
+    let ClusterSimulator {
+        ref config,
+        ref trace,
+        ref mut engine,
+        ref mut replicas,
+        ref mut tier,
+    } = *sim;
+
+    // Pre-route every arrival in sequential pop order: (arrival time, trace
+    // index) — the global queue's (time, seq) order for the pre-pushed
+    // arrival set. Round-robin/random placements depend only on router
+    // state, so replaying the calls up front draws the identical decision
+    // (and RNG) sequence the interleaved run would.
+    let mut order: Vec<u32> = (0..trace.requests.len() as u32).collect();
+    order.sort_by_key(|&i| trace.requests[i as usize].arrival);
+    let mut targets = vec![0u32; trace.requests.len()];
+    for &idx in &order {
+        let tr = trace.requests[idx as usize];
+        let target = tier
+            .route(vidur_scheduler::RouteRequest {
+                key: idx as u64,
+                tenant: tr.tenant,
+                priority: tr.priority,
+                tokens: tr.prefill_tokens + tr.decode_tokens,
+            })
+            .expect("fast-path policies never defer");
+        targets[idx as usize] = target as u32;
+    }
+
+    // Deal replicas round-robin onto shards (global replica r lives on
+    // shard r % k at local index r / k) and split the arrival list.
+    let mut shard_replicas: Vec<Vec<EngineReplica>> = (0..num_shards).map(|_| Vec::new()).collect();
+    for (r, replica) in std::mem::take(replicas).into_iter().enumerate() {
+        shard_replicas[r % num_shards].push(replica);
+    }
+    let mut shard_arrivals: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    for &idx in &order {
+        shard_arrivals[targets[idx as usize] as usize % num_shards].push(idx);
+    }
+
+    let deadline = config.max_sim_time;
+    let timer = engine.timer().clone();
+    let metrics = &mut engine.metrics;
+    let targets_ref: &[u32] = &targets;
+
+    let (result_tx, result_rx) = std::sync::mpsc::channel::<(usize, Vec<EngineReplica>)>();
+    let mut streams = Vec::with_capacity(num_shards);
+    let mut workers = Vec::with_capacity(num_shards);
+    for (shard, (replica_set, arrivals)) in
+        shard_replicas.into_iter().zip(shard_arrivals).enumerate()
+    {
+        let (log_tx, log_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
+        let (recycle_tx, recycle_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
+        streams.push(ShardStream::new(log_rx, recycle_tx));
+        let core = EngineCore::with_timer(config, timer.clone(), 0);
+        workers.push(ShardWorker {
+            shard,
+            num_shards,
+            config,
+            trace,
+            targets: targets_ref,
+            core,
+            replicas: replica_set,
+            arrivals,
+            deadline,
+            log_tx,
+            recycle_rx,
+            result_tx: result_tx.clone(),
+        });
+    }
+    drop(result_tx);
+
+    rayon::scope(|scope| {
+        for worker in workers {
+            scope.spawn(move || worker.run());
+        }
+        // The merger runs on this thread, concurrently with the shards.
+        merge(streams, metrics, tier, trace);
+    });
+
+    // Put the replicas back in global order for preemption/quota reporting.
+    let mut collected: Vec<Option<Vec<EngineReplica>>> = (0..num_shards).map(|_| None).collect();
+    for (shard, set) in result_rx.iter() {
+        collected[shard] = Some(set);
+    }
+    let mut slots: Vec<Option<EngineReplica>> = (0..config.num_replicas).map(|_| None).collect();
+    for (shard, set) in collected.into_iter().enumerate() {
+        for (local, replica) in set
+            .expect("every shard returns its replicas")
+            .into_iter()
+            .enumerate()
+        {
+            slots[shard + local * num_shards] = Some(replica);
+        }
+    }
+    *replicas = slots
+        .into_iter()
+        .map(|r| r.expect("every replica returned"))
+        .collect();
+}
+
+/// One shard's independent simulation: a subset of replicas, a shard-local
+/// queue, an [`EngineCore`], and the effect log.
+struct ShardWorker<'a> {
+    shard: usize,
+    num_shards: usize,
+    config: &'a ClusterConfig,
+    trace: &'a Trace,
+    targets: &'a [u32],
+    core: EngineCore,
+    replicas: Vec<EngineReplica>,
+    arrivals: Vec<u32>,
+    deadline: Option<SimTime>,
+    log_tx: SyncSender<LogChunk>,
+    recycle_rx: Receiver<LogChunk>,
+    result_tx: std::sync::mpsc::Sender<(usize, Vec<EngineReplica>)>,
+}
+
+impl ShardWorker<'_> {
+    fn run(mut self) {
+        let mut queue: ShardQueue<SimEvent> = ShardQueue::new();
+        for &idx in &self.arrivals {
+            queue.push_arrival(
+                self.trace.requests[idx as usize].arrival,
+                idx as u64,
+                SimEvent::Arrival(idx),
+            );
+        }
+        let mut sink = LogSink {
+            chunk: LogChunk::default(),
+            current_replica: 0,
+        };
+        let mut processed = 0u64;
+        while let Some((time, key, event)) = queue.pop() {
+            // Pops are time-nondecreasing, so the first event past the
+            // deadline means everything left is past it too. The sequential
+            // engine pops exactly one such event and drops it effect-free.
+            if self.deadline.is_some_and(|d| time > d) || processed >= MAX_EVENTS {
+                break;
+            }
+            let effects_before = sink.chunk.effects.len();
+            let pushes_before = queue.local_pushes();
+            self.handle(time, event, &mut queue, &mut sink);
+            sink.chunk.entries.push(EntryRec {
+                time,
+                key,
+                n_children: (queue.local_pushes() - pushes_before) as u32,
+                n_effects: (sink.chunk.effects.len() - effects_before) as u32,
+            });
+            processed += 1;
+            if sink.chunk.entries.len() >= CHUNK_ENTRIES {
+                let mut fresh = self.recycle_rx.try_recv().unwrap_or_default();
+                fresh.reset();
+                let full = std::mem::replace(&mut sink.chunk, fresh);
+                if self.log_tx.send(full).is_err() {
+                    break; // merger gone; nothing left to report into
+                }
+            }
+        }
+        let mut last = std::mem::take(&mut sink.chunk);
+        last.done = true;
+        let _ = self.log_tx.send(last);
+        let _ = self.result_tx.send((self.shard, self.replicas));
+    }
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: SimEvent,
+        queue: &mut ShardQueue<SimEvent>,
+        sink: &mut LogSink,
+    ) {
+        match event {
+            SimEvent::Arrival(idx) => {
+                let tr = self.trace.requests[idx as usize];
+                sink.chunk.effects.push(Effect::Arrival {
+                    id: tr.id,
+                    decode_tokens: tr.decode_tokens,
+                    tenant: tr.tenant,
+                });
+                let target = self.targets[idx as usize];
+                let local = target as usize / self.num_shards;
+                self.replicas[local].scheduler.add_request(
+                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
+                        .with_tenant(tr.tenant)
+                        .with_priority(tr.priority),
+                );
+                self.try_schedule(target, now, queue, sink);
+            }
+            SimEvent::Wakeup(replica) => {
+                let local = replica as usize / self.num_shards;
+                self.replicas[local].clear_wakeup();
+                self.try_schedule(replica, now, queue, sink);
+            }
+            SimEvent::BatchComplete(replica, id) => {
+                let local = replica as usize / self.num_shards;
+                sink.current_replica = replica;
+                // The tier's `on_finished` is deferred to commit time (the
+                // tier is shared); the translate hook is therefore empty.
+                self.core.retire_batch(
+                    &mut self.replicas[local],
+                    replica as usize,
+                    id,
+                    now,
+                    queue,
+                    sink,
+                    |_ev, _queue| {},
+                );
+                sink.chunk.effects.push(Effect::FreeKv {
+                    replica,
+                    free_blocks: self.replicas[local].scheduler.blocks().free_blocks(),
+                });
+                self.try_schedule(replica, now, queue, sink);
+            }
+        }
+    }
+
+    fn try_schedule(
+        &mut self,
+        replica: u32,
+        now: SimTime,
+        queue: &mut ShardQueue<SimEvent>,
+        sink: &mut LogSink,
+    ) {
+        let local = replica as usize / self.num_shards;
+        let config = self.config;
+        self.core.try_schedule(
+            &mut self.replicas[local],
+            replica as usize,
+            now,
+            queue,
+            sink,
+            |batch| batch_bytes(config, batch),
+            || SimEvent::Wakeup(replica),
+            |id| SimEvent::BatchComplete(replica, id),
+        );
+    }
+}
+
+/// Merger-side view of one shard's chunk stream.
+struct ShardStream {
+    rx: Receiver<LogChunk>,
+    recycle: SyncSender<LogChunk>,
+    chunk: Option<LogChunk>,
+    entry: usize,
+    effect: usize,
+    event: usize,
+    id: usize,
+    /// Resolved `(time, global_seq)` of the next uncommitted entry.
+    head: Option<(SimTime, u64)>,
+    finished: bool,
+    stamper: ShardStamper,
+}
+
+impl ShardStream {
+    fn new(rx: Receiver<LogChunk>, recycle: SyncSender<LogChunk>) -> Self {
+        ShardStream {
+            rx,
+            recycle,
+            chunk: None,
+            entry: 0,
+            effect: 0,
+            event: 0,
+            id: 0,
+            head: None,
+            finished: false,
+            stamper: ShardStamper::new(),
+        }
+    }
+
+    /// Resolves the stream's next head, receiving chunks as needed. Blocks
+    /// only when the shard is still producing.
+    fn ensure_head(&mut self) {
+        if self.finished || self.head.is_some() {
+            return;
+        }
+        loop {
+            if let Some(chunk) = &self.chunk {
+                if self.entry < chunk.entries.len() {
+                    let e = chunk.entries[self.entry];
+                    self.head = Some((e.time, self.stamper.resolve(e.key)));
+                    return;
+                }
+                if chunk.done {
+                    self.finished = true;
+                    self.chunk = None;
+                    return;
+                }
+                let mut spent = self.chunk.take().expect("checked above");
+                spent.reset();
+                let _ = self.recycle.try_send(spent);
+            }
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.chunk = Some(chunk);
+                    self.entry = 0;
+                    self.effect = 0;
+                    self.event = 0;
+                    self.id = 0;
+                }
+                Err(_) => {
+                    self.finished = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Streams all shard logs into the collector and tier in exact global
+/// `(time, seq)` order.
+fn merge(
+    mut streams: Vec<ShardStream>,
+    metrics: &mut MetricsCollector,
+    tier: &mut RoutingTier,
+    trace: &Trace,
+) {
+    let mut counter = trace.requests.len() as u64;
+    loop {
+        // Linear min-scan: shard counts are small (<= replicas), so a heap
+        // of heads would cost more than it saves.
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (s, stream) in streams.iter_mut().enumerate() {
+            stream.ensure_head();
+            if let Some(head) = stream.head {
+                if best.is_none_or(|(_, b)| head < b) {
+                    best = Some((s, head));
+                }
+            }
+        }
+        let Some((best, _)) = best else {
+            break;
+        };
+        commit(&mut streams[best], metrics, tier, trace, &mut counter);
+    }
+    // Leftover stamps are normal on truncated runs (deadline / event
+    // budget): committed entries claim seqs for children past the cutoff
+    // that their shard never pops. A run that drains fully consumes all of
+    // them, but the merge cannot tell the cases apart, so no assertion.
+}
+
+/// Commits one entry: claims its children's global seqs and replays its
+/// effects into the collector/tier, in logged (= sequential call) order.
+fn commit(
+    stream: &mut ShardStream,
+    metrics: &mut MetricsCollector,
+    tier: &mut RoutingTier,
+    trace: &Trace,
+    counter: &mut u64,
+) {
+    let (time, _seq) = stream.head.take().expect("commit needs a head");
+    let chunk = stream.chunk.as_ref().expect("head implies a chunk");
+    let entry = chunk.entries[stream.entry];
+    stream.entry += 1;
+    stream
+        .stamper
+        .claim_children(entry.n_children as u64, counter);
+    for effect in &chunk.effects[stream.effect..stream.effect + entry.n_effects as usize] {
+        match effect {
+            Effect::Arrival {
+                id,
+                decode_tokens,
+                tenant,
+            } => metrics.on_arrival(*id, time, *decode_tokens, *tenant),
+            Effect::OpSecs(timing) => metrics.on_op_secs(timing.op_secs()),
+            Effect::GpuBusy(gpu_secs) => metrics.on_gpu_busy(*gpu_secs),
+            Effect::BatchWork {
+                tokens,
+                requests,
+                flops,
+                bytes,
+                first_n,
+            } => {
+                metrics.on_batch_work(*tokens, *requests, *flops, *bytes);
+                for &id in &chunk.ids[stream.id..stream.id + *first_n as usize] {
+                    metrics.mark_first_scheduled(id, time);
+                }
+                stream.id += *first_n as usize;
+            }
+            Effect::KvSample {
+                replica,
+                utilization,
+            } => metrics.on_kv_sample(*replica as usize, time, *utilization),
+            Effect::Retire { replica, n_events } => {
+                let events = &chunk.events[stream.event..stream.event + *n_events as usize];
+                for ev in events {
+                    if ev.finished {
+                        let tr = trace.requests[ev.id as usize];
+                        tier.on_finished(
+                            *replica as usize,
+                            tr.tenant,
+                            tr.prefill_tokens + tr.decode_tokens,
+                        );
+                    }
+                }
+                metrics.on_batch_complete(time, events);
+                stream.event += *n_events as usize;
+            }
+            Effect::FreeKv {
+                replica,
+                free_blocks,
+            } => tier.set_free_kv_blocks(*replica as usize, *free_blocks),
+        }
+    }
+    stream.effect += entry.n_effects as usize;
+}

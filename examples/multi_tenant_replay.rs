@@ -12,9 +12,14 @@
 //!    per-tenant KV quota on the bursty batch tenant — and report
 //!    per-tenant latency/SLO/routing breakdowns.
 //!
+//! 5. Replay the same trace on the parallel sharded engine (estimator
+//!    runtimes, round-robin routing — the sharded fast path) and assert the
+//!    report is byte-identical to the sequential engine's.
+//!
 //! Run with: `cargo run --release --example multi_tenant_replay`
 //! (2 000 requests by default; set `VIDUR_FULL=1` for the 1M-request run,
-//! or `VIDUR_REPLAY_REQUESTS=<n>` for any size).
+//! or `VIDUR_REPLAY_REQUESTS=<n>` for any size; `VIDUR_SHARDS=<k>` picks
+//! the shard count of step 5, default one per replica).
 
 use vidur::prelude::*;
 
@@ -110,7 +115,7 @@ fn main() {
     config.tenant_kv_quota = vec![1.0, 1.0, 0.4];
     println!("deployment : {}", config.label());
     let source = RuntimeSource::Oracle(KernelOracle::new(GpuSku::a100_80g()));
-    let report = ClusterSimulator::new(config, trace, source, 42).run();
+    let report = ClusterSimulator::new(config, trace.clone(), source, 42).run();
 
     println!();
     println!(
@@ -150,5 +155,52 @@ fn main() {
     assert_eq!(
         routed as usize, report.num_requests,
         "every request routes through the tier exactly once"
+    );
+
+    // 5. The parallel sharded engine. The fair-share replay above stays
+    // sequential (stateful routing reads the live load view); this section
+    // reruns the trace on the sharded fast path — estimator runtimes
+    // (jitter-free) with round-robin routing — once per engine, and checks
+    // the contract: reports agree bit for bit, only wall-clock changes.
+    let shards: usize = std::env::var("VIDUR_SHARDS")
+        .map(|v| v.parse().expect("VIDUR_SHARDS must be a number"))
+        .unwrap_or(6);
+    let mut sharded_config = ClusterConfig::new(
+        ModelSpec::llama2_7b(),
+        GpuSku::a100_80g(),
+        ParallelismConfig::serial(),
+        6,
+        SchedulerConfig::new(BatchPolicyKind::Vllm, 256),
+    );
+    sharded_config.tenant_slo = Some(TenantSlo {
+        ttft_secs: 2.0,
+        e2e_per_token_secs: 0.5,
+    });
+    let est = vidur::simulator::onboard(
+        &sharded_config.model,
+        &sharded_config.parallelism,
+        &sharded_config.sku,
+        EstimatorKind::default(),
+    );
+    let est_source = RuntimeSource::Estimator((*est).clone());
+    let timed_run = |shards: usize| {
+        let mut cfg = sharded_config.clone();
+        cfg.shards = shards;
+        let started = std::time::Instant::now();
+        let report = ClusterSimulator::new(cfg, trace.clone(), est_source.clone(), 42).run();
+        (report, started.elapsed())
+    };
+    let (seq_report, seq_wall) = timed_run(1);
+    let (shard_report, shard_wall) = timed_run(shards);
+    assert_eq!(
+        seq_report, shard_report,
+        "sharded replay must be bit-identical to the sequential engine"
+    );
+    println!();
+    println!(
+        "sharded    : {} shards in {:.0} ms vs sequential {:.0} ms — reports bit-identical",
+        shards,
+        shard_wall.as_secs_f64() * 1e3,
+        seq_wall.as_secs_f64() * 1e3,
     );
 }

@@ -371,3 +371,156 @@ fn sketch_metrics_change_only_quantiles() {
         );
     }
 }
+
+/// Estimator source for multi-replica sharded differentials (jitter-free,
+/// so the sharded fast path engages).
+fn estimator_source() -> RuntimeSource {
+    let cfg = base_config();
+    let est = vidur::simulator::onboard(
+        &cfg.model,
+        &cfg.parallelism,
+        &cfg.sku,
+        EstimatorKind::default(),
+    );
+    RuntimeSource::Estimator((*est).clone())
+}
+
+/// Runs `cfg` over `trace` sequentially and with `shards` event-loop
+/// shards; the reports must be **byte-identical** — the sharded engine's
+/// whole contract (see `vidur_simulator::sharded`).
+fn assert_sharded_identical(label: &str, cfg: ClusterConfig, trace: Trace, shards: usize) {
+    let source = estimator_source();
+    let sequential = ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run();
+    let mut sharded_cfg = cfg;
+    sharded_cfg.shards = shards;
+    let sharded = ClusterSimulator::new(sharded_cfg, trace, source, 5).run();
+    assert_eq!(
+        sequential, sharded,
+        "{label}: sharded run must be bit-exact"
+    );
+}
+
+/// The genuine parallel path: 4 replicas round-robin over 4 shards.
+#[test]
+fn sharded_multi_replica_round_robin_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    assert_sharded_identical("rr_4x4", cfg, fixed_trace(200, 8.0, 31), 4);
+}
+
+/// Shard count need not divide the replica count: 4 replicas on 3 shards
+/// exercises uneven deals and the local-index arithmetic.
+#[test]
+fn sharded_uneven_shard_count_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    assert_sharded_identical("rr_4x3", cfg, fixed_trace(200, 8.0, 33), 3);
+}
+
+/// Random routing pre-draws the same RNG sequence when replayed in arrival
+/// order, so it shares the fast path with round-robin.
+#[test]
+fn sharded_random_routing_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.global_policy = GlobalPolicyKind::Random;
+    assert_sharded_identical("random_4x4", cfg, fixed_trace(200, 8.0, 35), 4);
+}
+
+/// Shape-cache off: the sharded engine re-times every batch per shard; the
+/// merge must still replay identically.
+#[test]
+fn sharded_without_plan_cache_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.plan_cache = false;
+    assert_sharded_identical("rr_nocache_2x2", cfg, fixed_trace(150, 6.0, 37), 2);
+}
+
+/// Sketch-mode quantiles stream samples in commit order, which the merge
+/// reproduces exactly — the sketches must end bit-identical too.
+#[test]
+fn sharded_sketch_metrics_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.quantile_mode = QuantileMode::Sketch;
+    assert_sharded_identical("rr_sketch_4x4", cfg, fixed_trace(200, 8.0, 39), 4);
+}
+
+/// A deadline-capped overload: shards truncate independently at the cap and
+/// the merge must still agree with the sequential stop behavior.
+#[test]
+fn sharded_deadline_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.max_sim_time = Some(SimTime::from_secs_f64(15.0));
+    let trace = fixed_trace(600, 60.0, 41);
+    let source = estimator_source();
+    let sequential = ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run();
+    assert!(
+        sequential.completed < 600,
+        "deadline scenario must actually truncate"
+    );
+    cfg.shards = 2;
+    let sharded = ClusterSimulator::new(cfg, trace, source, 5).run();
+    assert_eq!(
+        sequential, sharded,
+        "deadline: sharded run must be bit-exact"
+    );
+}
+
+/// Multi-tenant trace on multi-replica round-robin: per-tenant metrics and
+/// routing stats flow through the merge's tier replay.
+#[test]
+fn sharded_multi_tenant_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.tenant_slo = Some(TenantSlo {
+        ttft_secs: 2.0,
+        e2e_per_token_secs: 0.5,
+    });
+    let trace = multi_tenant_bursty_trace(200, 19);
+    let source = estimator_source();
+    let sequential = ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run();
+    cfg.shards = 4;
+    let sharded = ClusterSimulator::new(cfg, trace, source, 5).run();
+    assert_eq!(
+        sequential, sharded,
+        "multi-tenant: sharded run must be bit-exact"
+    );
+}
+
+/// Off-fast-path configurations silently fall back to the sequential engine,
+/// so `shards > 1` never changes a report anywhere: the oracle source
+/// (jittered), a stateful routing policy, and the single-replica pins all
+/// stay bit-identical with shards requested.
+#[test]
+fn sharded_fallback_keeps_pinned_reports() {
+    // Oracle jitter → fallback; this is the cluster_oracle_seed42 pin.
+    let mut cfg = base_config();
+    cfg.shards = 4;
+    let report = ClusterSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_fingerprint(
+        "cluster_oracle_seed42_sharded",
+        &report,
+        0x4044b9f98e76d0c2,
+        0x3fd0f1caa605d583,
+        0x3f87c9e679ad5143,
+        0x4005f128a0255786,
+        0x3fb31cc55a505cba,
+        3420,
+        71716,
+        0,
+    );
+
+    // Stateful deferred routing → fallback even with the estimator.
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.global_policy = GlobalPolicyKind::Deferred { max_outstanding: 4 };
+    let trace = fixed_trace(100, 4.0, 43);
+    let source = estimator_source();
+    let sequential = ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run();
+    cfg.shards = 2;
+    let sharded = ClusterSimulator::new(cfg, trace, source, 5).run();
+    assert_eq!(sequential, sharded, "deferred policy must fall back");
+}
