@@ -15,6 +15,11 @@
 //!   wall-clock gate only applies when the host actually has ≥ 4 cores
 //!   (`available_parallelism`), since shard threads time-slice on smaller
 //!   machines. The host's core count is recorded in the report.
+//! * `metrics_merge` — the same sharded replay in mergeable-metrics mode
+//!   (per-shard collectors folded at drain) against the exact mode's full
+//!   serial-commit replay. The streamed-effect reduction (≥5×) is asserted
+//!   in-process on every run; the ≥1.3× wall-clock gate, like
+//!   `sharded_replay`'s, binds only on ≥4-core hosts.
 //!
 //! Output: human-readable lines plus machine-readable
 //! `results/BENCH_event_loop.json`. With `BENCH_EVENT_LOOP_BASELINE=<path>`
@@ -34,7 +39,7 @@ use vidur_hardware::GpuSku;
 use vidur_model::{ModelSpec, ParallelismConfig};
 use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
 use vidur_simulator::cluster::RuntimeSource;
-use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator};
+use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator, QuantileMode};
 use vidur_workload::{ArrivalProcess, Trace, TraceWorkload};
 
 /// The queue-churn workload: `arrivals` sorted pre-pushes, then pops with
@@ -124,6 +129,12 @@ struct ScenarioResult {
     optimized_ns: f64,
     reference_ns: f64,
     speedup: f64,
+    /// Event-loop shards of the optimized side (1 for in-process
+    /// microbenchmarks).
+    shards: usize,
+    /// Quantile mode of the optimized side ("n/a" for scenarios that don't
+    /// run the simulator).
+    quantile_mode: String,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -172,6 +183,8 @@ fn main() {
             optimized_ns: pairing_ns / popped as f64,
             reference_ns: binary_ns / popped as f64,
             speedup: binary_ns / pairing_ns,
+            shards: 1,
+            quantile_mode: "n/a".to_string(),
         };
         println!(
             "bench: event_loop/queue_churn   {:>7.1} ns/event (binary heap {:>7.1} ns/event, {:>5.2}x, {} events)",
@@ -208,6 +221,8 @@ fn main() {
             optimized_ns: shard_ns,
             reference_ns: seq_ns,
             speedup: seq_ns / shard_ns,
+            shards: 4,
+            quantile_mode: "exact".to_string(),
         };
         println!(
             "bench: event_loop/sharded_replay {:>6.1} ms (sequential {:>6.1} ms, {:>5.2}x on {} cores, {} requests)",
@@ -220,8 +235,59 @@ fn main() {
         results.push(r);
     }
 
+    // --- metrics_merge: fold-in-the-shards vs full serial-commit replay --
+    {
+        let config = replay_config();
+        let trace = replay_trace(smoke);
+        let est = onboard(
+            &config.model,
+            &config.parallelism,
+            &config.sku,
+            EstimatorKind::default(),
+        );
+        let source = RuntimeSource::Estimator((*est).clone());
+        let run = |mode: QuantileMode| {
+            let mut cfg = config.clone();
+            cfg.shards = 4;
+            cfg.quantile_mode = mode;
+            ClusterSimulator::new(cfg, trace.clone(), source.clone(), 29).run_with_stats()
+        };
+        let (replay_ns, (_, replay_stats)) = best_of(reps, || run(QuantileMode::Exact));
+        let (fold_ns, (_, fold_stats)) = best_of(reps, || run(QuantileMode::Mergeable));
+        // Smoke gate, asserted on every run: the mergeable mode exists to
+        // shrink the serial commit, so the streamed-effect count must drop
+        // at least 5x regardless of host speed.
+        assert!(
+            fold_stats.streamed_effects > 0,
+            "mergeable mode must still stream tier effects"
+        );
+        assert!(
+            replay_stats.streamed_effects >= 5 * fold_stats.streamed_effects,
+            "mergeable mode must stream >=5x fewer effects: replay {} vs fold {}",
+            replay_stats.streamed_effects,
+            fold_stats.streamed_effects
+        );
+        let r = ScenarioResult {
+            name: "metrics_merge".to_string(),
+            optimized_ns: fold_ns,
+            reference_ns: replay_ns,
+            speedup: replay_ns / fold_ns,
+            shards: 4,
+            quantile_mode: "mergeable".to_string(),
+        };
+        println!(
+            "bench: event_loop/metrics_merge  {:>6.1} ms (serial commit {:>6.1} ms, {:>5.2}x, effects {} -> {})",
+            r.optimized_ns / 1e6,
+            r.reference_ns / 1e6,
+            r.speedup,
+            replay_stats.streamed_effects,
+            fold_stats.streamed_effects
+        );
+        results.push(r);
+    }
+
     let report = BenchReport {
-        schema: 1,
+        schema: 2,
         smoke,
         cores,
         scenarios: results,
@@ -289,6 +355,30 @@ fn main() {
             println!(
                 "gate: sharded_replay {:.2}x — skipped ({cores} cores < 4; bit-exactness still asserted)",
                 replay.speedup
+            );
+        }
+
+        let fold = report
+            .scenario("metrics_merge")
+            .expect("metrics_merge scenario present");
+        if cores >= 4 {
+            if fold.speedup < 1.3 {
+                eprintln!(
+                    "FAIL: metrics_merge speedup {:.2}x is below the 1.3x acceptance floor \
+                     ({cores} cores)",
+                    fold.speedup
+                );
+                failed = true;
+            } else {
+                println!(
+                    "gate: metrics_merge {:.2}x on {cores} cores (floor 1.30x) — ok",
+                    fold.speedup
+                );
+            }
+        } else {
+            println!(
+                "gate: metrics_merge {:.2}x — skipped ({cores} cores < 4; effect-count drop still asserted)",
+                fold.speedup
             );
         }
     }

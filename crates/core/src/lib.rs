@@ -23,6 +23,11 @@
 //!   ([`shard::ShardStamper`]), the foundation of the parallel simulator.
 //! * [`metrics`] — streaming metric primitives: an exact quantile digest,
 //!   time-weighted utilization series, and fixed-width histograms.
+//! * [`mergeable`] — mergeable summary sketches: a deterministic t-digest
+//!   ([`mergeable::TDigest`]) whose sealed state is invariant under merge
+//!   order, and a HyperLogLog distinct-count sketch
+//!   ([`mergeable::HyperLogLog`]). These are the building blocks of the
+//!   simulator's fold-in-the-shards metrics mode.
 //!
 //! # Example
 //!
@@ -42,12 +47,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod mergeable;
 pub mod metrics;
 pub mod rng;
 pub mod shard;
 pub mod time;
 
 pub use event::{BaselineQueue, EventPush, EventQueue, KeyedPairingHeap, Simulation};
+pub use mergeable::{HyperLogLog, TDigest};
 pub use metrics::{
     Histogram, P2Quantile, QuantileDigest, QuantileMode, StreamingSummary, TimeWeightedSeries,
 };

@@ -1,0 +1,671 @@
+//! Mergeable summary sketches: a deterministic t-digest and a HyperLogLog.
+//!
+//! The serial-replay metrics path ([`crate::metrics::QuantileDigest`] /
+//! [`crate::metrics::P2Quantile`]) either stores every sample or sketches
+//! them in an order-dependent way — neither state can be *merged* across
+//! threads without replaying the raw stream. This module provides the two
+//! mergeable summaries the sharded simulator folds inside its shards:
+//!
+//! - [`TDigest`]: bounded-memory quantile sketch (Dunning's t-digest with
+//!   the k1 arcsine scale function). The twist relative to textbook
+//!   implementations is *determinism*: [`TDigest::merge`] only concatenates
+//!   centroid lists (no compression), and [`TDigest::seal`] performs one
+//!   canonical compression over the sorted centroid multiset. The sealed
+//!   state is therefore a pure function of the *multiset* of centroids —
+//!   merging per-shard digests in any permutation yields bit-identical
+//!   sealed state and bit-identical quantile reads.
+//! - [`HyperLogLog`]: distinct-count sketch whose merge (element-wise
+//!   register max) is commutative, associative, and idempotent by
+//!   construction.
+//!
+//! Neither sketch keeps a running `f64` sum: float addition is
+//! non-associative, so an internal sum would break merge-order invariance.
+//! Callers that need exact sums keep them alongside, in per-writer slots.
+
+/// One t-digest cluster: a weighted point mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Centroid {
+    /// Weighted mean of the samples folded into this cluster.
+    pub mean: f64,
+    /// Number of samples folded into this cluster.
+    pub weight: u64,
+}
+
+/// Default compression parameter δ. With the k1 scale the sealed digest
+/// holds at most ~δ/2 centroids; δ = 200 keeps mid-quantile rank error
+/// well under 1% in practice.
+pub const DEFAULT_COMPRESSION: f64 = 200.0;
+
+/// How many centroids may accumulate (relative to δ) before `record`
+/// triggers a local compression. Larger factors amortize the sort better;
+/// the trigger is a deterministic function of the stream, so a given
+/// sample sequence always produces the same centroid list.
+const BUFFER_FACTOR: usize = 8;
+
+/// A deterministic merging t-digest (Dunning's sketch, k1 scale function).
+///
+/// Contract:
+/// - `record` appends a weight-1 centroid and compresses locally when the
+///   buffer exceeds `BUFFER_FACTOR × δ` entries. The trigger depends only
+///   on the sample sequence, so identical streams yield identical state.
+/// - `merge` concatenates the other digest's centroids **without**
+///   compressing (compression here would make the result depend on merge
+///   order).
+/// - `seal` sorts the centroid list by `(mean, weight)` and runs one
+///   greedy k1-scale compression pass. Because the sort canonicalizes
+///   order, sealed state — and every quantile read after it — is a pure
+///   function of the centroid multiset, not of the merge permutation.
+/// - `quantile`/`mean` read only sealed digests (panic otherwise), exactly
+///   like [`crate::metrics::QuantileDigest`].
+///
+/// `count`, `min`, and `max` are tracked exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    count: u64,
+    min: f64,
+    max: f64,
+    sealed: bool,
+}
+
+impl Default for TDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TDigest {
+    /// An empty digest with the default compression δ.
+    pub fn new() -> Self {
+        Self::with_compression(DEFAULT_COMPRESSION)
+    }
+
+    /// An empty digest with an explicit compression parameter δ ≥ 20.
+    pub fn with_compression(compression: f64) -> Self {
+        assert!(
+            compression >= 20.0,
+            "t-digest compression must be at least 20"
+        );
+        Self {
+            compression,
+            centroids: Vec::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sealed: false,
+        }
+    }
+
+    /// Fold one sample into the digest.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.centroids.push(Centroid {
+            mean: value,
+            weight: 1,
+        });
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sealed = false;
+        if self.centroids.len() >= BUFFER_FACTOR * self.compression as usize {
+            self.compress();
+        }
+    }
+
+    /// Fold another digest into this one. Centroids are concatenated, not
+    /// compressed: compressing here would make the result depend on the
+    /// merge order. Call [`TDigest::seal`] once all merges are done.
+    ///
+    /// Panics if the two digests use different compression parameters.
+    pub fn merge(&mut self, other: &TDigest) {
+        assert!(
+            self.compression == other.compression,
+            "cannot merge t-digests with different compression ({} vs {})",
+            self.compression,
+            other.compression
+        );
+        if other.count == 0 {
+            return;
+        }
+        self.centroids.extend_from_slice(&other.centroids);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sealed = false;
+    }
+
+    /// Canonically compress the digest: sort centroids by `(mean, weight)`
+    /// and run one greedy k1-scale merge pass. Idempotent: sealing a sealed
+    /// digest is a no-op, so repeated reads stay stable.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.compress();
+        self.sealed = true;
+    }
+
+    /// Number of samples recorded (exact).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether any samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (exact). `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (exact). `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of centroids currently held (sealed: at most ~δ/2).
+    pub fn num_centroids(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The sealed centroid list, for inspection/tests.
+    ///
+    /// Panics when unsealed — the raw buffer is an implementation detail.
+    pub fn centroids(&self) -> &[Centroid] {
+        assert!(self.sealed, "centroids(): seal() the digest first");
+        &self.centroids
+    }
+
+    /// Approximate mean, computed from the sealed centroid list so the
+    /// result is canonical under merge order. Exact sums belong next to the
+    /// digest, in per-writer slots. `None` when empty.
+    ///
+    /// Panics when unsealed.
+    pub fn mean(&self) -> Option<f64> {
+        assert!(self.sealed, "mean(): seal() the digest first");
+        if self.count == 0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for c in &self.centroids {
+            acc += c.mean * c.weight as f64;
+        }
+        Some(acc / self.count as f64)
+    }
+
+    /// Approximate q-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// over cumulative centroid weights, clamped to the exact min/max.
+    /// `None` when empty.
+    ///
+    /// Panics when unsealed or when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(self.sealed, "quantile(): seal() the digest first");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let total = self.count as f64;
+        let rank = q * total;
+        // Each centroid "sits" at the midpoint of its cumulative weight
+        // span; interpolate piecewise-linearly between (0, min),
+        // (mid_i, mean_i)…, (total, max).
+        let mut cum = 0.0;
+        let mut prev_pos = 0.0;
+        let mut prev_val = self.min;
+        for c in &self.centroids {
+            let w = c.weight as f64;
+            let center = cum + w / 2.0;
+            if rank < center {
+                let span = center - prev_pos;
+                let t = if span > 0.0 {
+                    (rank - prev_pos) / span
+                } else {
+                    0.0
+                };
+                return Some((prev_val + t * (c.mean - prev_val)).clamp(self.min, self.max));
+            }
+            cum += w;
+            prev_pos = center;
+            prev_val = c.mean;
+        }
+        let span = total - prev_pos;
+        let t = if span > 0.0 {
+            (rank - prev_pos) / span
+        } else {
+            1.0
+        };
+        Some((prev_val + t * (self.max - prev_val)).clamp(self.min, self.max))
+    }
+
+    /// k1 scale function: k(q) = δ/(2π) · asin(2q − 1). Cluster sizes obey
+    /// k(q_right) − k(q_left) ≤ 1, which concentrates small clusters at the
+    /// tails where quantile accuracy matters most.
+    fn k_scale(&self, q: f64) -> f64 {
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    /// Sort centroids by `(mean, weight)` and greedily merge neighbours
+    /// while the combined cluster stays within one k-unit. The sort makes
+    /// the pass a pure function of the centroid multiset.
+    fn compress(&mut self) {
+        if self.centroids.len() <= 1 {
+            return;
+        }
+        self.centroids.sort_unstable_by(|a, b| {
+            a.mean
+                .partial_cmp(&b.mean)
+                .expect("centroid means are never NaN")
+                .then(a.weight.cmp(&b.weight))
+        });
+        let total = self.count as f64;
+        let mut out: Vec<Centroid> = Vec::with_capacity(self.compression as usize);
+        let mut cur = self.centroids[0];
+        let mut emitted: u64 = 0;
+        for &c in &self.centroids[1..] {
+            let proposed = cur.weight + c.weight;
+            let q_left = emitted as f64 / total;
+            let q_right = (emitted + proposed) as f64 / total;
+            if self.k_scale(q_right) - self.k_scale(q_left) <= 1.0 {
+                // Weighted-mean update over the sorted sequence is
+                // deterministic given the multiset.
+                cur.mean += (c.mean - cur.mean) * (c.weight as f64 / proposed as f64);
+                cur.weight = proposed;
+            } else {
+                emitted += cur.weight;
+                out.push(cur);
+                cur = c;
+            }
+        }
+        out.push(cur);
+        self.centroids = out;
+    }
+}
+
+/// SplitMix64: a cheap, well-mixed 64-bit hash (public-domain constants).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Register-count exponent: 2^10 = 1024 registers ≈ 3.25% standard error.
+const HLL_PRECISION: u32 = 10;
+
+/// A HyperLogLog distinct-count sketch over `u64` keys.
+///
+/// 1024 one-byte registers (~3.25% standard error). Keys are mixed through
+/// SplitMix64, so dense small integers (tenant ids, prefix hashes) spread
+/// uniformly. `merge` takes the element-wise register max, which is
+/// commutative, associative, and idempotent — merging per-shard sketches
+/// in any order yields bit-identical registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+}
+
+impl Default for HyperLogLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HyperLogLog {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self {
+            registers: vec![0; 1 << HLL_PRECISION],
+        }
+    }
+
+    /// Fold one key into the sketch.
+    pub fn insert(&mut self, key: u64) {
+        let h = splitmix64(key);
+        let idx = (h >> (64 - HLL_PRECISION)) as usize;
+        // Rank = position of the first set bit in the remaining stream.
+        let rest = h << HLL_PRECISION;
+        let rank = (rest.leading_zeros() + 1).min(64 - HLL_PRECISION + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Fold another sketch into this one (element-wise register max).
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        for (r, o) in self.registers.iter_mut().zip(&other.registers) {
+            *r = (*r).max(*o);
+        }
+    }
+
+    /// Whether any key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// Estimated number of distinct keys inserted, with the standard
+    /// linear-counting correction for small cardinalities. Deterministic:
+    /// the registers determine the estimate bit for bit.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let mut denom = 0.0;
+        let mut zeros = 0u32;
+        for &r in &self.registers {
+            denom += 1.0 / (1u64 << r) as f64;
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let raw = alpha * m * m / denom;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Linear counting dominates in the small-cardinality regime.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+    use proptest::prelude::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Rank error of an estimate: |#(samples ≤ est)/N − q|.
+    fn rank_error(sorted: &[f64], est: f64, q: f64) -> f64 {
+        let below = sorted.partition_point(|&v| v <= est);
+        (below as f64 / sorted.len() as f64 - q).abs()
+    }
+
+    #[test]
+    fn empty_digest_reads_none() {
+        let mut d = TDigest::new();
+        d.seal();
+        assert!(d.is_empty());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "seal() the digest first")]
+    fn unsealed_quantile_panics() {
+        let mut d = TDigest::new();
+        d.record(1.0);
+        let _ = d.quantile(0.5);
+    }
+
+    #[test]
+    fn small_digest_is_exact_at_extremes() {
+        let mut d = TDigest::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            d.record(v);
+        }
+        d.seal();
+        assert_eq!(d.count(), 5);
+        assert_eq!(d.min(), Some(1.0));
+        assert_eq!(d.max(), Some(5.0));
+        assert_eq!(d.quantile(0.0), Some(1.0));
+        assert_eq!(d.quantile(1.0), Some(5.0));
+        let p50 = d.quantile(0.5).unwrap();
+        assert!((2.0..=4.0).contains(&p50), "p50 {p50} out of range");
+    }
+
+    #[test]
+    fn constant_distribution_is_exact() {
+        let mut d = TDigest::new();
+        for _ in 0..10_000 {
+            d.record(7.25);
+        }
+        d.seal();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(d.quantile(q), Some(7.25), "q={q}");
+        }
+        assert_eq!(d.mean(), Some(7.25));
+    }
+
+    /// Adversarial shapes: rank error must stay within the documented
+    /// bound at the summary quantiles.
+    #[test]
+    fn adversarial_distributions_within_rank_error() {
+        let n = 20_000usize;
+        let mut rng = SimRng::new(17);
+        let shapes: Vec<(&str, Vec<f64>)> = vec![
+            ("monotone ramp", (0..n).map(|i| i as f64).collect()),
+            ("reverse ramp", (0..n).map(|i| (n - i) as f64).collect()),
+            (
+                "bimodal",
+                (0..n)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            1.0 + rng.next_f64()
+                        } else {
+                            1_000.0 + rng.next_f64()
+                        }
+                    })
+                    .collect(),
+            ),
+            (
+                "heavy tail",
+                (0..n)
+                    .map(|_| (-(1.0 - rng.next_f64()).ln()).powi(3))
+                    .collect(),
+            ),
+        ];
+        for (name, samples) in shapes {
+            let mut d = TDigest::new();
+            for &v in &samples {
+                d.record(v);
+            }
+            d.seal();
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.5, 0.9, 0.95, 0.99] {
+                let est = d.quantile(q).unwrap();
+                let err = rank_error(&sorted, est, q);
+                assert!(
+                    err <= 0.02,
+                    "{name}: rank error {err:.4} at q={q} (est {est}, exact {})",
+                    exact_quantile(&sorted, q)
+                );
+            }
+            assert!(
+                d.num_centroids() <= 2 * DEFAULT_COMPRESSION as usize,
+                "{name}: {} centroids after seal",
+                d.num_centroids()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_preserves_exact_count_min_max() {
+        let mut a = TDigest::new();
+        let mut b = TDigest::new();
+        let mut rng = SimRng::new(3);
+        for _ in 0..5_000 {
+            a.record(rng.next_f64() * 100.0);
+        }
+        for _ in 0..3_000 {
+            b.record(-50.0 + rng.next_f64() * 25.0);
+        }
+        let (amin, amax) = (a.min().unwrap(), a.max().unwrap());
+        let (bmin, bmax) = (b.min().unwrap(), b.max().unwrap());
+        a.merge(&b);
+        a.seal();
+        assert_eq!(a.count(), 8_000);
+        assert_eq!(a.min(), Some(amin.min(bmin)));
+        assert_eq!(a.max(), Some(amax.max(bmax)));
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let mut a = TDigest::new();
+        for i in 0..1_000 {
+            a.record(i as f64);
+        }
+        let mut sealed = a.clone();
+        sealed.seal();
+        let empty = TDigest::new();
+        a.merge(&empty);
+        a.seal();
+        assert_eq!(a, sealed);
+
+        let mut e = TDigest::new();
+        e.merge(&sealed);
+        e.seal();
+        assert_eq!(e.count(), sealed.count());
+        for q in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                e.quantile(q).unwrap().to_bits(),
+                sealed.quantile(q).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn seal_is_idempotent() {
+        let mut d = TDigest::new();
+        let mut rng = SimRng::new(9);
+        for _ in 0..10_000 {
+            d.record(rng.next_f64());
+        }
+        d.seal();
+        let snapshot = d.clone();
+        d.seal();
+        assert_eq!(d, snapshot);
+    }
+
+    proptest! {
+        /// The headline invariant: merging per-shard digests in any
+        /// permutation produces bit-identical sealed state.
+        #[test]
+        fn merge_is_permutation_invariant(
+            seed in 0u64..1_000,
+            shards in 2usize..6,
+            n in 1usize..4_000,
+        ) {
+            let mut rng = SimRng::new(seed);
+            let mut parts: Vec<TDigest> = (0..shards).map(|_| TDigest::new()).collect();
+            for i in 0..n {
+                parts[i % shards].record(rng.next_f64() * 1_000.0);
+            }
+            // Forward merge order.
+            let mut fwd = TDigest::new();
+            for p in &parts {
+                fwd.merge(p);
+            }
+            fwd.seal();
+            // A rotated + reversed order.
+            let mut rev = TDigest::new();
+            let rot = seed as usize % shards;
+            for i in (0..shards).rev() {
+                rev.merge(&parts[(i + rot) % shards]);
+            }
+            rev.seal();
+            prop_assert_eq!(&fwd, &rev);
+            for q in [0.25, 0.5, 0.9, 0.99] {
+                prop_assert_eq!(
+                    fwd.quantile(q).unwrap().to_bits(),
+                    rev.quantile(q).unwrap().to_bits()
+                );
+            }
+        }
+
+        /// Merged digests stay within rank-error bounds of the pooled
+        /// exact distribution.
+        #[test]
+        fn merged_digest_tracks_exact(seed in 0u64..500, shards in 1usize..5) {
+            let n = 6_000usize;
+            let mut rng = SimRng::new(seed);
+            let samples: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+            let mut parts: Vec<TDigest> = (0..shards).map(|_| TDigest::new()).collect();
+            for (i, &v) in samples.iter().enumerate() {
+                parts[i % shards].record(v);
+            }
+            let mut merged = TDigest::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            merged.seal();
+            let mut sorted = samples;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.5, 0.9, 0.99] {
+                let err = rank_error(&sorted, merged.quantile(q).unwrap(), q);
+                prop_assert!(err <= 0.03, "rank error {} at q={}", err, q);
+            }
+        }
+    }
+
+    #[test]
+    fn hll_estimates_within_tolerance() {
+        for n in [10u64, 100, 1_000, 10_000, 100_000] {
+            let mut h = HyperLogLog::new();
+            for k in 0..n {
+                h.insert(k);
+            }
+            let est = h.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(
+                rel < 0.11,
+                "n={n}: estimate {est:.0} off by {:.1}%",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn hll_empty_estimates_zero() {
+        let h = HyperLogLog::new();
+        assert!(h.is_empty());
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn hll_insert_is_idempotent() {
+        let mut h = HyperLogLog::new();
+        for _ in 0..1_000 {
+            h.insert(42);
+        }
+        let est = h.estimate();
+        assert!((0.5..=1.5).contains(&est), "single key estimates {est}");
+    }
+
+    proptest! {
+        /// Merge is a union: merging disjoint sketches equals inserting
+        /// the union, and the operation is commutative and idempotent.
+        #[test]
+        fn hll_merge_is_union(a_n in 1u64..5_000, b_n in 1u64..5_000) {
+            let mut a = HyperLogLog::new();
+            let mut b = HyperLogLog::new();
+            let mut union = HyperLogLog::new();
+            for k in 0..a_n {
+                a.insert(k);
+                union.insert(k);
+            }
+            for k in 1_000_000..1_000_000 + b_n {
+                b.insert(k);
+                union.insert(k);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert_eq!(&ab, &union);
+            let mut twice = ab.clone();
+            twice.merge(&ab);
+            prop_assert_eq!(&twice, &ab);
+        }
+    }
+}

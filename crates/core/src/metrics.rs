@@ -231,6 +231,14 @@ pub enum QuantileMode {
     /// O(1) memory per distribution, approximate mid-quantiles, exact
     /// count/sum/min/max. For very long runs (per-token TBT streams).
     Sketch,
+    /// Fold samples into mergeable t-digests ([`crate::mergeable::TDigest`]):
+    /// bounded memory, approximate mid-quantiles, exact
+    /// count/sum/min/max — and collectors can be *merged*, so the sharded
+    /// simulator aggregates metrics inside the shards and folds the partial
+    /// collectors at drain. Reports are invariant under merge order (any
+    /// shard count yields identical bytes) but are not bit-comparable with
+    /// the other two modes.
+    Mergeable,
 }
 
 /// A single-quantile P² estimator (Jain & Chlamtac, 1985): approximates one
@@ -580,6 +588,36 @@ impl TimeWeightedSeries {
         Some(acc / total)
     }
 
+    /// Time-weighted mean of the value over the window `[start, end)`.
+    /// The integration starts at `max(start, first change-point)`; returns
+    /// `None` when that leaves an empty span (series empty, or `end` not
+    /// after the first change-point / `start`).
+    pub fn window_mean(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        let first = self.points.first()?.0;
+        let lo = start.max(first);
+        if end <= lo {
+            return None;
+        }
+        let total = end.duration_since(lo).as_secs_f64();
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let t0 = w[0].0.max(lo);
+            let t1 = w[1].0.min(end);
+            if t1 > t0 {
+                acc += w[0].1 * t1.duration_since(t0).as_secs_f64();
+            }
+            if w[1].0 >= end {
+                return Some(acc / total);
+            }
+        }
+        let (t_last, v_last) = *self.points.last()?;
+        let t0 = t_last.max(lo);
+        if end > t0 {
+            acc += v_last * end.duration_since(t0).as_secs_f64();
+        }
+        Some(acc / total)
+    }
+
     /// Maximum recorded value.
     pub fn max_value(&self) -> Option<f64> {
         self.points
@@ -918,6 +956,37 @@ mod tests {
         let m = s.time_weighted_mean(SimTime::from_secs_f64(4.0)).unwrap();
         // 1.0 for 2s + 3.0 for 2s over 4s = 2.0
         assert!((m - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_window_mean() {
+        let mut s = TimeWeightedSeries::new();
+        s.record(SimTime::from_secs_f64(1.0), 2.0);
+        s.record(SimTime::from_secs_f64(3.0), 6.0);
+        // Window [2, 5): 2.0 for 1s + 6.0 for 2s over 3s.
+        let m = s
+            .window_mean(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(5.0))
+            .unwrap();
+        assert!((m - 14.0 / 3.0).abs() < 1e-9);
+        // Window entirely before the first change-point.
+        assert_eq!(
+            s.window_mean(SimTime::ZERO, SimTime::from_secs_f64(1.0)),
+            None
+        );
+        // Window clipped to start at the first change-point.
+        let clipped = s
+            .window_mean(SimTime::ZERO, SimTime::from_secs_f64(3.0))
+            .unwrap();
+        assert!((clipped - 2.0).abs() < 1e-9);
+        // Window after the last change-point takes the tail value.
+        let tail = s
+            .window_mean(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(11.0))
+            .unwrap();
+        assert!((tail - 6.0).abs() < 1e-9);
+        assert_eq!(
+            TimeWeightedSeries::new().window_mean(SimTime::ZERO, SimTime::MAX),
+            None
+        );
     }
 
     #[test]

@@ -151,6 +151,8 @@ mod tests {
             energy_wh_per_request: 0.0,
             operator_time_breakdown: Vec::new(),
             per_tenant: Vec::new(),
+            timeseries: Vec::new(),
+            distinct_tenants_est: None,
         }
     }
 

@@ -33,6 +33,21 @@ pub enum SimEvent {
     BatchComplete(u32, u64),
 }
 
+/// Execution statistics for one simulation run — how the event loop ran, as
+/// opposed to what the simulation measured (the [`SimulationReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Event-loop shards actually used (1 = the sequential engine, either
+    /// because sharding was off or the configuration fell off the fast
+    /// path).
+    pub shards: usize,
+    /// Effects the shards streamed through the serial merger. In
+    /// exact/sketch modes every metric effect replays serially; in
+    /// mergeable mode only tier-relevant effects stream, so this drops by
+    /// an order of magnitude. Zero on sequential runs (nothing streams).
+    pub streamed_effects: u64,
+}
+
 /// The cluster simulator. Construct with [`ClusterSimulator::new`], run with
 /// [`ClusterSimulator::run`].
 pub struct ClusterSimulator {
@@ -160,22 +175,35 @@ impl ClusterSimulator {
     /// With [`ClusterConfig::shards`] above 1 and a configuration on the
     /// sharded fast path (see [`crate::sharded`]), the event loop runs one
     /// shard per thread; reports are bit-identical to the sequential run.
-    pub fn run(mut self) -> SimulationReport {
+    pub fn run(self) -> SimulationReport {
+        self.run_with_stats().0
+    }
+
+    /// Like [`ClusterSimulator::run`], but also reports how the event loop
+    /// executed — shard count and serial-commit volume ([`RunStats`]). The
+    /// report is identical to the one `run` returns.
+    pub fn run_with_stats(mut self) -> (SimulationReport, RunStats) {
         let shards = self.config.shards.min(self.config.num_replicas);
+        let mut stats = RunStats {
+            shards: 1,
+            streamed_effects: 0,
+        };
         if shards > 1 && crate::sharded::eligible(&self.config, self.engine.timer().jitters()) {
-            crate::sharded::run_sharded(&mut self, shards);
+            stats.shards = shards;
+            stats.streamed_effects = crate::sharded::run_sharded(&mut self, shards);
         } else {
             let arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
             engine::drive(&mut self, arrivals);
         }
         let routing = routing_stats(&self.tier, &self.replicas);
         self.engine.metrics.set_tenant_routing(routing);
-        self.engine.finish(
+        let report = self.engine.finish(
             self.trace.len(),
             &self.config.sku,
             self.config.total_gpus(),
             self.replicas.iter(),
-        )
+        );
+        (report, stats)
     }
 
     /// The tier's routing key for trace request `idx`.

@@ -1,6 +1,6 @@
 //! Cluster / deployment configuration — the "Simulation Spec" of Figure 2.
 
-use crate::metrics::TenantSlo;
+use crate::metrics::{TenantSlo, TimeseriesConfig};
 use serde::{Deserialize, Serialize};
 use vidur_core::metrics::QuantileMode;
 use vidur_core::time::SimTime;
@@ -61,7 +61,11 @@ pub struct ClusterConfig {
     /// quantiles are exact and bit-reproducible; [`QuantileMode::Sketch`]
     /// streams samples through P² marker sketches and retires per-request
     /// records as they complete, bounding metrics memory on very long runs
-    /// (per-token TBT streams) at the cost of approximate mid-quantiles.
+    /// (per-token TBT streams) at the cost of approximate mid-quantiles;
+    /// [`QuantileMode::Mergeable`] folds latencies into per-replica t-digest
+    /// slots so per-shard collectors merge into one report — reports are
+    /// invariant under merge order (identical bytes for any shard count) but
+    /// not bit-comparable with the other two modes.
     pub quantile_mode: QuantileMode,
     /// Latency SLO judged per completed request for the per-tenant
     /// attainment column of the report. Only consulted on multi-tenant
@@ -86,6 +90,11 @@ pub struct ClusterConfig {
     /// else silently falls back to the sequential engine. Reports are
     /// bit-identical either way (see `vidur_simulator::sharded`).
     pub shards: usize,
+    /// Windowed time-series output: when set, the report's `timeseries`
+    /// field carries one row per wall-clock window (throughput, TTFT p99,
+    /// mean KV occupancy). Only populated in [`QuantileMode::Mergeable`];
+    /// the other modes ignore it.
+    pub timeseries: Option<TimeseriesConfig>,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -130,6 +139,7 @@ impl ClusterConfig {
             tenant_weights: Vec::new(),
             tenant_kv_quota: Vec::new(),
             shards: 1,
+            timeseries: None,
         }
     }
 

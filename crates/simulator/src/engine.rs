@@ -145,12 +145,15 @@ impl EngineReplica {
 /// sequential run.
 pub trait EngineSink {
     /// A batch's cached plan timing was applied (per-operator attribution).
-    fn on_batch_timed(&mut self, timing: &Arc<PlanTiming>);
+    /// `replica` is the metrics-replica index the batch ran on — the
+    /// mergeable collector keys its single-writer fold slots by it.
+    fn on_batch_timed(&mut self, replica: usize, timing: &Arc<PlanTiming>);
     /// GPU-busy seconds for a scheduled batch (stage time × TP GPUs).
-    fn on_gpu_busy(&mut self, gpu_secs: f64);
+    fn on_gpu_busy(&mut self, replica: usize, gpu_secs: f64);
     /// A batch was formed and launched.
     fn on_batch_scheduled(
         &mut self,
+        replica: usize,
         now: SimTime,
         batch: &BatchComposition,
         flops: f64,
@@ -159,30 +162,31 @@ pub trait EngineSink {
     /// A replica's KV occupancy changed.
     fn on_kv_sample(&mut self, replica: usize, now: SimTime, utilization: f64);
     /// A batch finished and produced completion events.
-    fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]);
+    fn on_batch_complete(&mut self, replica: usize, now: SimTime, events: &[CompletionEvent]);
 }
 
 impl EngineSink for MetricsCollector {
-    fn on_batch_timed(&mut self, timing: &Arc<PlanTiming>) {
-        self.on_op_secs(timing.op_secs());
+    fn on_batch_timed(&mut self, replica: usize, timing: &Arc<PlanTiming>) {
+        self.on_op_secs(replica, timing.op_secs());
     }
-    fn on_gpu_busy(&mut self, gpu_secs: f64) {
-        MetricsCollector::on_gpu_busy(self, gpu_secs);
+    fn on_gpu_busy(&mut self, replica: usize, gpu_secs: f64) {
+        MetricsCollector::on_gpu_busy(self, replica, gpu_secs);
     }
     fn on_batch_scheduled(
         &mut self,
+        replica: usize,
         now: SimTime,
         batch: &BatchComposition,
         flops: f64,
         bytes: f64,
     ) {
-        MetricsCollector::on_batch_scheduled(self, now, batch, flops, bytes);
+        MetricsCollector::on_batch_scheduled(self, replica, now, batch, flops, bytes);
     }
     fn on_kv_sample(&mut self, replica: usize, now: SimTime, utilization: f64) {
         MetricsCollector::on_kv_sample(self, replica, now, utilization);
     }
-    fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]) {
-        MetricsCollector::on_batch_complete(self, now, events);
+    fn on_batch_complete(&mut self, replica: usize, now: SimTime, events: &[CompletionEvent]) {
+        MetricsCollector::on_batch_complete(self, replica, now, events);
     }
 }
 
@@ -341,13 +345,13 @@ impl EngineCore {
             // and the stochastic CPU overhead draws after the lookup, so
             // reports are byte-identical with the cache on or off.
             let timing = self.timer.time_batch(&batch);
-            sink.on_batch_timed(&timing);
+            sink.on_batch_timed(metrics_idx, &timing);
             let overhead = self.cpu_overhead();
             self.scratch_secs.clear();
             self.scratch_secs.extend_from_slice(timing.stage_secs());
             self.scratch_secs[0] += overhead;
             let busy: f64 = self.scratch_secs.iter().sum();
-            sink.on_gpu_busy(busy * self.tp_gpus);
+            sink.on_gpu_busy(metrics_idx, busy * self.tp_gpus);
             self.scratch_durations.clear();
             self.scratch_durations.extend(
                 self.scratch_secs
@@ -356,7 +360,7 @@ impl EngineCore {
             );
             let completion = replica.pipeline.schedule(now, &self.scratch_durations);
             let bytes = bytes_of(&batch);
-            sink.on_batch_scheduled(now, &batch, timing.model_flops(), bytes);
+            sink.on_batch_scheduled(metrics_idx, now, &batch, timing.model_flops(), bytes);
             sink.on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
             self.launched += 1;
             let id = self.inflight.insert(batch);
@@ -390,7 +394,7 @@ impl EngineCore {
         for ev in events.iter_mut() {
             translate(ev, queue);
         }
-        sink.on_batch_complete(now, &events);
+        sink.on_batch_complete(metrics_idx, now, &events);
         self.events_scratch = events;
         replica.scheduler.recycle_batch(batch);
     }
@@ -432,6 +436,9 @@ impl BatchEngine {
         let mut metrics = MetricsCollector::with_mode(metrics_replicas, config.quantile_mode);
         if let Some(la) = config.late_abort {
             metrics.set_late_limit(la.delay_limit_secs);
+        }
+        if let Some(ts) = config.timeseries {
+            metrics.set_timeseries(ts);
         }
         BatchEngine {
             metrics,

@@ -41,13 +41,14 @@ pub mod onboarding;
 pub mod sharded;
 pub mod timing;
 
-pub use cluster::ClusterSimulator;
+pub use cluster::{ClusterSimulator, RunStats};
 pub use config::ClusterConfig;
 pub use disagg::{DisaggConfig, DisaggSimulator};
 pub use engine::{BatchEngine, EngineReplica, RuntimeSource};
 pub use fidelity::{run_fidelity_pair, FidelityReport};
 pub use metrics::{
     DigestSummary, MetricsCollector, SimulationReport, TenantReport, TenantRoutingStats, TenantSlo,
+    TimeseriesConfig, TimeseriesRow,
 };
 pub use onboarding::{onboard, onboard_timer};
 pub use timing::{CacheStats, StageTimer};

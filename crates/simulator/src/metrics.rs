@@ -6,6 +6,7 @@
 //! statistics, and preemption counts.
 
 use serde::{Deserialize, Serialize};
+use vidur_core::mergeable::{HyperLogLog, TDigest};
 use vidur_core::metrics::{QuantileDigest, QuantileMode, StreamingSummary, TimeWeightedSeries};
 use vidur_core::time::SimTime;
 use vidur_model::batch::BatchComposition;
@@ -63,6 +64,88 @@ impl DigestSummary {
     }
 }
 
+/// The shared contract every latency-distribution sink satisfies: fold
+/// samples in, read one summary out. Whether a sink needs an internal
+/// sort-before-read step ([`QuantileDigest::seal`], [`TDigest::seal`]) is
+/// its own business — `summarize` hides it, so sinks that don't have a
+/// seal seam (the P² sketch) don't inherit one.
+trait DistributionSink {
+    /// Folds one sample into the sink.
+    fn record_sample(&mut self, value: f64);
+    /// Summarizes everything recorded so far (zeros if empty).
+    fn summarize(&mut self) -> DigestSummary;
+}
+
+impl DistributionSink for QuantileDigest {
+    fn record_sample(&mut self, value: f64) {
+        self.record(value);
+    }
+
+    fn summarize(&mut self) -> DigestSummary {
+        DigestSummary::from_digest(self)
+    }
+}
+
+impl DistributionSink for StreamingSummary {
+    fn record_sample(&mut self, value: f64) {
+        self.record(value);
+    }
+
+    fn summarize(&mut self) -> DigestSummary {
+        DigestSummary::from_streaming(self)
+    }
+}
+
+/// The mergeable latency sink: a deterministic t-digest for quantiles plus
+/// an exact running sum (kept outside the digest — the digest's state must
+/// be a pure function of the sample multiset, and an internal f64 sum
+/// would not be). One `MergeSink` is only ever written by a single replica
+/// stream, so its sum and digest are bit-reproducible; cross-replica
+/// aggregation goes through [`MergeSink::merge`] in replica-index order.
+#[derive(Debug, Clone, Default)]
+struct MergeSink {
+    digest: TDigest,
+    sum: f64,
+}
+
+impl MergeSink {
+    fn new() -> Self {
+        MergeSink::default()
+    }
+
+    /// Folds another sink into this one. Digest centroids concatenate
+    /// (canonical compression happens once, inside `summarize`); the sum
+    /// add is exact in the single-writer discipline because one side is
+    /// always untouched (`x + 0.0 == x` for the non-negative latencies
+    /// recorded here).
+    fn merge(&mut self, other: &MergeSink) {
+        self.digest.merge(&other.digest);
+        self.sum += other.sum;
+    }
+}
+
+impl DistributionSink for MergeSink {
+    fn record_sample(&mut self, value: f64) {
+        self.digest.record(value);
+        self.sum += value;
+    }
+
+    fn summarize(&mut self) -> DigestSummary {
+        if self.digest.is_empty() {
+            return DigestSummary::default();
+        }
+        self.digest.seal();
+        DigestSummary {
+            mean: self.sum / self.digest.count() as f64,
+            p50: self.digest.quantile(0.5).unwrap_or(0.0),
+            p90: self.digest.quantile(0.9).unwrap_or(0.0),
+            p95: self.digest.quantile(0.95).unwrap_or(0.0),
+            p99: self.digest.quantile(0.99).unwrap_or(0.0),
+            max: self.digest.max().unwrap_or(0.0),
+        }
+    }
+}
+
 /// A latency-distribution sink that is either exact or bounded-memory,
 /// per [`QuantileMode`].
 #[derive(Debug, Clone)]
@@ -71,6 +154,10 @@ enum StatSink {
     // Boxed: the sketch variant carries 16 P² markers inline (~576 bytes)
     // while the exact variant is a Vec header.
     Sketch(Box<StreamingSummary>),
+    /// Inert placeholder: in mergeable mode every latency folds into a
+    /// per-replica [`MergeSink`] slot (see [`MergeableState`]), never into
+    /// a collector-global sink — recording here is a logic error.
+    Mergeable,
 }
 
 impl StatSink {
@@ -78,20 +165,27 @@ impl StatSink {
         match mode {
             QuantileMode::Exact => StatSink::Exact(QuantileDigest::new()),
             QuantileMode::Sketch => StatSink::Sketch(Box::new(StreamingSummary::new())),
+            QuantileMode::Mergeable => StatSink::Mergeable,
         }
     }
 
     fn record(&mut self, value: f64) {
         match self {
-            StatSink::Exact(d) => d.record(value),
-            StatSink::Sketch(s) => s.record(value),
+            StatSink::Exact(d) => d.record_sample(value),
+            StatSink::Sketch(s) => s.record_sample(value),
+            StatSink::Mergeable => {
+                unreachable!("mergeable-mode latencies fold into per-replica slots")
+            }
         }
     }
 
     fn summary(&mut self) -> DigestSummary {
         match self {
-            StatSink::Exact(d) => DigestSummary::from_digest(d),
-            StatSink::Sketch(s) => DigestSummary::from_streaming(s),
+            StatSink::Exact(d) => d.summarize(),
+            StatSink::Sketch(s) => s.summarize(),
+            StatSink::Mergeable => {
+                unreachable!("mergeable-mode summaries fold from per-replica slots")
+            }
         }
     }
 }
@@ -198,6 +292,184 @@ impl RequestSinks {
     }
 }
 
+/// Windowed time-series output configuration (mergeable mode only): the
+/// report gains one [`TimeseriesRow`] per `window_secs` of simulated time,
+/// so long diurnal runs yield a trajectory, not just end-of-run aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesConfig {
+    /// Window width in simulated seconds (e.g. `60.0` for per-minute rows).
+    pub window_secs: f64,
+}
+
+impl TimeseriesConfig {
+    /// Per-minute rows, the conventional granularity.
+    pub fn per_minute() -> Self {
+        TimeseriesConfig { window_secs: 60.0 }
+    }
+}
+
+/// One window of the report's time series. Requests are binned by their
+/// *completion* time; the TTFT quantile covers requests completing in the
+/// window, and KV occupancy is the time-weighted mean over the window
+/// averaged across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeseriesRow {
+    /// Window start, simulated seconds.
+    pub window_start_secs: f64,
+    /// Requests completed in this window.
+    pub completed: u64,
+    /// `completed / window_secs`.
+    pub throughput_qps: f64,
+    /// p99 time-to-first-token of requests completing in this window
+    /// (0 when none recorded a TTFT).
+    pub ttft_p99: f64,
+    /// Time-weighted mean KV-cache occupancy over the window, averaged
+    /// across replicas with data in the window.
+    pub kv_occupancy: f64,
+}
+
+/// Per-tenant mergeable latency slots (one set per replica).
+#[derive(Debug, Clone, Default)]
+struct TenantFold {
+    ttft: MergeSink,
+    e2e: MergeSink,
+}
+
+/// One time-series window's per-replica state.
+#[derive(Debug, Clone, Default)]
+struct WindowFold {
+    completed: u64,
+    ttft: TDigest,
+}
+
+/// One replica's slice of the mergeable fold. Every `f64` accumulator and
+/// every digest is keyed by the replica that produced it — the
+/// single-writer discipline that makes the whole collector a pure fold:
+/// a replica's event stream is identical under any shard count, so each
+/// slot's bits are identical, and the report folds slots in replica-index
+/// order. Only commutative integer state (counts, maxima) lives outside
+/// these slots.
+#[derive(Debug, Clone)]
+struct ReplicaFold {
+    busy_gpu_secs: f64,
+    flops: f64,
+    bytes: f64,
+    op_secs: [f64; Operator::ALL.len()],
+    tbt: MergeSink,
+    sched_delay: MergeSink,
+    ttft: MergeSink,
+    norm_e2e: MergeSink,
+    norm_exec: MergeSink,
+    e2e: MergeSink,
+    /// Tenant-id-indexed latency slots; grows on demand.
+    tenants: Vec<TenantFold>,
+    /// Window-indexed time-series state; grows on demand.
+    windows: Vec<WindowFold>,
+}
+
+impl ReplicaFold {
+    fn new() -> Self {
+        ReplicaFold {
+            busy_gpu_secs: 0.0,
+            flops: 0.0,
+            bytes: 0.0,
+            op_secs: [0.0; Operator::ALL.len()],
+            tbt: MergeSink::new(),
+            sched_delay: MergeSink::new(),
+            ttft: MergeSink::new(),
+            norm_e2e: MergeSink::new(),
+            norm_exec: MergeSink::new(),
+            e2e: MergeSink::new(),
+            tenants: Vec::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    fn tenant_entry(&mut self, idx: usize) -> &mut TenantFold {
+        while self.tenants.len() <= idx {
+            self.tenants.push(TenantFold::default());
+        }
+        &mut self.tenants[idx]
+    }
+
+    /// Folds another replica slot into this one. Exact for the f64 fields
+    /// under the single-writer discipline (one side is always zero).
+    fn merge(&mut self, other: &ReplicaFold) {
+        self.busy_gpu_secs += other.busy_gpu_secs;
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+        for (acc, s) in self.op_secs.iter_mut().zip(&other.op_secs) {
+            *acc += s;
+        }
+        self.tbt.merge(&other.tbt);
+        self.sched_delay.merge(&other.sched_delay);
+        self.ttft.merge(&other.ttft);
+        self.norm_e2e.merge(&other.norm_e2e);
+        self.norm_exec.merge(&other.norm_exec);
+        self.e2e.merge(&other.e2e);
+        for (idx, tf) in other.tenants.iter().enumerate() {
+            let mine = self.tenant_entry(idx);
+            mine.ttft.merge(&tf.ttft);
+            mine.e2e.merge(&tf.e2e);
+        }
+        while self.windows.len() < other.windows.len() {
+            self.windows.push(WindowFold::default());
+        }
+        for (mine, w) in self.windows.iter_mut().zip(&other.windows) {
+            mine.completed += w.completed;
+            mine.ttft.merge(&w.ttft);
+        }
+    }
+}
+
+/// The collector-wide mergeable state: per-replica single-writer slots plus
+/// the (commutatively) mergeable distinct-tenant sketch. `Some` iff the
+/// collector runs in [`QuantileMode::Mergeable`].
+#[derive(Debug, Clone)]
+struct MergeableState {
+    replicas: Vec<ReplicaFold>,
+    distinct_tenants: HyperLogLog,
+    window_secs: Option<f64>,
+}
+
+impl MergeableState {
+    fn new(num_replicas: usize) -> Self {
+        MergeableState {
+            replicas: vec![ReplicaFold::new(); num_replicas],
+            distinct_tenants: HyperLogLog::new(),
+            window_secs: None,
+        }
+    }
+
+    /// Retires one finished request into `replica`'s slots (and its
+    /// completion-time window when the time series is armed).
+    fn on_completion(&mut self, replica: usize, now: SimTime, rec: &RequestRecord) {
+        let lat = rec.latencies();
+        let r = &mut self.replicas[replica];
+        if let Some(w) = self.window_secs {
+            let idx = (now.as_secs_f64() / w) as usize;
+            while r.windows.len() <= idx {
+                r.windows.push(WindowFold::default());
+            }
+            let win = &mut r.windows[idx];
+            win.completed += 1;
+            if let Some(t) = lat.as_ref().and_then(|l| l.ttft) {
+                win.ttft.record(t);
+            }
+        }
+        let Some(l) = lat else {
+            return;
+        };
+        r.sched_delay.record_sample(l.sched_delay);
+        if let Some(t) = l.ttft {
+            r.ttft.record_sample(t);
+        }
+        r.e2e.record_sample(l.e2e);
+        r.norm_e2e.record_sample(l.norm_e2e);
+        r.norm_exec.record_sample(l.norm_exec);
+    }
+}
+
 /// Everything a simulation run reports (the "Simulation Report" of Fig. 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -250,6 +522,13 @@ pub struct SimulationReport {
     /// Per-tenant latency/SLO breakdowns, tenant-id order. Empty unless the
     /// driving simulator armed tenant tracking (multi-tenant traces).
     pub per_tenant: Vec<TenantReport>,
+    /// Windowed time-series rows ([`TimeseriesConfig`]). Only populated in
+    /// [`QuantileMode::Mergeable`] with a time series armed; empty
+    /// otherwise.
+    pub timeseries: Vec<TimeseriesRow>,
+    /// HyperLogLog estimate of distinct tenant ids seen across arrivals.
+    /// `Some` only in [`QuantileMode::Mergeable`].
+    pub distinct_tenants_est: Option<f64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -314,6 +593,9 @@ pub struct MetricsCollector {
     tbt: StatSink,
     /// `Some` iff the collector runs in [`QuantileMode::Sketch`].
     request_sinks: Option<RequestSinks>,
+    /// `Some` iff the collector runs in [`QuantileMode::Mergeable`]: the
+    /// per-replica fold slots everything mergeable accumulates into.
+    fold: Option<MergeableState>,
     mode: QuantileMode,
     /// Per-tenant accumulation, armed by [`MetricsCollector::set_tenants`];
     /// stays empty (and costs nothing) on single-tenant runs.
@@ -350,9 +632,10 @@ impl MetricsCollector {
             records: IdSlab::new(),
             tbt: StatSink::new(mode),
             request_sinks: match mode {
-                QuantileMode::Exact => None,
+                QuantileMode::Exact | QuantileMode::Mergeable => None,
                 QuantileMode::Sketch => Some(RequestSinks::new()),
             },
+            fold: (mode == QuantileMode::Mergeable).then(|| MergeableState::new(num_replicas)),
             mode,
             tenants: Vec::new(),
             track_tenants: false,
@@ -385,6 +668,24 @@ impl MetricsCollector {
     /// Requests first-scheduled later than the armed limit.
     pub fn late_count(&self) -> usize {
         self.late_count
+    }
+
+    /// Arms windowed time-series reporting ([`TimeseriesConfig`]). Only
+    /// effective in [`QuantileMode::Mergeable`] — the other modes' reports
+    /// are pinned bit-exactly and carry no rows; arming them is a no-op.
+    pub fn set_timeseries(&mut self, config: TimeseriesConfig) {
+        assert!(
+            config.window_secs > 0.0,
+            "time-series window must be positive"
+        );
+        if let Some(fold) = self.fold.as_mut() {
+            fold.window_secs = Some(config.window_secs);
+        }
+    }
+
+    /// The collector's quantile mode.
+    pub fn mode(&self) -> QuantileMode {
+        self.mode
     }
 
     /// Arms per-tenant breakdown reporting: `names` maps tenant ids to
@@ -421,21 +722,33 @@ impl MetricsCollector {
     }
 
     /// Accounts GPU-busy seconds for a scheduled batch (stage time x GPUs
-    /// in the stage's TP group, summed over stages).
-    pub fn on_gpu_busy(&mut self, gpu_secs: f64) {
-        self.busy_gpu_secs += gpu_secs;
+    /// in the stage's TP group, summed over stages). `replica` keys the
+    /// mergeable fold's single-writer slot; exact/sketch modes keep one
+    /// global accumulator (bit-compatible with the pre-replica behavior).
+    pub fn on_gpu_busy(&mut self, replica: usize, gpu_secs: f64) {
+        match self.fold.as_mut() {
+            Some(fold) => fold.replicas[replica].busy_gpu_secs += gpu_secs,
+            None => self.busy_gpu_secs += gpu_secs,
+        }
     }
 
     /// Attributes predicted execution time to an operator.
-    pub fn on_op_time(&mut self, op: Operator, secs: f64) {
-        self.op_secs[op.index()] += secs;
+    pub fn on_op_time(&mut self, replica: usize, op: Operator, secs: f64) {
+        match self.fold.as_mut() {
+            Some(fold) => fold.replicas[replica].op_secs[op.index()] += secs,
+            None => self.op_secs[op.index()] += secs,
+        }
     }
 
     /// Attributes one batch's per-operator time totals (indexed by
     /// [`Operator::index`]) in a single pass — the cached-timing replay
     /// path.
-    pub fn on_op_secs(&mut self, secs: &[f64; Operator::ALL.len()]) {
-        for (acc, s) in self.op_secs.iter_mut().zip(secs) {
+    pub fn on_op_secs(&mut self, replica: usize, secs: &[f64; Operator::ALL.len()]) {
+        let acc = match self.fold.as_mut() {
+            Some(fold) => &mut fold.replicas[replica].op_secs,
+            None => &mut self.op_secs,
+        };
+        for (acc, s) in acc.iter_mut().zip(secs) {
             *acc += s;
         }
     }
@@ -455,6 +768,9 @@ impl MetricsCollector {
                 completed: None,
             },
         );
+        if let Some(fold) = self.fold.as_mut() {
+            fold.distinct_tenants.insert(tenant as u64);
+        }
         if self.track_tenants {
             self.tenant_entry(tenant).arrived += 1;
         }
@@ -463,12 +779,14 @@ impl MetricsCollector {
     /// Marks requests in a freshly scheduled batch and accounts batch work.
     pub fn on_batch_scheduled(
         &mut self,
+        replica: usize,
         now: SimTime,
         batch: &BatchComposition,
         flops: f64,
         bytes: f64,
     ) {
         self.on_batch_work(
+            replica,
             batch.total_query_tokens(),
             batch.num_requests() as u64,
             flops,
@@ -493,12 +811,28 @@ impl MetricsCollector {
     /// half of [`on_batch_scheduled`](Self::on_batch_scheduled), split out
     /// so the sharded commit loop can replay it from an effect log without
     /// materializing the batch.
-    pub(crate) fn on_batch_work(&mut self, tokens: u64, requests: u64, flops: f64, bytes: f64) {
+    pub(crate) fn on_batch_work(
+        &mut self,
+        replica: usize,
+        tokens: u64,
+        requests: u64,
+        flops: f64,
+        bytes: f64,
+    ) {
         self.total_batches += 1;
         self.total_tokens += tokens;
         self.total_batch_requests += requests;
-        self.flops += flops;
-        self.bytes += bytes;
+        match self.fold.as_mut() {
+            Some(fold) => {
+                let r = &mut fold.replicas[replica];
+                r.flops += flops;
+                r.bytes += bytes;
+            }
+            None => {
+                self.flops += flops;
+                self.bytes += bytes;
+            }
+        }
     }
 
     /// Single authority for first-schedule marking and late accounting: the
@@ -520,10 +854,11 @@ impl MetricsCollector {
         }
     }
 
-    /// Applies completion events from a finished batch. In sketch mode,
-    /// finished requests stream their request-level latencies into the
-    /// bounded sinks immediately and their records are dropped.
-    pub fn on_batch_complete(&mut self, now: SimTime, events: &[CompletionEvent]) {
+    /// Applies completion events from a finished batch. In sketch and
+    /// mergeable modes, finished requests stream their request-level
+    /// latencies into the bounded sinks immediately and their records are
+    /// dropped.
+    pub fn on_batch_complete(&mut self, replica: usize, now: SimTime, events: &[CompletionEvent]) {
         for ev in events {
             let Some(rec) = self.records.get_mut(&ev.id) else {
                 continue;
@@ -533,7 +868,11 @@ impl MetricsCollector {
             }
             if ev.produced_token {
                 if let Some(prev) = rec.last_token {
-                    self.tbt.record(now.duration_since(prev).as_secs_f64());
+                    let tbt = now.duration_since(prev).as_secs_f64();
+                    match self.fold.as_mut() {
+                        Some(fold) => fold.replicas[replica].tbt.record_sample(tbt),
+                        None => self.tbt.record(tbt),
+                    }
                 }
                 rec.last_token = Some(now);
             }
@@ -543,9 +882,12 @@ impl MetricsCollector {
                 self.last_completion = self.last_completion.max(now);
                 let done = *rec;
                 if self.track_tenants {
-                    self.note_tenant_completion(&done);
+                    self.note_tenant_completion(replica, &done);
                 }
-                if self.request_sinks.is_some() {
+                if let Some(fold) = self.fold.as_mut() {
+                    fold.on_completion(replica, now, &done);
+                    self.records.remove(&ev.id);
+                } else if self.request_sinks.is_some() {
                     if let Some(sinks) = self.request_sinks.as_mut() {
                         record_request_latencies(sinks, &done);
                     }
@@ -556,24 +898,35 @@ impl MetricsCollector {
     }
 
     /// Streams one finished request's latencies into its tenant's sinks and
-    /// judges the SLO (both quantile modes share this incremental path —
-    /// per-tenant quantiles are completion-ordered in either mode).
-    fn note_tenant_completion(&mut self, rec: &RequestRecord) {
+    /// judges the SLO (all quantile modes share this incremental path —
+    /// per-tenant quantiles are completion-ordered in every mode; mergeable
+    /// mode routes the latencies to the replica's single-writer slots).
+    fn note_tenant_completion(&mut self, replica: usize, rec: &RequestRecord) {
         let Some(l) = rec.latencies() else {
             return;
         };
         let slo = self.tenant_slo;
+        let is_fold = self.fold.is_some();
         let stat = self.tenant_entry(rec.tenant);
         stat.completed += 1;
-        stat.e2e.record(l.e2e);
-        if let Some(t) = l.ttft {
-            stat.ttft.record(t);
-        }
         if let Some(slo) = slo {
             let ttft_ok = l.ttft.is_none_or(|t| t <= slo.ttft_secs);
             if ttft_ok && l.norm_e2e <= slo.e2e_per_token_secs {
                 stat.slo_met += 1;
             }
+        }
+        if !is_fold {
+            stat.e2e.record(l.e2e);
+            if let Some(t) = l.ttft {
+                stat.ttft.record(t);
+            }
+            return;
+        }
+        let fold = self.fold.as_mut().expect("fold mode checked above");
+        let tf = fold.replicas[replica].tenant_entry(rec.tenant as usize);
+        tf.e2e.record_sample(l.e2e);
+        if let Some(t) = l.ttft {
+            tf.ttft.record_sample(t);
         }
     }
 
@@ -591,6 +944,76 @@ impl MetricsCollector {
         self.completed
     }
 
+    /// Folds another collector into this one (mergeable mode only): the
+    /// sharded simulator gives each shard its own collector and merges the
+    /// partials at drain. Under the single-writer discipline — a replica's
+    /// effects go to exactly one collector — the merged state is
+    /// bit-identical to a single collector observing every replica, and
+    /// the merge is order-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both collectors run [`QuantileMode::Mergeable`] with
+    /// the same replica count.
+    pub fn merge(&mut self, mut other: MetricsCollector) {
+        assert!(
+            self.fold.is_some() && other.fold.is_some(),
+            "MetricsCollector::merge requires QuantileMode::Mergeable on both sides"
+        );
+        for (id, rec) in other.records.drain_entries() {
+            let prev = self.records.insert(id, rec);
+            debug_assert!(prev.is_none(), "request {id} tracked by both collectors");
+        }
+        self.completed += other.completed;
+        self.last_completion = self.last_completion.max(other.last_completion);
+        self.total_batches += other.total_batches;
+        self.total_tokens += other.total_tokens;
+        self.total_batch_requests += other.total_batch_requests;
+        self.late_count += other.late_count;
+        self.track_tenants |= other.track_tenants;
+        if self.tenant_slo.is_none() {
+            self.tenant_slo = other.tenant_slo;
+        }
+        for (idx, t) in other.tenants.iter_mut().enumerate() {
+            if self.tenants.len() <= idx {
+                self.tenants
+                    .push(TenantStat::new(std::mem::take(&mut t.name), self.mode));
+            }
+            let mine = &mut self.tenants[idx];
+            mine.arrived += t.arrived;
+            mine.completed += t.completed;
+            mine.slo_met += t.slo_met;
+        }
+        assert_eq!(
+            self.kv_series.len(),
+            other.kv_series.len(),
+            "collectors cover different replica counts"
+        );
+        for (mine, theirs) in self.kv_series.iter_mut().zip(other.kv_series.drain(..)) {
+            if !theirs.is_empty() {
+                assert!(
+                    mine.is_empty(),
+                    "replica KV series written by both collectors"
+                );
+                *mine = theirs;
+            }
+        }
+        let fold = self.fold.as_mut().expect("checked above");
+        let of = other.fold.take().expect("checked above");
+        assert_eq!(
+            fold.replicas.len(),
+            of.replicas.len(),
+            "collectors cover different replica counts"
+        );
+        for (mine, theirs) in fold.replicas.iter_mut().zip(&of.replicas) {
+            mine.merge(theirs);
+        }
+        fold.distinct_tenants.merge(&of.distinct_tenants);
+        if fold.window_secs.is_none() {
+            fold.window_secs = of.window_secs;
+        }
+    }
+
     /// Builds the final report.
     ///
     /// `num_requests` is the trace size, `peak_flops_total` and
@@ -604,41 +1027,63 @@ impl MetricsCollector {
         preemptions: u64,
         power: PowerSpec,
     ) -> SimulationReport {
-        // Request-level summaries: streamed incrementally in sketch mode,
-        // one exact pass over the retained records otherwise.
-        let (sched_delay, ttft, norm_e2e, norm_exec, e2e) = match self.request_sinks.take() {
-            Some(sinks) => (
-                DigestSummary::from_streaming(&sinks.sched_delay),
-                DigestSummary::from_streaming(&sinks.ttft),
-                DigestSummary::from_streaming(&sinks.norm_e2e),
-                DigestSummary::from_streaming(&sinks.norm_exec),
-                DigestSummary::from_streaming(&sinks.e2e),
-            ),
-            None => {
-                let mut sched_delay = QuantileDigest::new();
-                let mut ttft = QuantileDigest::new();
-                let mut norm_e2e = QuantileDigest::new();
-                let mut norm_exec = QuantileDigest::new();
-                let mut e2e = QuantileDigest::new();
-                for rec in self.records.values() {
-                    let Some(l) = rec.latencies() else {
-                        continue;
-                    };
-                    sched_delay.record(l.sched_delay);
-                    if let Some(t) = l.ttft {
-                        ttft.record(t);
+        // Mergeable mode: fold the per-replica slots (in replica-index
+        // order) into one summary set before anything else reads the
+        // collector-global accumulators.
+        let mut fold_out = self
+            .fold
+            .take()
+            .map(|fold| fold_report(fold, &self.kv_series, self.tenants.len()));
+        if let Some(f) = &fold_out {
+            self.busy_gpu_secs = f.busy_gpu_secs;
+            self.flops = f.flops;
+            self.bytes = f.bytes;
+            self.op_secs = f.op_secs;
+        }
+        let tbt_summary = match &fold_out {
+            Some(f) => f.tbt,
+            None => self.tbt.summary(),
+        };
+        // Request-level summaries: folded in mergeable mode, streamed
+        // incrementally in sketch mode, one exact pass over the retained
+        // records otherwise.
+        let (sched_delay, ttft, norm_e2e, norm_exec, e2e) = if let Some(f) = &fold_out {
+            (f.sched_delay, f.ttft, f.norm_e2e, f.norm_exec, f.e2e)
+        } else {
+            match self.request_sinks.take() {
+                Some(sinks) => (
+                    DigestSummary::from_streaming(&sinks.sched_delay),
+                    DigestSummary::from_streaming(&sinks.ttft),
+                    DigestSummary::from_streaming(&sinks.norm_e2e),
+                    DigestSummary::from_streaming(&sinks.norm_exec),
+                    DigestSummary::from_streaming(&sinks.e2e),
+                ),
+                None => {
+                    let mut sched_delay = QuantileDigest::new();
+                    let mut ttft = QuantileDigest::new();
+                    let mut norm_e2e = QuantileDigest::new();
+                    let mut norm_exec = QuantileDigest::new();
+                    let mut e2e = QuantileDigest::new();
+                    for rec in self.records.values() {
+                        let Some(l) = rec.latencies() else {
+                            continue;
+                        };
+                        sched_delay.record(l.sched_delay);
+                        if let Some(t) = l.ttft {
+                            ttft.record(t);
+                        }
+                        e2e.record(l.e2e);
+                        norm_e2e.record(l.norm_e2e);
+                        norm_exec.record(l.norm_exec);
                     }
-                    e2e.record(l.e2e);
-                    norm_e2e.record(l.norm_e2e);
-                    norm_exec.record(l.norm_exec);
+                    (
+                        DigestSummary::from_digest(&mut sched_delay),
+                        DigestSummary::from_digest(&mut ttft),
+                        DigestSummary::from_digest(&mut norm_e2e),
+                        DigestSummary::from_digest(&mut norm_exec),
+                        DigestSummary::from_digest(&mut e2e),
+                    )
                 }
-                (
-                    DigestSummary::from_digest(&mut sched_delay),
-                    DigestSummary::from_digest(&mut ttft),
-                    DigestSummary::from_digest(&mut norm_e2e),
-                    DigestSummary::from_digest(&mut norm_exec),
-                    DigestSummary::from_digest(&mut e2e),
-                )
             }
         };
         let makespan = self.last_completion.as_secs_f64();
@@ -670,18 +1115,23 @@ impl MetricsCollector {
         operator_time_breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
         let tenant_slo = self.tenant_slo;
         let tenant_routing = &self.tenant_routing;
+        let fold_tenants = fold_out.as_ref().map(|f| &f.tenant_summaries);
         let per_tenant = self
             .tenants
             .iter_mut()
             .enumerate()
             .map(|(idx, t)| {
                 let routing = tenant_routing.get(idx).copied().unwrap_or_default();
+                let (ttft_summary, e2e_summary) = match fold_tenants {
+                    Some(ts) => ts.get(idx).copied().unwrap_or_default(),
+                    None => (t.ttft.summary(), t.e2e.summary()),
+                };
                 TenantReport {
                     tenant: std::mem::take(&mut t.name),
                     arrived: t.arrived,
                     completed: t.completed,
-                    ttft: t.ttft.summary(),
-                    e2e: t.e2e.summary(),
+                    ttft: ttft_summary,
+                    e2e: e2e_summary,
                     slo_attainment: tenant_slo.map(|_| {
                         if t.completed > 0 {
                             t.slo_met as f64 / t.completed as f64
@@ -703,7 +1153,7 @@ impl MetricsCollector {
             throughput_qps: self.completed as f64 / denom_time,
             scheduling_delay: sched_delay,
             ttft,
-            tbt: self.tbt.summary(),
+            tbt: tbt_summary,
             normalized_e2e: norm_e2e,
             normalized_exec: norm_exec,
             e2e,
@@ -724,7 +1174,90 @@ impl MetricsCollector {
             },
             operator_time_breakdown,
             per_tenant,
+            timeseries: fold_out
+                .as_mut()
+                .map(|f| std::mem::take(&mut f.timeseries))
+                .unwrap_or_default(),
+            distinct_tenants_est: fold_out.as_ref().map(|f| f.distinct_tenants),
         }
+    }
+}
+
+/// The folded (replica-index-order) summary set a mergeable collector
+/// reduces to at report time.
+struct FoldOutput {
+    sched_delay: DigestSummary,
+    ttft: DigestSummary,
+    norm_e2e: DigestSummary,
+    norm_exec: DigestSummary,
+    e2e: DigestSummary,
+    tbt: DigestSummary,
+    busy_gpu_secs: f64,
+    flops: f64,
+    bytes: f64,
+    op_secs: [f64; Operator::ALL.len()],
+    /// `(ttft, e2e)` summaries, tenant-id-indexed.
+    tenant_summaries: Vec<(DigestSummary, DigestSummary)>,
+    timeseries: Vec<TimeseriesRow>,
+    distinct_tenants: f64,
+}
+
+/// Reduces the per-replica fold slots to one summary set. Every reduction
+/// runs in replica-index order, so the output is identical for any shard
+/// count: each slot's bits only depend on its own replica's event stream.
+fn fold_report(
+    fold: MergeableState,
+    kv_series: &[TimeWeightedSeries],
+    num_tenants: usize,
+) -> FoldOutput {
+    let mut total = ReplicaFold::new();
+    for r in &fold.replicas {
+        total.merge(r);
+    }
+    let tenant_summaries = (0..num_tenants.max(total.tenants.len()))
+        .map(|idx| match total.tenants.get_mut(idx) {
+            Some(tf) => (tf.ttft.summarize(), tf.e2e.summarize()),
+            None => Default::default(),
+        })
+        .collect();
+    let mut timeseries = Vec::new();
+    if let Some(w) = fold.window_secs {
+        for (i, win) in total.windows.iter_mut().enumerate() {
+            let start = i as f64 * w;
+            let start_t = SimTime::from_secs_f64(start);
+            let end_t = SimTime::from_secs_f64(start + w);
+            let kv: Vec<f64> = kv_series
+                .iter()
+                .filter_map(|s| s.window_mean(start_t, end_t))
+                .collect();
+            win.ttft.seal();
+            timeseries.push(TimeseriesRow {
+                window_start_secs: start,
+                completed: win.completed,
+                throughput_qps: win.completed as f64 / w,
+                ttft_p99: win.ttft.quantile(0.99).unwrap_or(0.0),
+                kv_occupancy: if kv.is_empty() {
+                    0.0
+                } else {
+                    kv.iter().sum::<f64>() / kv.len() as f64
+                },
+            });
+        }
+    }
+    FoldOutput {
+        sched_delay: total.sched_delay.summarize(),
+        ttft: total.ttft.summarize(),
+        norm_e2e: total.norm_e2e.summarize(),
+        norm_exec: total.norm_exec.summarize(),
+        e2e: total.e2e.summarize(),
+        tbt: total.tbt.summarize(),
+        busy_gpu_secs: total.busy_gpu_secs,
+        flops: total.flops,
+        bytes: total.bytes,
+        op_secs: total.op_secs,
+        tenant_summaries,
+        timeseries,
+        distinct_tenants: fold.distinct_tenants.estimate(),
     }
 }
 
@@ -792,8 +1325,9 @@ mod tests {
         let mut m = MetricsCollector::new(1);
         m.on_arrival(1, t(0.0), 3, 0);
         let prefill = BatchComposition::new(vec![RequestSlice::prefill(1, 100, 0)]);
-        m.on_batch_scheduled(t(1.0), &prefill, 1e12, 1e9);
+        m.on_batch_scheduled(0, t(1.0), &prefill, 1e12, 1e9);
         m.on_batch_complete(
+            0,
             t(2.0),
             &[CompletionEvent {
                 id: 1,
@@ -805,8 +1339,9 @@ mod tests {
         // Two decode iterations at 2.5 and 3.0.
         for (at, fin) in [(2.5, false), (3.0, true)] {
             let d = BatchComposition::new(vec![RequestSlice::decode(1, 101)]);
-            m.on_batch_scheduled(t(at - 0.5), &d, 1e11, 1e9);
+            m.on_batch_scheduled(0, t(at - 0.5), &d, 1e11, 1e9);
             m.on_batch_complete(
+                0,
                 t(at),
                 &[CompletionEvent {
                     id: 1,
@@ -837,8 +1372,9 @@ mod tests {
         m.on_arrival(1, t(0.0), 5, 0);
         m.on_arrival(2, t(0.0), 5, 0);
         let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
-        m.on_batch_scheduled(t(0.1), &b, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(0.1), &b, 0.0, 0.0);
         m.on_batch_complete(
+            0,
             t(0.2),
             &[CompletionEvent {
                 id: 1,
@@ -868,11 +1404,11 @@ mod tests {
             RequestSlice::prefill(2, 10, 0),
             RequestSlice::prefill(1, 10, 0),
         ]);
-        m.on_batch_scheduled(t(0.5), &b, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(0.5), &b, 0.0, 0.0);
         assert_eq!(m.late_count(), 0);
         let late = BatchComposition::new(vec![RequestSlice::prefill(3, 10, 0)]);
         m.on_arrival(3, t(0.0), 5, 0);
-        m.on_batch_scheduled(t(5.0), &late, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(5.0), &late, 0.0, 0.0);
         assert_eq!(m.late_count(), 1, "request 3 was first-scheduled late");
         // Restart chunks of requests 1 and 3 re-enter arbitrarily late:
         // neither may bump the counter (1 was on time; 3 already counted).
@@ -880,14 +1416,14 @@ mod tests {
             RequestSlice::prefill(1, 10, 0),
             RequestSlice::prefill(3, 10, 0),
         ]);
-        m.on_batch_scheduled(t(100.0), &restart, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(100.0), &restart, 0.0, 0.0);
         assert_eq!(m.late_count(), 1, "restarts must not re-judge lateness");
         // Decode and continuation slices never mark at all.
         let cont = BatchComposition::new(vec![
             RequestSlice::prefill(2, 10, 10),
             RequestSlice::decode(1, 20),
         ]);
-        m.on_batch_scheduled(t(200.0), &cont, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(200.0), &cont, 0.0, 0.0);
         assert_eq!(m.late_count(), 1);
     }
 
@@ -897,8 +1433,9 @@ mod tests {
         let mut m = MetricsCollector::with_mode(1, QuantileMode::Sketch);
         m.on_arrival(1, t(0.0), 1, 0);
         let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
-        m.on_batch_scheduled(t(1.0), &b, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(1.0), &b, 0.0, 0.0);
         m.on_batch_complete(
+            0,
             t(2.0),
             &[CompletionEvent {
                 id: 1,
@@ -921,8 +1458,9 @@ mod tests {
         m.on_kv_sample(1, t(0.0), 0.6);
         m.on_arrival(1, t(0.0), 1, 0);
         let b = BatchComposition::new(vec![RequestSlice::prefill(1, 10, 0)]);
-        m.on_batch_scheduled(t(0.0), &b, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(0.0), &b, 0.0, 0.0);
         m.on_batch_complete(
+            0,
             t(1.0),
             &[CompletionEvent {
                 id: 1,
@@ -942,8 +1480,9 @@ mod tests {
     fn drive_tenant_request(m: &mut MetricsCollector, id: u64, tenant: u32, ttft: f64, e2e: f64) {
         m.on_arrival(id, t(0.0), 3, tenant);
         let b = BatchComposition::new(vec![RequestSlice::prefill(id, 10, 0)]);
-        m.on_batch_scheduled(t(1.0), &b, 0.0, 0.0);
+        m.on_batch_scheduled(0, t(1.0), &b, 0.0, 0.0);
         m.on_batch_complete(
+            0,
             t(ttft),
             &[CompletionEvent {
                 id,
@@ -953,6 +1492,7 @@ mod tests {
             }],
         );
         m.on_batch_complete(
+            0,
             t(e2e),
             &[CompletionEvent {
                 id,
@@ -965,7 +1505,11 @@ mod tests {
 
     #[test]
     fn per_tenant_breakdown_and_slo() {
-        for mode in [QuantileMode::Exact, QuantileMode::Sketch] {
+        for mode in [
+            QuantileMode::Exact,
+            QuantileMode::Sketch,
+            QuantileMode::Mergeable,
+        ] {
             let mut m = MetricsCollector::with_mode(1, mode);
             m.set_tenants(
                 &["gold".to_string(), "bulk".to_string()],
@@ -1013,5 +1557,107 @@ mod tests {
         drive_tenant_request(&mut m, 1, 0, 2.0, 4.0);
         let r = m.into_report(1, 1e15, 1e13, 0, test_power());
         assert!(r.per_tenant.is_empty());
+    }
+
+    /// Drives one finished request through the given replica of a
+    /// mergeable-mode collector: arrives at `base`, scheduled +1s, prefill
+    /// done +2s, finished +3s (3 output tokens, two decode iterations).
+    fn drive_replica_request(m: &mut MetricsCollector, id: u64, replica: usize, base: f64) {
+        m.on_arrival(id, t(base), 3, 0);
+        let b = BatchComposition::new(vec![RequestSlice::prefill(id, 10, 0)]);
+        m.on_batch_scheduled(replica, t(base + 1.0), &b, 1e12, 1e9);
+        m.on_gpu_busy(replica, 0.5);
+        m.on_batch_complete(
+            replica,
+            t(base + 2.0),
+            &[CompletionEvent {
+                id,
+                prefill_completed: true,
+                produced_token: true,
+                finished: false,
+            }],
+        );
+        m.on_batch_complete(
+            replica,
+            t(base + 3.0),
+            &[CompletionEvent {
+                id,
+                prefill_completed: false,
+                produced_token: true,
+                finished: true,
+            }],
+        );
+        m.on_kv_sample(replica, t(base + 3.0), 0.5);
+    }
+
+    /// The headline mergeable contract at the collector level: driving N
+    /// replicas through one collector is byte-identical to driving each
+    /// replica through its own collector and merging — in any merge order.
+    #[test]
+    fn merged_collectors_match_single_collector_bit_for_bit() {
+        let replicas = 3usize;
+        let drive_all = |m: &mut MetricsCollector, only: Option<usize>| {
+            for id in 0..30u64 {
+                let r = (id % replicas as u64) as usize;
+                if only.is_none_or(|o| o == r) {
+                    drive_replica_request(m, id, r, id as f64 * 0.25);
+                }
+            }
+        };
+        let mut single = MetricsCollector::with_mode(replicas, QuantileMode::Mergeable);
+        single.set_timeseries(TimeseriesConfig { window_secs: 2.0 });
+        drive_all(&mut single, None);
+        let expect = single.into_report(30, 1e15, 1e13, 0, test_power());
+        assert!(!expect.timeseries.is_empty());
+        assert!(expect.distinct_tenants_est.is_some());
+
+        for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let mut parts: Vec<MetricsCollector> = (0..replicas)
+                .map(|r| {
+                    let mut m = MetricsCollector::with_mode(replicas, QuantileMode::Mergeable);
+                    m.set_timeseries(TimeseriesConfig { window_secs: 2.0 });
+                    drive_all(&mut m, Some(r));
+                    m
+                })
+                .collect();
+            let mut merged = MetricsCollector::with_mode(replicas, QuantileMode::Mergeable);
+            merged.set_timeseries(TimeseriesConfig { window_secs: 2.0 });
+            for r in order {
+                merged.merge(std::mem::replace(
+                    &mut parts[r],
+                    MetricsCollector::with_mode(replicas, QuantileMode::Mergeable),
+                ));
+            }
+            let got = merged.into_report(30, 1e15, 1e13, 0, test_power());
+            assert_eq!(got, expect, "merge order {order:?}");
+        }
+    }
+
+    #[test]
+    fn mergeable_mode_retires_records_and_reports_timeseries() {
+        let mut m = MetricsCollector::with_mode(2, QuantileMode::Mergeable);
+        m.set_timeseries(TimeseriesConfig { window_secs: 1.0 });
+        drive_replica_request(&mut m, 0, 0, 0.0);
+        drive_replica_request(&mut m, 1, 1, 0.5);
+        let r = m.into_report(2, 1e15, 1e13, 0, test_power());
+        assert_eq!(r.completed, 2);
+        // Completions at 3.0 and 3.5 → windows [3,4) holds both.
+        assert_eq!(r.timeseries.len(), 4);
+        assert_eq!(r.timeseries[3].completed, 2);
+        assert!((r.timeseries[3].throughput_qps - 2.0).abs() < 1e-9);
+        assert!(r.timeseries[3].ttft_p99 > 0.0);
+        assert_eq!(r.timeseries[0].completed, 0);
+        // Latency means use the exact sums: both requests share the shape.
+        assert!((r.ttft.mean - 2.0).abs() < 1e-9);
+        assert!((r.e2e.mean - 3.0).abs() < 1e-9);
+        assert!((r.scheduling_delay.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires QuantileMode::Mergeable")]
+    fn merging_exact_collectors_panics() {
+        let mut a = MetricsCollector::new(1);
+        let b = MetricsCollector::new(1);
+        a.merge(b);
     }
 }

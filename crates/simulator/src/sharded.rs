@@ -41,6 +41,30 @@
 //! completion are provably effect-free wakeups (no batch can be in flight
 //! once every request finished), so draining them is a no-op.
 //!
+//! # Mergeable mode: fold in the shards, stream only the tier
+//!
+//! The full-replay commit above re-executes *every* metric effect serially,
+//! so the merger thread is the scaling ceiling. Under
+//! [`QuantileMode::Mergeable`] the collector's state is a pure fold over
+//! per-replica single-writer slots, which makes the replay unnecessary:
+//! each shard owns a full [`MetricsCollector`] and commits request, batch,
+//! and KV effects *locally* as its replicas produce them; the main thread
+//! folds the per-shard collectors together at drain
+//! ([`MetricsCollector::merge`]). Because every slot is written by exactly
+//! one replica — whose event stream is identical for any shard count — the
+//! merged report is byte-identical across shard counts (though not
+//! bit-comparable with the other two modes).
+//!
+//! Only the *tier-relevant* effects still stream to the merger, as light
+//! [`TierEffect`] records: request-finished notifications (per-tenant
+//! counters and the live view) and free-KV updates (per-replica last-write).
+//! Both are commutative across replicas on the fast path — `on_finished` is
+//! integer bookkeeping and `set_free_kv_blocks` is single-writer per
+//! replica, with routing already fixed at pre-route time — so the merger
+//! applies them in `(time, shard)` order without reconstructing global
+//! sequence numbers. This shrinks the serial commit from every metric
+//! effect to a few effects per batch completion.
+//!
 //! # Fast path and fallback
 //!
 //! `shards > 1` opts in; the sharded engine runs when the configuration is
@@ -51,7 +75,8 @@
 //! late-abort is off (its stop condition depends on the merged metrics
 //! mid-run). Everything else silently uses the sequential engine, which
 //! stays the differential oracle: `tests/engine_regression.rs` pins that
-//! every scenario reports identically with shards on and off.
+//! every scenario reports identically with shards on and off, and that
+//! mergeable-mode reports are invariant across shard counts.
 
 use crate::cluster::{batch_bytes, ClusterSimulator, SimEvent};
 use crate::config::ClusterConfig;
@@ -59,6 +84,7 @@ use crate::engine::{EngineCore, EngineReplica, EngineSink, MAX_EVENTS};
 use crate::metrics::MetricsCollector;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
+use vidur_core::metrics::QuantileMode;
 use vidur_core::shard::{ShardKey, ShardQueue, ShardStamper};
 use vidur_core::time::SimTime;
 use vidur_model::batch::BatchComposition;
@@ -84,12 +110,16 @@ enum Effect {
         tenant: u32,
     },
     /// `metrics.on_op_secs` from a batch's cached plan timing.
-    OpSecs(Arc<PlanTiming>),
+    OpSecs {
+        replica: u32,
+        timing: Arc<PlanTiming>,
+    },
     /// `metrics.on_gpu_busy`.
-    GpuBusy(f64),
+    GpuBusy { replica: u32, gpu_secs: f64 },
     /// `metrics.on_batch_work` + `mark_first_scheduled` for the next
     /// `first_n` ids in the chunk's id stream.
     BatchWork {
+        replica: u32,
         tokens: u64,
         requests: u64,
         flops: f64,
@@ -143,20 +173,24 @@ impl LogChunk {
 /// instead of touching the collector.
 struct LogSink {
     chunk: LogChunk,
-    /// Set by the completion handler before `retire_batch`, because the
-    /// engine's `on_batch_complete` callback does not carry the replica.
-    current_replica: u32,
 }
 
 impl EngineSink for LogSink {
-    fn on_batch_timed(&mut self, timing: &Arc<PlanTiming>) {
-        self.chunk.effects.push(Effect::OpSecs(Arc::clone(timing)));
+    fn on_batch_timed(&mut self, replica: usize, timing: &Arc<PlanTiming>) {
+        self.chunk.effects.push(Effect::OpSecs {
+            replica: replica as u32,
+            timing: Arc::clone(timing),
+        });
     }
-    fn on_gpu_busy(&mut self, gpu_secs: f64) {
-        self.chunk.effects.push(Effect::GpuBusy(gpu_secs));
+    fn on_gpu_busy(&mut self, replica: usize, gpu_secs: f64) {
+        self.chunk.effects.push(Effect::GpuBusy {
+            replica: replica as u32,
+            gpu_secs,
+        });
     }
     fn on_batch_scheduled(
         &mut self,
+        replica: usize,
         _now: SimTime,
         batch: &BatchComposition,
         flops: f64,
@@ -172,6 +206,7 @@ impl EngineSink for LogSink {
             }
         }
         self.chunk.effects.push(Effect::BatchWork {
+            replica: replica as u32,
             tokens: batch.total_query_tokens(),
             requests: batch.num_requests() as u64,
             flops,
@@ -185,10 +220,10 @@ impl EngineSink for LogSink {
             utilization,
         });
     }
-    fn on_batch_complete(&mut self, _now: SimTime, events: &[CompletionEvent]) {
+    fn on_batch_complete(&mut self, replica: usize, _now: SimTime, events: &[CompletionEvent]) {
         self.chunk.events.extend_from_slice(events);
         self.chunk.effects.push(Effect::Retire {
-            replica: self.current_replica,
+            replica: replica as u32,
             n_events: events.len() as u32,
         });
     }
@@ -207,8 +242,11 @@ pub(crate) fn eligible(config: &ClusterConfig, jitters: bool) -> bool {
 
 /// Runs `sim`'s event loop sharded `num_shards` ways. On return the metrics
 /// collector, tier, and replicas are in the exact state a sequential
-/// `engine::drive` run would have left them in.
-pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) {
+/// `engine::drive` run would have left them in (exact/sketch modes) or the
+/// canonical merged-fold state (mergeable mode). Returns the number of
+/// effects the shards streamed through the serial merger — the quantity the
+/// mergeable mode exists to shrink.
+pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 {
     let ClusterSimulator {
         ref config,
         ref trace,
@@ -254,60 +292,143 @@ pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) {
     let metrics = &mut engine.metrics;
     let targets_ref: &[u32] = &targets;
 
-    let (result_tx, result_rx) = std::sync::mpsc::channel::<(usize, Vec<EngineReplica>)>();
-    let mut streams = Vec::with_capacity(num_shards);
-    let mut workers = Vec::with_capacity(num_shards);
-    for (shard, (replica_set, arrivals)) in
-        shard_replicas.into_iter().zip(shard_arrivals).enumerate()
-    {
-        let (log_tx, log_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
-        let (recycle_tx, recycle_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
-        streams.push(ShardStream::new(log_rx, recycle_tx));
-        let core = EngineCore::with_timer(config, timer.clone(), 0);
-        workers.push(ShardWorker {
-            shard,
-            num_shards,
-            config,
-            trace,
-            targets: targets_ref,
-            core,
-            replicas: replica_set,
-            arrivals,
-            deadline,
-            log_tx,
-            recycle_rx,
-            result_tx: result_tx.clone(),
-        });
-    }
-    drop(result_tx);
-
-    rayon::scope(|scope| {
-        for worker in workers {
-            scope.spawn(move || worker.run());
-        }
-        // The merger runs on this thread, concurrently with the shards.
-        merge(streams, metrics, tier, trace);
-    });
-
-    // Put the replicas back in global order for preemption/quota reporting.
-    let mut collected: Vec<Option<Vec<EngineReplica>>> = (0..num_shards).map(|_| None).collect();
-    for (shard, set) in result_rx.iter() {
-        collected[shard] = Some(set);
-    }
-    let mut slots: Vec<Option<EngineReplica>> = (0..config.num_replicas).map(|_| None).collect();
-    for (shard, set) in collected.into_iter().enumerate() {
-        for (local, replica) in set
-            .expect("every shard returns its replicas")
-            .into_iter()
-            .enumerate()
+    if metrics.mode() == QuantileMode::Mergeable {
+        // Fold-in-the-shards path: each shard owns a full-size collector
+        // and commits everything but the tier effects locally.
+        let (result_tx, result_rx) =
+            std::sync::mpsc::channel::<(usize, Vec<EngineReplica>, MetricsCollector)>();
+        let mut streams = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        for (shard, (replica_set, arrivals)) in
+            shard_replicas.into_iter().zip(shard_arrivals).enumerate()
         {
+            let (log_tx, log_rx) = sync_channel::<TierChunk>(CHANNEL_DEPTH);
+            streams.push(TierStream::new(log_rx));
+            let core = EngineCore::with_timer(config, timer.clone(), 0);
+            // Every shard collector must be armed exactly like the engine's
+            // (tenants, SLO, time-series windows): the merged fold is only
+            // shard-count-invariant when all partials share one shape.
+            let mut collector =
+                MetricsCollector::with_mode(config.num_replicas, QuantileMode::Mergeable);
+            if !trace.tenants.is_empty() {
+                collector.set_tenants(&trace.tenants, config.tenant_slo);
+            }
+            if let Some(ts) = config.timeseries {
+                collector.set_timeseries(ts);
+            }
+            workers.push(MergeWorker {
+                shard,
+                num_shards,
+                config,
+                trace,
+                targets: targets_ref,
+                core,
+                replicas: replica_set,
+                arrivals,
+                deadline,
+                collector,
+                chunk: Vec::new(),
+                log_tx,
+                result_tx: result_tx.clone(),
+            });
+        }
+        drop(result_tx);
+
+        let streamed = rayon::scope(|scope| {
+            for worker in workers {
+                scope.spawn(move || worker.run());
+            }
+            // The tier merger runs on this thread, concurrently with the
+            // shards.
+            merge_tier(streams, tier, trace)
+        });
+
+        // Fold the per-shard collectors into the engine's (empty) collector
+        // in shard order, and put the replicas back in global order.
+        let mut collected: Vec<Option<(Vec<EngineReplica>, MetricsCollector)>> =
+            (0..num_shards).map(|_| None).collect();
+        for (shard, set, collector) in result_rx.iter() {
+            collected[shard] = Some((set, collector));
+        }
+        let mut per_shard = Vec::with_capacity(num_shards);
+        for entry in collected {
+            let (set, collector) = entry.expect("every shard returns its state");
+            metrics.merge(collector);
+            per_shard.push(set);
+        }
+        *replicas = reassemble(per_shard, num_shards, config.num_replicas);
+        streamed
+    } else {
+        // Full-replay path (exact/sketch modes): every metric effect streams
+        // to the merger and is replayed in exact sequential order.
+        let (result_tx, result_rx) = std::sync::mpsc::channel::<(usize, Vec<EngineReplica>)>();
+        let mut streams = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        for (shard, (replica_set, arrivals)) in
+            shard_replicas.into_iter().zip(shard_arrivals).enumerate()
+        {
+            let (log_tx, log_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
+            let (recycle_tx, recycle_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
+            streams.push(ShardStream::new(log_rx, recycle_tx));
+            let core = EngineCore::with_timer(config, timer.clone(), 0);
+            workers.push(ShardWorker {
+                shard,
+                num_shards,
+                config,
+                trace,
+                targets: targets_ref,
+                core,
+                replicas: replica_set,
+                arrivals,
+                deadline,
+                log_tx,
+                recycle_rx,
+                result_tx: result_tx.clone(),
+            });
+        }
+        drop(result_tx);
+
+        let streamed = rayon::scope(|scope| {
+            for worker in workers {
+                scope.spawn(move || worker.run());
+            }
+            // The merger runs on this thread, concurrently with the shards.
+            merge(streams, metrics, tier, trace)
+        });
+
+        // Put the replicas back in global order for preemption/quota
+        // reporting.
+        let mut collected: Vec<Option<Vec<EngineReplica>>> =
+            (0..num_shards).map(|_| None).collect();
+        for (shard, set) in result_rx.iter() {
+            collected[shard] = Some(set);
+        }
+        let per_shard = collected
+            .into_iter()
+            .map(|set| set.expect("every shard returns its replicas"))
+            .collect();
+        *replicas = reassemble(per_shard, num_shards, config.num_replicas);
+        streamed
+    }
+}
+
+/// Puts shard-dealt replicas back in global order (global replica `r` was
+/// dealt to shard `r % k` at local index `r / k`).
+fn reassemble(
+    per_shard: Vec<Vec<EngineReplica>>,
+    num_shards: usize,
+    num_replicas: usize,
+) -> Vec<EngineReplica> {
+    let mut slots: Vec<Option<EngineReplica>> = (0..num_replicas).map(|_| None).collect();
+    for (shard, set) in per_shard.into_iter().enumerate() {
+        for (local, replica) in set.into_iter().enumerate() {
             slots[shard + local * num_shards] = Some(replica);
         }
     }
-    *replicas = slots
+    slots
         .into_iter()
         .map(|r| r.expect("every replica returned"))
-        .collect();
+        .collect()
 }
 
 /// One shard's independent simulation: a subset of replicas, a shard-local
@@ -339,7 +460,6 @@ impl ShardWorker<'_> {
         }
         let mut sink = LogSink {
             chunk: LogChunk::default(),
-            current_replica: 0,
         };
         let mut processed = 0u64;
         while let Some((time, key, event)) = queue.pop() {
@@ -405,7 +525,6 @@ impl ShardWorker<'_> {
             }
             SimEvent::BatchComplete(replica, id) => {
                 let local = replica as usize / self.num_shards;
-                sink.current_replica = replica;
                 // The tier's `on_finished` is deferred to commit time (the
                 // tier is shared); the translate hook is therefore empty.
                 self.core.retire_batch(
@@ -446,6 +565,246 @@ impl ShardWorker<'_> {
             |id| SimEvent::BatchComplete(replica, id),
         );
     }
+}
+
+/// A tier-relevant effect streamed in mergeable mode: the only state shards
+/// cannot commit locally. `Finished` drives the tier's per-tenant counters
+/// and live view; `FreeKv` is the per-replica free-block last-write.
+struct TierEffect {
+    time: SimTime,
+    kind: TierKind,
+}
+
+/// What a [`TierEffect`] applies to the tier.
+enum TierKind {
+    /// `tier.on_finished` for trace request `id` on `replica`.
+    Finished { replica: u32, id: u64 },
+    /// `tier.set_free_kv_blocks` after a retire.
+    FreeKv { replica: u32, free_blocks: u64 },
+}
+
+/// A batch of tier effects from one shard; `done` marks the final chunk.
+struct TierChunk {
+    effects: Vec<TierEffect>,
+    done: bool,
+}
+
+/// One shard's simulation in mergeable mode: same event loop as
+/// [`ShardWorker`], but effects sink straight into the shard's own
+/// [`MetricsCollector`]; only [`TierEffect`]s ship to the merger.
+struct MergeWorker<'a> {
+    shard: usize,
+    num_shards: usize,
+    config: &'a ClusterConfig,
+    trace: &'a Trace,
+    targets: &'a [u32],
+    core: EngineCore,
+    replicas: Vec<EngineReplica>,
+    arrivals: Vec<u32>,
+    deadline: Option<SimTime>,
+    collector: MetricsCollector,
+    chunk: Vec<TierEffect>,
+    log_tx: SyncSender<TierChunk>,
+    result_tx: std::sync::mpsc::Sender<(usize, Vec<EngineReplica>, MetricsCollector)>,
+}
+
+impl MergeWorker<'_> {
+    fn run(mut self) {
+        let mut queue: ShardQueue<SimEvent> = ShardQueue::new();
+        for &idx in &self.arrivals {
+            queue.push_arrival(
+                self.trace.requests[idx as usize].arrival,
+                idx as u64,
+                SimEvent::Arrival(idx),
+            );
+        }
+        let mut processed = 0u64;
+        while let Some((time, _key, event)) = queue.pop() {
+            if self.deadline.is_some_and(|d| time > d) || processed >= MAX_EVENTS {
+                break;
+            }
+            self.handle(time, event, &mut queue);
+            processed += 1;
+            if self.chunk.len() >= CHUNK_ENTRIES {
+                let full = std::mem::take(&mut self.chunk);
+                if self
+                    .log_tx
+                    .send(TierChunk {
+                        effects: full,
+                        done: false,
+                    })
+                    .is_err()
+                {
+                    break; // merger gone; nothing left to report into
+                }
+            }
+        }
+        let _ = self.log_tx.send(TierChunk {
+            effects: std::mem::take(&mut self.chunk),
+            done: true,
+        });
+        let _ = self
+            .result_tx
+            .send((self.shard, self.replicas, self.collector));
+    }
+
+    fn handle(&mut self, now: SimTime, event: SimEvent, queue: &mut ShardQueue<SimEvent>) {
+        match event {
+            SimEvent::Arrival(idx) => {
+                let tr = self.trace.requests[idx as usize];
+                self.collector
+                    .on_arrival(tr.id, now, tr.decode_tokens, tr.tenant);
+                let target = self.targets[idx as usize];
+                let local = target as usize / self.num_shards;
+                self.replicas[local].scheduler.add_request(
+                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
+                        .with_tenant(tr.tenant)
+                        .with_priority(tr.priority),
+                );
+                self.try_schedule(target, now, queue);
+            }
+            SimEvent::Wakeup(replica) => {
+                let local = replica as usize / self.num_shards;
+                self.replicas[local].clear_wakeup();
+                self.try_schedule(replica, now, queue);
+            }
+            SimEvent::BatchComplete(replica, id) => {
+                let local = replica as usize / self.num_shards;
+                let chunk = &mut self.chunk;
+                self.core.retire_batch(
+                    &mut self.replicas[local],
+                    replica as usize,
+                    id,
+                    now,
+                    queue,
+                    &mut self.collector,
+                    |ev, _queue| {
+                        if ev.finished {
+                            chunk.push(TierEffect {
+                                time: now,
+                                kind: TierKind::Finished { replica, id: ev.id },
+                            });
+                        }
+                    },
+                );
+                self.chunk.push(TierEffect {
+                    time: now,
+                    kind: TierKind::FreeKv {
+                        replica,
+                        free_blocks: self.replicas[local].scheduler.blocks().free_blocks(),
+                    },
+                });
+                self.try_schedule(replica, now, queue);
+            }
+        }
+    }
+
+    fn try_schedule(&mut self, replica: u32, now: SimTime, queue: &mut ShardQueue<SimEvent>) {
+        let local = replica as usize / self.num_shards;
+        let config = self.config;
+        self.core.try_schedule(
+            &mut self.replicas[local],
+            replica as usize,
+            now,
+            queue,
+            &mut self.collector,
+            |batch| batch_bytes(config, batch),
+            || SimEvent::Wakeup(replica),
+            |id| SimEvent::BatchComplete(replica, id),
+        );
+    }
+}
+
+/// Merger-side view of one shard's tier-effect stream.
+struct TierStream {
+    rx: Receiver<TierChunk>,
+    chunk: Option<TierChunk>,
+    idx: usize,
+    finished: bool,
+}
+
+impl TierStream {
+    fn new(rx: Receiver<TierChunk>) -> Self {
+        TierStream {
+            rx,
+            chunk: None,
+            idx: 0,
+            finished: false,
+        }
+    }
+
+    /// Time of the stream's next uncommitted effect, receiving chunks as
+    /// needed. Blocks only while the shard is still producing.
+    fn ensure_head(&mut self) -> Option<SimTime> {
+        loop {
+            if self.finished {
+                return None;
+            }
+            if let Some(chunk) = &self.chunk {
+                if self.idx < chunk.effects.len() {
+                    return Some(chunk.effects[self.idx].time);
+                }
+                if chunk.done {
+                    self.finished = true;
+                    self.chunk = None;
+                    return None;
+                }
+                self.chunk = None;
+            }
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.chunk = Some(chunk);
+                    self.idx = 0;
+                }
+                Err(_) => {
+                    self.finished = true;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Applies all shard tier effects to the tier in `(time, shard)` order and
+/// returns how many were streamed. Exact global sequence numbers are
+/// unnecessary here: `on_finished` is commutative integer bookkeeping and
+/// `set_free_kv_blocks` is single-writer per replica (each replica's stream
+/// order is preserved within its shard), so this coarser deterministic
+/// order reaches the same final tier state.
+fn merge_tier(mut streams: Vec<TierStream>, tier: &mut RoutingTier, trace: &Trace) -> u64 {
+    let mut committed = 0u64;
+    loop {
+        let mut best: Option<(usize, SimTime)> = None;
+        for (s, stream) in streams.iter_mut().enumerate() {
+            if let Some(t) = stream.ensure_head() {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((s, t));
+                }
+            }
+        }
+        let Some((s, _)) = best else {
+            break;
+        };
+        let stream = &mut streams[s];
+        let chunk = stream.chunk.as_ref().expect("head implies a chunk");
+        match chunk.effects[stream.idx].kind {
+            TierKind::Finished { replica, id } => {
+                let tr = trace.requests[id as usize];
+                tier.on_finished(
+                    replica as usize,
+                    tr.tenant,
+                    tr.prefill_tokens + tr.decode_tokens,
+                );
+            }
+            TierKind::FreeKv {
+                replica,
+                free_blocks,
+            } => tier.set_free_kv_blocks(replica as usize, free_blocks),
+        }
+        stream.idx += 1;
+        committed += 1;
+    }
+    committed
 }
 
 /// Merger-side view of one shard's chunk stream.
@@ -519,14 +878,16 @@ impl ShardStream {
 }
 
 /// Streams all shard logs into the collector and tier in exact global
-/// `(time, seq)` order.
+/// `(time, seq)` order. Returns the number of effects replayed — the serial
+/// commit volume the mergeable mode shrinks.
 fn merge(
     mut streams: Vec<ShardStream>,
     metrics: &mut MetricsCollector,
     tier: &mut RoutingTier,
     trace: &Trace,
-) {
+) -> u64 {
     let mut counter = trace.requests.len() as u64;
+    let mut committed = 0u64;
     loop {
         // Linear min-scan: shard counts are small (<= replicas), so a heap
         // of heads would cost more than it saves.
@@ -542,23 +903,25 @@ fn merge(
         let Some((best, _)) = best else {
             break;
         };
-        commit(&mut streams[best], metrics, tier, trace, &mut counter);
+        committed += commit(&mut streams[best], metrics, tier, trace, &mut counter);
     }
     // Leftover stamps are normal on truncated runs (deadline / event
     // budget): committed entries claim seqs for children past the cutoff
     // that their shard never pops. A run that drains fully consumes all of
     // them, but the merge cannot tell the cases apart, so no assertion.
+    committed
 }
 
 /// Commits one entry: claims its children's global seqs and replays its
 /// effects into the collector/tier, in logged (= sequential call) order.
+/// Returns the number of effects replayed.
 fn commit(
     stream: &mut ShardStream,
     metrics: &mut MetricsCollector,
     tier: &mut RoutingTier,
     trace: &Trace,
     counter: &mut u64,
-) {
+) -> u64 {
     let (time, _seq) = stream.head.take().expect("commit needs a head");
     let chunk = stream.chunk.as_ref().expect("head implies a chunk");
     let entry = chunk.entries[stream.entry];
@@ -573,16 +936,21 @@ fn commit(
                 decode_tokens,
                 tenant,
             } => metrics.on_arrival(*id, time, *decode_tokens, *tenant),
-            Effect::OpSecs(timing) => metrics.on_op_secs(timing.op_secs()),
-            Effect::GpuBusy(gpu_secs) => metrics.on_gpu_busy(*gpu_secs),
+            Effect::OpSecs { replica, timing } => {
+                metrics.on_op_secs(*replica as usize, timing.op_secs())
+            }
+            Effect::GpuBusy { replica, gpu_secs } => {
+                metrics.on_gpu_busy(*replica as usize, *gpu_secs)
+            }
             Effect::BatchWork {
+                replica,
                 tokens,
                 requests,
                 flops,
                 bytes,
                 first_n,
             } => {
-                metrics.on_batch_work(*tokens, *requests, *flops, *bytes);
+                metrics.on_batch_work(*replica as usize, *tokens, *requests, *flops, *bytes);
                 for &id in &chunk.ids[stream.id..stream.id + *first_n as usize] {
                     metrics.mark_first_scheduled(id, time);
                 }
@@ -604,7 +972,7 @@ fn commit(
                         );
                     }
                 }
-                metrics.on_batch_complete(time, events);
+                metrics.on_batch_complete(*replica as usize, time, events);
                 stream.event += *n_events as usize;
             }
             Effect::FreeKv {
@@ -614,4 +982,5 @@ fn commit(
         }
     }
     stream.effect += entry.n_effects as usize;
+    entry.n_effects as u64
 }

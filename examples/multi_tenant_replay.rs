@@ -15,6 +15,10 @@
 //! 5. Replay the same trace on the parallel sharded engine (estimator
 //!    runtimes, round-robin routing — the sharded fast path) and assert the
 //!    report is byte-identical to the sequential engine's.
+//! 6. With `VIDUR_MERGEABLE=1`, rerun the sharded replay in the mergeable
+//!    metrics mode — latency sketches fold inside the shards, only tier
+//!    effects stream to the merger — assert the report is invariant across
+//!    shard counts, and print the per-minute time-series table.
 //!
 //! Run with: `cargo run --release --example multi_tenant_replay`
 //! (2 000 requests by default; set `VIDUR_FULL=1` for the 1M-request run,
@@ -203,4 +207,49 @@ fn main() {
         shard_wall.as_secs_f64() * 1e3,
         seq_wall.as_secs_f64() * 1e3,
     );
+
+    // 6. Mergeable metrics: fold the latency sketches inside the shards and
+    // stream only tier effects to the merger. Reports are invariant under
+    // the shard count (byte-identical to a one-shard run) and carry the
+    // windowed time series.
+    if std::env::var("VIDUR_MERGEABLE").as_deref() == Ok("1") {
+        let mut mergeable_config = sharded_config.clone();
+        mergeable_config.quantile_mode = QuantileMode::Mergeable;
+        mergeable_config.timeseries = Some(TimeseriesConfig::per_minute());
+        let timed_fold = |shards: usize| {
+            let mut cfg = mergeable_config.clone();
+            cfg.shards = shards;
+            let started = std::time::Instant::now();
+            let (report, stats) =
+                ClusterSimulator::new(cfg, trace.clone(), est_source.clone(), 42).run_with_stats();
+            (report, stats, started.elapsed())
+        };
+        let (one_shard, _, _) = timed_fold(1);
+        let (fold_report, fold_stats, fold_wall) = timed_fold(shards);
+        assert_eq!(
+            one_shard, fold_report,
+            "mergeable reports must be invariant across shard counts"
+        );
+        println!();
+        println!(
+            "mergeable  : {} shards in {:.0} ms, {} tier effects streamed (serial commit skipped), \
+             ~{:.0} distinct tenants",
+            fold_stats.shards,
+            fold_wall.as_secs_f64() * 1e3,
+            fold_stats.streamed_effects,
+            fold_report.distinct_tenants_est.unwrap_or(0.0),
+        );
+        println!();
+        println!("window (min)  completed  throughput (QPS)  TTFT p99 (s)  KV occupancy");
+        for row in &fold_report.timeseries {
+            println!(
+                "{:>12.0}  {:>9}  {:>16.2}  {:>12.2}  {:>11.1}%",
+                row.window_start_secs / 60.0,
+                row.completed,
+                row.throughput_qps,
+                row.ttft_p99,
+                row.kv_occupancy * 100.0,
+            );
+        }
+    }
 }

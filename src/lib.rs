@@ -62,8 +62,8 @@ pub mod prelude {
     pub use vidur_simulator::cluster::RuntimeSource;
     pub use vidur_simulator::{
         onboard, onboard_timer, run_fidelity_pair, CacheStats, ClusterConfig, ClusterSimulator,
-        DisaggConfig, DisaggSimulator, FidelityReport, QuantileMode, SimulationReport, StageTimer,
-        TenantReport, TenantRoutingStats, TenantSlo,
+        DisaggConfig, DisaggSimulator, FidelityReport, QuantileMode, RunStats, SimulationReport,
+        StageTimer, TenantReport, TenantRoutingStats, TenantSlo, TimeseriesConfig, TimeseriesRow,
     };
     pub use vidur_workload::{
         ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceError, TraceReader,

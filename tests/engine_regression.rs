@@ -490,6 +490,115 @@ fn sharded_multi_tenant_identical() {
     );
 }
 
+/// Mergeable-mode reports are merge-order invariant: the collector state is
+/// a pure fold over per-replica single-writer slots, so any shard count
+/// (1 = the sequential engine) must produce a byte-identical report — the
+/// mode's whole contract, time-series rows and the distinct-tenant estimate
+/// included.
+#[test]
+fn mergeable_reports_invariant_across_shard_counts() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 7;
+    cfg.quantile_mode = QuantileMode::Mergeable;
+    cfg.tenant_slo = Some(TenantSlo {
+        ttft_secs: 2.0,
+        e2e_per_token_secs: 0.5,
+    });
+    cfg.timeseries = Some(TimeseriesConfig::per_minute());
+    let trace = multi_tenant_bursty_trace(220, 47);
+    let source = estimator_source();
+    let run = |shards: usize| {
+        let mut cfg = cfg.clone();
+        cfg.shards = shards;
+        ClusterSimulator::new(cfg, trace.clone(), source.clone(), 5).run()
+    };
+    let baseline = run(1);
+    assert_eq!(baseline.completed, 220);
+    assert!(
+        !baseline.timeseries.is_empty(),
+        "time-series rows must be populated"
+    );
+    assert!(baseline.distinct_tenants_est.is_some());
+    for shards in [2, 3, 7] {
+        let sharded = run(shards);
+        assert_eq!(
+            baseline, sharded,
+            "mergeable report must be byte-identical at {shards} shards"
+        );
+    }
+}
+
+/// In mergeable mode the shards commit request/batch/KV effects locally and
+/// stream only tier-relevant effects to the serial merger — at least 5×
+/// fewer than the full replay the exact mode's commit loop needs.
+#[test]
+fn mergeable_streams_5x_fewer_effects() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.shards = 4;
+    let trace = fixed_trace(200, 8.0, 51);
+    let source = estimator_source();
+    let (_, replay) =
+        ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run_with_stats();
+    cfg.quantile_mode = QuantileMode::Mergeable;
+    let (_, fold) = ClusterSimulator::new(cfg, trace, source, 5).run_with_stats();
+    assert_eq!(replay.shards, 4, "replay run must engage the sharded path");
+    assert_eq!(fold.shards, 4, "fold run must engage the sharded path");
+    assert!(fold.streamed_effects > 0, "tier effects still stream");
+    assert!(
+        replay.streamed_effects >= 5 * fold.streamed_effects,
+        "mergeable must stream >=5x fewer effects: replay {} vs fold {}",
+        replay.streamed_effects,
+        fold.streamed_effects
+    );
+}
+
+/// Mergeable metrics are a summary trade, not a behavior change: the
+/// simulation itself is untouched (bit-equal counters, makespan, MFU,
+/// energy, maxima), means agree to float rounding, and the t-digest
+/// mid-quantiles stay close to exact.
+#[test]
+fn mergeable_metrics_change_only_quantiles() {
+    let trace = fixed_trace(80, 2.5, 42);
+    let source = estimator_source();
+    let exact = ClusterSimulator::new(base_config(), trace.clone(), source.clone(), 42).run();
+    let mut cfg = base_config();
+    cfg.quantile_mode = QuantileMode::Mergeable;
+    let fold = ClusterSimulator::new(cfg, trace, source, 42).run();
+    // Simulation-side outcomes: identical bits (one replica, so even the
+    // f64 accumulation order matches the exact mode's).
+    assert_eq!(fold.completed, exact.completed);
+    assert_eq!(fold.makespan_secs.to_bits(), exact.makespan_secs.to_bits());
+    assert_eq!(fold.total_batches, exact.total_batches);
+    assert_eq!(fold.total_tokens, exact.total_tokens);
+    assert_eq!(fold.mfu.to_bits(), exact.mfu.to_bits());
+    assert_eq!(fold.energy_kwh.to_bits(), exact.energy_kwh.to_bits());
+    // Maxima are order-independent and stay bit-equal; means agree to float
+    // rounding (the fold accumulates in completion order, exact in id
+    // order).
+    assert_eq!(fold.tbt.max.to_bits(), exact.tbt.max.to_bits());
+    assert_eq!(fold.e2e.max.to_bits(), exact.e2e.max.to_bits());
+    assert!((fold.e2e.mean - exact.e2e.mean).abs() <= 1e-9 * exact.e2e.mean.abs());
+    assert!((fold.tbt.mean - exact.tbt.mean).abs() <= 1e-9 * exact.tbt.mean.abs());
+    // Mid-quantiles come from the t-digest: approximate but close.
+    for (m, e, name) in [
+        (fold.tbt.p50, exact.tbt.p50, "tbt.p50"),
+        (fold.e2e.p50, exact.e2e.p50, "e2e.p50"),
+        (fold.ttft.p90, exact.ttft.p90, "ttft.p90"),
+        (
+            fold.normalized_e2e.p50,
+            exact.normalized_e2e.p50,
+            "ne2e.p50",
+        ),
+    ] {
+        let tol = 0.25 * e.abs().max(1e-9);
+        assert!(
+            (m - e).abs() <= tol,
+            "{name}: mergeable {m} vs exact {e} beyond 25%"
+        );
+    }
+}
+
 /// Off-fast-path configurations silently fall back to the sequential engine,
 /// so `shards > 1` never changes a report anywhere: the oracle source
 /// (jittered), a stateful routing policy, and the single-replica pins all
