@@ -20,6 +20,13 @@
 //!   serial-commit replay. The streamed-effect reduction (≥5×) is asserted
 //!   in-process on every run; the ≥1.3× wall-clock gate, like
 //!   `sharded_replay`'s, binds only on ≥4-core hosts.
+//! * `elastic_diurnal` — a diurnal amplified replay served twice: by a
+//!   statically-overprovisioned fleet sized for the peak, and by the SLO/
+//!   queue autoscaler growing from one replica inside the same ceiling.
+//!   Asserted in-process on every run (hardware-independent): the
+//!   autoscaled run holds TTFT-SLO attainment within 5 points of the static
+//!   fleet at ≤60% of its replica-hours. The recorded `speedup` is the
+//!   replica-hours savings factor, not a wall-clock ratio.
 //!
 //! Output: human-readable lines plus machine-readable
 //! `results/BENCH_event_loop.json`. With `BENCH_EVENT_LOOP_BASELINE=<path>`
@@ -39,8 +46,11 @@ use vidur_hardware::GpuSku;
 use vidur_model::{ModelSpec, ParallelismConfig};
 use vidur_scheduler::{BatchPolicyKind, SchedulerConfig};
 use vidur_simulator::cluster::RuntimeSource;
-use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator, QuantileMode};
-use vidur_workload::{ArrivalProcess, Trace, TraceWorkload};
+use vidur_simulator::{
+    onboard, AutoscalerSpec, ClusterConfig, ClusterSimulator, QuantileMode, SimulationReport,
+    TenantSlo,
+};
+use vidur_workload::{ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceWorkload};
 
 /// The queue-churn workload: `arrivals` sorted pre-pushes, then pops with
 /// `children` near-future re-pushes each until the queue drains.
@@ -286,6 +296,92 @@ fn main() {
         results.push(r);
     }
 
+    // --- elastic_diurnal: autoscaler vs static overprovisioning ----------
+    {
+        let peak_replicas = 8;
+        let n = if smoke { 300 } else { 900 };
+        let mix = MultiTenantWorkload::new(
+            "diurnal-amplified",
+            vec![TenantStream {
+                tenant: "interactive".into(),
+                priority: 0,
+                workload: TraceWorkload::chat_1m(),
+                // Full-amplitude diurnal swing: the peak needs most of the
+                // static fleet, the trough needs almost none of it.
+                arrivals: ArrivalProcess::Diurnal {
+                    mean_qps: 3.0,
+                    amplitude: 1.0,
+                    period_secs: 120.0,
+                },
+            }],
+        );
+        let mut rng = SimRng::new(61);
+        let trace = mix.generate(n, &mut rng);
+        let base = replay_config();
+        let est = onboard(
+            &base.model,
+            &base.parallelism,
+            &base.sku,
+            EstimatorKind::default(),
+        );
+        let source = RuntimeSource::Estimator((*est).clone());
+        let run = |num_replicas: usize, autoscaler: Option<AutoscalerSpec>| {
+            let mut cfg = base.clone();
+            cfg.num_replicas = num_replicas;
+            cfg.autoscaler = autoscaler;
+            cfg.tenant_slo = Some(TenantSlo {
+                ttft_secs: 2.0,
+                e2e_per_token_secs: 0.5,
+            });
+            let start = Instant::now();
+            let report = ClusterSimulator::new(cfg, trace.clone(), source.clone(), 61).run();
+            (start.elapsed().as_nanos() as f64, report)
+        };
+        let attainment = |report: &SimulationReport| -> f64 {
+            report.per_tenant[0]
+                .slo_attainment
+                .expect("tenant SLO armed, requests completed")
+        };
+        let (static_ns, static_report) = run(peak_replicas, None);
+        let mut spec = AutoscalerSpec::new(1, peak_replicas);
+        spec.interval_secs = 5.0;
+        spec.scale_step = 2;
+        spec.queue_low = 6.0;
+        let (auto_ns, auto_report) = run(1, Some(spec));
+        assert_eq!(
+            auto_report.completed, n,
+            "autoscaled run must drain the trace"
+        );
+        // The static fleet never arms the elastic layer, so its
+        // replica-hours are the full fleet over the whole makespan.
+        let static_hours = peak_replicas as f64 * static_report.makespan_secs / 3600.0;
+        let auto_hours = auto_report.replica_hours;
+        let (attn_static, attn_auto) = (attainment(&static_report), attainment(&auto_report));
+        // The scenario's whole contract, asserted on every run: near-static
+        // SLO attainment at a fraction of the replica-hours.
+        assert!(
+            attn_auto >= attn_static - 0.05,
+            "autoscaler gave up too much attainment: {attn_auto:.3} vs static {attn_static:.3}"
+        );
+        assert!(
+            auto_hours <= 0.6 * static_hours,
+            "autoscaler must save >=40% replica-hours: {auto_hours:.4} vs static {static_hours:.4}"
+        );
+        let r = ScenarioResult {
+            name: "elastic_diurnal".to_string(),
+            optimized_ns: auto_ns,
+            reference_ns: static_ns,
+            speedup: static_hours / auto_hours,
+            shards: 1,
+            quantile_mode: "exact".to_string(),
+        };
+        println!(
+            "bench: event_loop/elastic_diurnal attainment {:.3} vs static {:.3}, replica-hours {:.4} vs {:.4} ({:.2}x savings, {} requests)",
+            attn_auto, attn_static, auto_hours, static_hours, r.speedup, n
+        );
+        results.push(r);
+    }
+
     let report = BenchReport {
         schema: 2,
         smoke,
@@ -379,6 +475,26 @@ fn main() {
             println!(
                 "gate: metrics_merge {:.2}x — skipped ({cores} cores < 4; effect-count drop still asserted)",
                 fold.speedup
+            );
+        }
+
+        // elastic_diurnal's attainment/replica-hours contract is asserted
+        // in-process above (hardware-independent); here we only require the
+        // scenario to be present and its savings factor to clear the 1/0.6
+        // floor the in-process assert implies.
+        let elastic = report
+            .scenario("elastic_diurnal")
+            .expect("elastic_diurnal scenario present");
+        if elastic.speedup < 1.0 / 0.6 {
+            eprintln!(
+                "FAIL: elastic_diurnal replica-hours savings {:.2}x below the 1.67x floor",
+                elastic.speedup
+            );
+            failed = true;
+        } else {
+            println!(
+                "gate: elastic_diurnal {:.2}x replica-hours savings (floor 1.67x) — ok",
+                elastic.speedup
             );
         }
     }

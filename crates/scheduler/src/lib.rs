@@ -40,7 +40,8 @@ pub use reference::ReferenceScheduler;
 pub use replica::ReplicaScheduler;
 pub use request::{Request, RequestId, RequestPhase, TrackedRequest};
 pub use router::{
-    DeferredEntry, ReplicaLoad, RouteRequest, Router, RouterView, RoutingTier, TenantRouting,
+    DeferredEntry, ReplicaHealth, ReplicaLoad, RouteRequest, Router, RouterView, RoutingTier,
+    TenantRouting,
 };
 pub use slab::IdSlab;
 pub use stage::PipelineTracker;

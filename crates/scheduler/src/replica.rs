@@ -113,6 +113,11 @@ pub struct ReplicaScheduler {
     slice_pool: Vec<Vec<RequestSlice>>,
     preemptions: u64,
     completed: u64,
+    /// Set while the replica is gracefully draining: every admission path
+    /// (policy admission loops and the prefetched-KV pass) refuses to move
+    /// work from waiting into running, so in-flight batches finish and the
+    /// queue can be migrated. See [`ReplicaScheduler::drain_queued`].
+    admissions_closed: bool,
 }
 
 /// An intrusive doubly-linked list over [`TrackedRequest`]s, ordered by
@@ -215,6 +220,7 @@ impl ReplicaScheduler {
             slice_pool: Vec::new(),
             preemptions: 0,
             completed: 0,
+            admissions_closed: false,
         }
     }
 
@@ -512,6 +518,9 @@ impl ReplicaScheduler {
     /// from a prefill replica) straight into the running set. Called by
     /// every policy before batch formation; FIFO order is preserved.
     fn admit_prefetched(&mut self) {
+        if self.admissions_closed {
+            return;
+        }
         while self.num_running() < self.config.max_batch_size {
             self.park_quota_blocked_front();
             let Some(&id) = self.waiting.front() else {
@@ -728,6 +737,9 @@ impl ReplicaScheduler {
     /// `remaining_prefill` (a latent seed bug, reachable in disaggregated
     /// decode pools under memory pressure).
     fn admit_front(&mut self, reserve_tokens: u64) -> Option<RequestId> {
+        if self.admissions_closed {
+            return None;
+        }
         let &id = self.waiting.front()?;
         if self.requests[&id].remaining_prefill() == 0 {
             return None;
@@ -757,6 +769,83 @@ impl ReplicaScheduler {
         req.restart();
         self.enqueue_waiting_front(id);
         self.preemptions += 1;
+    }
+
+    // ---- crash eviction and graceful drain -------------------------------
+
+    /// Crash eviction: removes **every** request from the replica — waiting,
+    /// quota-parked, and running — releasing all KV blocks, and appends their
+    /// ids to `out` in deterministic order (waiting FIFO, then quota-parked
+    /// FIFO, then the prefilling and decoding lists in admission order).
+    /// The caller re-routes the evicted work to surviving replicas; prefill
+    /// progress is lost (vLLM recompute semantics), which
+    /// [`TrackedRequest::restart`] would also do — here the tracked state is
+    /// dropped entirely because the request leaves the replica.
+    ///
+    /// Does **not** count toward [`ReplicaScheduler::preemptions`]: crash
+    /// evictions are accounted separately by the cluster driver.
+    pub fn evict_all(&mut self, out: &mut Vec<RequestId>) {
+        while let Some(id) = self.waiting.pop_front() {
+            self.release_blocks(id);
+            self.requests.remove(&id);
+            out.push(id);
+        }
+        while let Some(id) = self.quota_parked.pop_front() {
+            self.release_blocks(id);
+            self.requests.remove(&id);
+            out.push(id);
+        }
+        for list in [self.prefilling, self.decoding] {
+            let mut cur = list.head;
+            while cur != NO_REQ {
+                let next = self.requests[&cur].next;
+                self.leave_running(cur);
+                self.release_blocks(cur);
+                self.requests.remove(&cur);
+                out.push(cur);
+                cur = next;
+            }
+        }
+        debug_assert!(
+            self.requests.is_empty(),
+            "crash eviction must clear the slab"
+        );
+        debug_assert_eq!(self.projected_tokens, 0);
+        debug_assert_eq!(self.blocks.used_blocks(), 0, "all KV reclaimed");
+        debug_assert!(
+            self.tenant_held_blocks.iter().all(|&h| h == 0),
+            "tenant holdings must zero out on crash"
+        );
+    }
+
+    /// Graceful drain: closes admissions (in-flight and running work keeps
+    /// executing to completion) and removes everything that has **not**
+    /// started — the waiting queue and the quota-parked set — appending the
+    /// ids to `out` (waiting FIFO first, then parked FIFO) for the caller to
+    /// re-route. Queued work holds no KV blocks, so nothing is released.
+    pub fn drain_queued(&mut self, out: &mut Vec<RequestId>) {
+        self.admissions_closed = true;
+        while let Some(id) = self.waiting.pop_front() {
+            debug_assert_eq!(self.blocks.held_by(id), 0, "queued work holds no KV");
+            self.requests.remove(&id);
+            out.push(id);
+        }
+        while let Some(id) = self.quota_parked.pop_front() {
+            debug_assert_eq!(self.blocks.held_by(id), 0, "parked work holds no KV");
+            self.requests.remove(&id);
+            out.push(id);
+        }
+    }
+
+    /// Reopens admissions after a drain was cancelled or the replica came
+    /// back from warm-up.
+    pub fn reopen_admissions(&mut self) {
+        self.admissions_closed = false;
+    }
+
+    /// Whether a graceful drain has closed admissions.
+    pub fn admissions_closed(&self) -> bool {
+        self.admissions_closed
     }
 
     /// Preempts (recompute-restarts) one running request that is not in
@@ -1462,6 +1551,65 @@ mod tests {
         }
         assert_eq!(s.completed(), 6);
         assert_eq!(s.blocks().used_blocks(), 0);
+    }
+
+    #[test]
+    fn evict_all_reclaims_kv_and_orders_deterministically() {
+        let mut s = sched(BatchPolicyKind::Vllm, 1_000);
+        s.set_tenant_quotas(&[8, u64::MAX]);
+        s.add_request(req(0, 100, 50).with_tenant(0)); // admits (7 blocks)
+        s.add_request(req(1, 100, 50).with_tenant(0)); // parks (over quota)
+        s.add_request(req(2, 100, 5).with_tenant(1)); // admits
+        let b = s.next_batch().unwrap();
+        s.complete_batch(&b);
+        s.add_request(req(3, 40, 2).with_tenant(1)); // still waiting
+        let b2 = s.next_batch().unwrap(); // admits 3, decodes 0 and 2
+        s.complete_batch(&b2);
+        assert!(s.blocks().used_blocks() > 0);
+        let mut out = Vec::new();
+        s.evict_all(&mut out);
+        // Order: waiting FIFO, parked FIFO, then running in admission order.
+        assert_eq!(out, vec![1, 0, 2, 3]);
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.blocks().used_blocks(), 0, "all KV reclaimed");
+        assert_eq!(s.preemptions(), 0, "crash eviction is not a preemption");
+        // The replica accepts the same ids again after eviction (re-route
+        // back to a recovered replica) and quota bookkeeping still works.
+        s.add_request(req(0, 100, 2).with_tenant(0));
+        let b3 = s.next_batch().expect("fresh admission after eviction");
+        assert_eq!(b3.slices()[0].request_id, 0);
+        s.complete_batch(&b3);
+        while s.outstanding() > 0 {
+            let b = s.next_batch().unwrap();
+            s.complete_batch(&b);
+        }
+        assert_eq!(s.blocks().used_blocks(), 0);
+    }
+
+    #[test]
+    fn drain_queued_closes_admissions_but_finishes_running_work() {
+        let mut s = sched(BatchPolicyKind::Vllm, 1_000);
+        s.add_request(req(0, 100, 3));
+        let b = s.next_batch().unwrap();
+        s.complete_batch(&b);
+        s.add_request(req(1, 50, 2));
+        s.add_request(req(2, 50, 2));
+        let mut out = Vec::new();
+        s.drain_queued(&mut out);
+        assert_eq!(out, vec![1, 2], "queued work migrates in FIFO order");
+        assert!(s.admissions_closed());
+        // Running request 0 still decodes to completion.
+        while s.outstanding() > 0 {
+            let b = s.next_batch().expect("running work keeps executing");
+            assert!(b.slices().iter().all(|sl| sl.request_id == 0));
+            s.complete_batch(&b);
+        }
+        assert_eq!(s.completed(), 1);
+        // New arrivals queue but are not admitted while draining.
+        s.add_request(req(3, 40, 1));
+        assert!(s.next_batch().is_none(), "admissions are closed");
+        s.reopen_admissions();
+        assert!(s.next_batch().is_some(), "admissions reopen after warm-up");
     }
 
     #[test]

@@ -46,6 +46,24 @@ pub struct RouteRequest {
     pub tokens: u64,
 }
 
+/// Membership state of one replica behind the tier. Only [`Live`]
+/// replicas receive new work; the other states exist for elastic fleets
+/// (fault injection and autoscaling — see `vidur_simulator::faults`).
+///
+/// [`Live`]: ReplicaHealth::Live
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaHealth {
+    /// Routable: the replica accepts new dispatches.
+    #[default]
+    Live,
+    /// Gracefully draining: running work finishes, no new dispatches.
+    Draining,
+    /// Warming up (model load + weight transfer): not yet routable.
+    Warming,
+    /// Powered off or crashed.
+    Down,
+}
+
 /// Live load state of one replica, maintained incrementally by the tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ReplicaLoad {
@@ -65,6 +83,12 @@ pub struct ReplicaLoad {
 #[derive(Debug, Clone)]
 pub struct RouterView {
     replicas: Vec<ReplicaLoad>,
+    /// Membership state per replica; all [`ReplicaHealth::Live`] in a
+    /// static fleet.
+    health: Vec<ReplicaHealth>,
+    /// Replicas whose health is not `Live` (0 in a static fleet — the
+    /// routable-only scans reduce to the classic whole-fleet scans then).
+    non_live: usize,
     /// Requests currently in the system (deferred or dispatched, unfinished)
     /// per tenant. Grown on first sight of a tenant.
     tenant_in_system: Vec<usize>,
@@ -74,6 +98,8 @@ impl RouterView {
     fn new(num_replicas: usize) -> Self {
         RouterView {
             replicas: vec![ReplicaLoad::default(); num_replicas],
+            health: vec![ReplicaHealth::Live; num_replicas],
+            non_live: 0,
             tenant_in_system: Vec::new(),
         }
     }
@@ -106,24 +132,71 @@ impl RouterView {
         self.replicas[replica].outstanding
     }
 
-    /// The replica with the fewest outstanding requests (lowest index on
-    /// ties — the same tie-break as the seed's `min_by_key`).
+    /// Membership state of `replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn health(&self, replica: usize) -> ReplicaHealth {
+        self.health[replica]
+    }
+
+    /// True when `replica` accepts new dispatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn is_routable(&self, replica: usize) -> bool {
+        self.health[replica] == ReplicaHealth::Live
+    }
+
+    /// Number of routable (live) replicas.
+    pub fn num_routable(&self) -> usize {
+        self.replicas.len() - self.non_live
+    }
+
+    fn set_health(&mut self, replica: usize, health: ReplicaHealth) -> bool {
+        let old = self.health[replica];
+        if old == health {
+            return false;
+        }
+        self.non_live -= usize::from(old != ReplicaHealth::Live);
+        self.non_live += usize::from(health != ReplicaHealth::Live);
+        self.health[replica] = health;
+        true
+    }
+
+    /// The routable replica with the fewest outstanding requests (lowest
+    /// index on ties — the same tie-break as the seed's `min_by_key`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no replica is routable; policies that must tolerate a
+    /// fully-dark fleet use [`RouterView::try_least_outstanding`].
     pub fn least_outstanding(&self) -> usize {
+        self.try_least_outstanding()
+            .expect("tier has at least one routable replica")
+    }
+
+    /// Like [`RouterView::least_outstanding`], but `None` when no replica
+    /// is routable.
+    pub fn try_least_outstanding(&self) -> Option<usize> {
         self.replicas
             .iter()
             .enumerate()
+            .filter(|&(i, _)| self.health[i] == ReplicaHealth::Live)
             .min_by_key(|&(_, l)| l.outstanding)
             .map(|(i, _)| i)
-            .expect("tier has at least one replica")
     }
 
-    /// The least-outstanding replica whose count is strictly below `cap`,
-    /// or `None` when every replica is at or over it (defer).
+    /// The least-outstanding routable replica whose count is strictly below
+    /// `cap`, or `None` when every routable replica is at or over it
+    /// (defer).
     pub fn least_outstanding_below(&self, cap: usize) -> Option<usize> {
         self.replicas
             .iter()
             .enumerate()
-            .filter(|&(_, l)| l.outstanding < cap)
+            .filter(|&(i, l)| l.outstanding < cap && self.health[i] == ReplicaHealth::Live)
             .min_by_key(|&(_, l)| l.outstanding)
             .map(|(i, _)| i)
     }
@@ -183,6 +256,11 @@ pub trait Router: fmt::Debug + Send {
     /// Accounts a successful dispatch (called for immediate and deferred
     /// binds alike, after the view reflects the dispatch).
     fn on_dispatch(&mut self, _req: &RouteRequest, _target: usize, _view: &RouterView) {}
+
+    /// Called after a replica's health changes (membership churn). Policies
+    /// holding replica references migrate them here — affinity re-homes
+    /// tenants whose home left the routable set.
+    fn on_membership_change(&mut self, _view: &RouterView) {}
 }
 
 // ---- the four seed policies, re-expressed --------------------------------
@@ -195,9 +273,20 @@ struct RoundRobinRouter {
 
 impl Router for RoundRobinRouter {
     fn try_place(&mut self, _req: &RouteRequest, view: &RouterView) -> Option<usize> {
-        let r = self.next;
-        self.next = (self.next + 1) % view.num_replicas();
-        Some(r)
+        if view.num_routable() == 0 {
+            return None;
+        }
+        // With the whole fleet live this is the classic one-step modulo
+        // cursor; with churn the cursor walks past non-routable replicas.
+        let n = view.num_replicas();
+        for _ in 0..n {
+            let r = self.next;
+            self.next = (self.next + 1) % n;
+            if view.is_routable(r) {
+                return Some(r);
+            }
+        }
+        unreachable!("num_routable() > 0 guarantees a live replica in the walk")
     }
 }
 
@@ -207,7 +296,7 @@ struct LeastOutstandingRouter;
 
 impl Router for LeastOutstandingRouter {
     fn try_place(&mut self, _req: &RouteRequest, view: &RouterView) -> Option<usize> {
-        Some(view.least_outstanding())
+        view.try_least_outstanding()
     }
 }
 
@@ -219,7 +308,27 @@ struct RandomRouter {
 
 impl Router for RandomRouter {
     fn try_place(&mut self, _req: &RouteRequest, view: &RouterView) -> Option<usize> {
-        Some(self.rng.next_below(view.num_replicas() as u64) as usize)
+        let routable = view.num_routable();
+        if routable == 0 {
+            return None;
+        }
+        let draw = self.rng.next_below(routable as u64) as usize;
+        if routable == view.num_replicas() {
+            // Whole fleet live: identical RNG stream and placement to the
+            // seed policy.
+            return Some(draw);
+        }
+        // Map the draw onto the draw-th routable replica, index order.
+        let mut seen = 0;
+        for r in 0..view.num_replicas() {
+            if view.is_routable(r) {
+                if seen == draw {
+                    return Some(r);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("draw < num_routable()")
     }
 }
 
@@ -356,19 +465,29 @@ struct AffinityRouter {
 
 impl Router for AffinityRouter {
     fn try_place(&mut self, req: &RouteRequest, view: &RouterView) -> Option<usize> {
+        let least = view.try_least_outstanding()?;
         let idx = req.tenant as usize;
         if idx >= self.home.len() {
             self.home.resize(idx + 1, NO_HOME);
         }
-        if self.home[idx] == NO_HOME {
-            self.home[idx] = view.least_outstanding();
+        if self.home[idx] == NO_HOME || !view.is_routable(self.home[idx]) {
+            self.home[idx] = least;
         }
         let home = self.home[idx];
-        let least = view.least_outstanding();
         if view.outstanding(home) <= view.outstanding(least) + self.spill_margin {
             Some(home)
         } else {
             Some(least)
+        }
+    }
+
+    fn on_membership_change(&mut self, view: &RouterView) {
+        // A tenant whose home left the routable set re-homes (onto the then
+        // least-loaded live replica) at its next request.
+        for home in &mut self.home {
+            if *home != NO_HOME && !view.is_routable(*home) {
+                *home = NO_HOME;
+            }
         }
     }
 }
@@ -543,6 +662,29 @@ impl RoutingTier {
     /// Panics if `replica` is out of range.
     pub fn set_free_kv_blocks(&mut self, replica: usize, blocks: u64) {
         self.view.replicas[replica].free_kv_blocks = blocks;
+    }
+
+    /// Sets a replica's membership state and, on a change, notifies the
+    /// policy so it can migrate replica references (affinity homes). The
+    /// driver is responsible for evicting/requeueing the replica's work —
+    /// the tier only stops (or resumes) routing to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn set_health(&mut self, replica: usize, health: ReplicaHealth) {
+        if self.view.set_health(replica, health) {
+            self.router.on_membership_change(&self.view);
+        }
+    }
+
+    /// Membership state of `replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn health(&self, replica: usize) -> ReplicaHealth {
+        self.view.health(replica)
     }
 
     /// Fraction of the weighted fair share `tenant` actually received:
@@ -788,5 +930,67 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replicas_rejected() {
         RoutingTier::new(GlobalPolicyKind::RoundRobin, 0, 0, &[]);
+    }
+
+    #[test]
+    fn round_robin_skips_non_live_replicas() {
+        let mut tier = RoutingTier::new(GlobalPolicyKind::RoundRobin, 4, 0, &[]);
+        tier.set_health(1, ReplicaHealth::Down);
+        tier.set_health(3, ReplicaHealth::Draining);
+        let picks: Vec<Option<usize>> = (0..4).map(|i| tier.route(req(i, 0, 0, 10))).collect();
+        assert_eq!(picks, vec![Some(0), Some(2), Some(0), Some(2)]);
+        // Recovery folds the replica back into the cycle (3 still drains).
+        tier.set_health(1, ReplicaHealth::Live);
+        let picks: Vec<Option<usize>> = (4..8).map(|i| tier.route(req(i, 0, 0, 10))).collect();
+        assert_eq!(picks, vec![Some(0), Some(1), Some(2), Some(0)]);
+    }
+
+    #[test]
+    fn random_draws_only_live_replicas() {
+        let mut tier = RoutingTier::new(GlobalPolicyKind::Random, 4, 9, &[]);
+        tier.set_health(0, ReplicaHealth::Down);
+        tier.set_health(2, ReplicaHealth::Warming);
+        for i in 0..64 {
+            let r = tier.route(req(i, 0, 0, 1)).expect("live replicas exist");
+            assert!(r == 1 || r == 3, "drew non-live replica {r}");
+        }
+    }
+
+    #[test]
+    fn policies_defer_when_fleet_dark_and_recover() {
+        for kind in [
+            GlobalPolicyKind::RoundRobin,
+            GlobalPolicyKind::LeastOutstanding,
+            GlobalPolicyKind::Random,
+            GlobalPolicyKind::Deferred { max_outstanding: 4 },
+            GlobalPolicyKind::PriorityAware { max_outstanding: 4 },
+            GlobalPolicyKind::FairShare { max_outstanding: 4 },
+            GlobalPolicyKind::Affinity { spill_margin: 2 },
+        ] {
+            let mut tier = RoutingTier::new(kind, 2, 7, &[]);
+            tier.set_health(0, ReplicaHealth::Down);
+            tier.set_health(1, ReplicaHealth::Down);
+            assert_eq!(tier.route(req(0, 0, 0, 10)), None, "{kind:?}");
+            assert!(tier.next_ready().is_none(), "{kind:?}");
+            tier.set_health(1, ReplicaHealth::Live);
+            let (r, target) = tier
+                .next_ready()
+                .unwrap_or_else(|| panic!("{kind:?} must drain the deferred queue on recovery"));
+            assert_eq!((r.key, target), (0, 1), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn affinity_homes_migrate_on_drain() {
+        let kind = GlobalPolicyKind::Affinity { spill_margin: 8 };
+        let mut tier = RoutingTier::new(kind, 3, 0, &[]);
+        assert_eq!(tier.route(req(0, 0, 0, 10)), Some(0), "tenant 0 homes on 0");
+        assert_eq!(tier.route(req(1, 0, 0, 10)), Some(0));
+        // Home drains: the sticky home migrates to a live replica and new
+        // requests follow it there.
+        tier.set_health(0, ReplicaHealth::Draining);
+        let moved = tier.route(req(2, 0, 0, 10)).expect("live replicas exist");
+        assert_ne!(moved, 0, "request followed the home off the drain");
+        assert_eq!(tier.route(req(3, 0, 0, 10)), Some(moved), "new home sticks");
     }
 }

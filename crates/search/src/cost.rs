@@ -153,6 +153,11 @@ mod tests {
             per_tenant: Vec::new(),
             timeseries: Vec::new(),
             distinct_tenants_est: None,
+            retries: 0,
+            requeued: 0,
+            evicted_by_crash: 0,
+            replica_hours: 0.0,
+            replica_availability: Vec::new(),
         }
     }
 

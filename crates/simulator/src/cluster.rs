@@ -11,11 +11,15 @@
 
 use crate::config::ClusterConfig;
 use crate::engine::{self, BatchEngine, EngineReplica};
-use crate::metrics::{SimulationReport, TenantRoutingStats};
+use crate::faults::{
+    Autoscaler, AutoscalerSpec, FleetObservation, ScaleDecision, SloQueueAutoscaler,
+};
+use crate::metrics::{FleetStats, SimulationReport, TenantRoutingStats};
 use vidur_core::event::{EventQueue, Simulation};
-use vidur_core::time::SimTime;
+use vidur_core::time::{SimDuration, SimTime};
 use vidur_model::batch::BatchComposition;
-use vidur_scheduler::{Request, RouteRequest, RoutingTier};
+use vidur_scheduler::{ReplicaHealth, Request, RequestId, RouteRequest, RoutingTier};
+use vidur_workload::faults::{FaultAction, FaultRecord};
 use vidur_workload::Trace;
 
 pub use crate::engine::RuntimeSource;
@@ -31,6 +35,131 @@ pub enum SimEvent {
     Wakeup(u32),
     /// Batch `batch_id` on replica finished its last stage.
     BatchComplete(u32, u64),
+    /// Fault record `idx` of the armed plan fires (elastic runs only).
+    Fault(u32),
+    /// The autoscaler evaluates one observation window (elastic runs only).
+    AutoscaleTick,
+    /// Replica finished warming up and becomes routable (elastic runs only).
+    WarmupDone(u32),
+}
+
+/// Per-run elastic-fleet state: the armed fault schedule, warm-up pricing,
+/// autoscaler, retry/requeue accounting, and per-replica uptime intervals.
+/// `None` on non-elastic runs, so the fixed-fleet hot path pays nothing and
+/// stays bit-identical.
+pub(crate) struct ElasticState {
+    /// Time-ordered fault records of the armed plan.
+    records: Vec<FaultRecord>,
+    /// Warm-up delay priced once from the warm-up model and the replica's
+    /// total weight bytes.
+    warmup_delay: SimDuration,
+    /// Armed autoscaler bounds/thresholds, if any.
+    spec: Option<AutoscalerSpec>,
+    /// The autoscaling policy (defaults to [`SloQueueAutoscaler`]).
+    policy: Option<Box<dyn Autoscaler>>,
+    /// Dispatches per trace index: a second dispatch is a retry.
+    dispatch_count: Vec<u32>,
+    retries: u64,
+    requeued: u64,
+    evicted_by_crash: u64,
+    tenant_retries: Vec<u64>,
+    tenant_requeued: Vec<u64>,
+    tenant_evicted: Vec<u64>,
+    /// Open uptime interval start per replica slot (`None` = down).
+    up_since: Vec<Option<SimTime>>,
+    /// Closed uptime accumulated per replica slot, seconds.
+    up_secs: Vec<f64>,
+    /// Pending warm-up completion per replica slot; a `WarmupDone` event is
+    /// only honored if it matches (a crash during warm-up clears it, so the
+    /// stale event is dropped).
+    warmup_due: Vec<Option<SimTime>>,
+    /// Windowed TTFT counters the autoscaler observes.
+    window_prefills: u64,
+    window_slo_ok: u64,
+    /// Reusable eviction buffer.
+    evict_scratch: Vec<RequestId>,
+}
+
+impl ElasticState {
+    fn new(config: &ClusterConfig, trace_len: usize, warmup_delay_secs: f64) -> Self {
+        let fleet = config.fleet_size();
+        let mut up_since = vec![None; fleet];
+        for slot in up_since.iter_mut().take(config.num_replicas) {
+            *slot = Some(SimTime::ZERO);
+        }
+        ElasticState {
+            records: config.faults.schedule.records.clone(),
+            warmup_delay: SimDuration::from_secs_f64(warmup_delay_secs),
+            spec: config.autoscaler,
+            policy: config
+                .autoscaler
+                .map(|spec| Box::new(SloQueueAutoscaler::new(spec)) as Box<dyn Autoscaler>),
+            dispatch_count: vec![0; trace_len],
+            retries: 0,
+            requeued: 0,
+            evicted_by_crash: 0,
+            tenant_retries: Vec::new(),
+            tenant_requeued: Vec::new(),
+            tenant_evicted: Vec::new(),
+            up_since,
+            up_secs: vec![0.0; fleet],
+            warmup_due: vec![None; fleet],
+            window_prefills: 0,
+            window_slo_ok: 0,
+            evict_scratch: Vec::new(),
+        }
+    }
+
+    /// Opens replica `r`'s uptime interval at `now` (no-op if already open).
+    fn open_up_interval(&mut self, r: usize, now: SimTime) {
+        if self.up_since[r].is_none() {
+            self.up_since[r] = Some(now);
+        }
+    }
+
+    /// Closes replica `r`'s uptime interval at `now` (no-op if not open).
+    fn close_up_interval(&mut self, r: usize, now: SimTime) {
+        if let Some(since) = self.up_since[r].take() {
+            self.up_secs[r] += now.saturating_duration_since(since).as_secs_f64();
+        }
+    }
+
+    fn bump(counts: &mut Vec<u64>, tenant: u32) {
+        let idx = tenant as usize;
+        if idx >= counts.len() {
+            counts.resize(idx + 1, 0);
+        }
+        counts[idx] += 1;
+    }
+
+    /// Finalizes uptime accounting at the run's horizon and assembles the
+    /// published [`FleetStats`].
+    fn into_fleet_stats(mut self, end: SimTime) -> FleetStats {
+        for r in 0..self.up_since.len() {
+            self.close_up_interval(r, end);
+        }
+        let horizon = end.as_secs_f64();
+        FleetStats {
+            retries: self.retries,
+            requeued: self.requeued,
+            evicted_by_crash: self.evicted_by_crash,
+            replica_hours: self.up_secs.iter().sum::<f64>() / 3600.0,
+            replica_availability: self
+                .up_secs
+                .iter()
+                .map(|&s| {
+                    if horizon > 0.0 {
+                        (s / horizon).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            tenant_retries: self.tenant_retries,
+            tenant_requeued: self.tenant_requeued,
+            tenant_evicted: self.tenant_evicted,
+        }
+    }
 }
 
 /// Execution statistics for one simulation run — how the event loop ran, as
@@ -58,6 +187,10 @@ pub struct ClusterSimulator {
     /// The global scheduling tier: routing policy, live replica view, and
     /// deferred-queue bookkeeping (paper §4.5, first tier).
     pub(crate) tier: RoutingTier,
+    /// Elastic-fleet state (fault schedule, autoscaler, uptime accounting);
+    /// `None` unless [`ClusterConfig::elastic`] — the fixed-fleet path pays
+    /// nothing for the feature.
+    pub(crate) elastic: Option<Box<ElasticState>>,
 }
 
 impl std::fmt::Debug for ClusterSimulator {
@@ -141,30 +274,56 @@ impl ClusterSimulator {
         let plan = config
             .memory_plan()
             .expect("configuration cannot host the model");
-        let mut replicas = EngineReplica::pool(&config, &plan, config.num_replicas);
+        // Elastic runs pre-allocate the autoscaler's `max_replicas` ceiling;
+        // fixed fleets allocate exactly `num_replicas` (fleet_size == that).
+        let fleet = config.fleet_size();
+        let mut replicas = EngineReplica::pool(&config, &plan, fleet);
         if let Some(quota) = config.tenant_quota_blocks(plan.num_kv_blocks) {
             for replica in &mut replicas {
                 replica.scheduler.set_tenant_quotas(&quota);
             }
         }
-        let tier = RoutingTier::new(
+        let mut tier = RoutingTier::new(
             config.global_policy,
-            config.num_replicas,
+            fleet,
             seed ^ 0x9E37,
             &config.tenant_weights,
         );
-        let mut engine = BatchEngine::with_timer(&config, timer, seed, config.num_replicas);
+        let mut engine = BatchEngine::with_timer(&config, timer, seed, fleet);
         if !trace.tenants.is_empty() {
             engine
                 .metrics
                 .set_tenants(&trace.tenants, config.tenant_slo);
         }
+        let elastic = config.elastic().then(|| {
+            // Slots beyond the starting fleet begin powered off; the
+            // autoscaler warms them up on demand.
+            for r in config.num_replicas..fleet {
+                tier.set_health(r, ReplicaHealth::Down);
+            }
+            let weight_bytes_total =
+                plan.weight_bytes * config.parallelism.gpus_per_replica() as f64;
+            let delay = config.faults.warmup.delay_secs(weight_bytes_total);
+            Box::new(ElasticState::new(&config, trace.len(), delay))
+        });
         ClusterSimulator {
             config,
             trace,
             engine,
             replicas,
             tier,
+            elastic,
+        }
+    }
+
+    /// Replaces the default [`SloQueueAutoscaler`] with a custom policy.
+    /// Only meaningful when [`ClusterConfig::autoscaler`] is armed (the
+    /// spec still provides the cadence and fleet bounds); a no-op otherwise.
+    pub fn set_autoscaler_policy(&mut self, policy: Box<dyn Autoscaler>) {
+        if let Some(el) = self.elastic.as_deref_mut() {
+            if el.spec.is_some() {
+                el.policy = Some(policy);
+            }
         }
     }
 
@@ -192,8 +351,22 @@ impl ClusterSimulator {
             stats.shards = shards;
             stats.streamed_effects = crate::sharded::run_sharded(&mut self, shards);
         } else {
-            let arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
-            engine::drive(&mut self, arrivals);
+            let mut arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
+            if let Some(el) = self.elastic.as_deref() {
+                for (i, rec) in el.records.iter().enumerate() {
+                    arrivals.push((rec.at, SimEvent::Fault(i as u32)));
+                }
+                if let Some(spec) = el.spec {
+                    arrivals.push((
+                        SimTime::from_secs_f64(spec.interval_secs),
+                        SimEvent::AutoscaleTick,
+                    ));
+                }
+            }
+            let (end, _) = engine::drive(&mut self, arrivals);
+            if let Some(el) = self.elastic.take() {
+                self.engine.metrics.set_fleet(el.into_fleet_stats(end));
+            }
         }
         let routing = routing_stats(&self.tier, &self.replicas);
         self.engine.metrics.set_tenant_routing(routing);
@@ -226,6 +399,13 @@ impl ClusterSimulator {
         queue: &mut EventQueue<SimEvent>,
     ) {
         let tr = self.trace.requests[idx as usize];
+        if let Some(el) = self.elastic.as_deref_mut() {
+            if el.dispatch_count[idx as usize] > 0 {
+                el.retries += 1;
+                ElasticState::bump(&mut el.tenant_retries, tr.tenant);
+            }
+            el.dispatch_count[idx as usize] += 1;
+        }
         self.replicas[target].scheduler.add_request(
             Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
                 .with_tenant(tr.tenant)
@@ -253,6 +433,232 @@ impl ClusterSimulator {
             |batch| batch_bytes(config, batch),
             || SimEvent::Wakeup(replica),
             |id| SimEvent::BatchComplete(replica, id),
+        );
+    }
+
+    // ---- elastic-fleet actions -------------------------------------------
+
+    /// Applies fault record `i` of the armed plan.
+    fn apply_fault(&mut self, i: u32, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        let rec = self.elastic.as_deref().expect("elastic armed").records[i as usize];
+        let r = rec.replica as usize;
+        assert!(
+            r < self.replicas.len(),
+            "fault schedule names replica {r} but the fleet has {}",
+            self.replicas.len()
+        );
+        match rec.action {
+            FaultAction::Crash => self.crash_replica(r, now, queue),
+            FaultAction::Recover => self.begin_warmup(r, now, queue),
+            FaultAction::Slow(mult) => self.engine.set_stage_multiplier(r, mult),
+            FaultAction::Restore => self.engine.set_stage_multiplier(r, 1.0),
+            FaultAction::Drain => self.drain_replica(r, now, queue),
+        }
+    }
+
+    /// Hard-crashes replica `r`: cancels its in-flight batches (their
+    /// already-queued completion events become stale and are dropped),
+    /// evicts every request with KV reclaimed, and requeues the evicted
+    /// work through the routing tier. No-op if the replica is already down.
+    fn crash_replica(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        if self.tier.health(r) == ReplicaHealth::Down {
+            return;
+        }
+        let mut evicted = {
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            el.close_up_interval(r, now);
+            el.warmup_due[r] = None;
+            std::mem::take(&mut el.evict_scratch)
+        };
+        evicted.clear();
+        self.tier.set_health(r, ReplicaHealth::Down);
+        self.engine.cancel_inflight(&mut self.replicas[r]);
+        self.replicas[r].scheduler.evict_all(&mut evicted);
+        self.tier
+            .set_free_kv_blocks(r, self.replicas[r].scheduler.blocks().free_blocks());
+        {
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            let trace = &self.trace;
+            let tier = &mut self.tier;
+            el.evicted_by_crash += evicted.len() as u64;
+            el.requeued += evicted.len() as u64;
+            for &id in &evicted {
+                let tr = trace.requests[id as usize];
+                ElasticState::bump(&mut el.tenant_evicted, tr.tenant);
+                ElasticState::bump(&mut el.tenant_requeued, tr.tenant);
+                // Balance the tier's dispatch accounting before re-routing.
+                tier.on_finished(r, tr.tenant, tr.prefill_tokens + tr.decode_tokens);
+            }
+        }
+        self.requeue(&evicted, now, queue);
+        evicted.clear();
+        self.elastic
+            .as_deref_mut()
+            .expect("elastic armed")
+            .evict_scratch = evicted;
+    }
+
+    /// Gracefully drains replica `r`: the router stops placing new work on
+    /// it, admissions close (running work executes to completion), and the
+    /// not-yet-started queue migrates through the routing tier. No-op
+    /// unless the replica is live.
+    fn drain_replica(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        if self.tier.health(r) != ReplicaHealth::Live {
+            return;
+        }
+        self.tier.set_health(r, ReplicaHealth::Draining);
+        let mut migrated = {
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            std::mem::take(&mut el.evict_scratch)
+        };
+        migrated.clear();
+        self.replicas[r].scheduler.drain_queued(&mut migrated);
+        {
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            let trace = &self.trace;
+            let tier = &mut self.tier;
+            el.requeued += migrated.len() as u64;
+            for &id in &migrated {
+                let tr = trace.requests[id as usize];
+                ElasticState::bump(&mut el.tenant_requeued, tr.tenant);
+                tier.on_finished(r, tr.tenant, tr.prefill_tokens + tr.decode_tokens);
+            }
+        }
+        self.requeue(&migrated, now, queue);
+        migrated.clear();
+        self.elastic
+            .as_deref_mut()
+            .expect("elastic armed")
+            .evict_scratch = migrated;
+        self.maybe_finish_drain(r, now);
+    }
+
+    /// Sends evicted/migrated requests back through the routing tier. The
+    /// tier defers them when no replica is routable; recoveries drain the
+    /// deferred queue.
+    fn requeue(&mut self, ids: &[RequestId], now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        for &id in ids {
+            let idx = id as u32;
+            let req = self.route_request(idx);
+            if let Some(target) = self.tier.route(req) {
+                self.dispatch(idx, target, now, queue);
+            }
+        }
+    }
+
+    /// Completes a graceful drain once the replica has nothing running.
+    fn maybe_finish_drain(&mut self, r: usize, now: SimTime) {
+        if self.tier.health(r) == ReplicaHealth::Draining
+            && self.replicas[r].inflight_len() == 0
+            && self.replicas[r].scheduler.outstanding() == 0
+        {
+            self.tier.set_health(r, ReplicaHealth::Down);
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            el.close_up_interval(r, now);
+        }
+    }
+
+    /// Starts warming replica `r` up (fault-plan recovery or autoscaler
+    /// scale-up): the replica pays the model-load + weight-transfer delay
+    /// before becoming routable. No-op unless the replica is down.
+    fn begin_warmup(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        if self.tier.health(r) != ReplicaHealth::Down {
+            return;
+        }
+        self.tier.set_health(r, ReplicaHealth::Warming);
+        let el = self.elastic.as_deref_mut().expect("elastic armed");
+        let due = now + el.warmup_delay;
+        el.warmup_due[r] = Some(due);
+        // A warming replica occupies its GPUs: uptime (and replica-hours)
+        // start at warm-up, not at readiness.
+        el.open_up_interval(r, now);
+        queue.push(due, SimEvent::WarmupDone(r as u32));
+    }
+
+    /// Replica `r` finished warming up: it becomes routable and the tier's
+    /// deferred queue drains onto it. Stale events (the replica crashed
+    /// mid-warm-up) are dropped via the `warmup_due` match.
+    fn warmup_done(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        {
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            if self.tier.health(r) != ReplicaHealth::Warming || el.warmup_due[r] != Some(now) {
+                return;
+            }
+            el.warmup_due[r] = None;
+        }
+        self.replicas[r].scheduler.reopen_admissions();
+        self.tier.set_health(r, ReplicaHealth::Live);
+        self.tier
+            .set_free_kv_blocks(r, self.replicas[r].scheduler.blocks().free_blocks());
+        self.drain_deferred(now, queue);
+        self.try_schedule(r as u32, now, queue);
+    }
+
+    /// One autoscaler evaluation: observe the window, decide, apply within
+    /// the spec's fleet bounds, and re-arm the next tick.
+    fn autoscale_tick(&mut self, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        let fleet = self.replicas.len();
+        let (mut live, mut warming, mut draining, mut outstanding) = (0usize, 0, 0, 0);
+        for r in 0..fleet {
+            match self.tier.health(r) {
+                ReplicaHealth::Live => {
+                    live += 1;
+                    outstanding += self.replicas[r].scheduler.outstanding();
+                }
+                ReplicaHealth::Warming => warming += 1,
+                ReplicaHealth::Draining => draining += 1,
+                ReplicaHealth::Down => {}
+            }
+        }
+        let (spec, decision) = {
+            let el = self.elastic.as_deref_mut().expect("elastic armed");
+            let spec = el.spec.expect("tick only fires with an armed autoscaler");
+            let obs = FleetObservation {
+                now_secs: now.as_secs_f64(),
+                live,
+                warming,
+                draining,
+                deferred: self.tier.deferred_len(),
+                outstanding,
+                window_prefills: el.window_prefills,
+                window_slo_ok: el.window_slo_ok,
+            };
+            el.window_prefills = 0;
+            el.window_slo_ok = 0;
+            let policy = el.policy.as_mut().expect("armed autoscaler has a policy");
+            (spec, policy.decide(&obs))
+        };
+        match decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Up(n) => {
+                // Warming and draining replicas still occupy fleet slots.
+                let mut budget = n.min(spec.max_replicas.saturating_sub(live + warming + draining));
+                for r in 0..fleet {
+                    if budget == 0 {
+                        break;
+                    }
+                    if self.tier.health(r) == ReplicaHealth::Down {
+                        self.begin_warmup(r, now, queue);
+                        budget -= 1;
+                    }
+                }
+            }
+            ScaleDecision::Drain(n) => {
+                let mut budget = n.min(live.saturating_sub(spec.min_replicas));
+                for r in (0..fleet).rev() {
+                    if budget == 0 {
+                        break;
+                    }
+                    if self.tier.health(r) == ReplicaHealth::Live {
+                        self.drain_replica(r, now, queue);
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        queue.push(
+            now + SimDuration::from_secs_f64(spec.interval_secs),
+            SimEvent::AutoscaleTick,
         );
     }
 }
@@ -283,8 +689,14 @@ impl Simulation for ClusterSimulator {
             }
             SimEvent::BatchComplete(replica, id) => {
                 let r = replica as usize;
+                // Crash cancellation leaves completion events for batches
+                // that no longer exist; their generation check fails here.
+                if self.elastic.is_some() && !self.engine.inflight_contains(id) {
+                    return;
+                }
                 let trace = &self.trace;
                 let tier = &mut self.tier;
+                let mut elastic = self.elastic.as_deref_mut();
                 self.engine.retire_batch(
                     &mut self.replicas[r],
                     r,
@@ -298,13 +710,32 @@ impl Simulation for ClusterSimulator {
                             let tr = trace.requests[ev.id as usize];
                             tier.on_finished(r, tr.tenant, tr.prefill_tokens + tr.decode_tokens);
                         }
+                        if let Some(el) = elastic.as_deref_mut() {
+                            if ev.prefill_completed {
+                                if let Some(spec) = el.spec {
+                                    let tr = trace.requests[ev.id as usize];
+                                    el.window_prefills += 1;
+                                    let ttft =
+                                        now.saturating_duration_since(tr.arrival).as_secs_f64();
+                                    if ttft <= spec.ttft_slo_secs {
+                                        el.window_slo_ok += 1;
+                                    }
+                                }
+                            }
+                        }
                     },
                 );
                 self.tier
                     .set_free_kv_blocks(r, self.replicas[r].scheduler.blocks().free_blocks());
                 self.drain_deferred(now, queue);
                 self.try_schedule(replica, now, queue);
+                if self.elastic.is_some() {
+                    self.maybe_finish_drain(r, now);
+                }
             }
+            SimEvent::Fault(i) => self.apply_fault(i, now, queue),
+            SimEvent::AutoscaleTick => self.autoscale_tick(now, queue),
+            SimEvent::WarmupDone(r) => self.warmup_done(r as usize, now, queue),
         }
     }
 

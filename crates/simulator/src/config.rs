@@ -1,5 +1,6 @@
 //! Cluster / deployment configuration — the "Simulation Spec" of Figure 2.
 
+use crate::faults::{AutoscalerSpec, FaultPlan};
 use crate::metrics::{TenantSlo, TimeseriesConfig};
 use serde::{Deserialize, Serialize};
 use vidur_core::metrics::QuantileMode;
@@ -95,6 +96,19 @@ pub struct ClusterConfig {
     /// mean KV occupancy). Only populated in [`QuantileMode::Mergeable`];
     /// the other modes ignore it.
     pub timeseries: Option<TimeseriesConfig>,
+    /// Fault-injection plan: replica crashes (work requeues through the
+    /// routing tier), straggler episodes, and recoveries with warm-up. The
+    /// default (empty) plan is byte-identical to a run without the fault
+    /// layer. Arming a non-empty plan (or `autoscaler`) forces the
+    /// sequential engine — the sharded fast path falls back automatically.
+    /// Only the aggregated [`ClusterSimulator`](crate::ClusterSimulator)
+    /// injects faults; the disaggregated engine reports zero fault counters.
+    pub faults: FaultPlan,
+    /// SLO/queue-driven autoscaler: when set, the fleet starts at
+    /// `num_replicas` live replicas and the policy adds or drains replicas
+    /// each interval within `[min_replicas, max_replicas]`; the engine
+    /// pre-allocates `max_replicas`. `None` keeps the fleet fixed.
+    pub autoscaler: Option<AutoscalerSpec>,
 }
 
 /// Early-abort rule for overloaded capacity probes.
@@ -140,6 +154,25 @@ impl ClusterConfig {
             tenant_kv_quota: Vec::new(),
             shards: 1,
             timeseries: None,
+            faults: FaultPlan::none(),
+            autoscaler: None,
+        }
+    }
+
+    /// True when the elastic-fleet layer (fault plan or autoscaler) is
+    /// armed. Elastic runs pre-allocate [`Self::fleet_size`] replicas and
+    /// always use the sequential engine.
+    pub fn elastic(&self) -> bool {
+        !self.faults.is_empty() || self.autoscaler.is_some()
+    }
+
+    /// Replica slots to pre-allocate: `num_replicas`, or the autoscaler's
+    /// `max_replicas` ceiling when it is armed and larger. Slots beyond
+    /// `num_replicas` start powered off.
+    pub fn fleet_size(&self) -> usize {
+        match &self.autoscaler {
+            Some(spec) => self.num_replicas.max(spec.max_replicas),
+            None => self.num_replicas,
         }
     }
 

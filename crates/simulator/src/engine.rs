@@ -77,6 +77,13 @@ impl InflightSlots {
         (self.generations[slot as usize] as u64) << 32 | slot as u64
     }
 
+    /// Whether `id` maps to a live in-flight batch.
+    fn contains(&self, id: u64) -> bool {
+        let slot = (id & u32::MAX as u64) as usize;
+        let generation = (id >> 32) as u32;
+        self.generations.get(slot).copied() == Some(generation) && self.slots[slot].is_some()
+    }
+
     /// Removes and returns the batch behind `id`; `None` for ids that are
     /// stale (generation mismatch) or never existed.
     fn remove(&mut self, id: u64) -> Option<BatchComposition> {
@@ -104,9 +111,11 @@ pub struct EngineReplica {
     /// Pipeline-stage occupancy (resolves stage contention and bubbles).
     pub pipeline: PipelineTracker,
     wakeup_at: Option<SimTime>,
-    /// Completion times of in-flight batches in launch order (monotone:
-    /// the synchronous pipeline retires batches FIFO).
-    pending_completions: std::collections::VecDeque<SimTime>,
+    /// `(completion time, batch id)` of in-flight batches in launch order
+    /// (monotone: the synchronous pipeline retires batches FIFO). The batch
+    /// id rides along so a crash can cancel exactly this replica's in-flight
+    /// work — see [`EngineCore::cancel_inflight`].
+    pending_completions: std::collections::VecDeque<(SimTime, u64)>,
 }
 
 impl EngineReplica {
@@ -132,6 +141,22 @@ impl EngineReplica {
     /// Clears the pending wake-up marker (call when handling its event).
     pub fn clear_wakeup(&mut self) {
         self.wakeup_at = None;
+    }
+
+    /// Number of this replica's batches still executing (a draining replica
+    /// is done once both this and its scheduler's outstanding count are 0).
+    pub fn inflight_len(&self) -> usize {
+        self.pending_completions.len()
+    }
+
+    /// Crash reset: clears the wake-up marker and replaces the pipeline
+    /// tracker with a fresh one (a crashed replica's stages hold nothing).
+    /// In-flight batches must be cancelled first via
+    /// [`EngineCore::cancel_inflight`].
+    pub fn reset_for_crash(&mut self) {
+        debug_assert!(self.pending_completions.is_empty());
+        self.wakeup_at = None;
+        self.pipeline = PipelineTracker::new(self.pipeline.num_stages());
     }
 }
 
@@ -203,6 +228,12 @@ pub struct EngineCore {
     cpu_overhead: f64,
     inflight: InflightSlots,
     launched: u64,
+    /// Per-replica straggler multipliers applied to every stage time after
+    /// the shape-cache lookup (so the cache stays shared across replicas).
+    /// Empty means "all 1.0" — the vector only materializes when a fault
+    /// plan arms a `Slow` episode, and a multiplier of exactly 1.0 is
+    /// bit-identical to no multiplier at all.
+    stage_multipliers: Vec<f64>,
     /// Per-batch scratch (jittered stage times / stage durations /
     /// completion events), reused to keep allocations out of the scheduling
     /// hot loop.
@@ -258,6 +289,7 @@ impl EngineCore {
             cpu_overhead: config.cpu_overhead,
             inflight: InflightSlots::default(),
             launched: 0,
+            stage_multipliers: Vec::new(),
             scratch_secs: Vec::new(),
             scratch_durations: Vec::new(),
             events_scratch: Vec::new(),
@@ -277,6 +309,56 @@ impl EngineCore {
     /// Batches launched so far.
     pub fn launched(&self) -> u64 {
         self.launched
+    }
+
+    /// Sets replica `replica`'s straggler stage-time multiplier (1.0 =
+    /// nominal speed). Applied to every stage after the shape-cache lookup,
+    /// so the cache stays shared; a multiplier of exactly 1.0 leaves stage
+    /// times bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mult` is finite and >= 1.0 (stragglers slow down).
+    pub fn set_stage_multiplier(&mut self, replica: usize, mult: f64) {
+        assert!(
+            mult.is_finite() && mult >= 1.0,
+            "straggler multiplier must be finite and >= 1.0, got {mult}"
+        );
+        if replica >= self.stage_multipliers.len() {
+            if mult == 1.0 {
+                return;
+            }
+            self.stage_multipliers.resize(replica + 1, 1.0);
+        }
+        self.stage_multipliers[replica] = mult;
+    }
+
+    /// Whether batch `id` is still in flight (stale ids from cancelled
+    /// batches miss via their bumped generation).
+    pub fn inflight_contains(&self, id: u64) -> bool {
+        self.inflight.contains(id)
+    }
+
+    /// Cancels every in-flight batch on `replica` (crash semantics): the
+    /// batches are removed from the in-flight table — so their already-queued
+    /// completion events become stale ids the driver must drop — their slice
+    /// storage is recycled, and the replica's pipeline and wake-up state are
+    /// reset. Returns the number of batches cancelled. The scheduler still
+    /// holds the evicted requests; call
+    /// [`ReplicaScheduler::evict_all`](vidur_scheduler::ReplicaScheduler::evict_all)
+    /// after this to requeue them.
+    pub fn cancel_inflight(&mut self, replica: &mut EngineReplica) -> usize {
+        let mut cancelled = 0;
+        while let Some((_, id)) = replica.pending_completions.pop_front() {
+            let batch = self
+                .inflight
+                .remove(id)
+                .expect("pending completion must be in flight");
+            replica.scheduler.recycle_batch(batch);
+            cancelled += 1;
+        }
+        replica.reset_for_crash();
+        cancelled
     }
 
     /// Per-iteration CPU/framework overhead in seconds.
@@ -325,7 +407,11 @@ impl EngineCore {
                 // after it and do nothing — coalesce it away. With PP=1
                 // stage 0 always frees exactly at batch completion, so this
                 // halves the steady-state event traffic.
-                if replica.pending_completions.iter().any(|&t| t == free_at) {
+                if replica
+                    .pending_completions
+                    .iter()
+                    .any(|&(t, _)| t == free_at)
+                {
                     return;
                 }
                 // Otherwise arm a wake-up (dedupe identical ones).
@@ -349,6 +435,16 @@ impl EngineCore {
             let overhead = self.cpu_overhead();
             self.scratch_secs.clear();
             self.scratch_secs.extend_from_slice(timing.stage_secs());
+            let mult = self
+                .stage_multipliers
+                .get(metrics_idx)
+                .copied()
+                .unwrap_or(1.0);
+            if mult != 1.0 {
+                for s in &mut self.scratch_secs {
+                    *s *= mult;
+                }
+            }
             self.scratch_secs[0] += overhead;
             let busy: f64 = self.scratch_secs.iter().sum();
             sink.on_gpu_busy(metrics_idx, busy * self.tp_gpus);
@@ -364,7 +460,7 @@ impl EngineCore {
             sink.on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
             self.launched += 1;
             let id = self.inflight.insert(batch);
-            replica.pending_completions.push_back(completion);
+            replica.pending_completions.push_back((completion, id));
             queue.push(completion, complete(id));
             // Loop: with PP, stage 0 may free before completion, allowing
             // another microbatch now-ish; the next loop iteration either
@@ -387,7 +483,7 @@ impl EngineCore {
     ) {
         let batch = self.inflight.remove(id).expect("unknown in-flight batch");
         let done = replica.pending_completions.pop_front();
-        debug_assert_eq!(done, Some(now), "completions must retire in order");
+        debug_assert_eq!(done, Some((now, id)), "completions must retire in order");
         let mut events = std::mem::take(&mut self.events_scratch);
         replica.scheduler.complete_batch_into(&batch, &mut events);
         sink.on_kv_sample(metrics_idx, now, replica.scheduler.blocks().utilization());
@@ -457,6 +553,25 @@ impl BatchEngine {
     /// Number of batches currently executing.
     pub fn inflight_len(&self) -> usize {
         self.core.inflight_len()
+    }
+
+    /// Whether batch `id` is still in flight — see
+    /// [`EngineCore::inflight_contains`]. Drivers with crash injection use
+    /// this to drop completion events for cancelled batches.
+    pub fn inflight_contains(&self, id: u64) -> bool {
+        self.core.inflight_contains(id)
+    }
+
+    /// Sets a replica's straggler stage-time multiplier — see
+    /// [`EngineCore::set_stage_multiplier`].
+    pub fn set_stage_multiplier(&mut self, replica: usize, mult: f64) {
+        self.core.set_stage_multiplier(replica, mult);
+    }
+
+    /// Cancels every in-flight batch on `replica` (crash semantics) — see
+    /// [`EngineCore::cancel_inflight`].
+    pub fn cancel_inflight(&mut self, replica: &mut EngineReplica) -> usize {
+        self.core.cancel_inflight(replica)
     }
 
     /// Latches and reports the deadline: call at the top of every event

@@ -35,6 +35,7 @@ pub mod cluster;
 pub mod config;
 pub mod disagg;
 pub mod engine;
+pub mod faults;
 pub mod fidelity;
 pub mod metrics;
 pub mod onboarding;
@@ -45,10 +46,14 @@ pub use cluster::{ClusterSimulator, RunStats};
 pub use config::ClusterConfig;
 pub use disagg::{DisaggConfig, DisaggSimulator};
 pub use engine::{BatchEngine, EngineReplica, RuntimeSource};
+pub use faults::{
+    Autoscaler, AutoscalerSpec, FaultPlan, FleetObservation, ScaleDecision, SloQueueAutoscaler,
+    WarmupModel,
+};
 pub use fidelity::{run_fidelity_pair, FidelityReport};
 pub use metrics::{
-    DigestSummary, MetricsCollector, SimulationReport, TenantReport, TenantRoutingStats, TenantSlo,
-    TimeseriesConfig, TimeseriesRow,
+    DigestSummary, FleetStats, MetricsCollector, SimulationReport, TenantReport,
+    TenantRoutingStats, TenantSlo, TimeseriesConfig, TimeseriesRow,
 };
 pub use onboarding::{onboard, onboard_timer};
 pub use timing::{CacheStats, StageTimer};

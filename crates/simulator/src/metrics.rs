@@ -229,6 +229,44 @@ pub struct TenantReport {
     /// Fraction of the weighted fair share this tenant received
     /// (`1.0` = exact attainment). `None` unless fair-share routing ran.
     pub fair_share_attainment: Option<f64>,
+    /// Re-dispatches of this tenant's requests after a crash eviction or
+    /// drain migration (elastic-fleet runs only; zero otherwise).
+    pub retries: u64,
+    /// This tenant's requests sent back through the routing tier by a crash
+    /// or drain (elastic-fleet runs only; zero otherwise).
+    pub requeued: u64,
+    /// This tenant's requests evicted by replica crashes (elastic-fleet
+    /// runs only; zero otherwise).
+    pub evicted_by_crash: u64,
+}
+
+/// Elastic-fleet statistics a simulator publishes into the collector before
+/// assembling the report (see [`MetricsCollector::set_fleet`]). All-zero /
+/// empty when the elastic layer never armed, which is the guarantee behind
+/// the report's "byte-identical without a fault plan" contract: the report
+/// fields these feed default to exactly the values a build without the
+/// fault layer produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Request dispatches beyond each request's first (re-dispatches after
+    /// crash evictions and drain migrations).
+    pub retries: u64,
+    /// Requests sent back through the routing tier by a crash or drain.
+    pub requeued: u64,
+    /// Requests evicted by replica crashes (in-flight or queued).
+    pub evicted_by_crash: u64,
+    /// Total replica uptime (live + warming + draining) in hours — the
+    /// cost denominator autoscaler evaluations compare against a static
+    /// fleet.
+    pub replica_hours: f64,
+    /// Per-replica fraction of the run each replica slot was up.
+    pub replica_availability: Vec<f64>,
+    /// Per-tenant retry counts (index = tenant id).
+    pub tenant_retries: Vec<u64>,
+    /// Per-tenant requeue counts (index = tenant id).
+    pub tenant_requeued: Vec<u64>,
+    /// Per-tenant crash-eviction counts (index = tenant id).
+    pub tenant_evicted: Vec<u64>,
 }
 
 /// Per-tenant routing statistics a simulator publishes into the collector
@@ -529,6 +567,20 @@ pub struct SimulationReport {
     /// HyperLogLog estimate of distinct tenant ids seen across arrivals.
     /// `Some` only in [`QuantileMode::Mergeable`].
     pub distinct_tenants_est: Option<f64>,
+    /// Re-dispatches after crash evictions and drain migrations. Zero
+    /// unless an elastic-fleet run published [`FleetStats`] — together with
+    /// the other fleet fields below, an all-zero/empty value here means the
+    /// report is byte-identical to one from a build without the fault
+    /// layer.
+    pub retries: u64,
+    /// Requests sent back through the routing tier by a crash or drain.
+    pub requeued: u64,
+    /// Requests evicted by replica crashes (in-flight or queued).
+    pub evicted_by_crash: u64,
+    /// Total replica uptime in hours (elastic runs; `0.0` otherwise).
+    pub replica_hours: f64,
+    /// Per-replica uptime fraction (empty unless an elastic run).
+    pub replica_availability: Vec<f64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -605,6 +657,10 @@ pub struct MetricsCollector {
     /// Routing statistics published by the driving simulator's tier(s),
     /// tenant-id-indexed. Empty unless published.
     tenant_routing: Vec<TenantRoutingStats>,
+    /// Elastic-fleet statistics published by the driving simulator. `None`
+    /// unless an elastic run published them — the report then carries the
+    /// all-zero defaults.
+    fleet: Option<FleetStats>,
     completed: usize,
     last_completion: SimTime,
     total_batches: u64,
@@ -641,6 +697,7 @@ impl MetricsCollector {
             track_tenants: false,
             tenant_slo: None,
             tenant_routing: Vec::new(),
+            fleet: None,
             completed: 0,
             last_completion: SimTime::ZERO,
             total_batches: 0,
@@ -709,6 +766,14 @@ impl MetricsCollector {
         if self.track_tenants {
             self.tenant_routing = stats;
         }
+    }
+
+    /// Publishes elastic-fleet statistics for the report. Only elastic runs
+    /// call this; without it the report's fleet fields keep their all-zero
+    /// defaults and the report stays byte-identical to a build without the
+    /// fault layer.
+    pub fn set_fleet(&mut self, stats: FleetStats) {
+        self.fleet = Some(stats);
     }
 
     /// Grows the per-tenant table to cover `tenant` and returns its entry.
@@ -1115,6 +1180,7 @@ impl MetricsCollector {
         operator_time_breakdown.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN op times"));
         let tenant_slo = self.tenant_slo;
         let tenant_routing = &self.tenant_routing;
+        let fleet = self.fleet.take().unwrap_or_default();
         let fold_tenants = fold_out.as_ref().map(|f| &f.tenant_summaries);
         let per_tenant = self
             .tenants
@@ -1143,6 +1209,9 @@ impl MetricsCollector {
                     deferred: routing.deferred,
                     quota_denied: routing.quota_denied,
                     fair_share_attainment: routing.fair_share_attainment,
+                    retries: fleet.tenant_retries.get(idx).copied().unwrap_or(0),
+                    requeued: fleet.tenant_requeued.get(idx).copied().unwrap_or(0),
+                    evicted_by_crash: fleet.tenant_evicted.get(idx).copied().unwrap_or(0),
                 }
             })
             .collect();
@@ -1179,6 +1248,11 @@ impl MetricsCollector {
                 .map(|f| std::mem::take(&mut f.timeseries))
                 .unwrap_or_default(),
             distinct_tenants_est: fold_out.as_ref().map(|f| f.distinct_tenants),
+            retries: fleet.retries,
+            requeued: fleet.requeued,
+            evicted_by_crash: fleet.evicted_by_crash,
+            replica_hours: fleet.replica_hours,
+            replica_availability: fleet.replica_availability,
         }
     }
 }

@@ -234,6 +234,7 @@ impl EngineSink for LogSink {
 pub(crate) fn eligible(config: &ClusterConfig, jitters: bool) -> bool {
     !jitters
         && config.late_abort.is_none()
+        && !config.elastic()
         && matches!(
             config.global_policy,
             GlobalPolicyKind::RoundRobin | GlobalPolicyKind::Random
@@ -253,6 +254,9 @@ pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 
         ref mut engine,
         ref mut replicas,
         ref mut tier,
+        // Elastic runs never reach the sharded path (`eligible` rejects
+        // them), so the elastic state stays untouched here.
+        elastic: _,
     } = *sim;
 
     // Pre-route every arrival in sequential pop order: (arrival time, trace
@@ -542,6 +546,9 @@ impl ShardWorker<'_> {
                 });
                 self.try_schedule(replica, now, queue, sink);
             }
+            SimEvent::Fault(_) | SimEvent::AutoscaleTick | SimEvent::WarmupDone(_) => {
+                unreachable!("elastic runs are rejected by the fast-path eligibility check")
+            }
         }
     }
 
@@ -695,6 +702,9 @@ impl MergeWorker<'_> {
                     },
                 });
                 self.try_schedule(replica, now, queue);
+            }
+            SimEvent::Fault(_) | SimEvent::AutoscaleTick | SimEvent::WarmupDone(_) => {
+                unreachable!("elastic runs are rejected by the fast-path eligibility check")
             }
         }
     }

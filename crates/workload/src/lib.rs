@@ -32,12 +32,14 @@
 
 pub mod arrival;
 pub mod distributions;
+pub mod faults;
 pub mod replay;
 pub mod stats;
 pub mod traces;
 
 pub use arrival::{ArrivalIter, ArrivalProcess, ArrivalTimes};
 pub use distributions::LengthDistribution;
+pub use faults::{FaultAction, FaultError, FaultRecord, FaultSchedule};
 pub use replay::{TraceError, TraceReader};
 pub use stats::WorkloadStats;
 pub use traces::{MultiTenantWorkload, TenantStream, Trace, TraceRequest, TraceWorkload};

@@ -183,7 +183,7 @@ impl std::error::Error for TraceError {}
 /// Parses a decimal-seconds timestamp (`secs[.frac]`, ≤ 9 fraction digits)
 /// into exact nanoseconds. No float round-trip, so formatting and parsing
 /// are mutually inverse for every representable [`SimTime`].
-fn parse_timestamp(s: &str) -> Option<u64> {
+pub(crate) fn parse_timestamp(s: &str) -> Option<u64> {
     let (secs, frac) = match s.split_once('.') {
         Some((s, f)) => (s, f),
         None => (s, ""),
@@ -203,7 +203,7 @@ fn parse_timestamp(s: &str) -> Option<u64> {
 }
 
 /// Formats nanoseconds as decimal seconds, trailing zeros trimmed.
-fn format_timestamp(nanos: u64) -> String {
+pub(crate) fn format_timestamp(nanos: u64) -> String {
     let secs = nanos / 1_000_000_000;
     let frac = nanos % 1_000_000_000;
     if frac == 0 {

@@ -19,6 +19,12 @@
 //!    metrics mode — latency sketches fold inside the shards, only tier
 //!    effects stream to the merger — assert the report is invariant across
 //!    shard counts, and print the per-minute time-series table.
+//! 7. With `VIDUR_FAULTS=1`, replay once more under an elastic fleet: a
+//!    fault plan crashes and recovers one replica mid-run, degrades another
+//!    into a straggler, and gracefully drains a third, while the SLO/queue
+//!    autoscaler resizes the fleet — every displaced request requeues
+//!    through the routing tier, and the report's churn/availability columns
+//!    are printed.
 //!
 //! Run with: `cargo run --release --example multi_tenant_replay`
 //! (2 000 requests by default; set `VIDUR_FULL=1` for the 1M-request run,
@@ -251,5 +257,55 @@ fn main() {
                 row.kv_occupancy * 100.0,
             );
         }
+    }
+
+    // 7. Elastic fleet: the same replay surviving crashes, a straggler
+    // episode, a graceful drain, and autoscaler-driven resizing. Nothing is
+    // lost — displaced work requeues through the routing tier.
+    if std::env::var("VIDUR_FAULTS").as_deref() == Ok("1") {
+        let mut elastic_config = sharded_config.clone();
+        elastic_config.faults.schedule = FaultSchedule::parse(
+            "#vidur-faults v1\n\
+             # replica 1 hard-crashes, replica 2 throttles to 2.5x slow,\n\
+             # replica 3 is gracefully drained for maintenance; all recover.\n\
+             20 crash 1\n\
+             40 slow 2 2.5\n\
+             60 drain 3\n\
+             120 recover 1\n\
+             160 restore 2\n\
+             200 recover 3\n",
+        )
+        .expect("fault schedule parses");
+        let mut spec = AutoscalerSpec::new(2, 8);
+        spec.interval_secs = 15.0;
+        elastic_config.autoscaler = Some(spec);
+        let started = std::time::Instant::now();
+        let report =
+            ClusterSimulator::new(elastic_config, trace.clone(), est_source.clone(), 42).run();
+        assert_eq!(
+            report.completed, report.num_requests,
+            "crashes and drains must not lose work"
+        );
+        println!();
+        println!(
+            "elastic    : {}/{} completed through the churn in {:.0} s simulated ({:.0} ms wall)",
+            report.completed,
+            report.num_requests,
+            report.makespan_secs,
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        println!(
+            "churn      : {} crash-evicted, {} requeued, {} retries, {:.3} replica-hours",
+            report.evicted_by_crash, report.requeued, report.retries, report.replica_hours,
+        );
+        let availability: Vec<String> = report
+            .replica_availability
+            .iter()
+            .map(|a| format!("{:.2}", a))
+            .collect();
+        println!(
+            "uptime     : [{}] per replica slot",
+            availability.join(", ")
+        );
     }
 }

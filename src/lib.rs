@@ -51,8 +51,8 @@ pub mod prelude {
         RuntimePredictor,
     };
     pub use vidur_scheduler::{
-        BatchPolicyKind, GlobalPolicyKind, ReplicaLoad, ReplicaScheduler, Request, RouteRequest,
-        Router, RouterView, RoutingTier, SchedulerConfig, TenantRouting,
+        BatchPolicyKind, GlobalPolicyKind, ReplicaHealth, ReplicaLoad, ReplicaScheduler, Request,
+        RouteRequest, Router, RouterView, RoutingTier, SchedulerConfig, TenantRouting,
     };
     pub use vidur_search::{
         find_capacity, find_capacity_with_timer, misconfiguration_matrix, pareto_frontier,
@@ -61,10 +61,13 @@ pub mod prelude {
     };
     pub use vidur_simulator::cluster::RuntimeSource;
     pub use vidur_simulator::{
-        onboard, onboard_timer, run_fidelity_pair, CacheStats, ClusterConfig, ClusterSimulator,
-        DisaggConfig, DisaggSimulator, FidelityReport, QuantileMode, RunStats, SimulationReport,
-        StageTimer, TenantReport, TenantRoutingStats, TenantSlo, TimeseriesConfig, TimeseriesRow,
+        onboard, onboard_timer, run_fidelity_pair, Autoscaler, AutoscalerSpec, CacheStats,
+        ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator, FaultPlan, FidelityReport,
+        FleetObservation, FleetStats, QuantileMode, RunStats, ScaleDecision, SimulationReport,
+        SloQueueAutoscaler, StageTimer, TenantReport, TenantRoutingStats, TenantSlo,
+        TimeseriesConfig, TimeseriesRow, WarmupModel,
     };
+    pub use vidur_workload::faults::{FaultAction, FaultRecord, FaultSchedule};
     pub use vidur_workload::{
         ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceError, TraceReader,
         TraceRequest, TraceWorkload, WorkloadStats,

@@ -633,3 +633,224 @@ fn sharded_fallback_keeps_pinned_reports() {
     let sharded = ClusterSimulator::new(cfg, trace, source, 5).run();
     assert_eq!(sequential, sharded, "deferred policy must fall back");
 }
+
+// ---- elastic fleet / fault injection ------------------------------------
+
+/// An explicitly-empty fault plan with no autoscaler never arms the elastic
+/// layer: the report is **byte-identical** to a default-config run and
+/// reproduces the existing bit-exact pins (the fault layer's whole
+/// backwards-compatibility guarantee).
+#[test]
+fn empty_fault_plan_reports_byte_identical() {
+    let mut cfg = base_config();
+    cfg.faults = FaultPlan::none();
+    cfg.autoscaler = None;
+    let report = ClusterSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_fingerprint(
+        "cluster_oracle_seed42_empty_plan",
+        &report,
+        0x4044b9f98e76d0c2,
+        0x3fd0f1caa605d583,
+        0x3f87c9e679ad5143,
+        0x4005f128a0255786,
+        0x3fb31cc55a505cba,
+        3420,
+        71716,
+        0,
+    );
+    let default_run =
+        ClusterSimulator::new(base_config(), fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_eq!(report, default_run, "empty plan must be byte-identical");
+    // The elastic report columns stay at their inert defaults.
+    assert_eq!(report.retries, 0);
+    assert_eq!(report.requeued, 0);
+    assert_eq!(report.evicted_by_crash, 0);
+    assert_eq!(report.replica_hours, 0.0);
+    assert!(report.replica_availability.is_empty());
+}
+
+/// The empty plan is also invisible on the sharded and mergeable paths:
+/// the multi-replica differentials still hold bit-exactly with the (inert)
+/// elastic fields present in the config.
+#[test]
+fn empty_fault_plan_sharded_and_mergeable_identical() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.faults = FaultPlan::none();
+    assert_sharded_identical(
+        "rr_4x4_empty_plan",
+        cfg.clone(),
+        fixed_trace(200, 8.0, 31),
+        4,
+    );
+    cfg.quantile_mode = QuantileMode::Mergeable;
+    assert_sharded_identical(
+        "rr_4x4_empty_plan_mergeable",
+        cfg,
+        fixed_trace(200, 8.0, 31),
+        4,
+    );
+}
+
+/// A *non-empty* plan whose only record fires far past the makespan: the
+/// sharded fast path must fall back to the sequential engine (membership
+/// churn is cross-shard by nature), and the simulation-side fingerprint
+/// stays pinned — only the fleet-accounting columns light up.
+#[test]
+fn armed_inert_fault_plan_falls_back_and_keeps_fingerprint() {
+    let mut cfg = base_config();
+    cfg.shards = 4;
+    cfg.faults.schedule = FaultSchedule {
+        records: vec![FaultRecord {
+            at: SimTime::from_secs_f64(1e6),
+            replica: 0,
+            action: FaultAction::Crash,
+        }],
+    };
+    let (report, stats) =
+        ClusterSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run_with_stats();
+    assert_eq!(stats.shards, 1, "armed plan must force the sequential path");
+    assert_fingerprint(
+        "cluster_oracle_seed42_armed_inert",
+        &report,
+        0x4044b9f98e76d0c2,
+        0x3fd0f1caa605d583,
+        0x3f87c9e679ad5143,
+        0x4005f128a0255786,
+        0x3fb31cc55a505cba,
+        3420,
+        71716,
+        0,
+    );
+    // The crash never fired, so no churn was recorded — but the fleet
+    // accountant ran: replica-hours cover the whole makespan.
+    assert_eq!(report.evicted_by_crash, 0);
+    assert_eq!(report.requeued, 0);
+    assert_eq!(report.retries, 0);
+    assert_eq!(report.replica_availability, vec![1.0]);
+    assert!(
+        (report.replica_hours - report.makespan_secs / 3600.0).abs() < 1e-12,
+        "one replica up for the whole run"
+    );
+}
+
+/// A mid-run crash with a later recovery: every in-flight and queued
+/// request on the dead replica requeues through the routing tier, KV is
+/// reclaimed, and the run still completes everything — with the churn
+/// visible in the report.
+#[test]
+fn crash_requeues_and_recovery_completes_everything() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.faults.schedule = FaultSchedule {
+        records: vec![
+            FaultRecord {
+                at: SimTime::from_secs_f64(8.0),
+                replica: 0,
+                action: FaultAction::Crash,
+            },
+            FaultRecord {
+                at: SimTime::from_secs_f64(30.0),
+                replica: 0,
+                action: FaultAction::Recover,
+            },
+        ],
+    };
+    let trace = fixed_trace(150, 6.0, 37);
+    let report = ClusterSimulator::new(cfg, trace, estimator_source(), 5).run();
+    assert_eq!(report.completed, 150, "no request may be lost to the crash");
+    assert!(report.evicted_by_crash > 0, "crash must catch live work");
+    assert!(report.requeued >= report.evicted_by_crash);
+    assert!(report.retries > 0, "requeued work re-dispatches");
+    assert_eq!(report.replica_availability.len(), 2);
+    assert!(
+        report.replica_availability[0] < 1.0,
+        "crashed replica was down for a while: {}",
+        report.replica_availability[0]
+    );
+    assert_eq!(report.replica_availability[1], 1.0);
+    assert!(report.replica_hours > 0.0);
+}
+
+/// A transient straggler episode (slow → restore) must not lose work, and
+/// must actually slow the run down relative to the fault-free baseline.
+#[test]
+fn straggler_episode_slows_run_without_losing_work() {
+    let trace = fixed_trace(80, 2.5, 42);
+    let baseline =
+        ClusterSimulator::new(base_config(), trace.clone(), estimator_source(), 42).run();
+    let mut cfg = base_config();
+    cfg.faults.schedule = FaultSchedule {
+        records: vec![
+            FaultRecord {
+                at: SimTime::from_secs_f64(2.0),
+                replica: 0,
+                action: FaultAction::Slow(3.0),
+            },
+            FaultRecord {
+                at: SimTime::from_secs_f64(20.0),
+                replica: 0,
+                action: FaultAction::Restore,
+            },
+        ],
+    };
+    let slowed = ClusterSimulator::new(cfg, trace, estimator_source(), 42).run();
+    assert_eq!(slowed.completed, 80);
+    assert!(
+        slowed.makespan_secs > baseline.makespan_secs,
+        "3x straggler episode must stretch the makespan: {} vs {}",
+        slowed.makespan_secs,
+        baseline.makespan_secs
+    );
+    // Degradation is not a crash: nothing evicted, nothing requeued.
+    assert_eq!(slowed.evicted_by_crash, 0);
+    assert_eq!(slowed.requeued, 0);
+}
+
+/// A graceful drain finishes running work, migrates the queue, and marks
+/// the replica down once idle — without any crash-evictions.
+#[test]
+fn graceful_drain_migrates_queue_without_evictions() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.faults.schedule = FaultSchedule {
+        records: vec![FaultRecord {
+            at: SimTime::from_secs_f64(8.0),
+            replica: 1,
+            action: FaultAction::Drain,
+        }],
+    };
+    let trace = fixed_trace(150, 6.0, 37);
+    let report = ClusterSimulator::new(cfg, trace, estimator_source(), 5).run();
+    assert_eq!(report.completed, 150, "drain must not lose work");
+    assert_eq!(report.evicted_by_crash, 0, "drain is not a crash");
+    assert!(
+        report.replica_availability[1] < 1.0,
+        "drained replica goes down once idle: {}",
+        report.replica_availability[1]
+    );
+    assert_eq!(report.replica_availability[0], 1.0);
+}
+
+/// The SLO/queue autoscaler scales a one-replica fleet up under a heavy
+/// open-loop burst: scaled-up slots actually serve work (non-zero
+/// availability past slot 0) and the run completes everything.
+#[test]
+fn autoscaler_scales_up_under_load() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 1;
+    let mut spec = AutoscalerSpec::new(1, 4);
+    spec.interval_secs = 10.0;
+    cfg.autoscaler = Some(spec);
+    let trace = fixed_trace(250, 20.0, 29);
+    let report = ClusterSimulator::new(cfg, trace, estimator_source(), 29).run();
+    assert_eq!(report.completed, 250);
+    assert_eq!(report.replica_availability.len(), 4);
+    assert!(
+        report.replica_availability[1] > 0.0,
+        "autoscaler must have warmed up at least one extra replica"
+    );
+    // Elastic replica-hours stay below the statically-provisioned ceiling.
+    let static_hours = 4.0 * report.makespan_secs / 3600.0;
+    assert!(report.replica_hours > 0.0 && report.replica_hours < static_hours);
+}

@@ -114,3 +114,113 @@ proptest! {
         prop_assert_eq!(s.blocks().used_blocks(), 0, "KV fully released");
     }
 }
+
+/// A two-tenant trace with per-tenant KV quotas armed, for the elastic
+/// conservation property below: quota parking and crash eviction interact
+/// on every requeue.
+fn quota_trace(n: usize, qps: f64, seed: u64) -> Trace {
+    let mut rng = SimRng::new(seed);
+    let arrivals = ArrivalProcess::Poisson { qps };
+    let times = arrivals.generate(n, &mut rng);
+    Trace {
+        workload_name: "elastic-prop".to_string(),
+        tenants: vec!["alpha".to_string(), "beta".to_string()],
+        requests: times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| TraceRequest {
+                id: i as u64,
+                arrival,
+                prefill_tokens: 200 + (i as u64 * 97) % 900,
+                decode_tokens: 20 + (i as u64 * 31) % 120,
+                tenant: (i % 2) as u32,
+                priority: (i % 2) as u8,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Conservation under churn: across random crash/recovery schedules and
+    /// **every** routing policy, no request is lost or double-completed,
+    /// and the quota/park bookkeeping survives crash eviction (per-tenant
+    /// counts still conserve).
+    #[test]
+    fn no_request_lost_across_random_crashes_and_policies(
+        n in 25usize..45,
+        fault_seed in 0u64..1000,
+        trace_seed in 0u64..1000,
+    ) {
+        let replicas = 3usize;
+        let horizon = 40.0;
+        // Exponential MTBF/MTTR churn, then force-recover everything at the
+        // horizon so a schedule truncated mid-downtime cannot strand work.
+        let mut schedule = FaultSchedule::random_crashes(
+            fault_seed, replicas, horizon, 12.0, 4.0);
+        for r in 0..replicas as u32 {
+            schedule.records.push(FaultRecord {
+                at: SimTime::from_secs_f64(horizon + 1.0),
+                replica: r,
+                action: FaultAction::Recover,
+            });
+        }
+        let trace = quota_trace(n, 4.0, trace_seed);
+        for policy in [
+            GlobalPolicyKind::RoundRobin,
+            GlobalPolicyKind::LeastOutstanding,
+            GlobalPolicyKind::Random,
+            GlobalPolicyKind::Deferred { max_outstanding: 8 },
+            GlobalPolicyKind::PriorityAware { max_outstanding: 8 },
+            GlobalPolicyKind::FairShare { max_outstanding: 8 },
+            GlobalPolicyKind::Affinity { spill_margin: 4 },
+        ] {
+            let mut config = ClusterConfig::new(
+                ModelSpec::llama2_7b(),
+                GpuSku::a100_80g(),
+                ParallelismConfig::serial(),
+                replicas,
+                SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 32),
+            );
+            config.global_policy = policy;
+            config.tenant_kv_quota = vec![0.6, 0.6];
+            config.faults.schedule = schedule.clone();
+            let est = onboard(
+                &config.model,
+                &config.parallelism,
+                &config.sku,
+                EstimatorKind::default(),
+            );
+            let report = ClusterSimulator::new(
+                config,
+                trace.clone(),
+                RuntimeSource::Estimator((*est).clone()),
+                7,
+            )
+            .run();
+            // No request lost, none double-completed.
+            prop_assert_eq!(report.completed, n,
+                "{policy:?}: lost work under churn");
+            prop_assert_eq!(report.num_requests, n);
+            // Per-tenant conservation survives eviction/requeue.
+            let arrived: usize = report.per_tenant.iter().map(|t| t.arrived).sum();
+            let completed: usize = report.per_tenant.iter().map(|t| t.completed).sum();
+            prop_assert_eq!(arrived, n, "{policy:?}: per-tenant arrivals drifted");
+            prop_assert_eq!(completed, n, "{policy:?}: per-tenant completions drifted");
+            // Churn accounting is internally consistent.
+            prop_assert!(report.requeued >= report.evicted_by_crash,
+                "{policy:?}: requeued {} < evicted {}",
+                report.requeued, report.evicted_by_crash);
+            let tenant_requeued: u64 =
+                report.per_tenant.iter().map(|t| t.requeued).sum();
+            prop_assert_eq!(tenant_requeued, report.requeued,
+                "{policy:?}: per-tenant requeue split must sum to the total");
+            prop_assert_eq!(report.replica_availability.len(), replicas);
+            for (r, a) in report.replica_availability.iter().enumerate() {
+                prop_assert!((0.0..=1.0).contains(a),
+                    "{policy:?}: availability[{r}] = {a} out of range");
+            }
+        }
+    }
+}
