@@ -313,6 +313,7 @@ fn main() {
                     amplitude: 1.0,
                     period_secs: 120.0,
                 },
+                prefix: None,
             }],
         );
         let mut rng = SimRng::new(61);

@@ -3,7 +3,7 @@
 //! iteration — hundreds of thousands of times per run, millions per search —
 //! so this suite tracks its cost across PRs.
 //!
-//! Five scenarios cover the hot-loop regimes:
+//! Seven scenarios cover the hot-loop regimes:
 //!
 //! * `decode_heavy` — a saturated decode pool (the steady state of every
 //!   long-running replica; the ≥2× acceptance gate lives here),
@@ -12,7 +12,14 @@
 //! * `lightllm_10k` — token-level admission over a 10k-request backlog,
 //! * `multi_tenant_burst` — four interleaved priority classes under KV
 //!   pressure: tier-ordered admission inserts plus the full-scan
-//!   priority-aware preemption victim walk.
+//!   priority-aware preemption victim walk,
+//! * `routing_fairshare` — the global routing tier under skewed 4-tenant
+//!   load, gated on fair-share strictly improving the worst light tenant's
+//!   first-schedule p99 over round-robin,
+//! * `prefix_routing` — a shared-prefix overload through the full cluster
+//!   simulator with the prefix-cache tier armed, gated on KV-aware routing
+//!   beating round-robin on both hit rate and TTFT p99 (simulated time, so
+//!   hardware-independent).
 //!
 //! Every scenario runs both the optimized `ReplicaScheduler` and the seed's
 //! `ReferenceScheduler` (see `vidur_scheduler::reference`) in the same
@@ -30,10 +37,19 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use vidur_core::rng::SimRng;
 use vidur_core::time::SimTime;
+use vidur_estimator::EstimatorKind;
+use vidur_hardware::GpuSku;
+use vidur_model::{ModelSpec, ParallelismConfig};
 use vidur_scheduler::{
     BatchPolicyKind, GlobalPolicyKind, ReferenceScheduler, ReplicaScheduler, Request, RouteRequest,
     RoutingTier, SchedulerConfig,
+};
+use vidur_simulator::cluster::RuntimeSource;
+use vidur_simulator::{onboard, ClusterConfig, ClusterSimulator, PrefixCacheConfig};
+use vidur_workload::{
+    ArrivalProcess, MultiTenantWorkload, TenantPrefixConfig, TenantStream, TraceWorkload,
 };
 
 /// One scenario's workload description:
@@ -384,6 +400,115 @@ fn main() {
             optimized_ns_per_batch: fs_ns / fs_batches as f64,
             reference_ns_per_batch: rr_ns / rr_batches as f64,
             speedup: rr_worst as f64 / fs_worst.max(1) as f64,
+        });
+    }
+
+    // Prefix-cache routing scenario: KV-aware routing vs round-robin over a
+    // high-share multi-tenant trace through the full cluster simulator, the
+    // prefix-cache tier armed on both sides. Round-robin smears each shared
+    // prefix across every replica (4x the cold misses, and a lower sustained
+    // hit rate); KV-aware routing lands requests where their prefix is
+    // already resident, so prefills shrink, queues drain faster, and first
+    // tokens come back sooner. The hard gate is TTFT p99 — deterministic
+    // and in-process, hence hardware-independent.
+    {
+        let n = if smoke { 150 } else { 400 };
+        let mix = MultiTenantWorkload::new(
+            "prefix-routing",
+            vec![
+                TenantStream {
+                    tenant: "assistants".into(),
+                    priority: 0,
+                    workload: TraceWorkload::arxiv_4k(),
+                    arrivals: ArrivalProcess::Poisson { qps: 8.0 },
+                    prefix: Some(TenantPrefixConfig {
+                        share_ratio: 0.95,
+                        prefix_tokens: 2048,
+                        num_prefixes: 16,
+                    }),
+                },
+                TenantStream {
+                    tenant: "rag".into(),
+                    priority: 1,
+                    workload: TraceWorkload::arxiv_4k(),
+                    arrivals: ArrivalProcess::Poisson { qps: 8.0 },
+                    prefix: Some(TenantPrefixConfig {
+                        share_ratio: 1.0,
+                        prefix_tokens: 1024,
+                        num_prefixes: 16,
+                    }),
+                },
+            ],
+        );
+        let mut rng = SimRng::new(71);
+        let trace = mix.generate(n, &mut rng);
+        let base = ClusterConfig::new(
+            ModelSpec::llama2_7b(),
+            GpuSku::a100_80g(),
+            ParallelismConfig::serial(),
+            4,
+            SchedulerConfig::new(BatchPolicyKind::SarathiServe { chunk_size: 512 }, 64),
+        );
+        let est = onboard(
+            &base.model,
+            &base.parallelism,
+            &base.sku,
+            EstimatorKind::default(),
+        );
+        let source = RuntimeSource::Estimator((*est).clone());
+        let run = |policy: GlobalPolicyKind| {
+            let mut cfg = base.clone();
+            cfg.global_policy = policy;
+            cfg.prefix_cache = Some(PrefixCacheConfig::default());
+            ClusterSimulator::new(cfg, trace.clone(), source.clone(), 71).run()
+        };
+        let time_policy = |policy: GlobalPolicyKind| {
+            let report = run(policy);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let again = std::hint::black_box(run(policy));
+                let ns = start.elapsed().as_nanos() as f64;
+                assert_eq!(again, report, "non-deterministic simulator run");
+                best = best.min(ns);
+            }
+            (best, report)
+        };
+        let (kv_ns, kv) = time_policy(GlobalPolicyKind::KvAware);
+        let (rr_ns, rr) = time_policy(GlobalPolicyKind::RoundRobin);
+        println!(
+            "bench: scheduler_routing/prefix_routing   TTFT p99 {:.3}s vs round-robin {:.3}s \
+             ({:.2}x; hit rate {:.1}% vs {:.1}%, tokens saved {} vs {})",
+            kv.ttft.p99,
+            rr.ttft.p99,
+            rr.ttft.p99 / kv.ttft.p99,
+            100.0 * kv.prefix_hit_rate,
+            100.0 * rr.prefix_hit_rate,
+            kv.prefix_tokens_saved,
+            rr.prefix_tokens_saved,
+        );
+        assert!(
+            kv.prefix_hit_rate > rr.prefix_hit_rate,
+            "kv-aware routing stopped improving the hit rate: {:.3} vs {:.3}",
+            kv.prefix_hit_rate,
+            rr.prefix_hit_rate
+        );
+        assert!(
+            kv.ttft.p99 < rr.ttft.p99,
+            "kv-aware routing stopped beating round-robin on TTFT p99: \
+             {:.4}s vs {:.4}s",
+            kv.ttft.p99,
+            rr.ttft.p99
+        );
+        // `speedup` records the TTFT-p99 improvement factor (round-robin
+        // p99 / kv-aware p99), not a time ratio.
+        results.push(ScenarioResult {
+            name: "prefix_routing".to_string(),
+            batches: kv.total_batches,
+            preemptions: kv.preemptions,
+            optimized_ns_per_batch: kv_ns / kv.total_batches as f64,
+            reference_ns_per_batch: rr_ns / rr.total_batches as f64,
+            speedup: rr.ttft.p99 / kv.ttft.p99,
         });
     }
 

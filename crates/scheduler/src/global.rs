@@ -56,6 +56,16 @@ pub enum GlobalPolicyKind {
         /// home replica may be before requests spill away from it.
         spill_margin: usize,
     },
+    /// KV-aware routing on observed replica state: among the replicas
+    /// within a small outstanding-load band of the least-loaded one, prefer
+    /// the largest expected prefix-cache hit for the arriving request
+    /// (published per arrival via
+    /// [`RoutingTier::set_route_prefix_hits`](crate::RoutingTier::set_route_prefix_hits)),
+    /// breaking ties toward the most free KV blocks, then the fewest
+    /// outstanding requests. The band keeps hot prefixes from starving the
+    /// rest of the fleet. Tier-only (see
+    /// [`RoutingTier`](crate::RoutingTier)).
+    KvAware,
 }
 
 impl std::fmt::Display for GlobalPolicyKind {
@@ -78,6 +88,7 @@ impl std::fmt::Display for GlobalPolicyKind {
             GlobalPolicyKind::Affinity { spill_margin } => {
                 write!(f, "affinity(spill={spill_margin})")
             }
+            GlobalPolicyKind::KvAware => f.write_str("kv-aware"),
         }
     }
 }
@@ -167,7 +178,8 @@ impl GlobalPolicy {
                 .map(|(i, _)| i),
             GlobalPolicyKind::PriorityAware { .. }
             | GlobalPolicyKind::FairShare { .. }
-            | GlobalPolicyKind::Affinity { .. } => panic!(
+            | GlobalPolicyKind::Affinity { .. }
+            | GlobalPolicyKind::KvAware => panic!(
                 "{} is a stateful tier policy: route through \
                  vidur_scheduler::RoutingTier",
                 self.kind

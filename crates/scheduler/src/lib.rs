@@ -38,7 +38,7 @@ pub use global::{GlobalPolicy, GlobalPolicyKind};
 pub use memory::BlockManager;
 pub use reference::ReferenceScheduler;
 pub use replica::ReplicaScheduler;
-pub use request::{Request, RequestId, RequestPhase, TrackedRequest};
+pub use request::{Request, RequestId, RequestPhase, TrackedRequest, NO_PREFIX};
 pub use router::{
     DeferredEntry, ReplicaHealth, ReplicaLoad, RouteRequest, Router, RouterView, RoutingTier,
     TenantRouting,

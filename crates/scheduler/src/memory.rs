@@ -6,8 +6,27 @@
 //! watermark: admissions must leave a configurable fraction of blocks free
 //! so in-flight decodes can grow without immediate preemption.
 
-use crate::request::RequestId;
+use crate::request::{RequestId, NO_PREFIX};
 use serde::{Deserialize, Serialize};
+
+/// One reference-counted cached prefix: the first `tokens` tokens (always a
+/// whole number of blocks) of every request carrying `key`. The blocks are
+/// counted in [`BlockManager::used_blocks`] but owned by the cache tier, not
+/// by any request; `refs` counts the live requests currently reading them,
+/// and entries with `refs == 0` stay resident until LRU eviction reclaims
+/// them under memory pressure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PrefixEntry {
+    key: u64,
+    /// Cached prefix length in tokens (a multiple of the block size).
+    tokens: u64,
+    /// Blocks the entry owns (`tokens / block_size`).
+    blocks: u64,
+    /// Live borrowers; only `refs == 0` entries are evictable.
+    refs: u64,
+    /// Last-touch sequence number for LRU ordering.
+    lru: u64,
+}
 
 /// Paged KV-cache accounting for one replica.
 ///
@@ -34,6 +53,19 @@ pub struct BlockManager {
     held: Vec<u64>,
     holders: usize,
     used_blocks: u64,
+    /// Whether the prefix-cache tier is armed. All prefix state below stays
+    /// empty (and every hot path byte-identical to the pre-prefix manager)
+    /// while this is `false`.
+    prefix_armed: bool,
+    /// Cached prefix entries. A linear scan: real runs share a handful of
+    /// system prompts, not thousands.
+    prefix_entries: Vec<PrefixEntry>,
+    /// LRU clock for [`PrefixEntry::lru`].
+    prefix_lru_seq: u64,
+    /// Per-request borrowed entry key (`NO_PREFIX` = not borrowing),
+    /// id-indexed like `held`. Tracks which entry [`release`](Self::release)
+    /// must dereference, exactly once.
+    borrow: Vec<u64>,
 }
 
 impl BlockManager {
@@ -60,7 +92,23 @@ impl BlockManager {
             held: Vec::new(),
             holders: 0,
             used_blocks: 0,
+            prefix_armed: false,
+            prefix_entries: Vec::new(),
+            prefix_lru_seq: 0,
+            borrow: Vec::new(),
         }
+    }
+
+    /// Arms the prefix-cache tier. Requests admitted with a prefix key after
+    /// this share reference-counted cached prefix blocks; a disarmed manager
+    /// is byte-identical to one built before the tier existed.
+    pub fn arm_prefix_cache(&mut self) {
+        self.prefix_armed = true;
+    }
+
+    /// Whether the prefix-cache tier is armed.
+    pub fn prefix_cache_armed(&self) -> bool {
+        self.prefix_armed
     }
 
     /// Sets `id`'s held-block count, keeping the holder count in sync.
@@ -122,7 +170,8 @@ impl BlockManager {
 
     /// Reserves blocks so `id` holds capacity for `total_tokens` cached
     /// tokens (admission path; respects the watermark). Returns `false`
-    /// without side effects if memory is insufficient.
+    /// without side effects if memory is insufficient — after evicting
+    /// unreferenced cached prefixes when the prefix tier is armed.
     pub fn try_reserve(&mut self, id: RequestId, total_tokens: u64) -> bool {
         let target = self.blocks_for(total_tokens);
         let current = self.held_by(id);
@@ -130,7 +179,7 @@ impl BlockManager {
             return true;
         }
         let need = target - current;
-        if self.free_blocks() < need + self.watermark_blocks {
+        if !self.ensure_free(need + self.watermark_blocks) {
             return false;
         }
         self.used_blocks += need;
@@ -138,17 +187,99 @@ impl BlockManager {
         true
     }
 
+    /// Prefix-aware admission reserve: like [`try_reserve`](Self::try_reserve)
+    /// for `total_tokens`, but when the prefix tier is armed and the request
+    /// carries a prefix (`key != NO_PREFIX`, declared length `prefix_len` of
+    /// its `prefill_tokens`-token prompt):
+    ///
+    /// - **Hit** (key already cached): the request borrows the entry's blocks
+    ///   instead of reserving its own for them, and the returned token count
+    ///   (> 0, whole blocks, always leaving at least one prefill token to
+    ///   compute) is the prefill prefix admission may skip.
+    /// - **Miss**: the full footprint is reserved and the aligned prefix
+    ///   blocks are donated to a new cache entry so later arrivals hit.
+    ///   Returns `Some(0)` — the first request computes its whole prefill.
+    ///
+    /// Returns `None` without side effects if memory is insufficient even
+    /// after evicting every unreferenced cached prefix.
+    pub fn try_reserve_prefixed(
+        &mut self,
+        id: RequestId,
+        total_tokens: u64,
+        key: u64,
+        prefill_tokens: u64,
+        prefix_len: u64,
+    ) -> Option<u64> {
+        if !self.prefix_armed || key == NO_PREFIX {
+            return self.try_reserve(id, total_tokens).then_some(0);
+        }
+        debug_assert_eq!(self.borrowed_key(id), NO_PREFIX, "request already borrows");
+        let bs = self.block_size as u64;
+        let Some(pos) = self.entry_pos(key) else {
+            // Miss: reserve in full, then carve the cache entry out of the
+            // request's own footprint (used_blocks is unchanged by the
+            // donation — ownership moves, capacity does not).
+            if !self.try_reserve(id, total_tokens) {
+                return None;
+            }
+            let aligned = prefix_len.min(prefill_tokens) / bs * bs;
+            let blocks = aligned / bs;
+            if blocks == 0 {
+                return Some(0);
+            }
+            let held = self.held_by(id);
+            debug_assert!(blocks <= held, "prefix cannot exceed the reservation");
+            self.set_held(id, held - blocks);
+            self.prefix_lru_seq += 1;
+            self.prefix_entries.push(PrefixEntry {
+                key,
+                tokens: aligned,
+                blocks,
+                refs: 1,
+                lru: self.prefix_lru_seq,
+            });
+            self.set_borrow(id, key);
+            return Some(0);
+        };
+        let hit = self.hit_tokens(self.prefix_entries[pos].tokens, prefill_tokens);
+        if hit == 0 {
+            // Known key but unusable (sub-block prefix or one-token prompt).
+            return self.try_reserve(id, total_tokens).then_some(0);
+        }
+        // Protect the entry from LRU eviction while we make room.
+        self.prefix_entries[pos].refs += 1;
+        let target = self.blocks_for(total_tokens).saturating_sub(hit / bs);
+        let current = self.held_by(id);
+        let need = target.saturating_sub(current);
+        if !self.ensure_free(need + self.watermark_blocks) {
+            let pos = self.entry_pos(key).expect("referenced entries never evict");
+            self.prefix_entries[pos].refs -= 1;
+            return None;
+        }
+        self.used_blocks += need;
+        self.set_held(id, target.max(current));
+        self.prefix_lru_seq += 1;
+        let pos = self.entry_pos(key).expect("referenced entries never evict");
+        self.prefix_entries[pos].lru = self.prefix_lru_seq;
+        self.set_borrow(id, key);
+        Some(hit)
+    }
+
     /// Grows `id`'s reservation to `total_tokens` cached tokens on the
     /// *decode* path — watermark does not apply (watermark exists precisely
-    /// to serve these growths). Returns `false` if truly out of blocks.
+    /// to serve these growths), and tokens covered by a borrowed cached
+    /// prefix need no blocks of the request's own. Returns `false` if truly
+    /// out of blocks, even after evicting unreferenced cached prefixes.
     pub fn try_grow(&mut self, id: RequestId, total_tokens: u64) -> bool {
-        let target = self.blocks_for(total_tokens);
+        let target = self
+            .blocks_for(total_tokens)
+            .saturating_sub(self.borrowed_blocks(id));
         let current = self.held_by(id);
         if target <= current {
             return true;
         }
         let need = target - current;
-        if self.free_blocks() < need {
+        if !self.ensure_free(need) {
             return false;
         }
         self.used_blocks += need;
@@ -156,7 +287,9 @@ impl BlockManager {
         true
     }
 
-    /// Releases all blocks held by `id` (request finished or preempted).
+    /// Releases all blocks held by `id` (request finished or preempted) and
+    /// drops its cached-prefix reference, if any — the entry itself stays
+    /// resident (LRU-evictable once unreferenced) so future arrivals hit.
     pub fn release(&mut self, id: RequestId) {
         let blocks = self.held_by(id);
         if blocks > 0 {
@@ -164,11 +297,126 @@ impl BlockManager {
             self.used_blocks -= blocks;
             self.set_held(id, 0);
         }
+        let key = self.borrowed_key(id);
+        if key != NO_PREFIX {
+            self.borrow[id as usize] = NO_PREFIX;
+            let pos = self.entry_pos(key).expect("borrowed entries never evict");
+            let e = &mut self.prefix_entries[pos];
+            debug_assert!(e.refs > 0, "borrow without a reference");
+            e.refs -= 1;
+        }
     }
 
     /// Number of requests currently holding blocks.
     pub fn num_holders(&self) -> usize {
         self.holders
+    }
+
+    /// Expected prefix-cache hit, in tokens, for a request carrying prefix
+    /// `key` with a `prefill_tokens`-token prompt — the leading prefill
+    /// tokens admission would skip right now. Zero when the tier is
+    /// disarmed, the key is unknown, or the cached prefix is shorter than
+    /// one block. Routing uses this to publish per-replica cached-prefix
+    /// state without mutating anything.
+    pub fn prefix_cached_tokens(&self, key: u64, prefill_tokens: u64) -> u64 {
+        if !self.prefix_armed || key == NO_PREFIX {
+            return 0;
+        }
+        match self.entry_pos(key) {
+            Some(pos) => self.hit_tokens(self.prefix_entries[pos].tokens, prefill_tokens),
+            None => 0,
+        }
+    }
+
+    /// Blocks owned by cached prefix entries (referenced or not).
+    pub fn prefix_cached_blocks(&self) -> u64 {
+        self.prefix_entries.iter().map(|e| e.blocks).sum()
+    }
+
+    /// Number of resident cached prefix entries.
+    pub fn num_prefix_entries(&self) -> usize {
+        self.prefix_entries.len()
+    }
+
+    /// Drops every unreferenced cached prefix entry, reclaiming its blocks.
+    /// The crash-eviction path: after a replica releases all of its
+    /// requests, this returns the manager to zero used blocks.
+    pub fn evict_cached_prefixes(&mut self) {
+        let mut freed = 0;
+        self.prefix_entries.retain(|e| {
+            if e.refs == 0 {
+                freed += e.blocks;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert!(self.used_blocks >= freed);
+        self.used_blocks -= freed;
+    }
+
+    /// Leading tokens a hit may skip: capped one short of the full prefill
+    /// (at least one prefill token must still be computed) and rounded down
+    /// to whole blocks.
+    fn hit_tokens(&self, entry_tokens: u64, prefill_tokens: u64) -> u64 {
+        let bs = self.block_size as u64;
+        entry_tokens.min(prefill_tokens.saturating_sub(1)) / bs * bs
+    }
+
+    /// Ensures at least `required` free blocks, evicting unreferenced cached
+    /// prefixes in LRU order when the tier is armed. Returns whether the
+    /// requirement is met.
+    fn ensure_free(&mut self, required: u64) -> bool {
+        if self.free_blocks() >= required {
+            return true;
+        }
+        if !self.prefix_armed {
+            return false;
+        }
+        while self.free_blocks() < required {
+            let victim = self
+                .prefix_entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.refs == 0)
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i);
+            let Some(i) = victim else {
+                return false;
+            };
+            let evicted = self.prefix_entries.swap_remove(i);
+            debug_assert!(self.used_blocks >= evicted.blocks);
+            self.used_blocks -= evicted.blocks;
+        }
+        true
+    }
+
+    /// The cache-entry key `id` currently borrows (`NO_PREFIX` if none).
+    fn borrowed_key(&self, id: RequestId) -> u64 {
+        self.borrow.get(id as usize).copied().unwrap_or(NO_PREFIX)
+    }
+
+    /// Blocks `id` reads from a borrowed cached prefix (0 when not
+    /// borrowing).
+    pub fn borrowed_blocks(&self, id: RequestId) -> u64 {
+        let key = self.borrowed_key(id);
+        if key == NO_PREFIX {
+            return 0;
+        }
+        let pos = self.entry_pos(key).expect("borrowed entries never evict");
+        self.prefix_entries[pos].blocks
+    }
+
+    fn set_borrow(&mut self, id: RequestId, key: u64) {
+        let idx = id as usize;
+        if idx >= self.borrow.len() {
+            self.borrow.resize(idx + 1, NO_PREFIX);
+        }
+        self.borrow[idx] = key;
+    }
+
+    fn entry_pos(&self, key: u64) -> Option<usize> {
+        self.prefix_entries.iter().position(|e| e.key == key)
     }
 }
 

@@ -40,6 +40,14 @@ pub struct ReferenceScheduler {
     running: Vec<RequestId>,
     preemptions: u64,
     completed: u64,
+    /// Admissions that hit the prefix cache.
+    prefix_hit_requests: u64,
+    /// Prefill tokens skipped by prefix-cache hits.
+    prefix_tokens_saved: u64,
+    /// Per-tenant hit counts (index = tenant id; grows on demand).
+    tenant_prefix_hits: Vec<u64>,
+    /// Per-tenant tokens saved (index = tenant id; grows on demand).
+    tenant_prefix_saved: Vec<u64>,
 }
 
 impl ReferenceScheduler {
@@ -54,12 +62,52 @@ impl ReferenceScheduler {
             running: Vec::new(),
             preemptions: 0,
             completed: 0,
+            prefix_hit_requests: 0,
+            prefix_tokens_saved: 0,
+            tenant_prefix_hits: Vec::new(),
+            tenant_prefix_saved: Vec::new(),
         }
     }
 
     /// The KV block manager (read access for state comparison).
     pub fn blocks(&self) -> &BlockManager {
         &self.blocks
+    }
+
+    /// Arms the prefix-cache tier, mirroring
+    /// [`ReplicaScheduler::arm_prefix_cache`](crate::ReplicaScheduler::arm_prefix_cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request was already added.
+    pub fn arm_prefix_cache(&mut self) {
+        assert!(
+            self.requests.is_empty(),
+            "prefix cache must be armed before any request is added"
+        );
+        self.blocks.arm_prefix_cache();
+    }
+
+    /// Admissions that hit the prefix cache so far.
+    pub fn prefix_hit_requests(&self) -> u64 {
+        self.prefix_hit_requests
+    }
+
+    /// Prefill tokens skipped by prefix-cache hits so far.
+    pub fn prefix_tokens_saved(&self) -> u64 {
+        self.prefix_tokens_saved
+    }
+
+    /// Per-tenant prefix-hit counts (index = tenant id; may be shorter than
+    /// the tenant count — missing entries are zero).
+    pub fn tenant_prefix_hits(&self) -> &[u64] {
+        &self.tenant_prefix_hits
+    }
+
+    /// Per-tenant prefill tokens saved (index = tenant id; may be shorter
+    /// than the tenant count — missing entries are zero).
+    pub fn tenant_prefix_saved(&self) -> &[u64] {
+        &self.tenant_prefix_saved
     }
 
     /// Enqueues an arriving request at the back of its priority tier
@@ -246,13 +294,31 @@ impl ReferenceScheduler {
         if self.requests[&id].remaining_prefill() == 0 {
             return None;
         }
-        if !self.blocks.try_reserve(id, reserve_tokens) {
-            return None;
-        }
+        let spec = self.requests[&id].spec;
+        let hit = self.blocks.try_reserve_prefixed(
+            id,
+            reserve_tokens,
+            spec.prefix_id,
+            spec.prefill_tokens,
+            spec.prefix_len,
+        )?;
         self.waiting.pop_front();
         self.running.push(id);
         let req = self.requests.get_mut(&id).expect("tracked");
         req.phase = RequestPhase::Prefilling;
+        if hit > 0 {
+            debug_assert!(hit < spec.prefill_tokens, "a hit leaves prefill work");
+            req.prefilled = hit;
+            self.prefix_hit_requests += 1;
+            self.prefix_tokens_saved += hit;
+            let idx = spec.tenant as usize;
+            if idx >= self.tenant_prefix_hits.len() {
+                self.tenant_prefix_hits.resize(idx + 1, 0);
+                self.tenant_prefix_saved.resize(idx + 1, 0);
+            }
+            self.tenant_prefix_hits[idx] += 1;
+            self.tenant_prefix_saved[idx] += hit;
+        }
         Some(id)
     }
 
@@ -345,8 +411,13 @@ impl ReferenceScheduler {
             if self.admit_front(prompt).is_none() {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, prompt, 0));
-            self.mark_inflight(id, prompt);
+            // Re-read after admission: a prefix-cache hit set `prefilled`,
+            // so only the un-cached prompt tail is computed (with no hit
+            // this is exactly the `prefill(id, prompt, 0)` slice of old).
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
             tokens += prompt;
         }
         if !slices.is_empty() {
@@ -374,8 +445,11 @@ impl ReferenceScheduler {
             if self.admit_front(prompt).is_none() {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, prompt, 0));
-            self.mark_inflight(id, prompt);
+            // Post-admission re-read: prefix-cache hits shrink the slice.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
             tokens += prompt;
         }
         slices
@@ -418,8 +492,11 @@ impl ReferenceScheduler {
             let Some(id) = self.admit_front(prompt) else {
                 break;
             };
-            let take = prompt.min(budget);
-            slices.push(RequestSlice::prefill(id, take, 0));
+            // Post-admission re-read: a prefix-cache hit starts the chunked
+            // prefill at `prefilled` instead of 0.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill().min(budget);
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
             self.mark_inflight(id, take);
             budget -= take;
         }
@@ -452,13 +529,17 @@ impl ReferenceScheduler {
             })
             .collect();
         for id in pending_prefill {
-            let prompt = self.requests[&id].spec.prefill_tokens;
-            if tokens + prompt > budget && tokens > 0 {
+            // `remaining_prefill` equals the full prompt unless a prefix-
+            // cache hit pre-filled the shared head at cohort admission.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            let cached = r.prefilled;
+            if tokens + take > budget && tokens > 0 {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, prompt, 0));
-            self.mark_inflight(id, prompt);
-            tokens += prompt;
+            slices.push(RequestSlice::prefill(id, take, cached));
+            self.mark_inflight(id, take);
+            tokens += take;
         }
         if !slices.is_empty() {
             return slices;
@@ -494,8 +575,11 @@ impl ReferenceScheduler {
             if self.admit_front(spec.prefill_tokens).is_none() {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, spec.prefill_tokens, 0));
-            self.mark_inflight(id, spec.prefill_tokens);
+            // Post-admission re-read: prefix-cache hits shrink the slice.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
             tokens += spec.prefill_tokens;
             projected += spec.total_tokens();
         }

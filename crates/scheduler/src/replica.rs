@@ -118,6 +118,15 @@ pub struct ReplicaScheduler {
     /// work from waiting into running, so in-flight batches finish and the
     /// queue can be migrated. See [`ReplicaScheduler::drain_queued`].
     admissions_closed: bool,
+    /// Admissions that hit the prefix cache (each re-admission after a
+    /// preemption that hits again counts again — it genuinely skips work).
+    prefix_hit_requests: u64,
+    /// Prefill tokens skipped by prefix-cache hits.
+    prefix_tokens_saved: u64,
+    /// Per-tenant hit counts (index = tenant id; grows on demand).
+    tenant_prefix_hits: Vec<u64>,
+    /// Per-tenant tokens saved (index = tenant id; grows on demand).
+    tenant_prefix_saved: Vec<u64>,
 }
 
 /// An intrusive doubly-linked list over [`TrackedRequest`]s, ordered by
@@ -221,7 +230,50 @@ impl ReplicaScheduler {
             preemptions: 0,
             completed: 0,
             admissions_closed: false,
+            prefix_hit_requests: 0,
+            prefix_tokens_saved: 0,
+            tenant_prefix_hits: Vec::new(),
+            tenant_prefix_saved: Vec::new(),
         }
+    }
+
+    /// Arms the prefix-cache tier on this replica's block manager: requests
+    /// sharing a prefix id borrow reference-counted cached prefix blocks,
+    /// and a cache hit skips the cached prefill tokens at admission. Leaving
+    /// the tier disarmed is byte-identical to a build without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request was already added (a mid-run arm would let
+    /// earlier admissions miss entries that later releases dereference).
+    pub fn arm_prefix_cache(&mut self) {
+        assert!(
+            self.requests.is_empty(),
+            "prefix cache must be armed before any request is added"
+        );
+        self.blocks.arm_prefix_cache();
+    }
+
+    /// Admissions that hit the prefix cache so far.
+    pub fn prefix_hit_requests(&self) -> u64 {
+        self.prefix_hit_requests
+    }
+
+    /// Prefill tokens skipped by prefix-cache hits so far.
+    pub fn prefix_tokens_saved(&self) -> u64 {
+        self.prefix_tokens_saved
+    }
+
+    /// Per-tenant prefix-hit counts (index = tenant id; may be shorter than
+    /// the tenant count — missing entries are zero).
+    pub fn tenant_prefix_hits(&self) -> &[u64] {
+        &self.tenant_prefix_hits
+    }
+
+    /// Per-tenant prefill tokens saved (index = tenant id; may be shorter
+    /// than the tenant count — missing entries are zero).
+    pub fn tenant_prefix_saved(&self) -> &[u64] {
+        &self.tenant_prefix_saved
     }
 
     /// Arms per-tenant KV block quotas: `quota_blocks[t]` caps the blocks
@@ -484,6 +536,36 @@ impl ReplicaScheduler {
             self.add_tenant_held(tenant, delta as i64);
         }
         ok
+    }
+
+    /// [`BlockManager::try_reserve_prefixed`] plus per-tenant holding
+    /// accounting (the policy admission path): reserves for `tokens`,
+    /// borrowing cached prefix blocks on a hit, and returns the prefill
+    /// tokens the hit skips (0 on a miss or for prefix-free requests).
+    /// Tenants are charged only for the blocks the request itself owns —
+    /// shared prefix blocks belong to the cache tier.
+    fn reserve_blocks_prefixed(&mut self, id: RequestId, tokens: u64) -> Option<u64> {
+        let spec = self.requests[&id].spec;
+        if self.tenant_quota_blocks.is_empty() {
+            return self.blocks.try_reserve_prefixed(
+                id,
+                tokens,
+                spec.prefix_id,
+                spec.prefill_tokens,
+                spec.prefix_len,
+            );
+        }
+        let before = self.blocks.held_by(id);
+        let hit = self.blocks.try_reserve_prefixed(
+            id,
+            tokens,
+            spec.prefix_id,
+            spec.prefill_tokens,
+            spec.prefix_len,
+        )?;
+        let delta = self.blocks.held_by(id) as i64 - before as i64;
+        self.add_tenant_held(spec.tenant, delta);
+        Some(hit)
     }
 
     /// [`BlockManager::try_grow`] plus per-tenant holding accounting
@@ -751,12 +833,32 @@ impl ReplicaScheduler {
         if !self.within_quota(id, reserve_tokens) {
             return None;
         }
-        if !self.reserve_blocks(id, reserve_tokens) {
-            return None;
-        }
+        let hit = self.reserve_blocks_prefixed(id, reserve_tokens)?;
         self.waiting.pop_front();
+        if hit > 0 {
+            let tenant = {
+                let r = self.requests.get_mut(&id).expect("tracked");
+                debug_assert!(hit < r.spec.prefill_tokens, "a hit leaves prefill work");
+                r.prefilled = hit;
+                r.spec.tenant
+            };
+            self.bump_prefix_stats(tenant, hit);
+        }
         self.enter_running(id, RequestPhase::Prefilling);
         Some(id)
+    }
+
+    /// Accounts one prefix-cache hit of `hit` skipped tokens for `tenant`.
+    fn bump_prefix_stats(&mut self, tenant: u32, hit: u64) {
+        self.prefix_hit_requests += 1;
+        self.prefix_tokens_saved += hit;
+        let idx = tenant as usize;
+        if idx >= self.tenant_prefix_hits.len() {
+            self.tenant_prefix_hits.resize(idx + 1, 0);
+            self.tenant_prefix_saved.resize(idx + 1, 0);
+        }
+        self.tenant_prefix_hits[idx] += 1;
+        self.tenant_prefix_saved[idx] += hit;
     }
 
     /// Evicts a running request (vLLM recompute-restart): releases its KV,
@@ -811,6 +913,9 @@ impl ReplicaScheduler {
             "crash eviction must clear the slab"
         );
         debug_assert_eq!(self.projected_tokens, 0);
+        // A crash loses the replica's cached prefixes too: with every
+        // request released, all entries are unreferenced and reclaimable.
+        self.blocks.evict_cached_prefixes();
         debug_assert_eq!(self.blocks.used_blocks(), 0, "all KV reclaimed");
         debug_assert!(
             self.tenant_held_blocks.iter().all(|&h| h == 0),
@@ -986,8 +1091,13 @@ impl ReplicaScheduler {
             if self.admit_front(prompt).is_none() {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, prompt, 0));
-            self.mark_inflight(id, prompt);
+            // Re-read after admission: a prefix-cache hit set `prefilled`,
+            // so only the un-cached prompt tail is computed (with no hit
+            // this is exactly the `prefill(id, prompt, 0)` slice of old).
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
             tokens += prompt;
         }
         if !slices.is_empty() {
@@ -1017,8 +1127,11 @@ impl ReplicaScheduler {
             if self.admit_front(prompt).is_none() {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, prompt, 0));
-            self.mark_inflight(id, prompt);
+            // Post-admission re-read: prefix-cache hits shrink the slice.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
             tokens += prompt;
         }
     }
@@ -1058,8 +1171,11 @@ impl ReplicaScheduler {
             let Some(id) = self.admit_front(prompt) else {
                 break;
             };
-            let take = prompt.min(budget);
-            slices.push(RequestSlice::prefill(id, take, 0));
+            // Post-admission re-read: a prefix-cache hit starts the chunked
+            // prefill at `prefilled` instead of 0.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill().min(budget);
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
             self.mark_inflight(id, take);
             budget -= take;
         }
@@ -1090,13 +1206,17 @@ impl ReplicaScheduler {
         let prefilling = self.prefilling;
         let pending = self.snapshot_ids(&prefilling, |r| r.inflight_tokens == 0);
         for &id in &pending {
-            let prompt = self.requests[&id].spec.prefill_tokens;
-            if tokens + prompt > budget && tokens > 0 {
+            // `remaining_prefill` equals the full prompt unless a prefix-
+            // cache hit pre-filled the shared head at cohort admission.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            let cached = r.prefilled;
+            if tokens + take > budget && tokens > 0 {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, prompt, 0));
-            self.mark_inflight(id, prompt);
-            tokens += prompt;
+            slices.push(RequestSlice::prefill(id, take, cached));
+            self.mark_inflight(id, take);
+            tokens += take;
         }
         self.ids_scratch = pending;
         if !slices.is_empty() {
@@ -1137,8 +1257,11 @@ impl ReplicaScheduler {
             if self.admit_front(spec.prefill_tokens).is_none() {
                 break;
             }
-            slices.push(RequestSlice::prefill(id, spec.prefill_tokens, 0));
-            self.mark_inflight(id, spec.prefill_tokens);
+            // Post-admission re-read: prefix-cache hits shrink the slice.
+            let r = &self.requests[&id];
+            let take = r.remaining_prefill();
+            slices.push(RequestSlice::prefill(id, take, r.prefilled));
+            self.mark_inflight(id, take);
             tokens += spec.prefill_tokens;
             projected += spec.total_tokens();
         }

@@ -15,6 +15,9 @@ pub type RequestId = u64;
 /// Sentinel for "no request" in the scheduler's intrusive phase lists.
 pub(crate) const NO_REQ: RequestId = RequestId::MAX;
 
+/// Sentinel prefix id for requests that share no prefix (the default).
+pub const NO_PREFIX: u64 = u64::MAX;
+
 /// The immutable description of a request, as read from a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Request {
@@ -34,6 +37,13 @@ pub struct Request {
     /// a lower class is always admitted before a higher one, FIFO within a
     /// class — and preemption evicts the highest class first.
     pub priority: u8,
+    /// Shared-prefix identity: requests carrying the same id share their
+    /// leading `prefix_len` prompt tokens (system prompt / template).
+    /// [`NO_PREFIX`] when the request shares nothing.
+    pub prefix_id: u64,
+    /// Length of the shared prefix in tokens (`0` when `prefix_id` is
+    /// [`NO_PREFIX`]; always ≤ `prefill_tokens` otherwise).
+    pub prefix_len: u64,
 }
 
 impl Request {
@@ -52,7 +62,29 @@ impl Request {
             decode_tokens,
             tenant: 0,
             priority: 0,
+            prefix_id: NO_PREFIX,
+            prefix_len: 0,
         }
+    }
+
+    /// Declares a shared prefix (builder-style): this request's first `len`
+    /// prompt tokens are identical across every request carrying `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id != NO_PREFIX` and `len` is zero or exceeds the prompt.
+    pub fn with_prefix(mut self, id: u64, len: u64) -> Self {
+        if id != NO_PREFIX {
+            assert!(
+                len >= 1 && len <= self.prefill_tokens,
+                "request {} prefix length {len} outside 1..={}",
+                self.id,
+                self.prefill_tokens
+            );
+        }
+        self.prefix_id = id;
+        self.prefix_len = if id == NO_PREFIX { 0 } else { len };
+        self
     }
 
     /// Sets the priority class (builder-style).

@@ -92,6 +92,11 @@ pub struct RouterView {
     /// Requests currently in the system (deferred or dispatched, unfinished)
     /// per tenant. Grown on first sight of a tenant.
     tenant_in_system: Vec<usize>,
+    /// Expected prefix-cache hit tokens per replica *for the request being
+    /// routed*, published per arrival via
+    /// [`RoutingTier::set_route_prefix_hits`] (all zero until then, and in
+    /// every run without a prefix cache).
+    prefix_hits: Vec<u64>,
 }
 
 impl RouterView {
@@ -101,6 +106,7 @@ impl RouterView {
             health: vec![ReplicaHealth::Live; num_replicas],
             non_live: 0,
             tenant_in_system: Vec::new(),
+            prefix_hits: vec![0; num_replicas],
         }
     }
 
@@ -199,6 +205,17 @@ impl RouterView {
             .filter(|&(i, l)| l.outstanding < cap && self.health[i] == ReplicaHealth::Live)
             .min_by_key(|&(_, l)| l.outstanding)
             .map(|(i, _)| i)
+    }
+
+    /// Expected prefix-cache hit tokens on `replica` for the request
+    /// currently being routed (0 unless the driver published hits for this
+    /// arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn prefix_hit(&self, replica: usize) -> u64 {
+        self.prefix_hits[replica]
     }
 
     /// Requests in the system (deferred or dispatched, unfinished) for
@@ -474,6 +491,13 @@ impl Router for AffinityRouter {
             self.home[idx] = least;
         }
         let home = self.home[idx];
+        // A known cache hit on the home replica overrides the spill margin:
+        // the recomputation a spill would cost is exactly what stickiness
+        // exists to avoid. Without a prefix cache the hit is always 0 and
+        // the classic margin rule below decides alone.
+        if view.prefix_hit(home) > 0 {
+            return Some(home);
+        }
         if view.outstanding(home) <= view.outstanding(least) + self.spill_margin {
             Some(home)
         } else {
@@ -489,6 +513,45 @@ impl Router for AffinityRouter {
                 *home = NO_HOME;
             }
         }
+    }
+}
+
+/// How many outstanding requests above the least-loaded replica a
+/// [`KvAwareRouter`] candidate may carry and still attract work on a cache
+/// hit. A hit saves one prefix prefill — never worth an unbounded queue —
+/// so hot prefixes must not pile their whole arrival stream onto one
+/// replica while the rest of the fleet idles.
+const KV_AWARE_LOAD_MARGIN: usize = 4;
+
+/// KV-aware placement over observed replica state: among the routable
+/// replicas within [`KV_AWARE_LOAD_MARGIN`] outstanding requests of the
+/// least-loaded one, the largest expected prefix-cache hit for the
+/// arriving request wins, ties broken toward the most free KV blocks, then
+/// the fewest outstanding requests, then the lowest index. Never defers
+/// while any replica is routable; with no published hits (or no prefix
+/// cache) it degrades to most-free-KV placement over the least-loaded
+/// band.
+#[derive(Debug)]
+struct KvAwareRouter;
+
+impl Router for KvAwareRouter {
+    fn try_place(&mut self, _req: &RouteRequest, view: &RouterView) -> Option<usize> {
+        use std::cmp::Reverse;
+        let least = (0..view.num_replicas())
+            .filter(|&r| view.is_routable(r))
+            .map(|r| view.replica(r).outstanding)
+            .min()?;
+        (0..view.num_replicas())
+            .filter(|&r| view.is_routable(r))
+            .filter(|&r| view.replica(r).outstanding <= least + KV_AWARE_LOAD_MARGIN)
+            .min_by_key(|&r| {
+                let load = view.replica(r);
+                (
+                    Reverse(view.prefix_hit(r)),
+                    Reverse(load.free_kv_blocks),
+                    load.outstanding,
+                )
+            })
     }
 }
 
@@ -566,6 +629,7 @@ impl RoutingTier {
                 spill_margin,
                 home: Vec::new(),
             }),
+            GlobalPolicyKind::KvAware => Box::new(KvAwareRouter),
         };
         RoutingTier {
             kind,
@@ -662,6 +726,24 @@ impl RoutingTier {
     /// Panics if `replica` is out of range.
     pub fn set_free_kv_blocks(&mut self, replica: usize, blocks: u64) {
         self.view.replicas[replica].free_kv_blocks = blocks;
+    }
+
+    /// Publishes the expected prefix-cache hit tokens per replica for the
+    /// *next* request offered to [`RoutingTier::route`]. The scratch is
+    /// per-arrival advisory state: drivers that route on hits refresh it
+    /// before every `route` call, and runs without a prefix cache never
+    /// call it (leaving every hit at 0, which no shipped policy acts on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits.len()` differs from the replica count.
+    pub fn set_route_prefix_hits(&mut self, hits: &[u64]) {
+        assert_eq!(
+            hits.len(),
+            self.view.prefix_hits.len(),
+            "one hit entry per replica"
+        );
+        self.view.prefix_hits.copy_from_slice(hits);
     }
 
     /// Sets a replica's membership state and, on a change, notifies the
@@ -966,6 +1048,7 @@ mod tests {
             GlobalPolicyKind::PriorityAware { max_outstanding: 4 },
             GlobalPolicyKind::FairShare { max_outstanding: 4 },
             GlobalPolicyKind::Affinity { spill_margin: 2 },
+            GlobalPolicyKind::KvAware,
         ] {
             let mut tier = RoutingTier::new(kind, 2, 7, &[]);
             tier.set_health(0, ReplicaHealth::Down);
@@ -978,6 +1061,47 @@ mod tests {
                 .unwrap_or_else(|| panic!("{kind:?} must drain the deferred queue on recovery"));
             assert_eq!((r.key, target), (0, 1), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn kv_aware_prefers_hits_then_free_kv_then_load() {
+        let mut tier = RoutingTier::new(GlobalPolicyKind::KvAware, 3, 0, &[]);
+        // No hits, no published KV: pure least-outstanding (lowest index).
+        assert_eq!(tier.route(req(0, 0, 0, 10)), Some(0));
+        // Free-KV signal breaks the no-hit tie toward the roomiest replica.
+        tier.set_free_kv_blocks(0, 10);
+        tier.set_free_kv_blocks(1, 50);
+        tier.set_free_kv_blocks(2, 30);
+        assert_eq!(tier.route(req(1, 0, 0, 10)), Some(1));
+        // A published hit dominates both free KV and load.
+        tier.set_route_prefix_hits(&[0, 0, 64]);
+        assert_eq!(tier.route(req(2, 0, 0, 10)), Some(2));
+        // Hits beat bigger hits-free replicas; ties fall back to free KV.
+        tier.set_route_prefix_hits(&[128, 0, 128]);
+        tier.set_free_kv_blocks(2, 60);
+        assert_eq!(tier.route(req(3, 0, 0, 10)), Some(2));
+    }
+
+    #[test]
+    fn kv_aware_skips_non_live_replicas() {
+        let mut tier = RoutingTier::new(GlobalPolicyKind::KvAware, 3, 0, &[]);
+        tier.set_route_prefix_hits(&[512, 0, 0]);
+        tier.set_health(0, ReplicaHealth::Down);
+        let r = tier.route(req(0, 0, 0, 10)).expect("live replicas exist");
+        assert_ne!(r, 0, "hits on a down replica must not attract work");
+    }
+
+    #[test]
+    fn affinity_hit_on_home_overrides_spill() {
+        let kind = GlobalPolicyKind::Affinity { spill_margin: 1 };
+        let mut tier = RoutingTier::new(kind, 2, 0, &[]);
+        // Tenant 0 homes on replica 0 and exceeds the spill margin.
+        assert_eq!(tier.route(req(0, 0, 0, 10)), Some(0));
+        assert_eq!(tier.route(req(1, 0, 0, 10)), Some(0));
+        assert_eq!(tier.route(req(2, 0, 0, 10)), Some(1), "margin exceeded");
+        // Same load, but now the home holds this request's prefix: stick.
+        tier.set_route_prefix_hits(&[64, 0]);
+        assert_eq!(tier.route(req(3, 0, 0, 10)), Some(0), "hit beats spill");
     }
 
     #[test]

@@ -158,6 +158,9 @@ mod tests {
             evicted_by_crash: 0,
             replica_hours: 0.0,
             replica_availability: Vec::new(),
+            prefix_hits: 0,
+            prefix_tokens_saved: 0,
+            prefix_hit_rate: 0.0,
         }
     }
 

@@ -370,6 +370,27 @@ impl ClusterSimulator {
         }
         let routing = routing_stats(&self.tier, &self.replicas);
         self.engine.metrics.set_tenant_routing(routing);
+        if self.config.prefix_cache.is_some() {
+            let mut prefix = crate::metrics::PrefixStats::default();
+            for rep in &self.replicas {
+                let s = &rep.scheduler;
+                prefix.hit_requests += s.prefix_hit_requests();
+                prefix.tokens_saved += s.prefix_tokens_saved();
+                for (idx, &h) in s.tenant_prefix_hits().iter().enumerate() {
+                    if idx >= prefix.tenant_hits.len() {
+                        prefix.tenant_hits.resize(idx + 1, 0);
+                    }
+                    prefix.tenant_hits[idx] += h;
+                }
+                for (idx, &v) in s.tenant_prefix_saved().iter().enumerate() {
+                    if idx >= prefix.tenant_saved.len() {
+                        prefix.tenant_saved.resize(idx + 1, 0);
+                    }
+                    prefix.tenant_saved[idx] += v;
+                }
+            }
+            self.engine.metrics.set_prefix(prefix);
+        }
         let report = self.engine.finish(
             self.trace.len(),
             &self.config.sku,
@@ -409,14 +430,46 @@ impl ClusterSimulator {
         self.replicas[target].scheduler.add_request(
             Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
                 .with_tenant(tr.tenant)
-                .with_priority(tr.priority),
+                .with_priority(tr.priority)
+                .with_prefix(tr.prefix_id, tr.prefix_len),
         );
         self.try_schedule(target as u32, now, queue);
+    }
+
+    /// Publishes each replica's expected cached-prefix hit for trace request
+    /// `idx` into the routing tier (consulted by [`KvAware`] routing and
+    /// `Affinity`'s spill decision). No-op unless the prefix cache is armed
+    /// — the tier's hit view then stays all-zero and routing is
+    /// bit-identical to the pre-prefix engine.
+    ///
+    /// [`KvAware`]: vidur_scheduler::GlobalPolicyKind::KvAware
+    fn publish_prefix_hits(&mut self, idx: u32) {
+        if self.config.prefix_cache.is_none() {
+            return;
+        }
+        let tr = self.trace.requests[idx as usize];
+        let hits: Vec<u64> = self
+            .replicas
+            .iter()
+            .map(|rep| {
+                rep.scheduler
+                    .blocks()
+                    .prefix_cached_tokens(tr.prefix_id, tr.prefill_tokens)
+            })
+            .collect();
+        self.tier.set_route_prefix_hits(&hits);
     }
 
     /// Binds deferred requests while the tier will place them (stateful
     /// deferred routing, paper §4.5).
     fn drain_deferred(&mut self, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        if self.config.prefix_cache.is_some() {
+            // The hit view still holds the last-routed request's hits;
+            // deferred requests place on a clean (all-zero) view rather
+            // than another request's stale one.
+            let zeros = vec![0u64; self.replicas.len()];
+            self.tier.set_route_prefix_hits(&zeros);
+        }
         while let Some((req, target)) = self.tier.next_ready() {
             self.dispatch(req.key as u32, target, now, queue);
         }
@@ -540,6 +593,7 @@ impl ClusterSimulator {
         for &id in ids {
             let idx = id as u32;
             let req = self.route_request(idx);
+            self.publish_prefix_hits(idx);
             if let Some(target) = self.tier.route(req) {
                 self.dispatch(idx, target, now, queue);
             }
@@ -677,6 +731,7 @@ impl Simulation for ClusterSimulator {
                     .metrics
                     .on_arrival(tr.id, now, tr.decode_tokens, tr.tenant);
                 let req = self.route_request(idx);
+                self.publish_prefix_hits(idx);
                 // `None` means the tier holds the request; completions
                 // re-poll it via `drain_deferred`.
                 if let Some(target) = self.tier.route(req) {

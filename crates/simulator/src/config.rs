@@ -109,7 +109,21 @@ pub struct ClusterConfig {
     /// each interval within `[min_replicas, max_replicas]`; the engine
     /// pre-allocates `max_replicas`. `None` keeps the fleet fixed.
     pub autoscaler: Option<AutoscalerSpec>,
+    /// Prefix-cache tier: when set, each replica's block manager caches
+    /// shared-prefix KV blocks (reference-counted, LRU-evicted), admission
+    /// skips the cached prefill tokens, batch formation prices only the
+    /// un-cached prefill, and the routing tier sees per-replica expected
+    /// prefix hits ([`GlobalPolicyKind::KvAware`] routes on them). `None`
+    /// (the default) is byte-identical to the pre-prefix engine. Arming it
+    /// forces the sequential engine — the sharded fast path falls back.
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
+
+/// Prefix-cache tier configuration. Currently a marker — arming the tier is
+/// the only knob; capacity is whatever the block manager's free pool holds
+/// under LRU pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixCacheConfig {}
 
 /// Early-abort rule for overloaded capacity probes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,6 +170,7 @@ impl ClusterConfig {
             timeseries: None,
             faults: FaultPlan::none(),
             autoscaler: None,
+            prefix_cache: None,
         }
     }
 
@@ -233,10 +248,15 @@ impl ClusterConfig {
             self.scheduler.max_batch_size,
             self.num_replicas
         );
-        if self.global_policy == GlobalPolicyKind::RoundRobin {
+        let base = if self.global_policy == GlobalPolicyKind::RoundRobin {
             base
         } else {
             format!("{base}/{}", self.global_policy)
+        };
+        if self.prefix_cache.is_some() {
+            format!("{base}/prefix-cache")
+        } else {
+            base
         }
     }
 }

@@ -121,12 +121,13 @@ pub struct EngineReplica {
 impl EngineReplica {
     /// Builds one replica for `config` with the KV capacity from `plan`.
     pub fn new(config: &ClusterConfig, plan: &MemoryPlan) -> Self {
+        let mut scheduler =
+            ReplicaScheduler::new(config.scheduler, plan.num_kv_blocks, config.block_size);
+        if config.prefix_cache.is_some() {
+            scheduler.arm_prefix_cache();
+        }
         EngineReplica {
-            scheduler: ReplicaScheduler::new(
-                config.scheduler,
-                plan.num_kv_blocks,
-                config.block_size,
-            ),
+            scheduler,
             pipeline: PipelineTracker::new(config.parallelism.pipeline_parallel as usize),
             wakeup_at: None,
             pending_completions: std::collections::VecDeque::new(),

@@ -43,7 +43,7 @@ pub mod sharded;
 pub mod timing;
 
 pub use cluster::{ClusterSimulator, RunStats};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, PrefixCacheConfig};
 pub use disagg::{DisaggConfig, DisaggSimulator};
 pub use engine::{BatchEngine, EngineReplica, RuntimeSource};
 pub use faults::{
@@ -52,7 +52,7 @@ pub use faults::{
 };
 pub use fidelity::{run_fidelity_pair, FidelityReport};
 pub use metrics::{
-    DigestSummary, FleetStats, MetricsCollector, SimulationReport, TenantReport,
+    DigestSummary, FleetStats, MetricsCollector, PrefixStats, SimulationReport, TenantReport,
     TenantRoutingStats, TenantSlo, TimeseriesConfig, TimeseriesRow,
 };
 pub use onboarding::{onboard, onboard_timer};

@@ -238,6 +238,12 @@ pub struct TenantReport {
     /// This tenant's requests evicted by replica crashes (elastic-fleet
     /// runs only; zero otherwise).
     pub evicted_by_crash: u64,
+    /// This tenant's requests admitted with a prefix-cache hit
+    /// (prefix-cache runs only; zero otherwise).
+    pub prefix_hits: u64,
+    /// Prefill tokens this tenant skipped via cached prefixes
+    /// (prefix-cache runs only; zero otherwise).
+    pub prefix_tokens_saved: u64,
 }
 
 /// Elastic-fleet statistics a simulator publishes into the collector before
@@ -267,6 +273,22 @@ pub struct FleetStats {
     pub tenant_requeued: Vec<u64>,
     /// Per-tenant crash-eviction counts (index = tenant id).
     pub tenant_evicted: Vec<u64>,
+}
+
+/// Prefix-cache statistics a simulator publishes into the collector before
+/// assembling the report (see [`MetricsCollector::set_prefix`]). All-zero
+/// when the prefix-cache tier never armed, which keeps the report
+/// byte-identical to a build without the tier.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PrefixStats {
+    /// Requests admitted with a prefix-cache hit (summed over replicas).
+    pub hit_requests: u64,
+    /// Prefill tokens skipped at admission thanks to cached prefixes.
+    pub tokens_saved: u64,
+    /// Per-tenant hit counts (index = tenant id).
+    pub tenant_hits: Vec<u64>,
+    /// Per-tenant tokens-saved counts (index = tenant id).
+    pub tenant_saved: Vec<u64>,
 }
 
 /// Per-tenant routing statistics a simulator publishes into the collector
@@ -581,6 +603,16 @@ pub struct SimulationReport {
     pub replica_hours: f64,
     /// Per-replica uptime fraction (empty unless an elastic run).
     pub replica_availability: Vec<f64>,
+    /// Requests admitted with a prefix-cache hit. Zero unless a
+    /// prefix-cache run published [`PrefixStats`] — like the fleet fields,
+    /// all-zero here means the report is byte-identical to one from a build
+    /// without the prefix tier.
+    pub prefix_hits: u64,
+    /// Prefill tokens skipped at admission thanks to cached prefixes.
+    pub prefix_tokens_saved: u64,
+    /// Fraction of completed requests admitted with a prefix-cache hit
+    /// (`0.0` when the tier is off or nothing completed).
+    pub prefix_hit_rate: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -661,6 +693,9 @@ pub struct MetricsCollector {
     /// unless an elastic run published them — the report then carries the
     /// all-zero defaults.
     fleet: Option<FleetStats>,
+    /// Prefix-cache statistics published by the driving simulator. `None`
+    /// unless a prefix-cache run published them.
+    prefix: Option<PrefixStats>,
     completed: usize,
     last_completion: SimTime,
     total_batches: u64,
@@ -698,6 +733,7 @@ impl MetricsCollector {
             tenant_slo: None,
             tenant_routing: Vec::new(),
             fleet: None,
+            prefix: None,
             completed: 0,
             last_completion: SimTime::ZERO,
             total_batches: 0,
@@ -774,6 +810,14 @@ impl MetricsCollector {
     /// fault layer.
     pub fn set_fleet(&mut self, stats: FleetStats) {
         self.fleet = Some(stats);
+    }
+
+    /// Publishes prefix-cache statistics for the report. Only prefix-cache
+    /// runs call this; without it the report's prefix fields keep their
+    /// all-zero defaults and the report stays byte-identical to a build
+    /// without the prefix tier.
+    pub fn set_prefix(&mut self, stats: PrefixStats) {
+        self.prefix = Some(stats);
     }
 
     /// Grows the per-tenant table to cover `tenant` and returns its entry.
@@ -858,15 +902,16 @@ impl MetricsCollector {
             bytes,
         );
         for slice in batch.slices() {
-            // Fast-path filter only: decode and continuation slices belong
-            // to requests whose first schedule already happened, so their
-            // record lookups are skipped (the engine's batches are
-            // decode-dominated). Whether the request is *actually* newly
-            // scheduled is decided by the record alone in
-            // `mark_first_scheduled` — a preemption-restarted prefill
-            // re-enters here with `cached_tokens == 0` and must not count
-            // twice.
-            if slice.is_prefill && slice.cached_tokens == 0 {
+            // Fast-path filter only: decode slices belong to requests whose
+            // first schedule already happened, so their record lookups are
+            // skipped (the engine's batches are decode-dominated). Prefill
+            // slices always consult the record — a prefix-cache hit's first
+            // prefill arrives with `cached_tokens > 0` and must still mark
+            // TTFT. Whether the request is *actually* newly scheduled is
+            // decided by the record alone in `mark_first_scheduled` — a
+            // chunked-prefill continuation or preemption-restarted prefill
+            // re-enters here and must not count twice.
+            if slice.is_prefill {
                 self.mark_first_scheduled(slice.request_id, now);
             }
         }
@@ -1077,6 +1122,23 @@ impl MetricsCollector {
         if fold.window_secs.is_none() {
             fold.window_secs = of.window_secs;
         }
+        if let Some(op) = other.prefix.take() {
+            let mine = self.prefix.get_or_insert_with(PrefixStats::default);
+            mine.hit_requests += op.hit_requests;
+            mine.tokens_saved += op.tokens_saved;
+            for (idx, &h) in op.tenant_hits.iter().enumerate() {
+                if idx >= mine.tenant_hits.len() {
+                    mine.tenant_hits.resize(idx + 1, 0);
+                }
+                mine.tenant_hits[idx] += h;
+            }
+            for (idx, &s) in op.tenant_saved.iter().enumerate() {
+                if idx >= mine.tenant_saved.len() {
+                    mine.tenant_saved.resize(idx + 1, 0);
+                }
+                mine.tenant_saved[idx] += s;
+            }
+        }
     }
 
     /// Builds the final report.
@@ -1181,6 +1243,7 @@ impl MetricsCollector {
         let tenant_slo = self.tenant_slo;
         let tenant_routing = &self.tenant_routing;
         let fleet = self.fleet.take().unwrap_or_default();
+        let prefix = self.prefix.take().unwrap_or_default();
         let fold_tenants = fold_out.as_ref().map(|f| &f.tenant_summaries);
         let per_tenant = self
             .tenants
@@ -1212,6 +1275,8 @@ impl MetricsCollector {
                     retries: fleet.tenant_retries.get(idx).copied().unwrap_or(0),
                     requeued: fleet.tenant_requeued.get(idx).copied().unwrap_or(0),
                     evicted_by_crash: fleet.tenant_evicted.get(idx).copied().unwrap_or(0),
+                    prefix_hits: prefix.tenant_hits.get(idx).copied().unwrap_or(0),
+                    prefix_tokens_saved: prefix.tenant_saved.get(idx).copied().unwrap_or(0),
                 }
             })
             .collect();
@@ -1253,6 +1318,13 @@ impl MetricsCollector {
             evicted_by_crash: fleet.evicted_by_crash,
             replica_hours: fleet.replica_hours,
             replica_availability: fleet.replica_availability,
+            prefix_hits: prefix.hit_requests,
+            prefix_tokens_saved: prefix.tokens_saved,
+            prefix_hit_rate: if prefix.hit_requests > 0 && self.completed > 0 {
+                prefix.hit_requests as f64 / self.completed as f64
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -235,6 +235,7 @@ pub(crate) fn eligible(config: &ClusterConfig, jitters: bool) -> bool {
     !jitters
         && config.late_abort.is_none()
         && !config.elastic()
+        && config.prefix_cache.is_none()
         && matches!(
             config.global_policy,
             GlobalPolicyKind::RoundRobin | GlobalPolicyKind::Random

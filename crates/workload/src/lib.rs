@@ -42,4 +42,7 @@ pub use distributions::LengthDistribution;
 pub use faults::{FaultAction, FaultError, FaultRecord, FaultSchedule};
 pub use replay::{TraceError, TraceReader};
 pub use stats::WorkloadStats;
-pub use traces::{MultiTenantWorkload, TenantStream, Trace, TraceRequest, TraceWorkload};
+pub use traces::{
+    MultiTenantWorkload, TenantPrefixConfig, TenantStream, Trace, TracePrefix, TraceRequest,
+    TraceWorkload, NO_PREFIX,
+};

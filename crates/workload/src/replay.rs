@@ -15,7 +15,8 @@
 //! 3.75 100 10
 //! ```
 //!
-//! * The first non-blank line must be the `#vidur-trace v1` magic.
+//! * The first non-blank line must be the `#vidur-trace v1` magic (or
+//!   `#vidur-trace v2`, below).
 //! * `workload <name>` and `tenant <name>` directives must precede the
 //!   first record; tenant declaration order assigns tenant ids.
 //! * Records are whitespace-separated:
@@ -24,6 +25,28 @@
 //!   exactly, no float round-trip), must be non-decreasing, and lengths
 //!   must be ≥ 1. Omitted tenant/priority default to the first tenant and
 //!   priority 0.
+//!
+//! **Format v2** ([`TRACE_MAGIC_V2`]) adds shared-prefix metadata on top of
+//! everything v1 allows:
+//!
+//! ```text
+//! #vidur-trace v2
+//! tenant interactive
+//! prefix system-prompt 256
+//! 0.25 417 139 interactive 0 0 256
+//! 1.5  2730 167 interactive 0 - -
+//! ```
+//!
+//! * `prefix <name> <tokens>` directives (after the tenants, before the
+//!   first record); declaration order assigns prefix ids.
+//! * Records gain two trailing columns `<prefix-id> <prefix-len>`, written
+//!   as `- -` for prefix-free requests. `prefix-id` indexes the declared
+//!   prefixes and `prefix-len` must satisfy
+//!   1 ≤ len ≤ min(declared tokens, prefill).
+//! * v1 files stay readable byte-for-byte — the v1 parse path is untouched,
+//!   and a `prefix` line in a v1 file is rejected exactly as any unknown
+//!   directive. The writer emits v1 whenever a trace declares no prefixes,
+//!   so existing traces round-trip unchanged.
 //!
 //! Malformed input yields a typed [`TraceError`] carrying the 1-based line
 //! number — the loader never panics. [`Trace::from_file`] /
@@ -35,13 +58,20 @@
 //! [`TraceReader`] streams records one at a time so multi-gigabyte traces
 //! never need to fit in memory (beyond whatever the caller retains).
 
-use crate::traces::{Trace, TraceRequest};
+use crate::traces::{Trace, TracePrefix, TraceRequest, NO_PREFIX};
 use std::fmt;
 use std::io::{BufRead, Write};
 use vidur_core::time::SimTime;
 
-/// Magic first line of a trace file.
+/// Magic first line of a v1 trace file.
 pub const TRACE_MAGIC: &str = "#vidur-trace v1";
+
+/// Magic first line of a v2 trace file: everything v1 allows, plus
+/// `prefix <name> <tokens>` directives and two extra record columns
+/// `<prefix-id> <prefix-len>` (`- -` for prefix-free requests). v1 files
+/// stay readable byte-for-byte; the writer emits v1 whenever a trace
+/// declares no prefixes.
+pub const TRACE_MAGIC_V2: &str = "#vidur-trace v2";
 
 /// A typed trace-format error. Every parse variant carries the 1-based line
 /// number of the offending input.
@@ -74,7 +104,8 @@ pub enum TraceError {
         /// Fields actually present.
         found: usize,
     },
-    /// A record with more than five fields.
+    /// A record with more fields than its format version allows (five in
+    /// v1, seven in v2).
     TooManyFields {
         /// Offending line.
         line: usize,
@@ -116,6 +147,29 @@ pub enum TraceError {
         /// The raw field.
         value: String,
     },
+    /// An unparseable `prefix_id` field (v2 only; `-` means no prefix).
+    BadPrefixId {
+        /// Offending line.
+        line: usize,
+        /// The raw field.
+        value: String,
+    },
+    /// A record referencing an undeclared prefix index (v2 only).
+    UnknownPrefix {
+        /// Offending line.
+        line: usize,
+        /// The out-of-range prefix id.
+        id: u64,
+    },
+    /// A `prefix_len` that is missing, unparseable, inconsistent with its
+    /// `prefix_id` (`-` pairs only with `-`), zero, or larger than the
+    /// declared prefix length or the record's prefill (v2 only).
+    BadPrefixLen {
+        /// Offending line.
+        line: usize,
+        /// The raw field (`"<missing>"` for a six-field record).
+        value: String,
+    },
     /// Serialization: a request's tenant index is outside the declared
     /// tenant list.
     TenantIndexOutOfRange {
@@ -123,6 +177,31 @@ pub enum TraceError {
         tenant: u32,
         /// Number of declared tenants.
         declared: usize,
+    },
+    /// Serialization: a request's prefix index is outside the declared
+    /// prefix list.
+    PrefixIndexOutOfRange {
+        /// The out-of-range index.
+        prefix: u64,
+        /// Number of declared prefixes.
+        declared: usize,
+    },
+    /// Serialization: a request's prefix length is zero or exceeds the
+    /// declared prefix length or the request's prompt — writing it would
+    /// produce a file the reader rejects.
+    PrefixLenOutOfRange {
+        /// The referenced prefix index.
+        prefix: u64,
+        /// The out-of-range length.
+        len: u64,
+        /// Largest length the reader would accept for this request.
+        max: u64,
+    },
+    /// Serialization: a declared prefix the line format cannot represent
+    /// (unwritable name, duplicate name, or zero tokens).
+    UnwritablePrefix {
+        /// The offending prefix name.
+        name: String,
     },
     /// Serialization: a workload or tenant name that the line format cannot
     /// represent (empty, containing whitespace, or starting with `#`) —
@@ -165,9 +244,37 @@ impl fmt::Display for TraceError {
             TraceError::BadPriority { line, value } => {
                 write!(f, "line {line}: bad priority `{value}` (need 0..=255)")
             }
+            TraceError::BadPrefixId { line, value } => {
+                write!(
+                    f,
+                    "line {line}: bad prefix id `{value}` (need an index or `-`)"
+                )
+            }
+            TraceError::UnknownPrefix { line, id } => {
+                write!(f, "line {line}: unknown prefix id {id}")
+            }
+            TraceError::BadPrefixLen { line, value } => write!(
+                f,
+                "line {line}: bad prefix length `{value}` (need 1 ≤ len ≤ \
+                 min(declared tokens, prefill))"
+            ),
             TraceError::TenantIndexOutOfRange { tenant, declared } => write!(
                 f,
                 "tenant index {tenant} out of range ({declared} declared)"
+            ),
+            TraceError::PrefixIndexOutOfRange { prefix, declared } => write!(
+                f,
+                "prefix index {prefix} out of range ({declared} declared)"
+            ),
+            TraceError::PrefixLenOutOfRange { prefix, len, max } => write!(
+                f,
+                "prefix {prefix} length {len} out of range (need 1..={max})"
+            ),
+            TraceError::UnwritablePrefix { name } => write!(
+                f,
+                "prefix `{name}` cannot be written (needs a unique \
+                 non-empty whitespace-free name not starting with `#`, and \
+                 ≥ 1 tokens)"
             ),
             TraceError::UnwritableName { field, name } => write!(
                 f,
@@ -224,6 +331,11 @@ pub struct TraceReader<R> {
     reader: R,
     workload_name: String,
     tenants: Vec<String>,
+    prefixes: Vec<TracePrefix>,
+    /// True for a v2 file ([`TRACE_MAGIC_V2`]): prefix directives and the
+    /// two prefix record columns are accepted. The v1 parse path is
+    /// byte-for-byte the pre-v2 behavior.
+    v2: bool,
     /// The first record line, consumed while scanning past the directives.
     pending: Option<(usize, String)>,
     line: usize,
@@ -244,8 +356,10 @@ impl<R: BufRead> TraceReader<R> {
     pub fn new(mut reader: R) -> Result<Self, TraceError> {
         let mut line_no = 0usize;
         let mut saw_magic = false;
+        let mut v2 = false;
         let mut workload_name = String::new();
         let mut tenants: Vec<String> = Vec::new();
+        let mut prefixes: Vec<TracePrefix> = Vec::new();
         let mut pending = None;
         loop {
             let mut line = String::new();
@@ -265,7 +379,9 @@ impl<R: BufRead> TraceReader<R> {
                 if trimmed.is_empty() {
                     continue;
                 }
-                if trimmed != TRACE_MAGIC {
+                if trimmed == TRACE_MAGIC_V2 {
+                    v2 = true;
+                } else if trimmed != TRACE_MAGIC {
                     return Err(TraceError::MissingHeader { line: line_no });
                 }
                 saw_magic = true;
@@ -308,6 +424,40 @@ impl<R: BufRead> TraceReader<R> {
                     }
                     tenants.push(name[0].to_string());
                 }
+                // Only v2 knows the `prefix` directive; in a v1 file the
+                // line falls through to the record branch and fails there,
+                // exactly as any unknown directive always has.
+                Some("prefix") if v2 => {
+                    let rest: Vec<&str> = fields.collect();
+                    if rest.len() != 2 {
+                        return Err(TraceError::Directive {
+                            line: line_no,
+                            message: "`prefix` takes a name and a token count".to_string(),
+                        });
+                    }
+                    if prefixes.iter().any(|p| p.name == rest[0]) {
+                        return Err(TraceError::Directive {
+                            line: line_no,
+                            message: format!("duplicate prefix `{}`", rest[0]),
+                        });
+                    }
+                    let tokens = match rest[1].parse::<u64>() {
+                        Ok(t) if t >= 1 => t,
+                        _ => {
+                            return Err(TraceError::Directive {
+                                line: line_no,
+                                message: format!(
+                                    "prefix `{}` needs a token count ≥ 1, got `{}`",
+                                    rest[0], rest[1]
+                                ),
+                            });
+                        }
+                    };
+                    prefixes.push(TracePrefix {
+                        name: rest[0].to_string(),
+                        tokens,
+                    });
+                }
                 Some(_) => {
                     // First record: the directive block ends here.
                     pending = Some((line_no, trimmed.to_string()));
@@ -320,6 +470,8 @@ impl<R: BufRead> TraceReader<R> {
             reader,
             workload_name,
             tenants,
+            prefixes,
+            v2,
             pending,
             line: line_no,
             next_id: 0,
@@ -338,9 +490,17 @@ impl<R: BufRead> TraceReader<R> {
         &self.tenants
     }
 
+    /// Declared shared prefixes in declaration (= id) order (always empty
+    /// for v1 files).
+    pub fn prefixes(&self) -> &[TracePrefix] {
+        &self.prefixes
+    }
+
     fn parse_record(&mut self, line_no: usize, line: &str) -> Result<TraceRequest, TraceError> {
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if matches!(fields.first(), Some(&"workload") | Some(&"tenant")) {
+        if matches!(fields.first(), Some(&"workload") | Some(&"tenant"))
+            || (self.v2 && matches!(fields.first(), Some(&"prefix")))
+        {
             return Err(TraceError::Directive {
                 line: line_no,
                 message: format!("`{}` directive after the first record", fields[0]),
@@ -352,7 +512,8 @@ impl<R: BufRead> TraceReader<R> {
                 found: fields.len(),
             });
         }
-        if fields.len() > 5 {
+        let max_fields = if self.v2 { 7 } else { 5 };
+        if fields.len() > max_fields {
             return Err(TraceError::TooManyFields {
                 line: line_no,
                 found: fields.len(),
@@ -394,6 +555,45 @@ impl<R: BufRead> TraceReader<R> {
                 value: raw.to_string(),
             })?,
         };
+        let (prefix_id, prefix_len) = match (fields.get(5), fields.get(6)) {
+            (None, _) => (NO_PREFIX, 0),
+            (Some(_), None) => {
+                return Err(TraceError::BadPrefixLen {
+                    line: line_no,
+                    value: "<missing>".to_string(),
+                });
+            }
+            (Some(&"-"), Some(&"-")) => (NO_PREFIX, 0),
+            (Some(&"-"), Some(&raw)) | (Some(&raw), Some(&"-")) => {
+                return Err(TraceError::BadPrefixLen {
+                    line: line_no,
+                    value: raw.to_string(),
+                });
+            }
+            (Some(&raw_id), Some(&raw_len)) => {
+                let pid = raw_id.parse::<u64>().map_err(|_| TraceError::BadPrefixId {
+                    line: line_no,
+                    value: raw_id.to_string(),
+                })?;
+                if pid as usize >= self.prefixes.len() {
+                    return Err(TraceError::UnknownPrefix {
+                        line: line_no,
+                        id: pid,
+                    });
+                }
+                let max_len = self.prefixes[pid as usize].tokens.min(prefill_tokens);
+                let len = match raw_len.parse::<u64>() {
+                    Ok(l) if l >= 1 && l <= max_len => l,
+                    _ => {
+                        return Err(TraceError::BadPrefixLen {
+                            line: line_no,
+                            value: raw_len.to_string(),
+                        });
+                    }
+                };
+                (pid, len)
+            }
+        };
         self.last_arrival = arrival;
         let id = self.next_id;
         self.next_id += 1;
@@ -404,6 +604,8 @@ impl<R: BufRead> TraceReader<R> {
             decode_tokens,
             tenant,
             priority,
+            prefix_id,
+            prefix_len,
         })
     }
 }
@@ -467,6 +669,7 @@ impl Trace {
         Ok(Trace {
             workload_name: tr.workload_name,
             tenants: tr.tenants,
+            prefixes: tr.prefixes,
             requests,
         })
     }
@@ -541,12 +744,56 @@ impl Trace {
                 name: bad.clone(),
             });
         }
+        // Prefix ids must stay in range regardless of format version: a v1
+        // trace (no declared prefixes) carrying a stray prefix id would
+        // silently drop sharing on reload, so refuse to write it.
+        if let Some(r) = self
+            .requests
+            .iter()
+            .find(|r| r.prefix_id != NO_PREFIX && r.prefix_id as usize >= self.prefixes.len())
+        {
+            return Err(TraceError::PrefixIndexOutOfRange {
+                prefix: r.prefix_id,
+                declared: self.prefixes.len(),
+            });
+        }
+        let v2 = !self.prefixes.is_empty();
+        if v2 {
+            for p in &self.prefixes {
+                if !writable(&p.name)
+                    || p.tokens == 0
+                    || self.prefixes.iter().filter(|q| q.name == p.name).count() > 1
+                {
+                    return Err(TraceError::UnwritablePrefix {
+                        name: p.name.clone(),
+                    });
+                }
+            }
+            for r in &self.requests {
+                if r.prefix_id == NO_PREFIX {
+                    continue;
+                }
+                let max = self.prefixes[r.prefix_id as usize]
+                    .tokens
+                    .min(r.prefill_tokens);
+                if r.prefix_len == 0 || r.prefix_len > max {
+                    return Err(TraceError::PrefixLenOutOfRange {
+                        prefix: r.prefix_id,
+                        len: r.prefix_len,
+                        max,
+                    });
+                }
+            }
+        }
         let mut tenants = self.tenants.clone();
+        // v2 records always carry all seven fields, so tenant names must
+        // exist even for a single-tenant, all-priority-0 trace.
         if tenants.is_empty()
-            && self
-                .requests
-                .iter()
-                .any(|r| r.tenant != 0 || r.priority != 0)
+            && (v2
+                || self
+                    .requests
+                    .iter()
+                    .any(|r| r.tenant != 0 || r.priority != 0))
         {
             let max = self.requests.iter().map(|r| r.tenant).max().unwrap_or(0);
             tenants = (0..=max).map(|i| format!("tenant-{i}")).collect();
@@ -561,16 +808,46 @@ impl Trace {
                 declared: tenants.len(),
             });
         }
-        writeln!(w, "{TRACE_MAGIC}").map_err(io_err)?;
+        if v2 {
+            writeln!(w, "{TRACE_MAGIC_V2}").map_err(io_err)?;
+        } else {
+            writeln!(w, "{TRACE_MAGIC}").map_err(io_err)?;
+        }
         if !self.workload_name.is_empty() {
             writeln!(w, "workload {}", self.workload_name).map_err(io_err)?;
         }
         for t in &tenants {
             writeln!(w, "tenant {t}").map_err(io_err)?;
         }
+        if v2 {
+            for p in &self.prefixes {
+                writeln!(w, "prefix {} {}", p.name, p.tokens).map_err(io_err)?;
+            }
+        }
         for r in &self.requests {
             let ts = format_timestamp(r.arrival.as_nanos());
-            if tenants.is_empty() {
+            if v2 {
+                if r.prefix_id == NO_PREFIX {
+                    writeln!(
+                        w,
+                        "{ts} {} {} {} {} - -",
+                        r.prefill_tokens, r.decode_tokens, tenants[r.tenant as usize], r.priority
+                    )
+                    .map_err(io_err)?;
+                } else {
+                    writeln!(
+                        w,
+                        "{ts} {} {} {} {} {} {}",
+                        r.prefill_tokens,
+                        r.decode_tokens,
+                        tenants[r.tenant as usize],
+                        r.priority,
+                        r.prefix_id,
+                        r.prefix_len
+                    )
+                    .map_err(io_err)?;
+                }
+            } else if tenants.is_empty() {
                 writeln!(w, "{ts} {} {}", r.prefill_tokens, r.decode_tokens).map_err(io_err)?;
             } else {
                 writeln!(

@@ -152,6 +152,7 @@ mod tests {
         let t = Trace {
             workload_name: "x".to_string(),
             tenants: Vec::new(),
+            prefixes: Vec::new(),
             requests: Vec::new(),
         };
         WorkloadStats::compute(&t);

@@ -14,6 +14,11 @@ use vidur_core::time::SimTime;
 /// Total-token cap matching the LLaMA2 context window.
 pub const MAX_TOTAL_TOKENS: u64 = 4096;
 
+/// Sentinel prefix id for requests that share no prefix (the default).
+/// Matches `vidur_scheduler::NO_PREFIX` bit-for-bit so trace prefix ids
+/// flow into scheduler requests unchanged.
+pub const NO_PREFIX: u64 = u64::MAX;
+
 /// A workload family: the joint distribution of request lengths.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceWorkload {
@@ -108,15 +113,33 @@ impl TraceWorkload {
                     decode_tokens,
                     tenant: 0,
                     priority: 0,
+                    prefix_id: NO_PREFIX,
+                    prefix_len: 0,
                 }
             })
             .collect();
         Trace {
             workload_name: self.name.clone(),
             tenants: Vec::new(),
+            prefixes: Vec::new(),
             requests,
         }
     }
+}
+
+/// Shared-prefix traffic shape for one tenant: what fraction of its
+/// requests reuse one of `num_prefixes` tenant-private shared prefixes
+/// (system prompts / templates) of `prefix_tokens` tokens each.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantPrefixConfig {
+    /// Fraction of this tenant's requests (in `[0, 1]`) that carry a
+    /// shared prefix.
+    pub share_ratio: f64,
+    /// Tokens in each shared prefix (≥ 1; capped at the request's prompt
+    /// length when a sampled prompt is shorter).
+    pub prefix_tokens: u64,
+    /// Number of distinct prefixes this tenant draws from uniformly (≥ 1).
+    pub num_prefixes: usize,
 }
 
 /// One tenant's traffic in a [`MultiTenantWorkload`]: its own length
@@ -131,6 +154,11 @@ pub struct TenantStream {
     pub workload: TraceWorkload,
     /// This tenant's arrival process.
     pub arrivals: ArrivalProcess,
+    /// Shared-prefix traffic shape, or `None` for prefix-free traffic.
+    /// Arming prefixes never perturbs any tenant's arrival or length
+    /// draws — the prefix RNG is derived from a fork of a *clone* of the
+    /// stream's length RNG, so the existing streams are untouched.
+    pub prefix: Option<TenantPrefixConfig>,
 }
 
 /// Several tenants sharing a cluster: each stream generates independently
@@ -151,12 +179,14 @@ pub struct TenantStream {
 ///             priority: 0,
 ///             workload: TraceWorkload::chat_1m(),
 ///             arrivals: ArrivalProcess::Poisson { qps: 2.0 },
+///             prefix: None,
 ///         },
 ///         TenantStream {
 ///             tenant: "batch".into(),
 ///             priority: 2,
 ///             workload: TraceWorkload::arxiv_4k(),
 ///             arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+///             prefix: None,
 ///         },
 ///     ],
 /// );
@@ -199,6 +229,24 @@ impl MultiTenantWorkload {
                  tenant in the merge",
                 s.tenant
             );
+            if let Some(p) = s.prefix {
+                assert!(
+                    p.share_ratio.is_finite() && (0.0..=1.0).contains(&p.share_ratio),
+                    "tenant `{}`: prefix share ratio {} outside [0, 1]",
+                    s.tenant,
+                    p.share_ratio
+                );
+                assert!(
+                    p.prefix_tokens >= 1,
+                    "tenant `{}`: shared prefixes need at least one token",
+                    s.tenant
+                );
+                assert!(
+                    p.num_prefixes >= 1,
+                    "tenant `{}`: prefix sharing needs at least one prefix",
+                    s.tenant
+                );
+            }
         }
     }
 
@@ -213,6 +261,7 @@ impl MultiTenantWorkload {
     /// fields are public, so the invariants are re-checked here).
     pub fn requests(&self, rng: &mut SimRng) -> MultiTenantIter {
         self.validate();
+        let mut prefix_offset = 0u64;
         let streams = self
             .streams
             .iter()
@@ -220,12 +269,26 @@ impl MultiTenantWorkload {
             .map(|(i, s)| {
                 let mut arrivals = s.arrivals.times(rng.fork(2 * i as u64));
                 let lengths = rng.fork(2 * i as u64 + 1);
+                let prefix = s.prefix.map(|cfg| {
+                    // Forking mutates the parent, so fork a *clone* of the
+                    // lengths RNG: the prefix stream is deterministic per
+                    // tenant, yet arming it leaves every existing arrival
+                    // and length draw (and the shared parent) untouched.
+                    let state = PrefixState {
+                        cfg,
+                        rng: lengths.clone().fork(0x7072_6566),
+                        id_offset: prefix_offset,
+                    };
+                    prefix_offset += cfg.num_prefixes as u64;
+                    state
+                });
                 let next_arrival = arrivals.next().expect("arrival streams are infinite");
                 StreamState {
                     arrivals,
                     lengths,
                     workload: s.workload.clone(),
                     priority: s.priority,
+                    prefix,
                     next_arrival,
                 }
             })
@@ -236,6 +299,24 @@ impl MultiTenantWorkload {
         }
     }
 
+    /// The shared prefixes a generated trace declares, in id order: each
+    /// prefix-configured tenant contributes `num_prefixes` consecutive
+    /// entries named `<tenant>-prefix-<k>`.
+    pub fn prefixes(&self) -> Vec<TracePrefix> {
+        let mut prefixes = Vec::new();
+        for s in &self.streams {
+            if let Some(cfg) = s.prefix {
+                for k in 0..cfg.num_prefixes {
+                    prefixes.push(TracePrefix {
+                        name: format!("{}-prefix-{k}", s.tenant),
+                        tokens: cfg.prefix_tokens,
+                    });
+                }
+            }
+        }
+        prefixes
+    }
+
     /// Generates a merged trace of `n` requests. Equivalent to collecting
     /// `n` items from [`MultiTenantWorkload::requests`].
     pub fn generate(&self, n: usize, rng: &mut SimRng) -> Trace {
@@ -243,9 +324,20 @@ impl MultiTenantWorkload {
         Trace {
             workload_name: self.name.clone(),
             tenants: self.streams.iter().map(|s| s.tenant.clone()).collect(),
+            prefixes: self.prefixes(),
             requests,
         }
     }
+}
+
+/// Per-tenant shared-prefix generation state inside [`StreamState`].
+#[derive(Debug)]
+struct PrefixState {
+    cfg: TenantPrefixConfig,
+    rng: SimRng,
+    /// Global prefix id of this tenant's prefix 0 (tenants own disjoint
+    /// consecutive id ranges in declaration order).
+    id_offset: u64,
 }
 
 /// Per-tenant generation state inside [`MultiTenantIter`].
@@ -255,6 +347,7 @@ struct StreamState {
     lengths: SimRng,
     workload: TraceWorkload,
     priority: u8,
+    prefix: Option<PrefixState>,
     next_arrival: SimTime,
 }
 
@@ -279,6 +372,15 @@ impl Iterator for MultiTenantIter {
         let arrival = s.next_arrival;
         s.next_arrival = s.arrivals.next().expect("arrival streams are infinite");
         let (prefill_tokens, decode_tokens) = s.workload.sample_lengths(&mut s.lengths);
+        let mut prefix_id = NO_PREFIX;
+        let mut prefix_len = 0;
+        if let Some(p) = &mut s.prefix {
+            if p.rng.next_f64() < p.cfg.share_ratio {
+                let k = p.rng.next_below(p.cfg.num_prefixes as u64);
+                prefix_id = p.id_offset + k;
+                prefix_len = p.cfg.prefix_tokens.min(prefill_tokens);
+            }
+        }
         let id = self.next_id;
         self.next_id += 1;
         Some(TraceRequest {
@@ -288,6 +390,8 @@ impl Iterator for MultiTenantIter {
             decode_tokens,
             tenant: idx as u32,
             priority: s.priority,
+            prefix_id,
+            prefix_len,
         })
     }
 }
@@ -308,6 +412,23 @@ pub struct TraceRequest {
     /// Priority class: 0 is the most urgent; schedulers admit lower values
     /// first and preempt higher values first.
     pub priority: u8,
+    /// Shared-prefix index into [`Trace::prefixes`], or [`NO_PREFIX`] when
+    /// this request shares nothing.
+    pub prefix_id: u64,
+    /// Leading prompt tokens shared under `prefix_id` (0 when `prefix_id`
+    /// is [`NO_PREFIX`]; otherwise `1..=min(prefix tokens, prefill)`).
+    pub prefix_len: u64,
+}
+
+/// One shared prefix declared by a trace (a system prompt / template):
+/// requests whose [`TraceRequest::prefix_id`] indexes this entry share its
+/// leading tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracePrefix {
+    /// Prefix name (written as a `prefix` directive in v2 trace files).
+    pub name: String,
+    /// Length of the shared prefix in tokens (≥ 1).
+    pub tokens: u64,
 }
 
 /// A generated (or loaded) request trace.
@@ -318,6 +439,9 @@ pub struct Trace {
     /// Declared tenant names; [`TraceRequest::tenant`] indexes this list.
     /// Empty for single-tenant traces (all requests implicitly tenant 0).
     pub tenants: Vec<String>,
+    /// Declared shared prefixes; [`TraceRequest::prefix_id`] indexes this
+    /// list. Empty for prefix-free traces (written as format v1).
+    pub prefixes: Vec<TracePrefix>,
     /// Requests ordered by arrival.
     pub requests: Vec<TraceRequest>,
 }
@@ -359,6 +483,7 @@ impl Trace {
         Trace {
             workload_name: self.workload_name.clone(),
             tenants: self.tenants.clone(),
+            prefixes: self.prefixes.clone(),
             requests,
         }
     }
@@ -420,6 +545,7 @@ impl Trace {
         Trace {
             workload_name: format!("{}-amplified", self.workload_name),
             tenants: self.tenants.clone(),
+            prefixes: self.prefixes.clone(),
             requests,
         }
     }
@@ -547,6 +673,7 @@ mod tests {
                     priority: 0,
                     workload: TraceWorkload::chat_1m(),
                     arrivals: ArrivalProcess::Poisson { qps: 4.0 },
+                    prefix: None,
                 },
                 TenantStream {
                     tenant: "batch".into(),
@@ -558,6 +685,7 @@ mod tests {
                         mean_base_secs: 20.0,
                         mean_burst_secs: 5.0,
                     },
+                    prefix: None,
                 },
             ],
         )
@@ -596,6 +724,7 @@ mod tests {
             priority: 3,
             workload: TraceWorkload::bwb_4k(),
             arrivals: ArrivalProcess::Poisson { qps: 2.0 },
+            prefix: None,
         });
         let merged = three.generate(600, &mut SimRng::new(23));
         let a: Vec<(SimTime, u64, u64)> = two
@@ -626,15 +755,99 @@ mod tests {
                     priority: 2,
                     workload: TraceWorkload::arxiv_4k(),
                     arrivals: ArrivalProcess::Static,
+                    prefix: None,
                 },
                 TenantStream {
                     tenant: "online".into(),
                     priority: 0,
                     workload: TraceWorkload::chat_1m(),
                     arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+                    prefix: None,
                 },
             ],
         );
+    }
+
+    fn prefixed_mix() -> MultiTenantWorkload {
+        let mut m = mix();
+        m.streams[0].prefix = Some(TenantPrefixConfig {
+            share_ratio: 0.6,
+            prefix_tokens: 128,
+            num_prefixes: 3,
+        });
+        m.streams[1].prefix = Some(TenantPrefixConfig {
+            share_ratio: 1.0,
+            prefix_tokens: 4096,
+            num_prefixes: 1,
+        });
+        m
+    }
+
+    #[test]
+    fn shared_prefix_generation_is_well_formed() {
+        let m = prefixed_mix();
+        let t = m.generate(2_000, &mut SimRng::new(31));
+        // Declared prefixes: 3 for tenant 0 (ids 0..3), 1 for tenant 1 (id 3).
+        assert_eq!(t.prefixes.len(), 4);
+        assert_eq!(t.prefixes[0].name, "interactive-prefix-0");
+        assert_eq!(t.prefixes[3].name, "batch-prefix-0");
+        assert_eq!(t.prefixes[3].tokens, 4096);
+        let mut hits0 = 0usize;
+        let mut total0 = 0usize;
+        for r in &t.requests {
+            if r.prefix_id == NO_PREFIX {
+                assert_eq!(r.prefix_len, 0);
+                continue;
+            }
+            if r.tenant == 0 {
+                assert!(r.prefix_id < 3, "tenant 0 draws its own prefixes");
+            } else {
+                assert_eq!(r.prefix_id, 3, "tenant 1 has exactly one prefix");
+            }
+            let declared = t.prefixes[r.prefix_id as usize].tokens;
+            assert_eq!(r.prefix_len, declared.min(r.prefill_tokens));
+            assert!(r.prefix_len >= 1);
+        }
+        for r in t.requests.iter().filter(|r| r.tenant == 0) {
+            total0 += 1;
+            if r.prefix_id != NO_PREFIX {
+                hits0 += 1;
+            }
+        }
+        // share_ratio 0.6 for tenant 0; 1.0 for tenant 1.
+        let share0 = hits0 as f64 / total0 as f64;
+        assert!((share0 - 0.6).abs() < 0.05, "share {share0}");
+        assert!(t
+            .requests
+            .iter()
+            .filter(|r| r.tenant == 1)
+            .all(|r| r.prefix_id == 3));
+    }
+
+    #[test]
+    fn arming_prefixes_does_not_perturb_the_base_trace() {
+        // The prefix draw runs on a fork of a *clone* of the length RNG, so
+        // configuring prefixes must leave every (arrival, lengths, tenant,
+        // priority) tuple bit-identical — only the prefix columns change.
+        let plain = mix().generate(1_500, &mut SimRng::new(32));
+        let shared = prefixed_mix().generate(1_500, &mut SimRng::new(32));
+        let strip = |t: &Trace| -> Vec<(SimTime, u64, u64, u32, u8)> {
+            t.requests
+                .iter()
+                .map(|r| {
+                    (
+                        r.arrival,
+                        r.prefill_tokens,
+                        r.decode_tokens,
+                        r.tenant,
+                        r.priority,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(strip(&plain), strip(&shared));
+        assert!(plain.requests.iter().all(|r| r.prefix_id == NO_PREFIX));
+        assert!(shared.requests.iter().any(|r| r.prefix_id != NO_PREFIX));
     }
 
     #[test]

@@ -5,12 +5,16 @@
 use vidur_core::rng::SimRng;
 use vidur_core::time::SimTime;
 use vidur_workload::{
-    ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceError, TraceReader,
-    TraceWorkload,
+    ArrivalProcess, MultiTenantWorkload, TenantPrefixConfig, TenantStream, Trace, TraceError,
+    TracePrefix, TraceReader, TraceWorkload, NO_PREFIX,
 };
 
 fn fixture_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sample.vtrace")
+}
+
+fn fixture_v2_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sample_v2.vtrace")
 }
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -64,12 +68,14 @@ fn generated_traces_roundtrip() {
                 priority: 0,
                 workload: TraceWorkload::chat_1m(),
                 arrivals: ArrivalProcess::Poisson { qps: 3.0 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "b".into(),
                 priority: 2,
                 workload: TraceWorkload::bwb_4k(),
                 arrivals: ArrivalProcess::Gamma { qps: 2.0, cv: 2.0 },
+                prefix: None,
             },
         ],
     );
@@ -298,6 +304,274 @@ fn unwritable_names_rejected_on_write() {
     let mut out = Vec::new();
     t.to_writer(&mut out).expect("sane names write fine");
     assert!(Trace::parse(std::str::from_utf8(&out).unwrap()).is_ok());
+}
+
+#[test]
+fn v2_fixture_parses() {
+    let t = Trace::from_file(fixture_v2_path()).expect("v2 fixture parses");
+    assert_eq!(t.workload_name, "fixture-prefix-mix");
+    assert_eq!(t.tenants, vec!["interactive", "batch"]);
+    assert_eq!(
+        t.prefixes,
+        vec![
+            TracePrefix {
+                name: "system-prompt".to_string(),
+                tokens: 256
+            },
+            TracePrefix {
+                name: "rag-context".to_string(),
+                tokens: 1024
+            },
+        ]
+    );
+    assert_eq!(t.len(), 5);
+    assert_eq!(
+        (t.requests[0].prefix_id, t.requests[0].prefix_len),
+        (0, 256)
+    );
+    assert_eq!(
+        (t.requests[1].prefix_id, t.requests[1].prefix_len),
+        (1, 1024)
+    );
+    // `- -` marks a prefix-free request.
+    assert_eq!(
+        (t.requests[2].prefix_id, t.requests[2].prefix_len),
+        (NO_PREFIX, 0)
+    );
+    // A hit shorter than the declared prefix (prefill-capped) is legal.
+    assert_eq!((t.requests[4].prefix_id, t.requests[4].prefix_len), (1, 64));
+}
+
+#[test]
+fn v2_fixture_roundtrips_exactly() {
+    let t = Trace::from_file(fixture_v2_path()).expect("v2 fixture parses");
+    let path = temp_path("v2-roundtrip");
+    t.to_file(&path).expect("write");
+    let back = Trace::from_file(&path).expect("reparse");
+    assert_eq!(t, back);
+    let path2 = temp_path("v2-roundtrip2");
+    back.to_file(&path2).expect("rewrite");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&path2).unwrap()
+    );
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path2);
+}
+
+#[test]
+fn generated_prefixed_traces_roundtrip() {
+    let mix = MultiTenantWorkload::new(
+        "shared",
+        vec![
+            TenantStream {
+                tenant: "a".into(),
+                priority: 0,
+                workload: TraceWorkload::chat_1m(),
+                arrivals: ArrivalProcess::Poisson { qps: 3.0 },
+                prefix: Some(TenantPrefixConfig {
+                    share_ratio: 0.5,
+                    prefix_tokens: 200,
+                    num_prefixes: 2,
+                }),
+            },
+            TenantStream {
+                tenant: "b".into(),
+                priority: 2,
+                workload: TraceWorkload::bwb_4k(),
+                arrivals: ArrivalProcess::Gamma { qps: 2.0, cv: 2.0 },
+                prefix: None,
+            },
+        ],
+    );
+    let t = mix.generate(400, &mut SimRng::new(6));
+    assert!(t.requests.iter().any(|r| r.prefix_id != NO_PREFIX));
+    let path = temp_path("v2-mt");
+    t.to_file(&path).expect("write");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("#vidur-trace v2\n"));
+    assert_eq!(Trace::from_file(&path).expect("reparse"), t);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn v1_reader_and_writer_paths_untouched_by_v2() {
+    // v1 parses carry the no-prefix sentinel on every record.
+    let t = Trace::from_file(fixture_path()).expect("v1 fixture parses");
+    assert!(t.prefixes.is_empty());
+    assert!(t
+        .requests
+        .iter()
+        .all(|r| r.prefix_id == NO_PREFIX && r.prefix_len == 0));
+    // A prefix-free trace still writes the v1 magic — byte-identical to the
+    // pre-v2 writer.
+    let mut out = Vec::new();
+    t.to_writer(&mut out).expect("write");
+    assert!(std::str::from_utf8(&out)
+        .unwrap()
+        .starts_with("#vidur-trace v1\n"));
+    // A `prefix` directive in a v1 file is rejected exactly as any unknown
+    // directive: it falls through to record parsing and fails there.
+    let v1_with_prefix = "#vidur-trace v1\ntenant a\nprefix p 64\n";
+    assert_eq!(
+        Trace::parse(v1_with_prefix),
+        Err(TraceError::BadTimestamp {
+            line: 3,
+            value: "prefix".into()
+        })
+    );
+    // Six v1 fields stay TooManyFields — the v1 limit did not widen.
+    let six = "#vidur-trace v1\ntenant a\n1.0 10 10 a 1 extra\n";
+    assert_eq!(
+        Trace::parse(six),
+        Err(TraceError::TooManyFields { line: 3, found: 6 })
+    );
+}
+
+/// Every malformed prefix-column class yields its typed error with the
+/// right line number — never a panic.
+#[test]
+fn malformed_v2_prefix_records_yield_typed_errors() {
+    let header = "#vidur-trace v2\ntenant a\nprefix p 100\n";
+    let cases: Vec<(&str, TraceError)> = vec![
+        (
+            // Six fields: a prefix id without a length.
+            "1.0 200 10 a 0 0\n",
+            TraceError::BadPrefixLen {
+                line: 4,
+                value: "<missing>".into(),
+            },
+        ),
+        (
+            "1.0 200 10 a 0 x 50\n",
+            TraceError::BadPrefixId {
+                line: 4,
+                value: "x".into(),
+            },
+        ),
+        (
+            "1.0 200 10 a 0 7 50\n",
+            TraceError::UnknownPrefix { line: 4, id: 7 },
+        ),
+        (
+            // Zero length.
+            "1.0 200 10 a 0 0 0\n",
+            TraceError::BadPrefixLen {
+                line: 4,
+                value: "0".into(),
+            },
+        ),
+        (
+            // Longer than the declared prefix.
+            "1.0 200 10 a 0 0 101\n",
+            TraceError::BadPrefixLen {
+                line: 4,
+                value: "101".into(),
+            },
+        ),
+        (
+            // Longer than the prefill.
+            "1.0 50 10 a 0 0 60\n",
+            TraceError::BadPrefixLen {
+                line: 4,
+                value: "60".into(),
+            },
+        ),
+        (
+            // A `-` must pair with a `-`.
+            "1.0 200 10 a 0 - 50\n",
+            TraceError::BadPrefixLen {
+                line: 4,
+                value: "50".into(),
+            },
+        ),
+        (
+            "1.0 200 10 a 0 0 50 extra\n",
+            TraceError::TooManyFields { line: 4, found: 8 },
+        ),
+    ];
+    for (body, expect) in cases {
+        let input = format!("{header}{body}");
+        assert_eq!(Trace::parse(&input), Err(expect.clone()), "input: {body:?}");
+        assert!(
+            expect.to_string().contains("line 4"),
+            "error renders its line number: {expect}"
+        );
+    }
+}
+
+#[test]
+fn malformed_v2_prefix_directives_rejected() {
+    let dup = "#vidur-trace v2\nprefix p 10\nprefix p 20\n";
+    assert!(matches!(
+        Trace::parse(dup),
+        Err(TraceError::Directive { line: 3, .. })
+    ));
+    let zero = "#vidur-trace v2\nprefix p 0\n";
+    assert!(matches!(
+        Trace::parse(zero),
+        Err(TraceError::Directive { line: 2, .. })
+    ));
+    let arity = "#vidur-trace v2\nprefix p\n";
+    assert!(matches!(
+        Trace::parse(arity),
+        Err(TraceError::Directive { line: 2, .. })
+    ));
+    let late = "#vidur-trace v2\n1.0 10 10\nprefix p 10\n";
+    assert!(matches!(
+        Trace::parse(late),
+        Err(TraceError::Directive { line: 3, .. })
+    ));
+}
+
+#[test]
+fn invalid_prefix_metadata_rejected_on_write() {
+    let base = |n: usize| {
+        TraceWorkload::chat_1m().generate(n, &ArrivalProcess::Static, &mut SimRng::new(7))
+    };
+    // A stray prefix id with no declared prefixes must not silently write a
+    // v1 file that drops the sharing on reload.
+    let mut t = base(2);
+    t.requests[1].prefix_id = 3;
+    t.requests[1].prefix_len = 10;
+    let mut out = Vec::new();
+    assert_eq!(
+        t.to_writer(&mut out),
+        Err(TraceError::PrefixIndexOutOfRange {
+            prefix: 3,
+            declared: 0
+        })
+    );
+    // Out-of-range length.
+    let mut t = base(2);
+    t.prefixes = vec![TracePrefix {
+        name: "p".to_string(),
+        tokens: 8,
+    }];
+    t.requests[0].prefix_id = 0;
+    t.requests[0].prefix_len = 9;
+    let mut out = Vec::new();
+    assert_eq!(
+        t.to_writer(&mut out),
+        Err(TraceError::PrefixLenOutOfRange {
+            prefix: 0,
+            len: 9,
+            max: 8
+        })
+    );
+    // Unparseable prefix name.
+    let mut t = base(2);
+    t.prefixes = vec![TracePrefix {
+        name: "has space".to_string(),
+        tokens: 8,
+    }];
+    let mut out = Vec::new();
+    assert_eq!(
+        t.to_writer(&mut out),
+        Err(TraceError::UnwritablePrefix {
+            name: "has space".to_string()
+        })
+    );
 }
 
 #[test]

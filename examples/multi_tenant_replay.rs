@@ -25,6 +25,11 @@
 //!    autoscaler resizes the fleet — every displaced request requeues
 //!    through the routing tier, and the report's churn/availability columns
 //!    are printed.
+//! 8. With `VIDUR_PREFIX=1`, synthesize a shared-prefix mix (two tenants
+//!    reusing system prompts), arm the per-replica prefix-cache tier, and
+//!    replay under KV-aware routing — the report's prefix hit-rate and
+//!    per-tenant tokens-saved columns are printed and their accounting
+//!    checked.
 //!
 //! Run with: `cargo run --release --example multi_tenant_replay`
 //! (2 000 requests by default; set `VIDUR_FULL=1` for the 1M-request run,
@@ -57,12 +62,14 @@ fn main() {
                     amplitude: 0.8,
                     period_secs: 600.0,
                 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "standard".into(),
                 priority: 1,
                 workload: TraceWorkload::bwb_4k(),
                 arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "batch".into(),
@@ -74,6 +81,7 @@ fn main() {
                     mean_base_secs: 60.0,
                     mean_burst_secs: 10.0,
                 },
+                prefix: None,
             },
         ],
     );
@@ -307,5 +315,76 @@ fn main() {
             "uptime     : [{}] per replica slot",
             availability.join(", ")
         );
+    }
+
+    // 8. Prefix caching + KV-aware routing: two tenants keep reusing their
+    // system prompts, each replica caches the shared prefix blocks, and the
+    // router steers repeats toward replicas that already hold them. The
+    // report grows hit-rate / tokens-saved columns whose per-tenant splits
+    // must sum to the totals.
+    if std::env::var("VIDUR_PREFIX").as_deref() == Ok("1") {
+        let prefix_mix = MultiTenantWorkload::new(
+            "prefix-mix",
+            vec![
+                TenantStream {
+                    tenant: "assistants".into(),
+                    priority: 0,
+                    workload: TraceWorkload::chat_1m(),
+                    arrivals: ArrivalProcess::Poisson { qps: 3.0 },
+                    prefix: Some(TenantPrefixConfig {
+                        share_ratio: 0.9,
+                        prefix_tokens: 256,
+                        num_prefixes: 2,
+                    }),
+                },
+                TenantStream {
+                    tenant: "rag".into(),
+                    priority: 1,
+                    workload: TraceWorkload::bwb_4k(),
+                    arrivals: ArrivalProcess::Poisson { qps: 1.5 },
+                    prefix: Some(TenantPrefixConfig {
+                        share_ratio: 1.0,
+                        prefix_tokens: 512,
+                        num_prefixes: 1,
+                    }),
+                },
+            ],
+        );
+        let prefix_trace = prefix_mix.generate(n.min(2_000), &mut SimRng::new(7));
+        let mut prefix_config = sharded_config.clone();
+        prefix_config.global_policy = GlobalPolicyKind::KvAware;
+        prefix_config.prefix_cache = Some(PrefixCacheConfig::default());
+        let started = std::time::Instant::now();
+        let report =
+            ClusterSimulator::new(prefix_config, prefix_trace, est_source.clone(), 7).run();
+        assert!(
+            report.prefix_hit_rate > 0.0,
+            "shared-prefix traffic must hit the cache"
+        );
+        let tenant_hits: u64 = report.per_tenant.iter().map(|t| t.prefix_hits).sum();
+        let tenant_saved: u64 = report
+            .per_tenant
+            .iter()
+            .map(|t| t.prefix_tokens_saved)
+            .sum();
+        assert_eq!(tenant_hits, report.prefix_hits, "hit splits sum to total");
+        assert_eq!(
+            tenant_saved, report.prefix_tokens_saved,
+            "tokens-saved splits sum to total"
+        );
+        println!();
+        println!(
+            "prefix     : {:.1}% hit rate, {} hits, {} prefill tokens skipped ({:.0} ms wall)",
+            report.prefix_hit_rate * 100.0,
+            report.prefix_hits,
+            report.prefix_tokens_saved,
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        for t in &report.per_tenant {
+            println!(
+                "             {:<12} {:>6} hits  {:>8} tokens saved",
+                t.tenant, t.prefix_hits, t.prefix_tokens_saved
+            );
+        }
     }
 }

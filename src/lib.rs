@@ -63,13 +63,13 @@ pub mod prelude {
     pub use vidur_simulator::{
         onboard, onboard_timer, run_fidelity_pair, Autoscaler, AutoscalerSpec, CacheStats,
         ClusterConfig, ClusterSimulator, DisaggConfig, DisaggSimulator, FaultPlan, FidelityReport,
-        FleetObservation, FleetStats, QuantileMode, RunStats, ScaleDecision, SimulationReport,
-        SloQueueAutoscaler, StageTimer, TenantReport, TenantRoutingStats, TenantSlo,
-        TimeseriesConfig, TimeseriesRow, WarmupModel,
+        FleetObservation, FleetStats, PrefixCacheConfig, PrefixStats, QuantileMode, RunStats,
+        ScaleDecision, SimulationReport, SloQueueAutoscaler, StageTimer, TenantReport,
+        TenantRoutingStats, TenantSlo, TimeseriesConfig, TimeseriesRow, WarmupModel,
     };
     pub use vidur_workload::faults::{FaultAction, FaultRecord, FaultSchedule};
     pub use vidur_workload::{
-        ArrivalProcess, MultiTenantWorkload, TenantStream, Trace, TraceError, TraceReader,
-        TraceRequest, TraceWorkload, WorkloadStats,
+        ArrivalProcess, MultiTenantWorkload, TenantPrefixConfig, TenantStream, Trace, TraceError,
+        TracePrefix, TraceReader, TraceRequest, TraceWorkload, WorkloadStats, NO_PREFIX,
     };
 }

@@ -238,12 +238,14 @@ fn multi_tenant_bursty_trace(n: usize, seed: u64) -> Trace {
                     amplitude: 0.8,
                     period_secs: 60.0,
                 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "standard".into(),
                 priority: 1,
                 workload: TraceWorkload::bwb_4k(),
                 arrivals: ArrivalProcess::Poisson { qps: 1.0 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "batch".into(),
@@ -255,6 +257,7 @@ fn multi_tenant_bursty_trace(n: usize, seed: u64) -> Trace {
                     mean_base_secs: 20.0,
                     mean_burst_secs: 4.0,
                 },
+                prefix: None,
             },
         ],
     );
@@ -830,6 +833,219 @@ fn graceful_drain_migrates_queue_without_evictions() {
         report.replica_availability[1]
     );
     assert_eq!(report.replica_availability[0], 1.0);
+}
+
+// ---- prefix cache / KV-aware routing ------------------------------------
+
+/// High-share multi-tenant trace: nearly every request carries one of a
+/// handful of shared system prompts, so the prefix tier has real reuse for
+/// cache-aware routing to exploit.
+fn high_share_prefix_trace(n: usize, seed: u64) -> Trace {
+    let mix = MultiTenantWorkload::new(
+        "prefix-mix",
+        vec![
+            TenantStream {
+                tenant: "interactive".into(),
+                priority: 0,
+                workload: TraceWorkload::chat_1m(),
+                arrivals: ArrivalProcess::Poisson { qps: 3.0 },
+                prefix: Some(TenantPrefixConfig {
+                    share_ratio: 0.9,
+                    prefix_tokens: 256,
+                    num_prefixes: 2,
+                }),
+            },
+            TenantStream {
+                tenant: "batch".into(),
+                priority: 1,
+                workload: TraceWorkload::bwb_4k(),
+                arrivals: ArrivalProcess::Poisson { qps: 1.5 },
+                prefix: Some(TenantPrefixConfig {
+                    share_ratio: 1.0,
+                    prefix_tokens: 512,
+                    num_prefixes: 1,
+                }),
+            },
+        ],
+    );
+    let mut rng = SimRng::new(seed);
+    mix.generate(n, &mut rng)
+}
+
+fn prefix_cfg(policy: GlobalPolicyKind) -> ClusterConfig {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.global_policy = policy;
+    cfg.prefix_cache = Some(PrefixCacheConfig::default());
+    cfg
+}
+
+/// Conservation checks every prefix-armed report must satisfy: the
+/// per-tenant splits account for every hit and every saved token, and the
+/// hit rate is hits over completions.
+fn assert_prefix_accounting(label: &str, r: &SimulationReport) {
+    let tenant_hits: u64 = r.per_tenant.iter().map(|t| t.prefix_hits).sum();
+    let tenant_saved: u64 = r.per_tenant.iter().map(|t| t.prefix_tokens_saved).sum();
+    assert_eq!(tenant_hits, r.prefix_hits, "{label}: tenant hit split");
+    assert_eq!(
+        tenant_saved, r.prefix_tokens_saved,
+        "{label}: tenant saved split"
+    );
+    let expected_rate = r.prefix_hits as f64 / r.completed as f64;
+    assert_eq!(
+        r.prefix_hit_rate.to_bits(),
+        expected_rate.to_bits(),
+        "{label}: hit rate must be hits/completed"
+    );
+}
+
+/// Bit-exact pin: KV-aware routing over the high-share trace. The prefix
+/// columns must light up — a ~92% hit rate on this trace — and the
+/// per-tenant splits must conserve.
+#[test]
+fn prefix_kv_aware_report_bits_pinned() {
+    let report = ClusterSimulator::new(
+        prefix_cfg(GlobalPolicyKind::KvAware),
+        high_share_prefix_trace(220, 61),
+        oracle(),
+        61,
+    )
+    .run();
+    assert_fingerprint(
+        "prefix_kvaware_seed61",
+        &report,
+        0x405541ce28c7ca59,
+        0x3fd193efecec0ad9,
+        0x3f927fd987a3d667,
+        0x402ab0c7f08a9039,
+        0x3fa38ead54a08251,
+        18870,
+        292928,
+        0,
+    );
+    assert_eq!(report.completed, 220);
+    assert_eq!(report.prefix_hits, 195, "high-share trace must hit hot");
+    assert_eq!(report.prefix_tokens_saved, 64480);
+    assert!(report.prefix_hit_rate > 0.85);
+    assert_prefix_accounting("prefix_kvaware_seed61", &report);
+    for t in &report.per_tenant {
+        assert!(
+            t.prefix_hits > 0,
+            "{}: both tenants share prefixes",
+            t.tenant
+        );
+    }
+}
+
+/// Bit-exact pin: hit-sticky affinity routing over the same trace.
+#[test]
+fn prefix_affinity_report_bits_pinned() {
+    let report = ClusterSimulator::new(
+        prefix_cfg(GlobalPolicyKind::Affinity { spill_margin: 4 }),
+        high_share_prefix_trace(220, 61),
+        oracle(),
+        61,
+    )
+    .run();
+    assert_fingerprint(
+        "prefix_affinity_seed61",
+        &report,
+        0x4061788efd5f77f1,
+        0x403d6b1b9b94e2ff,
+        0x3fa57876199df1ff,
+        0x403e7a7bdf65e8e4,
+        0x3f9856b027d6795f,
+        12903,
+        300016,
+        0,
+    );
+    assert_eq!(report.completed, 220);
+    assert_eq!(report.prefix_hits, 203);
+    assert_eq!(report.prefix_tokens_saved, 57392);
+    assert_prefix_accounting("prefix_affinity_seed61", &report);
+}
+
+/// An armed prefix cache is stateful across the whole fleet, so the sharded
+/// fast path must fall back to the sequential engine — with the estimator
+/// source and round-robin-free policies this config would otherwise be
+/// fast-path-eligible, making the gate itself the thing under test.
+#[test]
+fn prefix_routing_sharded_fallback_identical() {
+    for policy in [
+        GlobalPolicyKind::KvAware,
+        GlobalPolicyKind::Affinity { spill_margin: 4 },
+    ] {
+        let cfg = prefix_cfg(policy);
+        let trace = high_share_prefix_trace(200, 63);
+        let source = estimator_source();
+        let (sequential, _) =
+            ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run_with_stats();
+        let mut sharded_cfg = cfg;
+        sharded_cfg.shards = 4;
+        let (sharded, stats) =
+            ClusterSimulator::new(sharded_cfg, trace, source, 5).run_with_stats();
+        assert_eq!(
+            stats.shards, 1,
+            "{policy:?}: armed cache must force fallback"
+        );
+        assert_eq!(
+            sequential, sharded,
+            "{policy:?}: sharded run must fall back bit-exactly"
+        );
+        assert!(sequential.prefix_hits > 0, "{policy:?}: trace must hit");
+    }
+}
+
+/// Re-pin with `prefix_cache` *explicitly* disabled: `None` is not merely
+/// the default, it is the documented byte-identical-off switch, so the
+/// original seed fingerprint must reproduce and match a default-config run
+/// with the prefix report columns at their inert zeros.
+#[test]
+fn prefix_cache_disabled_keeps_pinned_reports() {
+    let mut cfg = base_config();
+    cfg.prefix_cache = None;
+    let report = ClusterSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_fingerprint(
+        "cluster_oracle_seed42_prefix_off",
+        &report,
+        0x4044b9f98e76d0c2,
+        0x3fd0f1caa605d583,
+        0x3f87c9e679ad5143,
+        0x4005f128a0255786,
+        0x3fb31cc55a505cba,
+        3420,
+        71716,
+        0,
+    );
+    let default_run =
+        ClusterSimulator::new(base_config(), fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_eq!(report, default_run, "explicit None must be byte-identical");
+    assert_eq!(report.prefix_hits, 0);
+    assert_eq!(report.prefix_tokens_saved, 0);
+    assert_eq!(report.prefix_hit_rate, 0.0);
+}
+
+/// The differential proof the ISSUE demands: on a trace with **zero**
+/// prefix sharing, arming the cache changes nothing — the report is
+/// byte-identical to a disabled run, under both an oblivious policy and
+/// KV-aware routing (whose published hit vectors are all zero).
+#[test]
+fn zero_share_trace_prefix_cache_invisible() {
+    for policy in [GlobalPolicyKind::RoundRobin, GlobalPolicyKind::KvAware] {
+        let mut cfg = base_config();
+        cfg.num_replicas = 4;
+        cfg.global_policy = policy;
+        let trace = multi_tenant_bursty_trace(200, 19);
+        let disabled = ClusterSimulator::new(cfg.clone(), trace.clone(), oracle(), 19).run();
+        cfg.prefix_cache = Some(PrefixCacheConfig::default());
+        let armed = ClusterSimulator::new(cfg, trace, oracle(), 19).run();
+        assert_eq!(
+            armed, disabled,
+            "{policy:?}: armed cache must be invisible without sharing"
+        );
+        assert_eq!(armed.prefix_hits, 0);
+        assert_eq!(armed.prefix_tokens_saved, 0);
+    }
 }
 
 /// The SLO/queue autoscaler scales a one-replica fleet up under a heavy

@@ -18,6 +18,7 @@ fn run_sim(policy: BatchPolicyKind, reqs: &[(u64, u64)], qps: f64, seed: u64) ->
     let trace = Trace {
         workload_name: "prop".to_string(),
         tenants: Vec::new(),
+        prefixes: Vec::new(),
         requests: reqs
             .iter()
             .zip(times)
@@ -29,6 +30,8 @@ fn run_sim(policy: BatchPolicyKind, reqs: &[(u64, u64)], qps: f64, seed: u64) ->
                 decode_tokens: d,
                 tenant: 0,
                 priority: 0,
+                prefix_id: NO_PREFIX,
+                prefix_len: 0,
             })
             .collect(),
     };
@@ -125,6 +128,7 @@ fn quota_trace(n: usize, qps: f64, seed: u64) -> Trace {
     Trace {
         workload_name: "elastic-prop".to_string(),
         tenants: vec!["alpha".to_string(), "beta".to_string()],
+        prefixes: Vec::new(),
         requests: times
             .into_iter()
             .enumerate()
@@ -135,6 +139,8 @@ fn quota_trace(n: usize, qps: f64, seed: u64) -> Trace {
                 decode_tokens: 20 + (i as u64 * 31) % 120,
                 tenant: (i % 2) as u32,
                 priority: (i % 2) as u8,
+                prefix_id: NO_PREFIX,
+                prefix_len: 0,
             })
             .collect(),
     }

@@ -35,24 +35,28 @@ fn skewed_mix(n: usize, seed: u64) -> Trace {
                     mean_base_secs: 12.0,
                     mean_burst_secs: 5.0,
                 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "light-a".into(),
                 priority: 0,
                 workload: TraceWorkload::chat_1m(),
                 arrivals: ArrivalProcess::Poisson { qps: 0.4 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "light-b".into(),
                 priority: 0,
                 workload: TraceWorkload::chat_1m(),
                 arrivals: ArrivalProcess::Poisson { qps: 0.4 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "light-c".into(),
                 priority: 0,
                 workload: TraceWorkload::chat_1m(),
                 arrivals: ArrivalProcess::Poisson { qps: 0.4 },
+                prefix: None,
             },
         ],
     );
@@ -218,12 +222,14 @@ fn priority_aware_routing_serves_urgent_tier_first() {
                 priority: 0,
                 workload: TraceWorkload::chat_1m(),
                 arrivals: ArrivalProcess::Poisson { qps: 1.5 },
+                prefix: None,
             },
             TenantStream {
                 tenant: "bulk".into(),
                 priority: 3,
                 workload: TraceWorkload::chat_1m(),
                 arrivals: ArrivalProcess::Poisson { qps: 4.5 },
+                prefix: None,
             },
         ],
     );
