@@ -53,7 +53,10 @@ pub enum ShardKey {
 /// A shard-local event queue ordered by `(time, ShardKey)`.
 ///
 /// Built on the same slab-backed pairing heap as the sequential queue, so
-/// steady-state churn is allocation-free.
+/// steady-state churn is allocation-free. Cloning snapshots the pending set
+/// and the local-push counter, which is what lets the speculative sharded
+/// path checkpoint a shard at a window boundary and re-run the window.
+#[derive(Clone)]
 pub struct ShardQueue<E> {
     heap: KeyedPairingHeap<(SimTime, ShardKey), E>,
     local_pushes: u64,
@@ -104,6 +107,13 @@ impl<E> ShardQueue<E> {
         Some((time, key, payload))
     }
 
+    /// Borrows the `(time, key)` of the earliest pending event without
+    /// removing it. The windowed sharded runner uses this to stop a shard
+    /// exactly at the next window boundary.
+    pub fn peek(&self) -> Option<(SimTime, ShardKey)> {
+        self.heap.peek().copied()
+    }
+
     /// Total number of dynamic pushes so far; the delta across a handler
     /// gives the handler's child count for the merge log.
     pub fn local_pushes(&self) -> u64 {
@@ -136,7 +146,7 @@ impl<E> EventPush<E> for ShardQueue<E> {
 /// global counter values to the events a committed handler pushed. The stamp
 /// table only holds stamps for pushed-but-not-yet-popped dynamic events, so
 /// its size is bounded by the shard's queue depth, not by the run length.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ShardStamper {
     stamps: HashMap<u64, u64>,
     next_child: u64,

@@ -175,6 +175,25 @@ pub struct RunStats {
     /// mergeable mode only tier-relevant effects stream, so this drops by
     /// an order of magnitude. Zero on sequential runs (nothing streams).
     pub streamed_effects: u64,
+    /// Speculation windows the stateful-routing fast path executed
+    /// (retries of a rolled-back window count again). Zero on sequential
+    /// runs and on the stateless streaming path, which never speculates.
+    pub spec_windows: u64,
+    /// Arrivals whose speculative placement disagreed with the exact
+    /// live-view replay during the ordered commit. Each one rolls the
+    /// affected window back.
+    pub mispredictions: u64,
+    /// Events discarded by window rollbacks and re-simulated with corrected
+    /// placements — the raw cost of misprediction.
+    pub rollback_events: u64,
+    /// Why the run left the sharded fast path, when it did: `None` on
+    /// sharded runs *and* on runs that never asked for sharding
+    /// (`ClusterConfig::shards` <= 1). A sharding request that fell back —
+    /// whether rejected up front (armed elastic fleet, armed prefix cache,
+    /// jittered runtimes under rng_version 1, late-abort, `Deferred`
+    /// policy) or aborted mid-run (a stateful policy actually deferred a
+    /// request) — names the first blocking reason here.
+    pub fallback_reason: Option<&'static str>,
 }
 
 /// The cluster simulator. Construct with [`ClusterSimulator::new`], run with
@@ -191,6 +210,13 @@ pub struct ClusterSimulator {
     /// `None` unless [`ClusterConfig::elastic`] — the fixed-fleet path pays
     /// nothing for the feature.
     pub(crate) elastic: Option<Box<ElasticState>>,
+    /// Construction seed, kept so a sharded attempt that aborts mid-run (a
+    /// stateful policy deferred a request) can rebuild the simulator from
+    /// scratch and re-run sequentially.
+    pub(crate) seed: u64,
+    /// Reusable pre-route scratch for the sharded path (`order`/`targets`
+    /// live across windows and retries instead of reallocating per run).
+    pub(crate) sharded_scratch: crate::sharded::ShardedScratch,
 }
 
 impl std::fmt::Debug for ClusterSimulator {
@@ -313,6 +339,8 @@ impl ClusterSimulator {
             replicas,
             tier,
             elastic,
+            seed,
+            sharded_scratch: crate::sharded::ShardedScratch::default(),
         }
     }
 
@@ -339,18 +367,43 @@ impl ClusterSimulator {
     }
 
     /// Like [`ClusterSimulator::run`], but also reports how the event loop
-    /// executed — shard count and serial-commit volume ([`RunStats`]). The
-    /// report is identical to the one `run` returns.
+    /// executed — shard count, serial-commit volume, speculation counters,
+    /// and the fast-path fallback reason ([`RunStats`]). The report is
+    /// identical to the one `run` returns.
     pub fn run_with_stats(mut self) -> (SimulationReport, RunStats) {
         let shards = self.config.shards.min(self.config.num_replicas);
         let mut stats = RunStats {
             shards: 1,
-            streamed_effects: 0,
+            ..RunStats::default()
         };
-        if shards > 1 && crate::sharded::eligible(&self.config, self.engine.timer().jitters()) {
-            stats.shards = shards;
-            stats.streamed_effects = crate::sharded::run_sharded(&mut self, shards);
-        } else {
+        if self.config.shards > 1 {
+            stats.fallback_reason =
+                crate::sharded::block_reason(&self.config, self.engine.timer().jitters());
+            if stats.fallback_reason.is_none() && shards < 2 {
+                stats.fallback_reason = Some("fewer than two replicas");
+            }
+        }
+        if self.config.shards > 1 && stats.fallback_reason.is_none() {
+            match crate::sharded::run_sharded(&mut self, shards) {
+                Ok(sharded_stats) => stats = sharded_stats,
+                Err(reason) => {
+                    // Mid-run abort (a stateful policy actually deferred a
+                    // request — an inherently cross-shard bind): throw the
+                    // half-run state away, rebuild from scratch on the same
+                    // timer (the shape cache stays warm), and run the whole
+                    // trace sequentially.
+                    stats.fallback_reason = Some(reason);
+                    self = ClusterSimulator::with_timer(
+                        self.config.clone(),
+                        self.trace.clone(),
+                        self.engine.timer().clone(),
+                        self.seed,
+                    );
+                }
+            }
+        }
+        if stats.shards <= 1 {
+            stats.shards = 1;
             let mut arrivals = engine::trace_arrivals(&self.trace, SimEvent::Arrival);
             if let Some(el) = self.elastic.as_deref() {
                 for (i, rec) in el.records.iter().enumerate() {

@@ -86,11 +86,33 @@ pub struct ClusterConfig {
     /// Number of event-loop shards to run in parallel (clamped to
     /// `num_replicas`). `1` (the default) uses the sequential engine. Values
     /// above 1 opt into the sharded engine for configurations on its fast
-    /// path — jitter-free runtime source, stateless global routing
-    /// (round-robin/random), no late-abort, aggregated clusters; anything
-    /// else silently falls back to the sequential engine. Reports are
-    /// bit-identical either way (see `vidur_simulator::sharded`).
+    /// path — no late-abort, no elastic fleet, no armed prefix cache,
+    /// jitter-free runtimes (unless [`Self::rng_version`] is 2), and any
+    /// non-`Deferred` routing policy: stateless policies
+    /// (round-robin/random) stream straight through, stateful ones
+    /// (least-outstanding, priority-aware, fair-share, affinity, KV-aware)
+    /// run under windowed speculate-and-verify routing; anything else falls
+    /// back to the sequential engine with the reason reported in
+    /// `RunStats::fallback_reason`. Reports are bit-identical either way
+    /// (see `vidur_simulator::sharded`).
     pub shards: usize,
+    /// Speculation window size for the sharded engine's stateful-routing
+    /// path: how many arrivals are pre-routed per window before the shards
+    /// simulate it. `None` (the default) sizes windows adaptively — halving
+    /// on mispredictions down to 1 (sequential-per-window, trivially exact),
+    /// doubling on clean windows. `Some(n)` pins the window at `n` arrivals,
+    /// which tests use to force misprediction pressure. Reports are
+    /// byte-identical for every window size; only wall-clock changes.
+    pub spec_window: Option<usize>,
+    /// Determinism-contract version for the engine's stochastic draws.
+    /// Version `1` (the default) draws CPU-overhead jitter from one
+    /// engine-wide RNG in launch order — the historical stream every pinned
+    /// fingerprint was captured under — which forces jittered runs onto the
+    /// sequential engine. Version `2` forks one jitter stream per replica
+    /// (keyed by global replica index) so jittered runs become shard-order
+    /// independent and eligible for the sharded fast path; v2 sequential
+    /// and sharded runs are bit-identical to each other but not to v1.
+    pub rng_version: u32,
     /// Windowed time-series output: when set, the report's `timeseries`
     /// field carries one row per wall-clock window (throughput, TTFT p99,
     /// mean KV occupancy). Only populated in [`QuantileMode::Mergeable`];
@@ -167,6 +189,8 @@ impl ClusterConfig {
             tenant_weights: Vec::new(),
             tenant_kv_quota: Vec::new(),
             shards: 1,
+            spec_window: None,
+            rng_version: 1,
             timeseries: None,
             faults: FaultPlan::none(),
             autoscaler: None,

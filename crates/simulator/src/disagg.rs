@@ -227,7 +227,7 @@ impl DisaggSimulator {
             report,
             crate::cluster::RunStats {
                 shards: 1,
-                streamed_effects: 0,
+                ..crate::cluster::RunStats::default()
             },
         )
     }

@@ -45,7 +45,7 @@ pub const MAX_EVENTS: u64 = 200_000_000;
 /// recycle through a free list, so the steady state is two Vec index
 /// operations and zero hashing, while stale ids from a simulator bug still
 /// miss (the generation check) instead of aliasing a live batch.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct InflightSlots {
     slots: Vec<Option<BatchComposition>>,
     generations: Vec<u32>,
@@ -104,7 +104,7 @@ impl InflightSlots {
 /// tracker, the earliest pending wake-up (dedupes `Wakeup` events), and the
 /// completion times of its in-flight batches (coalesces wake-ups that a
 /// completion handler would cover anyway).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EngineReplica {
     /// Batch formation and KV block accounting.
     pub scheduler: ReplicaScheduler,
@@ -221,10 +221,25 @@ impl EngineSink for MetricsCollector {
 /// [`EngineSink`] and all event scheduling through
 /// [`EventPush`](vidur_core::event::EventPush). [`BatchEngine`] wraps one of
 /// these around the metrics collector for the sequential path; the sharded
-/// driver owns one per shard, sinking into an effect log.
+/// driver owns one per shard, sinking into an effect log. Cloning snapshots
+/// the full scheduling state (in-flight table, RNG streams, launch counter)
+/// — the speculative sharded path checkpoints cores at window boundaries.
+#[derive(Clone)]
 pub struct EngineCore {
     timer: StageTimer,
     rng: SimRng,
+    /// Base seed, kept so v2 per-replica jitter RNGs can be forked lazily.
+    seed: u64,
+    /// [`ClusterConfig::rng_version`]: 1 draws CPU-overhead jitter from the
+    /// single engine-wide `rng` in launch order (the historical stream); 2
+    /// draws from per-replica forked streams, which makes jittered runs
+    /// shard-order independent.
+    rng_version: u32,
+    /// Per-replica jitter streams (v2 only), forked from `seed` by *global*
+    /// replica index and grown lazily — a shard core only materializes the
+    /// streams of the replicas it owns, and the streams are identical no
+    /// matter how replicas are dealt to shards.
+    replica_rngs: Vec<Option<SimRng>>,
     tp_gpus: f64,
     cpu_overhead: f64,
     inflight: InflightSlots,
@@ -286,6 +301,9 @@ impl EngineCore {
         EngineCore {
             timer,
             rng: SimRng::new(seed),
+            seed,
+            rng_version: config.rng_version,
+            replica_rngs: Vec::new(),
             tp_gpus: config.parallelism.tensor_parallel as f64,
             cpu_overhead: config.cpu_overhead,
             inflight: InflightSlots::default(),
@@ -366,21 +384,34 @@ impl EngineCore {
     ///
     /// The oracle source adds a log-normal wiggle plus rare multi-millisecond
     /// hiccups — the part of the real system a simulator cannot predict; the
-    /// estimator source uses the constant nominal overhead. The jitter draws
-    /// come from one engine-wide RNG in launch order, which is what makes
-    /// jittered runs inherently sequential (and why the sharded fast path
-    /// requires a jitter-free source).
-    fn cpu_overhead(&mut self) -> f64 {
+    /// estimator source uses the constant nominal overhead. Under
+    /// `rng_version` 1 the jitter draws come from one engine-wide RNG in
+    /// launch order, which makes jittered runs inherently sequential; under
+    /// version 2 each replica draws from its own stream forked from the base
+    /// seed by *global* replica index, so the draws a replica sees do not
+    /// depend on what other replicas launched — the property that admits
+    /// jittered runs to the sharded fast path. The two versions produce
+    /// different (both valid) jitter sequences, so v1 stays the default to
+    /// preserve historical fingerprints.
+    fn cpu_overhead(&mut self, replica: usize) -> f64 {
         let base = self.cpu_overhead;
-        if self.timer.jitters() {
-            let mut t = base * self.rng.log_normal(0.0, 0.25);
-            if self.rng.bernoulli(0.02) {
-                t += self.rng.exponential(1.0 / 2.0e-3);
-            }
-            t
-        } else {
-            base
+        if !self.timer.jitters() {
+            return base;
         }
+        let rng = if self.rng_version >= 2 {
+            if replica >= self.replica_rngs.len() {
+                self.replica_rngs.resize(replica + 1, None);
+            }
+            let seed = self.seed;
+            self.replica_rngs[replica].get_or_insert_with(|| SimRng::new(seed).fork(replica as u64))
+        } else {
+            &mut self.rng
+        };
+        let mut t = base * rng.log_normal(0.0, 0.25);
+        if rng.bernoulli(0.02) {
+            t += rng.exponential(1.0 / 2.0e-3);
+        }
+        t
     }
 
     /// Greedily forms and launches batches on `replica` while its first
@@ -433,7 +464,7 @@ impl EngineCore {
             // reports are byte-identical with the cache on or off.
             let timing = self.timer.time_batch(&batch);
             sink.on_batch_timed(metrics_idx, &timing);
-            let overhead = self.cpu_overhead();
+            let overhead = self.cpu_overhead(metrics_idx);
             self.scratch_secs.clear();
             self.scratch_secs.extend_from_slice(timing.stage_secs());
             let mult = self

@@ -667,7 +667,7 @@ impl RequestRecord {
 }
 
 /// Streaming metrics collector driven by the cluster simulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MetricsCollector {
     /// Per-request records, id-indexed: simulators feed dense trace
     /// indices, so the slab beats a map on the per-slice hot paths. In

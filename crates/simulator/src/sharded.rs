@@ -65,23 +65,74 @@
 //! sequence numbers. This shrinks the serial commit from every metric
 //! effect to a few effects per batch completion.
 //!
+//! # Speculate and verify: stateful policies on the fast path
+//!
+//! Stateful policies (least-outstanding, priority-aware, fair-share,
+//! affinity, KV-aware) read the *live* load view at every arrival, so their
+//! decisions cannot be pre-routed: an interleaved completion on another
+//! shard can change the argmin. The windowed runner puts them on the
+//! parallel path anyway by treating the pre-route as a *guess* and checking
+//! it against ground truth:
+//!
+//! 1. The arrival stream is chopped into windows. Each window's arrivals
+//!    are routed against a throwaway clone of the tier as of the last
+//!    exactly-committed point — speculation with a slightly stale view.
+//! 2. Every shard checkpoints its engine state (core, replicas, queue —
+//!    cheap `Clone`s of slab-backed structures), admits its share of the
+//!    window, and simulates independently up to the next window boundary,
+//!    logging effects exactly like the streaming path.
+//! 3. The merger walks the window logs in exact global `(time, seq)` order
+//!    (the same [`ShardStamper`] reconstruction) and *replays each routing
+//!    decision on the real tier at its exact sequential position*. Match:
+//!    the placement was right. Mismatch: the window rolls back — shards
+//!    restore their checkpoints, the tier/stampers/seq counter restore
+//!    theirs — and the window re-runs with the corrected placement forced
+//!    ([`RoutingTier::route_forced`]). The first mismatch position strictly
+//!    advances per retry, so a window re-runs at most once per arrival.
+//! 4. Only after a window verifies does the merger replay its metric
+//!    effects, in the recorded commit order — so the collector sees the
+//!    byte-identical call sequence of a sequential run and never needs a
+//!    snapshot. (This holds for every quantile mode; stateful runs use the
+//!    full-replay commit even in mergeable mode, where the tier stream is
+//!    the narrow seam being verified.)
+//!
+//! The window is sized adaptively: it halves after a mispredicted window
+//! (down to one arrival, which is trivially exact — speculation over a
+//! single arrival against the committed tier *is* the sequential decision)
+//! and doubles after a clean one. A misprediction storm therefore degrades
+//! toward sequential-per-window instead of thrashing on rollbacks.
+//! [`ClusterConfig::spec_window`] pins the size for tests that want to
+//! force misprediction pressure.
+//!
+//! Deferred binds are the one thing speculation cannot honor: a deferral
+//! parks the request centrally and binds it on a *later* event, possibly on
+//! another shard. If any route call defers — during speculation or during
+//! verify — the sharded attempt aborts and the caller rebuilds and re-runs
+//! sequentially, reporting why in
+//! [`RunStats::fallback_reason`](crate::cluster::RunStats).
+//!
 //! # Fast path and fallback
 //!
 //! `shards > 1` opts in; the sharded engine runs when the configuration is
-//! on its fast path — [`RuntimeSource`](crate::timing::RuntimeSource) does
-//! not jitter (the oracle's CPU-overhead noise draws from one engine-wide
-//! RNG in launch order, which is inherently serial), global policy is
-//! round-robin or random (stateful policies read the live view), and
-//! late-abort is off (its stop condition depends on the merged metrics
-//! mid-run). Everything else silently uses the sequential engine, which
-//! stays the differential oracle: `tests/engine_regression.rs` pins that
-//! every scenario reports identically with shards on and off, and that
+//! on its fast path — see [`block_reason`]: jittered runtimes need
+//! [`ClusterConfig::rng_version`] 2 (v1 draws CPU-overhead noise from one
+//! engine-wide RNG in launch order, which is inherently serial; v2 forks a
+//! stream per replica), late-abort must be off (its stop condition depends
+//! on the merged metrics mid-run), the fleet must be fixed (elastic events
+//! are globally ordered), the prefix cache must be off (hit publication is
+//! cross-replica), and the policy must not be the deferred one. Round-robin
+//! and random take the streaming path (one pre-route, no verification);
+//! every other policy takes the windowed speculate-and-verify path.
+//! Everything else silently uses the sequential engine, which stays the
+//! differential oracle: `tests/engine_regression.rs` pins that every
+//! scenario reports identically with shards on and off, and that
 //! mergeable-mode reports are invariant across shard counts.
 
-use crate::cluster::{batch_bytes, ClusterSimulator, SimEvent};
+use crate::cluster::{batch_bytes, ClusterSimulator, RunStats, SimEvent};
 use crate::config::ClusterConfig;
 use crate::engine::{EngineCore, EngineReplica, EngineSink, MAX_EVENTS};
 use crate::metrics::MetricsCollector;
+use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use vidur_core::metrics::QuantileMode;
@@ -90,7 +141,7 @@ use vidur_core::time::SimTime;
 use vidur_model::batch::BatchComposition;
 use vidur_model::shape::PlanTiming;
 use vidur_scheduler::replica::CompletionEvent;
-use vidur_scheduler::{GlobalPolicyKind, Request, RoutingTier};
+use vidur_scheduler::{GlobalPolicyKind, Request, RouteRequest, RoutingTier};
 use vidur_workload::Trace;
 
 /// Entries per [`LogChunk`] before it ships to the merger.
@@ -98,6 +149,16 @@ const CHUNK_ENTRIES: usize = 4096;
 /// In-flight chunks per shard channel: bounds memory (shards block when the
 /// merger falls behind) while keeping the pipeline full.
 const CHANNEL_DEPTH: usize = 4;
+/// Starting speculation window (arrivals) when [`ClusterConfig::spec_window`]
+/// leaves sizing adaptive.
+const DEFAULT_WINDOW: usize = 64;
+/// Adaptive windows never grow beyond this: past a few thousand arrivals the
+/// per-window overheads are fully amortized, while a rollback still only
+/// discards bounded work.
+const MAX_WINDOW: usize = 4096;
+/// Abort reason when a stateful policy defers: deferred binds happen on
+/// later events and may cross shards, which no shard-local replay can honor.
+const DEFER_ABORT: &str = "stateful policy deferred a request mid-run";
 
 /// One measured effect, mirroring a [`MetricsCollector`] (or tier) call the
 /// sequential engine would have made. Replayed at commit time in exact
@@ -229,57 +290,171 @@ impl EngineSink for LogSink {
     }
 }
 
-/// Is `sim`'s configuration on the sharded fast path? (Assumes the caller
-/// already clamped and checked `shards > 1`.)
-pub(crate) fn eligible(config: &ClusterConfig, jitters: bool) -> bool {
-    !jitters
-        && config.late_abort.is_none()
-        && !config.elastic()
-        && config.prefix_cache.is_none()
-        && matches!(
-            config.global_policy,
-            GlobalPolicyKind::RoundRobin | GlobalPolicyKind::Random
-        )
+/// Why `config` cannot run sharded, or `None` when it is on the fast path.
+/// (Assumes the caller already clamped and checked `shards > 1`.) The
+/// reason surfaces verbatim in
+/// [`RunStats::fallback_reason`](crate::cluster::RunStats).
+pub(crate) fn block_reason(config: &ClusterConfig, jitters: bool) -> Option<&'static str> {
+    if jitters && config.rng_version < 2 {
+        // v1 draws CPU-overhead noise from one engine-wide RNG in launch
+        // order; v2 forks a stream per replica and is shard-invariant.
+        return Some("jittered runtimes need per-replica rng streams (rng_version 2)");
+    }
+    if config.late_abort.is_some() {
+        return Some("late-abort guardrail is armed");
+    }
+    if config.elastic() {
+        return Some("elastic fleet (faults or autoscaler) is armed");
+    }
+    if config.prefix_cache.is_some() {
+        return Some("prefix cache is armed");
+    }
+    if matches!(config.global_policy, GlobalPolicyKind::Deferred { .. }) {
+        return Some("deferred policy holds requests centrally");
+    }
+    None
 }
 
-/// Runs `sim`'s event loop sharded `num_shards` ways. On return the metrics
+/// Reusable pre-route scratch hoisted onto the simulator: the `(arrival
+/// time, trace idx)`-sorted order and the per-arrival placements. The
+/// windowed runner re-speculates into `targets` every window and retry, so
+/// keeping the buffers across calls avoids a pair of per-run allocations
+/// (and re-sorts on the retry path).
+#[derive(Debug, Default)]
+pub(crate) struct ShardedScratch {
+    order: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+/// Routes `arrivals` (already in `(arrival time, trace idx)` = sequential
+/// pop order) through `tier`, writing each placement into `targets`.
+/// Arrivals present in `forced` skip the policy and commit to the recorded
+/// replica — the retry path for a window whose earlier speculation
+/// misplaced them. Errs when the policy defers (see [`DEFER_ABORT`]).
+///
+/// This is the single pre-route used by both sharded paths: the streaming
+/// path calls it once on the *real* tier over the whole trace (stateless
+/// policies never read the view, so the guess is the truth), the windowed
+/// path calls it per window on a throwaway clone.
+fn speculate(
+    tier: &mut RoutingTier,
+    trace: &Trace,
+    arrivals: &[u32],
+    forced: &HashMap<u32, u32>,
+    targets: &mut [u32],
+) -> Result<(), &'static str> {
+    for &idx in arrivals {
+        let tr = trace.requests[idx as usize];
+        let req = RouteRequest {
+            key: idx as u64,
+            tenant: tr.tenant,
+            priority: tr.priority,
+            tokens: tr.prefill_tokens + tr.decode_tokens,
+        };
+        let target = match forced.get(&idx) {
+            Some(&t) => {
+                tier.route_forced(req, t as usize);
+                t as usize
+            }
+            None => tier.route(req).ok_or(DEFER_ABORT)?,
+        };
+        targets[idx as usize] = target as u32;
+    }
+    Ok(())
+}
+
+/// Runs `sim`'s event loop sharded `num_shards` ways. On `Ok` the metrics
 /// collector, tier, and replicas are in the exact state a sequential
-/// `engine::drive` run would have left them in (exact/sketch modes) or the
-/// canonical merged-fold state (mergeable mode). Returns the number of
-/// effects the shards streamed through the serial merger — the quantity the
-/// mergeable mode exists to shrink.
-pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 {
+/// `engine::drive` run would have left them in (exact/sketch modes, and
+/// stateful-policy runs in every mode) or the canonical merged-fold state
+/// (stateless mergeable mode), with the run's [`RunStats`]. On `Err` a
+/// stateful policy deferred a request mid-run: the simulator is torn (the
+/// caller rebuilds from its construction seed and re-runs sequentially) and
+/// the reason belongs in [`RunStats::fallback_reason`].
+pub(crate) fn run_sharded(
+    sim: &mut ClusterSimulator,
+    num_shards: usize,
+) -> Result<RunStats, &'static str> {
     let ClusterSimulator {
         ref config,
         ref trace,
         ref mut engine,
         ref mut replicas,
         ref mut tier,
-        // Elastic runs never reach the sharded path (`eligible` rejects
+        // Elastic runs never reach the sharded path (`block_reason` rejects
         // them), so the elastic state stays untouched here.
         elastic: _,
+        seed,
+        ref mut sharded_scratch,
     } = *sim;
 
-    // Pre-route every arrival in sequential pop order: (arrival time, trace
-    // index) — the global queue's (time, seq) order for the pre-pushed
-    // arrival set. Round-robin/random placements depend only on router
-    // state, so replaying the calls up front draws the identical decision
-    // (and RNG) sequence the interleaved run would.
-    let mut order: Vec<u32> = (0..trace.requests.len() as u32).collect();
-    order.sort_by_key(|&i| trace.requests[i as usize].arrival);
-    let mut targets = vec![0u32; trace.requests.len()];
-    for &idx in &order {
-        let tr = trace.requests[idx as usize];
-        let target = tier
-            .route(vidur_scheduler::RouteRequest {
-                key: idx as u64,
-                tenant: tr.tenant,
-                priority: tr.priority,
-                tokens: tr.prefill_tokens + tr.decode_tokens,
+    // Sequential pop order for the pre-pushed arrival set: (arrival time,
+    // trace index) — the stable sort keeps equal-time arrivals in trace
+    // (= seq) order, matching the global queue.
+    let scratch = sharded_scratch;
+    scratch.order.clear();
+    scratch.order.extend(0..trace.requests.len() as u32);
+    scratch
+        .order
+        .sort_by_key(|&i| trace.requests[i as usize].arrival);
+    scratch.targets.clear();
+    scratch.targets.resize(trace.requests.len(), 0);
+
+    let deadline = config.max_sim_time;
+    let timer = engine.timer().clone();
+
+    if !matches!(
+        config.global_policy,
+        GlobalPolicyKind::RoundRobin | GlobalPolicyKind::Random
+    ) {
+        // Stateful policy: windowed speculate-and-verify.
+        let mut shards: Vec<SpecShard> = (0..num_shards)
+            .map(|shard| SpecShard {
+                shard,
+                num_shards,
+                core: EngineCore::with_timer(config, timer.clone(), seed),
+                replicas: Vec::new(),
+                queue: ShardQueue::new(),
+                processed: 0,
+                sink: LogSink {
+                    chunk: LogChunk::default(),
+                },
+                snapshot: None,
+                active: false,
             })
-            .expect("fast-path policies never defer");
-        targets[idx as usize] = target as u32;
+            .collect();
+        for (r, replica) in std::mem::take(replicas).into_iter().enumerate() {
+            shards[r % num_shards].replicas.push(replica);
+        }
+        let stats = run_windowed(
+            config,
+            trace,
+            &mut engine.metrics,
+            tier,
+            &mut shards,
+            scratch,
+            num_shards,
+            deadline,
+        )?;
+        *replicas = reassemble(
+            shards.into_iter().map(|s| s.replicas).collect(),
+            num_shards,
+            config.num_replicas,
+        );
+        return Ok(stats);
     }
+
+    // Stateless policy: pre-route everything on the real tier up front —
+    // round-robin/random placements depend only on router state, so
+    // replaying the calls draws the identical decision (and RNG) sequence
+    // the interleaved run would — then stream effects with no verification.
+    speculate(
+        tier,
+        trace,
+        &scratch.order,
+        &HashMap::new(),
+        &mut scratch.targets,
+    )?;
 
     // Deal replicas round-robin onto shards (global replica r lives on
     // shard r % k at local index r / k) and split the arrival list.
@@ -288,16 +463,14 @@ pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 
         shard_replicas[r % num_shards].push(replica);
     }
     let mut shard_arrivals: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
-    for &idx in &order {
-        shard_arrivals[targets[idx as usize] as usize % num_shards].push(idx);
+    for &idx in &scratch.order {
+        shard_arrivals[scratch.targets[idx as usize] as usize % num_shards].push(idx);
     }
 
-    let deadline = config.max_sim_time;
-    let timer = engine.timer().clone();
     let metrics = &mut engine.metrics;
-    let targets_ref: &[u32] = &targets;
+    let targets_ref: &[u32] = &scratch.targets;
 
-    if metrics.mode() == QuantileMode::Mergeable {
+    let streamed = if metrics.mode() == QuantileMode::Mergeable {
         // Fold-in-the-shards path: each shard owns a full-size collector
         // and commits everything but the tier effects locally.
         let (result_tx, result_rx) =
@@ -309,7 +482,7 @@ pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 
         {
             let (log_tx, log_rx) = sync_channel::<TierChunk>(CHANNEL_DEPTH);
             streams.push(TierStream::new(log_rx));
-            let core = EngineCore::with_timer(config, timer.clone(), 0);
+            let core = EngineCore::with_timer(config, timer.clone(), seed);
             // Every shard collector must be armed exactly like the engine's
             // (tenants, SLO, time-series windows): the merged fold is only
             // shard-count-invariant when all partials share one shape.
@@ -375,7 +548,7 @@ pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 
             let (log_tx, log_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
             let (recycle_tx, recycle_rx) = sync_channel::<LogChunk>(CHANNEL_DEPTH);
             streams.push(ShardStream::new(log_rx, recycle_tx));
-            let core = EngineCore::with_timer(config, timer.clone(), 0);
+            let core = EngineCore::with_timer(config, timer.clone(), seed);
             workers.push(ShardWorker {
                 shard,
                 num_shards,
@@ -414,7 +587,12 @@ pub(crate) fn run_sharded(sim: &mut ClusterSimulator, num_shards: usize) -> u64 
             .collect();
         *replicas = reassemble(per_shard, num_shards, config.num_replicas);
         streamed
-    }
+    };
+    Ok(RunStats {
+        shards: num_shards,
+        streamed_effects: streamed,
+        ..RunStats::default()
+    })
 }
 
 /// Puts shard-dealt replicas back in global order (global replica `r` was
@@ -476,7 +654,18 @@ impl ShardWorker<'_> {
             }
             let effects_before = sink.chunk.effects.len();
             let pushes_before = queue.local_pushes();
-            self.handle(time, event, &mut queue, &mut sink);
+            shard_handle(
+                &mut self.core,
+                &mut self.replicas,
+                self.num_shards,
+                self.config,
+                self.trace,
+                self.targets,
+                time,
+                event,
+                &mut queue,
+                &mut sink,
+            );
             sink.chunk.entries.push(EntryRec {
                 time,
                 key,
@@ -498,81 +687,98 @@ impl ShardWorker<'_> {
         let _ = self.log_tx.send(last);
         let _ = self.result_tx.send((self.shard, self.replicas));
     }
+}
 
-    fn handle(
-        &mut self,
-        now: SimTime,
-        event: SimEvent,
-        queue: &mut ShardQueue<SimEvent>,
-        sink: &mut LogSink,
-    ) {
-        match event {
-            SimEvent::Arrival(idx) => {
-                let tr = self.trace.requests[idx as usize];
-                sink.chunk.effects.push(Effect::Arrival {
-                    id: tr.id,
-                    decode_tokens: tr.decode_tokens,
-                    tenant: tr.tenant,
-                });
-                let target = self.targets[idx as usize];
-                let local = target as usize / self.num_shards;
-                self.replicas[local].scheduler.add_request(
-                    Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
-                        .with_tenant(tr.tenant)
-                        .with_priority(tr.priority),
-                );
-                self.try_schedule(target, now, queue, sink);
-            }
-            SimEvent::Wakeup(replica) => {
-                let local = replica as usize / self.num_shards;
-                self.replicas[local].clear_wakeup();
-                self.try_schedule(replica, now, queue, sink);
-            }
-            SimEvent::BatchComplete(replica, id) => {
-                let local = replica as usize / self.num_shards;
-                // The tier's `on_finished` is deferred to commit time (the
-                // tier is shared); the translate hook is therefore empty.
-                self.core.retire_batch(
-                    &mut self.replicas[local],
-                    replica as usize,
-                    id,
-                    now,
-                    queue,
-                    sink,
-                    |_ev, _queue| {},
-                );
-                sink.chunk.effects.push(Effect::FreeKv {
-                    replica,
-                    free_blocks: self.replicas[local].scheduler.blocks().free_blocks(),
-                });
-                self.try_schedule(replica, now, queue, sink);
-            }
-            SimEvent::Fault(_) | SimEvent::AutoscaleTick | SimEvent::WarmupDone(_) => {
-                unreachable!("elastic runs are rejected by the fast-path eligibility check")
-            }
+/// Handles one shard-local event, logging its effects into `sink`. Shared
+/// by the streaming [`ShardWorker`] and the windowed [`SpecShard`]; the
+/// mergeable-mode [`MergeWorker`] keeps its own copy (it sinks metric
+/// effects straight into a collector).
+#[allow(clippy::too_many_arguments)]
+fn shard_handle(
+    core: &mut EngineCore,
+    replicas: &mut [EngineReplica],
+    num_shards: usize,
+    config: &ClusterConfig,
+    trace: &Trace,
+    targets: &[u32],
+    now: SimTime,
+    event: SimEvent,
+    queue: &mut ShardQueue<SimEvent>,
+    sink: &mut LogSink,
+) {
+    match event {
+        SimEvent::Arrival(idx) => {
+            let tr = trace.requests[idx as usize];
+            sink.chunk.effects.push(Effect::Arrival {
+                id: tr.id,
+                decode_tokens: tr.decode_tokens,
+                tenant: tr.tenant,
+            });
+            let target = targets[idx as usize];
+            let local = target as usize / num_shards;
+            replicas[local].scheduler.add_request(
+                Request::new(tr.id, tr.arrival, tr.prefill_tokens, tr.decode_tokens)
+                    .with_tenant(tr.tenant)
+                    .with_priority(tr.priority),
+            );
+            shard_try_schedule(core, replicas, num_shards, config, target, now, queue, sink);
+        }
+        SimEvent::Wakeup(replica) => {
+            let local = replica as usize / num_shards;
+            replicas[local].clear_wakeup();
+            shard_try_schedule(
+                core, replicas, num_shards, config, replica, now, queue, sink,
+            );
+        }
+        SimEvent::BatchComplete(replica, id) => {
+            let local = replica as usize / num_shards;
+            // The tier's `on_finished` is deferred to commit time (the
+            // tier is shared); the translate hook is therefore empty.
+            core.retire_batch(
+                &mut replicas[local],
+                replica as usize,
+                id,
+                now,
+                queue,
+                sink,
+                |_ev, _queue| {},
+            );
+            sink.chunk.effects.push(Effect::FreeKv {
+                replica,
+                free_blocks: replicas[local].scheduler.blocks().free_blocks(),
+            });
+            shard_try_schedule(
+                core, replicas, num_shards, config, replica, now, queue, sink,
+            );
+        }
+        SimEvent::Fault(_) | SimEvent::AutoscaleTick | SimEvent::WarmupDone(_) => {
+            unreachable!("elastic runs are rejected by the fast-path eligibility check")
         }
     }
+}
 
-    fn try_schedule(
-        &mut self,
-        replica: u32,
-        now: SimTime,
-        queue: &mut ShardQueue<SimEvent>,
-        sink: &mut LogSink,
-    ) {
-        let local = replica as usize / self.num_shards;
-        let config = self.config;
-        self.core.try_schedule(
-            &mut self.replicas[local],
-            replica as usize,
-            now,
-            queue,
-            sink,
-            |batch| batch_bytes(config, batch),
-            || SimEvent::Wakeup(replica),
-            |id| SimEvent::BatchComplete(replica, id),
-        );
-    }
+#[allow(clippy::too_many_arguments)]
+fn shard_try_schedule(
+    core: &mut EngineCore,
+    replicas: &mut [EngineReplica],
+    num_shards: usize,
+    config: &ClusterConfig,
+    replica: u32,
+    now: SimTime,
+    queue: &mut ShardQueue<SimEvent>,
+    sink: &mut LogSink,
+) {
+    let local = replica as usize / num_shards;
+    core.try_schedule(
+        &mut replicas[local],
+        replica as usize,
+        now,
+        queue,
+        sink,
+        |batch| batch_bytes(config, batch),
+        || SimEvent::Wakeup(replica),
+        |id| SimEvent::BatchComplete(replica, id),
+    );
 }
 
 /// A tier-relevant effect streamed in mergeable mode: the only state shards
@@ -994,4 +1200,428 @@ fn commit(
     }
     stream.effect += entry.n_effects as usize;
     entry.n_effects as u64
+}
+
+/// One shard of the windowed speculate-and-verify runner. Unlike
+/// [`ShardWorker`] it lives across windows: between windows the merger owns
+/// it (verify, rollback, re-admit), during a window it runs on its own
+/// thread and logs into its in-memory window chunk — no channels, the whole
+/// window log is handed over at the scope join.
+struct SpecShard {
+    shard: usize,
+    num_shards: usize,
+    core: EngineCore,
+    replicas: Vec<EngineReplica>,
+    queue: ShardQueue<SimEvent>,
+    /// Events handled so far (persists across windows; the [`MAX_EVENTS`]
+    /// backstop is per shard, as on the streaming path).
+    processed: u64,
+    /// The current window's effect log (the chunk is reset per attempt).
+    sink: LogSink,
+    /// Pre-window checkpoint, taken at the start of every attempt this
+    /// shard participates in; restored on rollback.
+    snapshot: Option<SpecSnapshot>,
+    /// Did this shard run the current attempt? Inactive shards (no window
+    /// arrivals, no backlog before the boundary) skip the spawn, the
+    /// snapshot, and the rollback.
+    active: bool,
+}
+
+/// Everything a window can change on a shard. All slab-backed `Clone`s: the
+/// queue snapshot pops the exact same sequence as the original.
+struct SpecSnapshot {
+    core: EngineCore,
+    replicas: Vec<EngineReplica>,
+    queue: ShardQueue<SimEvent>,
+    processed: u64,
+}
+
+impl SpecShard {
+    /// Checkpoints, admits this attempt's share of `window` (arrivals whose
+    /// speculated target lives here), and simulates up to — exclusive — the
+    /// next window's first arrival. The boundary cut is exact: a local
+    /// event at the boundary time always orders *after* the boundary
+    /// arrival ([`ShardKey::Local`] sorts after [`ShardKey::Arrival`], and
+    /// dynamic global seqs all exceed arrival seqs), so "peek before
+    /// boundary" equals "globally before the boundary".
+    fn run_window(
+        &mut self,
+        config: &ClusterConfig,
+        trace: &Trace,
+        targets: &[u32],
+        window: &[u32],
+        boundary: Option<(SimTime, ShardKey)>,
+        deadline: Option<SimTime>,
+    ) {
+        self.snapshot = Some(SpecSnapshot {
+            core: self.core.clone(),
+            replicas: self.replicas.clone(),
+            queue: self.queue.clone(),
+            processed: self.processed,
+        });
+        self.sink.chunk.reset();
+        for &idx in window {
+            if targets[idx as usize] as usize % self.num_shards == self.shard {
+                self.queue.push_arrival(
+                    trace.requests[idx as usize].arrival,
+                    idx as u64,
+                    SimEvent::Arrival(idx),
+                );
+            }
+        }
+        while let Some(head) = self.queue.peek() {
+            if boundary.is_some_and(|b| head >= b) {
+                break;
+            }
+            // Pops are time-nondecreasing, so a past-deadline head means
+            // everything left is past it too; it stays queued, unpopped —
+            // the same effect-free drop the sequential engine performs.
+            if deadline.is_some_and(|d| head.0 > d) || self.processed >= MAX_EVENTS {
+                break;
+            }
+            let (time, key, event) = self.queue.pop().expect("peeked head");
+            let effects_before = self.sink.chunk.effects.len();
+            let pushes_before = self.queue.local_pushes();
+            shard_handle(
+                &mut self.core,
+                &mut self.replicas,
+                self.num_shards,
+                config,
+                trace,
+                targets,
+                time,
+                event,
+                &mut self.queue,
+                &mut self.sink,
+            );
+            self.sink.chunk.entries.push(EntryRec {
+                time,
+                key,
+                n_children: (self.queue.local_pushes() - pushes_before) as u32,
+                n_effects: (self.sink.chunk.effects.len() - effects_before) as u32,
+            });
+            self.processed += 1;
+        }
+    }
+
+    /// Discards the current attempt: restores the pre-window checkpoint and
+    /// clears the window log.
+    fn rollback(&mut self) {
+        let snap = self.snapshot.take().expect("rollback without a snapshot");
+        self.core = snap.core;
+        self.replicas = snap.replicas;
+        self.queue = snap.queue;
+        self.processed = snap.processed;
+        self.sink.chunk.reset();
+    }
+}
+
+/// Per-shard read cursor over a window log, for the verify and commit
+/// passes.
+#[derive(Default)]
+struct LogCursor {
+    entry: usize,
+    effect: usize,
+    event: usize,
+    id: usize,
+    /// Resolved `(time, global_seq)` of the next uncommitted entry.
+    head: Option<(SimTime, u64)>,
+}
+
+/// Drives the windowed speculate-and-verify loop to completion. On `Ok` the
+/// collector and tier hold the exact sequential-run state; on `Err` a
+/// policy deferred and the caller falls back (the simulator is torn).
+#[allow(clippy::too_many_arguments)]
+fn run_windowed(
+    config: &ClusterConfig,
+    trace: &Trace,
+    metrics: &mut MetricsCollector,
+    tier: &mut RoutingTier,
+    shards: &mut [SpecShard],
+    scratch: &mut ShardedScratch,
+    num_shards: usize,
+    deadline: Option<SimTime>,
+) -> Result<RunStats, &'static str> {
+    let mut stats = RunStats {
+        shards: num_shards,
+        ..RunStats::default()
+    };
+    let mut stampers: Vec<ShardStamper> = (0..num_shards).map(|_| ShardStamper::new()).collect();
+    let mut counter = trace.requests.len() as u64;
+    // Corrected placements for the window being retried: trace idx → exact
+    // target. Persists across retries of one window, clears on commit.
+    let mut forced: HashMap<u32, u32> = HashMap::new();
+    let mut commit_order: Vec<u32> = Vec::new();
+    let pinned = config.spec_window;
+    let mut window = pinned.unwrap_or(DEFAULT_WINDOW).max(1);
+
+    let n = scratch.order.len();
+    let mut cursor = 0usize;
+    while cursor < n {
+        let end = (cursor + window).min(n);
+        // Split the sorted order so the window slice and the boundary
+        // lookup don't alias `scratch.targets` borrows below.
+        let (routed, rest) = scratch.order.split_at(end);
+        let window_arrivals = &routed[cursor..];
+        let boundary = rest.first().map(|&b| {
+            (
+                trace.requests[b as usize].arrival,
+                ShardKey::Arrival(b as u64),
+            )
+        });
+
+        let mut mispredicted = false;
+        loop {
+            // Speculate this window against a throwaway copy of the tier as
+            // of the last exactly-committed point. Re-speculation after a
+            // rollback reproduces the identical unforced prefix (same tier
+            // state, same deterministic policy), so the forced fix stays
+            // aligned with the mismatch it corrects.
+            {
+                let mut spec = tier.clone();
+                speculate(
+                    &mut spec,
+                    trace,
+                    window_arrivals,
+                    &forced,
+                    &mut scratch.targets,
+                )?;
+            }
+            let targets: &[u32] = &scratch.targets;
+            for shard in shards.iter_mut() {
+                let has_arrival = window_arrivals
+                    .iter()
+                    .any(|&idx| targets[idx as usize] as usize % num_shards == shard.shard);
+                let has_backlog = shard.queue.peek().is_some_and(|head| {
+                    boundary.is_none_or(|b| head < b) && deadline.is_none_or(|d| head.0 <= d)
+                });
+                shard.active = has_arrival || has_backlog;
+            }
+            stats.spec_windows += 1;
+            rayon::scope(|scope| {
+                for shard in shards.iter_mut() {
+                    if !shard.active {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        shard.run_window(
+                            config,
+                            trace,
+                            targets,
+                            window_arrivals,
+                            boundary,
+                            deadline,
+                        )
+                    });
+                }
+            });
+
+            let tier_checkpoint = tier.clone();
+            let stamper_checkpoint = stampers.clone();
+            let counter_checkpoint = counter;
+            commit_order.clear();
+            match verify_window(
+                shards,
+                &mut stampers,
+                &mut counter,
+                tier,
+                trace,
+                targets,
+                &mut commit_order,
+            )? {
+                None => {
+                    // The window is exact; replay its metric effects in the
+                    // verified global order.
+                    stats.streamed_effects += commit_metrics(shards, metrics, &commit_order);
+                    break;
+                }
+                Some((idx, actual)) => {
+                    stats.mispredictions += 1;
+                    mispredicted = true;
+                    for shard in shards.iter_mut() {
+                        if shard.active {
+                            stats.rollback_events += shard.sink.chunk.entries.len() as u64;
+                            shard.rollback();
+                        }
+                    }
+                    *tier = tier_checkpoint;
+                    stampers = stamper_checkpoint;
+                    counter = counter_checkpoint;
+                    forced.insert(idx, actual);
+                }
+            }
+        }
+        forced.clear();
+        cursor = end;
+        if pinned.is_none() {
+            // Halve under misprediction pressure (a one-arrival window is
+            // trivially exact), grow while speculation holds.
+            window = if mispredicted {
+                (window / 2).max(1)
+            } else {
+                (window * 2).min(MAX_WINDOW)
+            };
+        }
+    }
+    Ok(stats)
+}
+
+/// The verify pass: walks the active shards' window logs in exact global
+/// `(time, seq)` order, replaying every routing decision on the live tier
+/// at its exact sequential position and applying the tier effects
+/// (`on_finished`, `set_free_kv_blocks`) along the way. Metric effects are
+/// untouched — they commit only after the whole window verifies, so a
+/// mid-window mismatch needs no collector snapshot.
+///
+/// Returns `Ok(None)` when every placement matched (with `commit_order`
+/// holding the shard sequence for the commit pass), `Ok(Some((idx,
+/// actual)))` at the first mismatch, or `Err` if the policy deferred.
+fn verify_window(
+    shards: &[SpecShard],
+    stampers: &mut [ShardStamper],
+    counter: &mut u64,
+    tier: &mut RoutingTier,
+    trace: &Trace,
+    targets: &[u32],
+    commit_order: &mut Vec<u32>,
+) -> Result<Option<(u32, u32)>, &'static str> {
+    let mut cursors: Vec<LogCursor> = shards.iter().map(|_| LogCursor::default()).collect();
+    loop {
+        // Linear min-scan over resolved heads, as in `merge`.
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            if !shard.active {
+                continue;
+            }
+            let cur = &mut cursors[s];
+            if cur.head.is_none() {
+                let chunk = &shard.sink.chunk;
+                if cur.entry < chunk.entries.len() {
+                    let e = chunk.entries[cur.entry];
+                    cur.head = Some((e.time, stampers[s].resolve(e.key)));
+                }
+            }
+            if let Some(head) = cur.head {
+                if best.is_none_or(|(_, b)| head < b) {
+                    best = Some((s, head));
+                }
+            }
+        }
+        let Some((s, _)) = best else {
+            return Ok(None);
+        };
+        let cur = &mut cursors[s];
+        cur.head = None;
+        let chunk = &shards[s].sink.chunk;
+        let entry = chunk.entries[cur.entry];
+        cur.entry += 1;
+        stampers[s].claim_children(entry.n_children as u64, counter);
+        // An arrival entry is where the sequential engine would have routed:
+        // replay the decision on the exact live view and compare.
+        if let ShardKey::Arrival(seq) = entry.key {
+            let idx = seq as u32;
+            let tr = trace.requests[idx as usize];
+            let actual = tier
+                .route(RouteRequest {
+                    key: seq,
+                    tenant: tr.tenant,
+                    priority: tr.priority,
+                    tokens: tr.prefill_tokens + tr.decode_tokens,
+                })
+                .ok_or(DEFER_ABORT)?;
+            if actual as u32 != targets[idx as usize] {
+                return Ok(Some((idx, actual as u32)));
+            }
+        }
+        for effect in &chunk.effects[cur.effect..cur.effect + entry.n_effects as usize] {
+            match effect {
+                Effect::Retire { replica, n_events } => {
+                    for ev in &chunk.events[cur.event..cur.event + *n_events as usize] {
+                        if ev.finished {
+                            let tr = trace.requests[ev.id as usize];
+                            tier.on_finished(
+                                *replica as usize,
+                                tr.tenant,
+                                tr.prefill_tokens + tr.decode_tokens,
+                            );
+                        }
+                    }
+                    cur.event += *n_events as usize;
+                }
+                Effect::FreeKv {
+                    replica,
+                    free_blocks,
+                } => tier.set_free_kv_blocks(*replica as usize, *free_blocks),
+                _ => {}
+            }
+        }
+        cur.effect += entry.n_effects as usize;
+        commit_order.push(s as u32);
+    }
+}
+
+/// The commit pass: replays a verified window's *metric* effects into the
+/// collector, following the shard sequence the verify pass recorded — the
+/// collector receives the byte-identical call sequence of a sequential run.
+/// Tier effects were already applied during verification and are skipped.
+/// Returns the number of effects committed.
+fn commit_metrics(
+    shards: &[SpecShard],
+    metrics: &mut MetricsCollector,
+    commit_order: &[u32],
+) -> u64 {
+    let mut cursors: Vec<LogCursor> = shards.iter().map(|_| LogCursor::default()).collect();
+    let mut committed = 0u64;
+    for &s in commit_order {
+        let chunk = &shards[s as usize].sink.chunk;
+        let cur = &mut cursors[s as usize];
+        let entry = chunk.entries[cur.entry];
+        cur.entry += 1;
+        let time = entry.time;
+        for effect in &chunk.effects[cur.effect..cur.effect + entry.n_effects as usize] {
+            match effect {
+                Effect::Arrival {
+                    id,
+                    decode_tokens,
+                    tenant,
+                } => metrics.on_arrival(*id, time, *decode_tokens, *tenant),
+                Effect::OpSecs { replica, timing } => {
+                    metrics.on_op_secs(*replica as usize, timing.op_secs())
+                }
+                Effect::GpuBusy { replica, gpu_secs } => {
+                    metrics.on_gpu_busy(*replica as usize, *gpu_secs)
+                }
+                Effect::BatchWork {
+                    replica,
+                    tokens,
+                    requests,
+                    flops,
+                    bytes,
+                    first_n,
+                } => {
+                    metrics.on_batch_work(*replica as usize, *tokens, *requests, *flops, *bytes);
+                    for &id in &chunk.ids[cur.id..cur.id + *first_n as usize] {
+                        metrics.mark_first_scheduled(id, time);
+                    }
+                    cur.id += *first_n as usize;
+                }
+                Effect::KvSample {
+                    replica,
+                    utilization,
+                } => metrics.on_kv_sample(*replica as usize, time, *utilization),
+                Effect::Retire { replica, n_events } => {
+                    metrics.on_batch_complete(
+                        *replica as usize,
+                        time,
+                        &chunk.events[cur.event..cur.event + *n_events as usize],
+                    );
+                    cur.event += *n_events as usize;
+                }
+                Effect::FreeKv { .. } => {}
+            }
+        }
+        cur.effect += entry.n_effects as usize;
+        committed += entry.n_effects as u64;
+    }
+    committed
 }

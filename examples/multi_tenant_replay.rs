@@ -13,8 +13,11 @@
 //!    per-tenant latency/SLO/routing breakdowns.
 //!
 //! 5. Replay the same trace on the parallel sharded engine (estimator
-//!    runtimes, round-robin routing — the sharded fast path) and assert the
-//!    report is byte-identical to the sequential engine's.
+//!    runtimes) twice — round-robin on the streaming fast path, then
+//!    least-outstanding on the windowed speculate-and-verify path — assert
+//!    both reports are byte-identical to the sequential engine's, and print
+//!    the speculation counters (windows, mispredictions, rollbacks) and any
+//!    fallback reason.
 //! 6. With `VIDUR_MERGEABLE=1`, rerun the sharded replay in the mergeable
 //!    metrics mode — latency sketches fold inside the shards, only tier
 //!    effects stream to the merger — assert the report is invariant across
@@ -175,11 +178,12 @@ fn main() {
         "every request routes through the tier exactly once"
     );
 
-    // 5. The parallel sharded engine. The fair-share replay above stays
-    // sequential (stateful routing reads the live load view); this section
-    // reruns the trace on the sharded fast path — estimator runtimes
-    // (jitter-free) with round-robin routing — once per engine, and checks
-    // the contract: reports agree bit for bit, only wall-clock changes.
+    // 5. The parallel sharded engine, both fast paths: round-robin streams
+    // pre-routed effects with no verification; least-outstanding reads the
+    // live load view, so the sharded engine speculates window placements
+    // and verifies each one at its exact sequential position. Either way
+    // the contract holds: reports agree bit for bit, only wall-clock
+    // changes.
     let shards: usize = std::env::var("VIDUR_SHARDS")
         .map(|v| v.parse().expect("VIDUR_SHARDS must be a number"))
         .unwrap_or(6);
@@ -201,26 +205,50 @@ fn main() {
         EstimatorKind::default(),
     );
     let est_source = RuntimeSource::Estimator((*est).clone());
-    let timed_run = |shards: usize| {
+    let timed_run = |policy: GlobalPolicyKind, shards: usize| {
         let mut cfg = sharded_config.clone();
+        cfg.global_policy = policy;
         cfg.shards = shards;
         let started = std::time::Instant::now();
-        let report = ClusterSimulator::new(cfg, trace.clone(), est_source.clone(), 42).run();
-        (report, started.elapsed())
+        let (report, stats) =
+            ClusterSimulator::new(cfg, trace.clone(), est_source.clone(), 42).run_with_stats();
+        (report, stats, started.elapsed())
     };
-    let (seq_report, seq_wall) = timed_run(1);
-    let (shard_report, shard_wall) = timed_run(shards);
+    let (seq_report, _, seq_wall) = timed_run(GlobalPolicyKind::RoundRobin, 1);
+    let (shard_report, shard_stats, shard_wall) = timed_run(GlobalPolicyKind::RoundRobin, shards);
     assert_eq!(
         seq_report, shard_report,
         "sharded replay must be bit-identical to the sequential engine"
     );
     println!();
     println!(
-        "sharded    : {} shards in {:.0} ms vs sequential {:.0} ms — reports bit-identical",
-        shards,
+        "sharded    : {} shards in {:.0} ms vs sequential {:.0} ms — reports bit-identical \
+         ({} effects streamed)",
+        shard_stats.shards,
         shard_wall.as_secs_f64() * 1e3,
         seq_wall.as_secs_f64() * 1e3,
+        shard_stats.streamed_effects,
     );
+
+    let (lo_seq, _, lo_seq_wall) = timed_run(GlobalPolicyKind::LeastOutstanding, 1);
+    let (lo_shard, lo_stats, lo_shard_wall) = timed_run(GlobalPolicyKind::LeastOutstanding, shards);
+    assert_eq!(
+        lo_seq, lo_shard,
+        "speculative sharded routing must be bit-identical to the sequential engine"
+    );
+    match lo_stats.fallback_reason {
+        Some(reason) => println!("speculative: fell back to sequential ({reason})"),
+        None => println!(
+            "speculative: least-outstanding on {} shards in {:.0} ms vs sequential {:.0} ms — \
+             {} windows, {} mispredictions, {} events rolled back",
+            lo_stats.shards,
+            lo_shard_wall.as_secs_f64() * 1e3,
+            lo_seq_wall.as_secs_f64() * 1e3,
+            lo_stats.spec_windows,
+            lo_stats.mispredictions,
+            lo_stats.rollback_events,
+        ),
+    }
 
     // 6. Mergeable metrics: fold the latency sketches inside the shards and
     // stream only tier effects to the merger. Reports are invariant under

@@ -493,6 +493,219 @@ fn sharded_multi_tenant_identical() {
     );
 }
 
+// ---- speculative sharded routing (stateful policies) ---------------------
+
+/// Runs `cfg` sequentially and with `shards` shards under the estimator
+/// source, asserting byte-identical reports AND that the windowed
+/// speculate-and-verify path actually engaged — no silent fallback.
+fn assert_speculative_identical(
+    label: &str,
+    cfg: ClusterConfig,
+    trace: &Trace,
+    shards: usize,
+) -> RunStats {
+    let source = estimator_source();
+    let (sequential, seq_stats) =
+        ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run_with_stats();
+    assert_eq!(seq_stats.shards, 1, "{label}: baseline must be sequential");
+    let mut sharded_cfg = cfg;
+    sharded_cfg.shards = shards;
+    let (sharded, stats) =
+        ClusterSimulator::new(sharded_cfg, trace.clone(), source, 5).run_with_stats();
+    assert_eq!(
+        sequential, sharded,
+        "{label}: speculative sharded run must be bit-exact"
+    );
+    assert_eq!(
+        stats.fallback_reason, None,
+        "{label}: must stay on the fast path"
+    );
+    assert_eq!(stats.shards, shards, "{label}: must engage {shards} shards");
+    assert!(
+        stats.spec_windows > 0,
+        "{label}: must execute speculation windows"
+    );
+    stats
+}
+
+/// Every admitted stateful policy, every shard count (including a trivial
+/// one-shard deal and a count that does not divide the replicas): the
+/// speculative path must reproduce the sequential report bit for bit. The
+/// deferral-capable policies get caps high enough to never defer here; the
+/// deferral abort has its own test below.
+#[test]
+fn sharded_stateful_policies_identical() {
+    let policies = [
+        GlobalPolicyKind::LeastOutstanding,
+        GlobalPolicyKind::PriorityAware {
+            max_outstanding: 10_000,
+        },
+        GlobalPolicyKind::FairShare {
+            max_outstanding: 10_000,
+        },
+        GlobalPolicyKind::Affinity { spill_margin: 4 },
+        GlobalPolicyKind::KvAware,
+    ];
+    let trace = multi_tenant_bursty_trace(220, 53);
+    for policy in policies {
+        for shards in [2, 3, 7] {
+            let mut cfg = base_config();
+            cfg.num_replicas = 7;
+            cfg.global_policy = policy;
+            cfg.tenant_slo = Some(TenantSlo {
+                ttft_secs: 2.0,
+                e2e_per_token_secs: 0.5,
+            });
+            assert_speculative_identical(&format!("{policy:?}_7x{shards}"), cfg, &trace, shards);
+        }
+    }
+}
+
+/// Pinning a large speculation window forces misprediction pressure: the
+/// stale pre-routes must actually be caught and rolled back — and the
+/// report must still come out byte-identical. This is the deterministic
+/// rollback pin: if the verify loop ever stops detecting mismatches (or
+/// the rollback path corrupts state), one of these two asserts fails.
+#[test]
+fn sharded_speculation_rollback_fires_and_stays_exact() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.global_policy = GlobalPolicyKind::LeastOutstanding;
+    cfg.spec_window = Some(256);
+    let trace = fixed_trace(400, 30.0, 57);
+    let stats = assert_speculative_identical("rollback_pin_4x4", cfg, &trace, 4);
+    assert!(
+        stats.mispredictions > 0,
+        "a 256-arrival window under 30 QPS must mispredict at least once \
+         (got {} windows, {} mispredictions)",
+        stats.spec_windows,
+        stats.mispredictions
+    );
+    assert!(
+        stats.rollback_events > 0,
+        "mispredictions must discard simulated events"
+    );
+}
+
+/// One-arrival windows are trivially exact: speculation against the
+/// committed tier *is* the sequential decision, so nothing can mispredict.
+#[test]
+fn sharded_single_arrival_windows_never_mispredict() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 4;
+    cfg.global_policy = GlobalPolicyKind::LeastOutstanding;
+    cfg.spec_window = Some(1);
+    let trace = fixed_trace(150, 20.0, 59);
+    let stats = assert_speculative_identical("window1_4x4", cfg, &trace, 4);
+    assert_eq!(
+        stats.mispredictions, 0,
+        "one-arrival windows must never mispredict"
+    );
+}
+
+/// A misprediction storm under adaptive sizing: the window shrinks instead
+/// of thrashing, the run degrades toward sequential-per-window, and the
+/// report stays byte-identical throughout.
+#[test]
+fn sharded_speculation_storm_degrades_bit_exact() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.global_policy = GlobalPolicyKind::LeastOutstanding;
+    let trace = fixed_trace(500, 50.0, 61);
+    let stats = assert_speculative_identical("storm_2x2", cfg, &trace, 2);
+    assert!(
+        stats.mispredictions > 0,
+        "two heavily loaded replicas must flip the argmin at least once"
+    );
+    assert!(
+        stats.spec_windows > stats.mispredictions,
+        "adaptive shrink must keep committing windows between rollbacks"
+    );
+}
+
+/// Pin the `rng_version: 2` jitter stream: per-replica forked RNGs draw a
+/// different (but equally deterministic) CPU-overhead sequence than the v1
+/// engine-wide stream, so v2 gets its own fingerprint. The v1 pin is
+/// `cluster_oracle_report_bits_pinned` — both versions stay pinned so
+/// neither stream can drift.
+#[test]
+fn rng_v2_jitter_fingerprint_pinned() {
+    let mut cfg = base_config();
+    cfg.rng_version = 2;
+    let report = ClusterSimulator::new(cfg, fixed_trace(80, 2.5, 42), oracle(), 42).run();
+    assert_fingerprint(
+        "cluster_oracle_seed42_rngv2",
+        &report,
+        0x4044b9d0c2c8088f,
+        0x3fd101fbecde2ccb,
+        0x3f87c4c00df78f6e,
+        0x4005e69d86a1e5da,
+        0x3fb31ceaf8fb5ca1,
+        3423,
+        71716,
+        0,
+    );
+}
+
+/// Under `rng_version: 2` each replica owns a forked jitter stream whose
+/// draw order depends only on that replica's schedule sequence — which is
+/// identical for any shard count — so jittered oracle runs join the sharded
+/// fast path: byte-identical on both the streaming (round-robin) and the
+/// speculative (least-outstanding) paths.
+#[test]
+fn sharded_jittered_v2_identical() {
+    for policy in [
+        GlobalPolicyKind::RoundRobin,
+        GlobalPolicyKind::LeastOutstanding,
+    ] {
+        let mut cfg = base_config();
+        cfg.num_replicas = 4;
+        cfg.rng_version = 2;
+        cfg.global_policy = policy;
+        let trace = fixed_trace(200, 8.0, 65);
+        let sequential = ClusterSimulator::new(cfg.clone(), trace.clone(), oracle(), 42).run();
+        for shards in [2, 3] {
+            let mut sharded_cfg = cfg.clone();
+            sharded_cfg.shards = shards;
+            let (sharded, stats) =
+                ClusterSimulator::new(sharded_cfg, trace.clone(), oracle(), 42).run_with_stats();
+            assert_eq!(
+                stats.fallback_reason, None,
+                "{policy:?}: v2 jitter must be fast-path eligible"
+            );
+            assert_eq!(stats.shards, shards);
+            assert_eq!(
+                sequential, sharded,
+                "{policy:?}@{shards}: jittered v2 sharded run must be bit-exact"
+            );
+        }
+    }
+}
+
+/// When a deferral-capable policy actually defers, the bind happens on a
+/// later event — possibly on another shard — so the sharded attempt aborts
+/// mid-run, rebuilds, and re-runs sequentially: byte-exact, with the abort
+/// reason reported.
+#[test]
+fn sharded_stateful_deferral_falls_back_bit_exact() {
+    let mut cfg = base_config();
+    cfg.num_replicas = 2;
+    cfg.global_policy = GlobalPolicyKind::FairShare { max_outstanding: 2 };
+    let trace = fixed_trace(120, 20.0, 63);
+    let source = estimator_source();
+    let (sequential, _) =
+        ClusterSimulator::new(cfg.clone(), trace.clone(), source.clone(), 5).run_with_stats();
+    cfg.shards = 2;
+    let (sharded, stats) = ClusterSimulator::new(cfg, trace, source, 5).run_with_stats();
+    assert_eq!(sequential, sharded, "deferral fallback must be bit-exact");
+    assert_eq!(stats.shards, 1, "deferral must force the sequential path");
+    assert_eq!(
+        stats.fallback_reason,
+        Some("stateful policy deferred a request mid-run"),
+        "the abort reason must surface"
+    );
+}
+
 /// Mergeable-mode reports are merge-order invariant: the collector state is
 /// a pure fold over per-replica single-writer slots, so any shard count
 /// (1 = the sequential engine) must produce a byte-identical report — the

@@ -230,3 +230,91 @@ proptest! {
         }
     }
 }
+
+/// A two-tenant, two-priority trace for the speculative-sharding
+/// differential: enough load structure that every stateful policy has real
+/// decisions to make (and mispredict).
+fn spec_trace(n: usize, qps: f64, seed: u64) -> Trace {
+    let mut rng = SimRng::new(seed);
+    let times = ArrivalProcess::Poisson { qps }.generate(n, &mut rng);
+    Trace {
+        workload_name: "spec-prop".to_string(),
+        tenants: vec!["alpha".to_string(), "beta".to_string()],
+        prefixes: Vec::new(),
+        requests: times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| TraceRequest {
+                id: i as u64,
+                arrival,
+                prefill_tokens: 100 + (i as u64 * 131) % 1200,
+                decode_tokens: 10 + (i as u64 * 37) % 150,
+                tenant: (i % 2) as u32,
+                priority: (i % 3 == 0) as u8,
+                prefix_id: NO_PREFIX,
+                prefix_len: 0,
+            })
+            .collect(),
+    }
+}
+
+fn stateful_policy() -> impl Strategy<Value = GlobalPolicyKind> {
+    prop_oneof![
+        Just(GlobalPolicyKind::LeastOutstanding),
+        (4usize..64).prop_map(|m| GlobalPolicyKind::PriorityAware { max_outstanding: m }),
+        (4usize..64).prop_map(|m| GlobalPolicyKind::FairShare { max_outstanding: m }),
+        (0usize..6).prop_map(|m| GlobalPolicyKind::Affinity { spill_margin: m }),
+        Just(GlobalPolicyKind::KvAware),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The speculative sharded engine's whole contract, fuzzed: any
+    /// admitted stateful policy, any shard count, any pinned window size —
+    /// including tiny windows that force misprediction pressure, and
+    /// deferral-prone caps that force the mid-run abort — must reproduce
+    /// the sequential report byte for byte.
+    #[test]
+    fn speculative_sharding_differential(
+        policy in stateful_policy(),
+        shards in prop_oneof![Just(1usize), Just(2), Just(3), Just(7)],
+        window in prop_oneof![Just(1usize), Just(2), Just(3), Just(8)],
+        qps in 4.0f64..24.0,
+        seed in 0u64..1000,
+    ) {
+        let mut config = ClusterConfig::new(
+            ModelSpec::llama2_7b(),
+            GpuSku::a100_80g(),
+            ParallelismConfig::serial(),
+            7,
+            SchedulerConfig::new(BatchPolicyKind::Vllm, 64),
+        );
+        config.global_policy = policy;
+        config.tenant_weights = vec![2.0, 1.0];
+        let trace = spec_trace(140, qps, seed);
+        let est = onboard(
+            &config.model,
+            &config.parallelism,
+            &config.sku,
+            EstimatorKind::default(),
+        );
+        let source = RuntimeSource::Estimator((*est).clone());
+        let sequential = ClusterSimulator::new(
+            config.clone(), trace.clone(), source.clone(), seed).run();
+        config.shards = shards;
+        config.spec_window = Some(window);
+        let (sharded, stats) = ClusterSimulator::new(
+            config, trace, source, seed).run_with_stats();
+        prop_assert_eq!(&sequential, &sharded,
+            "{:?} shards={} window={}: speculative run must be bit-exact \
+             (stats: {:?})", policy, shards, window, stats);
+        // A deferral-prone cap may abort to the sequential engine; that is
+        // a legal outcome, but it must say so.
+        if shards > 1 && stats.shards == 1 {
+            prop_assert!(stats.fallback_reason.is_some(),
+                "silent fallback: {:?}", stats);
+        }
+    }
+}
